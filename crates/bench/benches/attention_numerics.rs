@@ -1,0 +1,57 @@
+//! Criterion benches: the real-arithmetic attention and GEMM kernels
+//! of the numerics substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use llm_model::masks::MaskSpec;
+use numerics::attention::{attention_blockwise, attention_direct, cp_allgather_attention};
+use numerics::gemm::{gemm, gemm_matched_chunks, GemmPrecision};
+use numerics::tensor::Matrix;
+
+fn bench_attention(c: &mut Criterion) {
+    let seq = 128usize;
+    let d = 32usize;
+    let q = Matrix::random(seq, d, 0.5, 1);
+    let k = Matrix::random(seq, d, 0.5, 2);
+    let v = Matrix::random(seq, d, 0.5, 3);
+    let mask = MaskSpec::document(vec![48, 16, 64]);
+    let mut g = c.benchmark_group("attention_128x32");
+    g.bench_function("direct", |b| {
+        b.iter(|| black_box(attention_direct(&q, &k, &v, &mask, 0)))
+    });
+    g.bench_function("blockwise_ring", |b| {
+        b.iter(|| black_box(attention_blockwise(&q, &k, &v, &mask, 0, 32)))
+    });
+    g.bench_function("cp_allgather_4ranks", |b| {
+        b.iter(|| black_box(cp_allgather_attention(&q, &k, &v, &mask, 4)))
+    });
+    g.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let a = Matrix::random(32, 256, 1.0, 4);
+    let b_m = Matrix::random(256, 32, 1.0, 5);
+    let mut g = c.benchmark_group("gemm_32x256x32");
+    for p in [
+        GemmPrecision::Fp32,
+        GemmPrecision::Bf16InputsFp32Acc,
+        GemmPrecision::Bf16All,
+    ] {
+        g.bench_function(format!("{p:?}"), |bch| {
+            bch.iter(|| black_box(gemm(&a, &b_m, p)))
+        });
+    }
+    g.bench_function("matched_chunks_8", |bch| {
+        bch.iter(|| {
+            black_box(gemm_matched_chunks(
+                &a,
+                &b_m,
+                8,
+                GemmPrecision::Bf16InputsFp32Acc,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_attention, bench_gemm);
+criterion_main!(benches);

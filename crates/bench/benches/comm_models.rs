@@ -1,0 +1,54 @@
+//! Criterion benches: collective cost models and the fluid-flow
+//! network simulator.
+
+use cluster_model::topology::{GlobalRank, TopologySpec};
+use collectives::algorithms::{ring_all_gather_flows, run_stepped};
+use collectives::{CommCostModel, ProcessGroup};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sim_engine::fluid::Transfer;
+use sim_engine::time::SimTime;
+
+fn bench_cost_models(c: &mut Criterion) {
+    let comm = CommCostModel::new(TopologySpec::llama3_production(2048));
+    let mut g = c.benchmark_group("comm_cost");
+    let tp = ProcessGroup::contiguous(0, 8);
+    g.bench_function("all_gather_intra_node", |b| {
+        b.iter(|| black_box(comm.all_gather(&tp, black_box(64 << 20))))
+    });
+    let dp = ProcessGroup::strided(0, 128, 128);
+    g.bench_function("all_gather_cross_node_128", |b| {
+        b.iter(|| black_box(comm.all_gather(&dp, black_box(64 << 20))))
+    });
+    g.finish();
+}
+
+fn bench_fluid(c: &mut Criterion) {
+    let topo = TopologySpec::llama3_production(16);
+    let ft = topo.build_fluid();
+    let mut g = c.benchmark_group("fluid");
+    g.bench_function("stepped_ring_16_ranks", |b| {
+        let group = ProcessGroup::strided(0, 16, 8);
+        let flows = ring_all_gather_flows(&group, 8 << 20);
+        b.iter(|| {
+            black_box(
+                run_stepped(&ft, &group, &flows, SimTime::ZERO, &[])
+                    .unwrap()
+                    .finish,
+            )
+        })
+    });
+    g.bench_function("raw_64_concurrent_transfers", |b| {
+        let transfers: Vec<Transfer> = (0..64u32)
+            .map(|i| Transfer {
+                route: ft.route(GlobalRank(i), GlobalRank((i + 8) % 128)),
+                bytes: 1e8,
+                start: SimTime::ZERO,
+            })
+            .collect();
+        b.iter(|| black_box(ft.net.run(transfers.clone()).unwrap().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cost_models, bench_fluid);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches: mask-aware work accounting and workload
+//! generation — hot paths of the Fig 11/14 sweeps.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use llm_model::masks::MaskSpec;
+use parallelism_core::cp::CpSharding;
+use workload::{DocLengthDist, DocumentSampler};
+
+fn bench_masks(c: &mut Criterion) {
+    let mut sampler = DocumentSampler::new(
+        DocLengthDist::LogNormal {
+            mean: 1024.0,
+            sigma: 1.2,
+        },
+        7,
+    );
+    let seq = 131_072u64;
+    let mask = sampler.pack_sequence(seq);
+    let mut g = c.benchmark_group("masks");
+    g.bench_function("attended_pairs_131k_doc", |b| {
+        b.iter(|| black_box(mask.attended_pairs(black_box(seq))))
+    });
+    g.bench_function("cp16_rank_pairs_131k", |b| {
+        let sharding = CpSharding::new(16);
+        b.iter(|| black_box(sharding.all_rank_pairs(seq, &mask)))
+    });
+    g.bench_function("causal_pairs_closed_form", |b| {
+        b.iter(|| black_box(MaskSpec::Causal.attended_pairs(black_box(seq))))
+    });
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.bench_function("pack_sequence_131k", |b| {
+        let mut sampler = DocumentSampler::new(
+            DocLengthDist::LogNormal {
+                mean: 1024.0,
+                sigma: 1.2,
+            },
+            11,
+        );
+        b.iter(|| black_box(sampler.pack_sequence(131_072)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_masks, bench_workload);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches: pipeline-schedule construction and timing-graph
+//! simulation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use parallelism_core::pp::schedule::{PpSchedule, ScheduleKind};
+use parallelism_core::pp::sim::{simulate_pp, UniformCosts};
+use sim_engine::time::SimDuration;
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_build");
+    for (pp, v, nmb) in [(4u32, 2u32, 16u32), (16, 8, 32), (16, 8, 256)] {
+        g.bench_function(format!("flexible_pp{pp}_v{v}_nmb{nmb}"), |b| {
+            b.iter(|| {
+                let s = PpSchedule::build(
+                    ScheduleKind::Flexible { nc: pp },
+                    black_box(pp),
+                    v,
+                    nmb,
+                )
+                .unwrap();
+                black_box(s.ranks.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let costs = UniformCosts {
+        fwd: SimDuration::from_micros(100),
+        bwd: SimDuration::from_micros(200),
+        p2p: SimDuration::from_micros(20),
+    };
+    let mut g = c.benchmark_group("schedule_simulate");
+    for (pp, v, nmb) in [(4u32, 2u32, 16u32), (16, 8, 16), (16, 8, 64)] {
+        let sched =
+            PpSchedule::build(ScheduleKind::Flexible { nc: pp }, pp, v, nmb).unwrap();
+        g.bench_function(format!("pp{pp}_v{v}_nmb{nmb}"), |b| {
+            b.iter(|| {
+                let r = simulate_pp(black_box(&sched), &costs).unwrap();
+                black_box(r.makespan)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_simulate);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benches: full-step simulation and planning throughput.
+
+use bench_harness::configs::{
+    production_long_context, production_short_context, scaled_405b_step,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use parallelism_core::planner::{plan, PlannerInput};
+use parallelism_core::pp::balance::BalancePolicy;
+use parallelism_core::pp::schedule::ScheduleKind;
+
+fn bench_step_simulate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("step_simulate");
+    g.sample_size(20);
+    let scaled = scaled_405b_step(
+        ScheduleKind::Flexible { nc: 4 },
+        BalancePolicy::DropFirstAndLast,
+        false,
+    );
+    g.bench_function("scaled_405b_pp4", |b| {
+        b.iter(|| black_box(scaled.simulate().tflops_per_gpu))
+    });
+    let short = production_short_context(16);
+    g.bench_function("production_16k_gpus_8k_seq", |b| {
+        b.iter(|| black_box(short.simulate().tflops_per_gpu))
+    });
+    let long = production_long_context(11);
+    g.bench_function("production_16k_gpus_131k_seq", |b| {
+        b.iter(|| black_box(long.simulate().tflops_per_gpu))
+    });
+    g.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planner");
+    g.sample_size(10);
+    g.bench_function("llama3_405b_16k_gpus", |b| {
+        b.iter(|| {
+            let p = plan(&PlannerInput::llama3_405b(black_box(16_384), 8_192)).unwrap();
+            black_box(p.mesh.num_gpus())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_step_simulate, bench_planner);
+criterion_main!(benches);

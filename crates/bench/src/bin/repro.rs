@@ -1,0 +1,42 @@
+//! CLI regenerating the paper's tables and figures.
+//!
+//! ```text
+//! repro list          # enumerate experiments
+//! repro all           # run everything
+//! repro fig11 fig13   # run selected experiments
+//! ```
+
+use bench_harness::experiments;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = experiments::all();
+    if args.is_empty() || args[0] == "list" {
+        println!("available experiments (run with `repro all` or `repro <id>...`):");
+        for e in &registry {
+            println!("  {:<12} {}", e.id, e.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<_> = if args.iter().any(|a| a == "all") {
+        registry.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for a in &args {
+            match registry.iter().find(|e| e.id == *a) {
+                Some(e) => sel.push(e),
+                None => {
+                    eprintln!("unknown experiment '{a}'; try `repro list`");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        sel
+    };
+    for e in selected {
+        println!("\n################ {} — {} ################", e.id, e.title);
+        println!("{}", (e.run)());
+    }
+    ExitCode::SUCCESS
+}

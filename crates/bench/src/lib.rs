@@ -1,0 +1,14 @@
+//! # bench-harness
+//!
+//! The experiment harness regenerating every table and figure of the
+//! paper's evaluation. Run `cargo run -p bench-harness --bin repro --
+//! all` (or a single experiment id; `list` enumerates them). Criterion
+//! benches covering the simulator's own performance live under
+//! `benches/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod configs;
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,185 @@
+//! Process groups: ordered sets of ranks participating in a collective.
+
+use cluster_model::topology::{GlobalRank, TopologySpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An ordered set of distinct global ranks that communicate together,
+/// analogous to an NCCL communicator.
+///
+/// The order is meaningful: ring algorithms send from `ranks[i]` to
+/// `ranks[(i + 1) % n]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcessGroup {
+    ranks: Vec<GlobalRank>,
+}
+
+impl ProcessGroup {
+    /// Creates a group from an ordered rank list.
+    ///
+    /// # Panics
+    /// Panics if the list is empty or contains duplicates.
+    pub fn new(ranks: Vec<GlobalRank>) -> ProcessGroup {
+        assert!(!ranks.is_empty(), "process group cannot be empty");
+        let mut seen = ranks.clone();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), ranks.len(), "duplicate rank in process group");
+        ProcessGroup { ranks }
+    }
+
+    /// A contiguous group `[start, start + n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn contiguous(start: u32, n: u32) -> ProcessGroup {
+        assert!(n > 0, "process group cannot be empty");
+        ProcessGroup {
+            ranks: (start..start + n).map(GlobalRank).collect(),
+        }
+    }
+
+    /// A strided group: `n` ranks starting at `start`, `stride` apart.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `stride == 0`.
+    pub fn strided(start: u32, n: u32, stride: u32) -> ProcessGroup {
+        assert!(n > 0, "process group cannot be empty");
+        assert!(stride > 0, "stride must be positive");
+        ProcessGroup {
+            ranks: (0..n).map(|i| GlobalRank(start + i * stride)).collect(),
+        }
+    }
+
+    /// Number of participants.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// `true` if the group has exactly one rank (collectives are no-ops).
+    pub fn is_singleton(&self) -> bool {
+        self.ranks.len() == 1
+    }
+
+    /// Always `false`: groups are non-empty by construction. Provided for
+    /// API completeness alongside [`ProcessGroup::len`].
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The participating ranks in group order.
+    pub fn ranks(&self) -> &[GlobalRank] {
+        &self.ranks
+    }
+
+    /// Position of `rank` within the group, if present.
+    pub fn position(&self, rank: GlobalRank) -> Option<usize> {
+        self.ranks.iter().position(|&r| r == rank)
+    }
+
+    /// Iterates the ring edges `(ranks[i], ranks[i+1 mod n])`.
+    /// A singleton group yields nothing.
+    pub fn ring_edges(&self) -> impl Iterator<Item = (GlobalRank, GlobalRank)> + '_ {
+        let n = self.ranks.len();
+        (0..n)
+            .filter(move |_| n > 1)
+            .map(move |i| (self.ranks[i], self.ranks[(i + 1) % n]))
+    }
+
+    /// `true` if every rank lives on the same node of `topo`.
+    pub fn is_intra_node(&self, topo: &TopologySpec) -> bool {
+        let node = topo.node_of(self.ranks[0]);
+        self.ranks.iter().all(|&r| topo.node_of(r) == node)
+    }
+
+    /// Number of distinct nodes the group touches.
+    pub fn node_span(&self, topo: &TopologySpec) -> usize {
+        let mut nodes: Vec<u32> = self.ranks.iter().map(|&r| topo.node_of(r)).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len()
+    }
+}
+
+impl fmt::Display for ProcessGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pg[")?;
+        for (i, r) in self.ranks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", r.0)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_and_strided() {
+        let c = ProcessGroup::contiguous(4, 3);
+        assert_eq!(
+            c.ranks(),
+            &[GlobalRank(4), GlobalRank(5), GlobalRank(6)]
+        );
+        let s = ProcessGroup::strided(1, 3, 8);
+        assert_eq!(
+            s.ranks(),
+            &[GlobalRank(1), GlobalRank(9), GlobalRank(17)]
+        );
+    }
+
+    #[test]
+    fn ring_edges_wrap() {
+        let g = ProcessGroup::contiguous(0, 3);
+        let edges: Vec<_> = g.ring_edges().collect();
+        assert_eq!(
+            edges,
+            vec![
+                (GlobalRank(0), GlobalRank(1)),
+                (GlobalRank(1), GlobalRank(2)),
+                (GlobalRank(2), GlobalRank(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn singleton_has_no_edges() {
+        let g = ProcessGroup::contiguous(5, 1);
+        assert!(g.is_singleton());
+        assert_eq!(g.ring_edges().count(), 0);
+    }
+
+    #[test]
+    fn node_span() {
+        let topo = TopologySpec::llama3_production(4);
+        let intra = ProcessGroup::contiguous(0, 8);
+        assert!(intra.is_intra_node(&topo));
+        assert_eq!(intra.node_span(&topo), 1);
+        let cross = ProcessGroup::strided(0, 4, 8);
+        assert!(!cross.is_intra_node(&topo));
+        assert_eq!(cross.node_span(&topo), 4);
+    }
+
+    #[test]
+    fn position() {
+        let g = ProcessGroup::strided(2, 4, 2);
+        assert_eq!(g.position(GlobalRank(6)), Some(2));
+        assert_eq!(g.position(GlobalRank(5)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_rank_panics() {
+        ProcessGroup::new(vec![GlobalRank(1), GlobalRank(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_group_panics() {
+        ProcessGroup::new(vec![]);
+    }
+}

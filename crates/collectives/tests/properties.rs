@@ -1,0 +1,80 @@
+//! Property tests for collective cost models.
+
+use cluster_model::topology::TopologySpec;
+use collectives::{Algorithm, CommCostModel, ProcessGroup};
+use proptest::prelude::*;
+
+fn model(alg: Algorithm) -> CommCostModel {
+    CommCostModel::new(TopologySpec::llama3_production(64)).with_algorithm(alg)
+}
+
+proptest! {
+    /// Collective cost is monotone in message size.
+    #[test]
+    fn cost_monotone_in_bytes(
+        n in 2u32..16,
+        bytes in 1u64..(1 << 28),
+    ) {
+        let m = model(Algorithm::Ring);
+        let g = ProcessGroup::contiguous(0, n);
+        let t1 = m.all_gather(&g, bytes);
+        let t2 = m.all_gather(&g, bytes * 2);
+        prop_assert!(t2 >= t1);
+        prop_assert!(m.all_reduce(&g, bytes * 2) >= m.all_reduce(&g, bytes));
+        prop_assert!(m.broadcast(&g, bytes * 2) >= m.broadcast(&g, bytes));
+    }
+
+    /// Intra-node groups are never slower than node-strided groups of
+    /// the same size and payload.
+    #[test]
+    fn nvlink_never_slower(n in 2u32..9, bytes in 1u64..(1 << 26)) {
+        for alg in [Algorithm::Ring, Algorithm::Hierarchical] {
+            let m = model(alg);
+            let intra = ProcessGroup::contiguous(0, n);
+            let inter = ProcessGroup::strided(0, n, 8);
+            prop_assert!(m.all_gather(&intra, bytes) <= m.all_gather(&inter, bytes));
+        }
+    }
+
+    /// The hierarchical algorithm never loses to the flat ring on
+    /// rectangular multi-node groups.
+    #[test]
+    fn hierarchical_never_worse_on_rectangular_groups(
+        nodes in 2u32..8,
+        per_node in 2u32..9,
+        bytes in 1024u64..(1 << 24),
+    ) {
+        let size = nodes * per_node;
+        // Contiguous group covering exactly `nodes` nodes needs
+        // per_node == 8; build with stride mapping instead: take the
+        // first `per_node` GPUs of each node.
+        let mut ranks = Vec::new();
+        for node in 0..nodes {
+            for g in 0..per_node {
+                ranks.push(cluster_model::GlobalRank(node * 8 + g));
+            }
+        }
+        let group = ProcessGroup::new(ranks);
+        prop_assert_eq!(group.len() as u32, size);
+        let flat = model(Algorithm::Ring).all_gather(&group, bytes);
+        let hier = model(Algorithm::Hierarchical).all_gather(&group, bytes);
+        prop_assert!(hier <= flat, "hier {hier} vs flat {flat}");
+    }
+
+    /// Ring edges always form a single cycle covering the group.
+    #[test]
+    fn ring_edges_form_a_cycle(start in 0u32..64, n in 2u32..32) {
+        let g = ProcessGroup::contiguous(start, n);
+        let edges: Vec<_> = g.ring_edges().collect();
+        prop_assert_eq!(edges.len() as u32, n);
+        // Every rank appears exactly once as a source and once as a
+        // destination.
+        let mut sources: Vec<u32> = edges.iter().map(|(a, _)| a.0).collect();
+        let mut dests: Vec<u32> = edges.iter().map(|(_, b)| b.0).collect();
+        sources.sort_unstable();
+        dests.sort_unstable();
+        let expected: Vec<u32> = (start..start + n).collect();
+        prop_assert_eq!(sources, expected.clone());
+        prop_assert_eq!(dests, expected);
+    }
+}

@@ -1,0 +1,190 @@
+//! Fully sharded data parallelism (FSDP) — ZeRO-1/2/3 sharding modes.
+//!
+//! The paper's in-house FSDP supports the three DeepSpeed ZeRO sharding
+//! levels (§2.1):
+//!
+//! * **ZeRO-1** shards optimizer state only; parameters and gradients
+//!   stay unsharded. One parameter all-gather and one gradient
+//!   reduce-scatter per step, both overlappable (§5.2).
+//! * **ZeRO-2** additionally shards gradients: the gradient buffer is
+//!   reduce-scattered after the *last consecutive micro-batch* of each
+//!   virtual stage, trading extra communication for lower gradient
+//!   residency (Fig 4).
+//! * **ZeRO-3** additionally shards parameters: every pipeline stage
+//!   forward/backward must all-gather its parameters first — the extra
+//!   per-stage communication that rules it out for 3D parallelism
+//!   (§5.1).
+//!
+//! §3.1.3's production rule: ZeRO-1 + 1F1B when `bs ≥ 2·pp`, ZeRO-2 +
+//! all-forward-all-backward when `bs < 2·pp` —
+//! [`recommended_zero_mode`].
+
+use llm_model::memory::PrecisionPolicy;
+use serde::{Deserialize, Serialize};
+
+/// FSDP sharding level, following the ZeRO definitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ZeroMode {
+    /// Shard optimizer state only.
+    Zero1,
+    /// Shard optimizer state and gradients.
+    Zero2,
+    /// Shard optimizer state, gradients and parameters.
+    Zero3,
+}
+
+impl ZeroMode {
+    /// `true` if gradients are stored sharded between uses.
+    pub fn shards_grads(self) -> bool {
+        !matches!(self, ZeroMode::Zero1)
+    }
+
+    /// `true` if parameters are stored sharded between uses.
+    pub fn shards_params(self) -> bool {
+        matches!(self, ZeroMode::Zero3)
+    }
+}
+
+/// Per-rank persistent training-state memory under a ZeRO mode.
+///
+/// `params` is the parameter count owned by this rank's model-parallel
+/// shard (i.e. already divided by TP and restricted to this PP stage);
+/// `fsdp_n` is the FSDP group size (dp × cp, §4).
+///
+/// Gradient residency under ZeRO-2 varies over the step (Fig 4); this
+/// returns the *persistent floor* (sharded size). The step simulator
+/// adds the transient unsharded buffers on top.
+pub fn state_bytes_per_rank(
+    params: u64,
+    policy: PrecisionPolicy,
+    mode: ZeroMode,
+    fsdp_n: u64,
+) -> u64 {
+    assert!(fsdp_n > 0, "FSDP group cannot be empty");
+    let shard = |b: u64| b.div_ceil(fsdp_n);
+    let param_bytes = params * policy.param_bytes;
+    let grad_bytes = params * policy.grad_bytes;
+    let optim_bytes = params * policy.optim_bytes;
+    match mode {
+        ZeroMode::Zero1 => param_bytes + grad_bytes + shard(optim_bytes),
+        ZeroMode::Zero2 => param_bytes + shard(grad_bytes) + shard(optim_bytes),
+        ZeroMode::Zero3 => shard(param_bytes) + shard(grad_bytes) + shard(optim_bytes),
+    }
+}
+
+/// Communication bytes per rank per step attributable to FSDP, split
+/// into `(all_gather_bytes, reduce_scatter_bytes)`.
+///
+/// * ZeRO-1/2: one parameter all-gather + one gradient reduce-scatter
+///   per step. (ZeRO-2 splits the reduce-scatter into one call per
+///   virtual stage, same total bytes, more launches — the launch count
+///   is handled by the step simulator.)
+/// * ZeRO-3: parameters all-gathered before every forward *and* every
+///   backward traversal of the stage (`2 × stage_visits`), plus the
+///   gradient reduce-scatter.
+///
+/// `stage_visits` is the number of forward passes over this rank's
+/// parameters per step (micro-batch count × virtual stages for PP).
+pub fn comm_bytes_per_step(
+    params: u64,
+    policy: PrecisionPolicy,
+    mode: ZeroMode,
+    stage_visits: u64,
+) -> (u64, u64) {
+    let param_bytes = params * policy.param_bytes;
+    // Gradients are reduce-scattered in the accumulation dtype (§6.2:
+    // FP32 for the DP reduce-scatter).
+    let grad_bytes = params * policy.grad_bytes;
+    match mode {
+        ZeroMode::Zero1 | ZeroMode::Zero2 => (param_bytes, grad_bytes),
+        ZeroMode::Zero3 => (param_bytes * 2 * stage_visits.max(1), grad_bytes),
+    }
+}
+
+/// The §3.1.3 production rule for combining FSDP with pipeline
+/// parallelism: ZeRO-1 with the 1F1B schedule when `bs ≥ 2·pp` (enough
+/// micro-batches to keep gradients resident cheaply), ZeRO-2 with
+/// all-forward-all-backward when `bs < 2·pp`.
+pub fn recommended_zero_mode(bs: u64, pp: u64) -> ZeroMode {
+    if bs >= 2 * pp {
+        ZeroMode::Zero1
+    } else {
+        ZeroMode::Zero2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    #[test]
+    fn zero_levels_strictly_shrink_state() {
+        let p = PrecisionPolicy::llama3();
+        let params = 100 * MB;
+        let z1 = state_bytes_per_rank(params, p, ZeroMode::Zero1, 64);
+        let z2 = state_bytes_per_rank(params, p, ZeroMode::Zero2, 64);
+        let z3 = state_bytes_per_rank(params, p, ZeroMode::Zero3, 64);
+        assert!(z1 > z2);
+        assert!(z2 > z3);
+    }
+
+    #[test]
+    fn zero1_keeps_full_params_and_grads() {
+        let p = PrecisionPolicy::llama3();
+        let params = 10 * MB;
+        let z1 = state_bytes_per_rank(params, p, ZeroMode::Zero1, 8);
+        assert_eq!(
+            z1,
+            params * 2 + params * 4 + (params * 12).div_ceil(8)
+        );
+    }
+
+    #[test]
+    fn fsdp_group_of_one_changes_nothing() {
+        let p = PrecisionPolicy::llama3();
+        let params = MB;
+        for mode in [ZeroMode::Zero1, ZeroMode::Zero2, ZeroMode::Zero3] {
+            assert_eq!(
+                state_bytes_per_rank(params, p, mode, 1),
+                params * p.state_bytes_per_param()
+            );
+        }
+    }
+
+    #[test]
+    fn zero3_pays_per_stage_all_gathers() {
+        let p = PrecisionPolicy::llama3();
+        let params = 10 * MB;
+        let (ag1, rs1) = comm_bytes_per_step(params, p, ZeroMode::Zero1, 32);
+        let (ag3, rs3) = comm_bytes_per_step(params, p, ZeroMode::Zero3, 32);
+        assert_eq!(ag1, params * 2);
+        assert_eq!(ag3, params * 2 * 2 * 32);
+        assert_eq!(rs1, rs3);
+    }
+
+    #[test]
+    fn production_rule_matches_section_3_1_3() {
+        assert_eq!(recommended_zero_mode(32, 16), ZeroMode::Zero1);
+        assert_eq!(recommended_zero_mode(33, 16), ZeroMode::Zero1);
+        assert_eq!(recommended_zero_mode(31, 16), ZeroMode::Zero2);
+        assert_eq!(recommended_zero_mode(12, 16), ZeroMode::Zero2);
+    }
+
+    #[test]
+    fn grad_reduce_scatter_uses_fp32_bytes() {
+        // §6.2: FP32 accumulation for the DP reduce-scatter of grads.
+        let p = PrecisionPolicy::llama3();
+        let (_, rs) = comm_bytes_per_step(MB, p, ZeroMode::Zero1, 1);
+        assert_eq!(rs, MB * 4);
+    }
+
+    #[test]
+    fn sharding_predicates() {
+        assert!(!ZeroMode::Zero1.shards_grads());
+        assert!(ZeroMode::Zero2.shards_grads());
+        assert!(!ZeroMode::Zero2.shards_params());
+        assert!(ZeroMode::Zero3.shards_params());
+    }
+}

@@ -1,0 +1,32 @@
+//! # parallelism-core
+//!
+//! The paper's primary contribution: 4D parallelism for Llama 3
+//! pre-training. This crate combines the substrate crates into the
+//! training-system model — the `[TP, CP, PP, DP]` mesh, FSDP ZeRO
+//! modes, tensor parallelism, the flexible pipeline schedules of §3,
+//! the all-gather context parallelism of §4, the §5.1 configuration
+//! planner, and the full-step simulator that reproduces the paper's
+//! end-to-end numbers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cp;
+pub mod multimodal;
+pub mod planner;
+pub mod step;
+pub mod fsdp;
+pub mod memory_opt;
+pub mod mesh;
+pub mod pp;
+pub mod tp;
+
+pub use cp::{AllGatherCp, CpSharding, RingCp};
+pub use fsdp::ZeroMode;
+pub use memory_opt::{policy_tradeoff, ActivationPolicy};
+pub use mesh::{Coord4, Dim, Mesh4D};
+pub use pp::{BalancePolicy, PpSchedule, ScheduleKind, StageAssignment};
+pub use multimodal::{EncoderSharding, MultimodalReport, MultimodalStep};
+pub use planner::{plan, Plan, PlanError, PlannerInput};
+pub use step::{ExposedComm, StepModel, StepReport};
+pub use tp::TpPlan;

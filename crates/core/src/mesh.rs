@@ -1,0 +1,356 @@
+//! The 4D parallelism mesh.
+//!
+//! Llama 3 orders its parallelism dimensions `[TP, CP, PP, DP]` from the
+//! innermost (highest communication demand, placed on NVLink) to the
+//! outermost (hideable, placed across the slow fabric) — §5.2. A
+//! [`Mesh4D`] fixes the four sizes and provides the rank⇄coordinate
+//! mapping and the process groups of every dimension.
+
+use cluster_model::topology::GlobalRank;
+use collectives::ProcessGroup;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use trace_analysis::{DimGroups, EventCategory, GroupStructure};
+
+/// A rank's coordinates in the 4D mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Coord4 {
+    /// Tensor-parallel index, `0..tp`.
+    pub tp: u32,
+    /// Context-parallel index, `0..cp`.
+    pub cp: u32,
+    /// Pipeline-parallel index, `0..pp`.
+    pub pp: u32,
+    /// Data-parallel index, `0..dp`.
+    pub dp: u32,
+}
+
+/// One of the four parallelism dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dim {
+    /// Tensor parallelism (innermost).
+    Tp,
+    /// Context parallelism.
+    Cp,
+    /// Pipeline parallelism.
+    Pp,
+    /// Data parallelism (outermost).
+    Dp,
+}
+
+impl Dim {
+    /// All dimensions from innermost to outermost — the §5.2 order.
+    pub const INNER_TO_OUTER: [Dim; 4] = [Dim::Tp, Dim::Cp, Dim::Pp, Dim::Dp];
+
+    /// The trace category of this dimension's collectives.
+    pub fn category(self) -> EventCategory {
+        match self {
+            Dim::Tp => EventCategory::TpComm,
+            Dim::Cp => EventCategory::CpComm,
+            Dim::Pp => EventCategory::PpComm,
+            Dim::Dp => EventCategory::DpComm,
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dim::Tp => write!(f, "tp"),
+            Dim::Cp => write!(f, "cp"),
+            Dim::Pp => write!(f, "pp"),
+            Dim::Dp => write!(f, "dp"),
+        }
+    }
+}
+
+/// The 4D mesh: sizes of each parallelism dimension.
+///
+/// Global rank layout (inner→outer = `[TP, CP, PP, DP]`):
+/// `rank = ((dp · pp_size + pp) · cp_size + cp) · tp_size + tp`, so TP
+/// peers are adjacent ranks (same node via NVLink when `tp ≤ 8`).
+///
+/// ```
+/// use parallelism_core::mesh::Mesh4D;
+/// // Table 2, long-context row: 16K GPUs.
+/// let mesh = Mesh4D::new(8, 16, 16, 8);
+/// assert_eq!(mesh.num_gpus(), 16384);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mesh4D {
+    tp: u32,
+    cp: u32,
+    pp: u32,
+    dp: u32,
+}
+
+impl Mesh4D {
+    /// Creates a mesh with the given dimension sizes.
+    ///
+    /// # Panics
+    /// Panics if any size is zero.
+    pub fn new(tp: u32, cp: u32, pp: u32, dp: u32) -> Mesh4D {
+        assert!(
+            tp > 0 && cp > 0 && pp > 0 && dp > 0,
+            "mesh sizes must be positive"
+        );
+        Mesh4D { tp, cp, pp, dp }
+    }
+
+    /// Tensor-parallel size.
+    pub fn tp(&self) -> u32 {
+        self.tp
+    }
+
+    /// Context-parallel size.
+    pub fn cp(&self) -> u32 {
+        self.cp
+    }
+
+    /// Pipeline-parallel size.
+    pub fn pp(&self) -> u32 {
+        self.pp
+    }
+
+    /// Data-parallel size (`ndp` in the paper's notation).
+    pub fn dp(&self) -> u32 {
+        self.dp
+    }
+
+    /// Size of one dimension.
+    pub fn size(&self, dim: Dim) -> u32 {
+        match dim {
+            Dim::Tp => self.tp,
+            Dim::Cp => self.cp,
+            Dim::Pp => self.pp,
+            Dim::Dp => self.dp,
+        }
+    }
+
+    /// Total GPU count.
+    pub fn num_gpus(&self) -> u32 {
+        self.tp * self.cp * self.pp * self.dp
+    }
+
+    /// Model-parallel degree (`tp × pp`).
+    pub fn model_parallel(&self) -> u32 {
+        self.tp * self.pp
+    }
+
+    /// The stride (in global ranks) between consecutive indices of a
+    /// dimension.
+    pub fn stride(&self, dim: Dim) -> u32 {
+        match dim {
+            Dim::Tp => 1,
+            Dim::Cp => self.tp,
+            Dim::Pp => self.tp * self.cp,
+            Dim::Dp => self.tp * self.cp * self.pp,
+        }
+    }
+
+    /// Global rank of a coordinate.
+    ///
+    /// # Panics
+    /// Panics if the coordinate is out of range.
+    pub fn rank_of(&self, c: Coord4) -> GlobalRank {
+        assert!(
+            c.tp < self.tp && c.cp < self.cp && c.pp < self.pp && c.dp < self.dp,
+            "coordinate out of range"
+        );
+        GlobalRank(((c.dp * self.pp + c.pp) * self.cp + c.cp) * self.tp + c.tp)
+    }
+
+    /// Coordinates of a global rank.
+    ///
+    /// # Panics
+    /// Panics if the rank is out of range.
+    pub fn coords_of(&self, r: GlobalRank) -> Coord4 {
+        assert!(r.0 < self.num_gpus(), "{r} out of range");
+        let tp = r.0 % self.tp;
+        let rest = r.0 / self.tp;
+        let cp = rest % self.cp;
+        let rest = rest / self.cp;
+        let pp = rest % self.pp;
+        let dp = rest / self.pp;
+        Coord4 { tp, cp, pp, dp }
+    }
+
+    /// The process group of `dim` containing `rank`.
+    pub fn group_of(&self, rank: GlobalRank, dim: Dim) -> ProcessGroup {
+        let c = self.coords_of(rank);
+        let idx = match dim {
+            Dim::Tp => c.tp,
+            Dim::Cp => c.cp,
+            Dim::Pp => c.pp,
+            Dim::Dp => c.dp,
+        };
+        let base = rank.0 - idx * self.stride(dim);
+        ProcessGroup::strided(base, self.size(dim), self.stride(dim))
+    }
+
+    /// All process groups of one dimension, in base-rank order.
+    pub fn groups(&self, dim: Dim) -> Vec<ProcessGroup> {
+        let n = self.size(dim);
+        let stride = self.stride(dim);
+        let mut out = Vec::new();
+        for r in 0..self.num_gpus() {
+            let c = self.coords_of(GlobalRank(r));
+            let idx = match dim {
+                Dim::Tp => c.tp,
+                Dim::Cp => c.cp,
+                Dim::Pp => c.pp,
+                Dim::Dp => c.dp,
+            };
+            if idx == 0 {
+                out.push(ProcessGroup::strided(r, n, stride));
+            }
+        }
+        out
+    }
+
+    /// The combined DP×CP group containing `rank` — the set that shares
+    /// model parameters and therefore participates in FSDP collectives
+    /// ("CP can be seen as an extension of DP when communicating model
+    /// parameters", §4).
+    pub fn fsdp_group_of(&self, rank: GlobalRank) -> ProcessGroup {
+        let c = self.coords_of(rank);
+        let mut ranks = Vec::with_capacity((self.dp * self.cp) as usize);
+        for dp in 0..self.dp {
+            for cp in 0..self.cp {
+                ranks.push(self.rank_of(Coord4 { dp, cp, ..c }));
+            }
+        }
+        ProcessGroup::new(ranks)
+    }
+
+    /// The group structure for top-down slow-rank analysis, ordered
+    /// outermost dimension first as §6.1 requires.
+    pub fn group_structure(&self) -> GroupStructure {
+        let dims = Dim::INNER_TO_OUTER
+            .iter()
+            .rev()
+            .filter(|d| self.size(**d) > 1)
+            .map(|&d| DimGroups {
+                name: d.to_string(),
+                category: d.category(),
+                groups: self
+                    .groups(d)
+                    .iter()
+                    .map(|g| g.ranks().iter().map(|r| r.0).collect())
+                    .collect(),
+            })
+            .collect();
+        GroupStructure { dims }
+    }
+}
+
+impl fmt::Display for Mesh4D {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tp{}·cp{}·pp{}·dp{} ({} GPUs)",
+            self.tp,
+            self.cp,
+            self.pp,
+            self.dp,
+            self.num_gpus()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_meshes() {
+        let short = Mesh4D::new(8, 1, 16, 128);
+        let long = Mesh4D::new(8, 16, 16, 8);
+        assert_eq!(short.num_gpus(), 16384);
+        assert_eq!(long.num_gpus(), 16384);
+    }
+
+    #[test]
+    fn rank_coord_roundtrip() {
+        let mesh = Mesh4D::new(2, 3, 4, 5);
+        for r in 0..mesh.num_gpus() {
+            let c = mesh.coords_of(GlobalRank(r));
+            assert_eq!(mesh.rank_of(c), GlobalRank(r));
+        }
+    }
+
+    #[test]
+    fn tp_peers_are_adjacent() {
+        // §5.2: TP innermost so TP groups sit inside one node's NVLink.
+        let mesh = Mesh4D::new(8, 2, 2, 2);
+        let g = mesh.group_of(GlobalRank(3), Dim::Tp);
+        assert_eq!(
+            g.ranks().iter().map(|r| r.0).collect::<Vec<_>>(),
+            (0..8).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn dp_is_outermost_stride() {
+        let mesh = Mesh4D::new(8, 2, 4, 3);
+        assert_eq!(mesh.stride(Dim::Dp), 8 * 2 * 4);
+        assert!(mesh.stride(Dim::Tp) < mesh.stride(Dim::Cp));
+        assert!(mesh.stride(Dim::Cp) < mesh.stride(Dim::Pp));
+        assert!(mesh.stride(Dim::Pp) < mesh.stride(Dim::Dp));
+    }
+
+    #[test]
+    fn groups_partition_the_mesh() {
+        let mesh = Mesh4D::new(2, 2, 2, 2);
+        for dim in Dim::INNER_TO_OUTER {
+            let groups = mesh.groups(dim);
+            assert_eq!(groups.len() as u32, mesh.num_gpus() / mesh.size(dim));
+            let mut seen: Vec<u32> = groups
+                .iter()
+                .flat_map(|g| g.ranks().iter().map(|r| r.0))
+                .collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..mesh.num_gpus()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn group_of_contains_rank() {
+        let mesh = Mesh4D::new(4, 2, 3, 2);
+        for r in 0..mesh.num_gpus() {
+            for dim in Dim::INNER_TO_OUTER {
+                let g = mesh.group_of(GlobalRank(r), dim);
+                assert!(g.position(GlobalRank(r)).is_some(), "rank {r} dim {dim}");
+                assert_eq!(g.len() as u32, mesh.size(dim));
+            }
+        }
+    }
+
+    #[test]
+    fn fsdp_group_spans_dp_and_cp() {
+        // §4: CP extends DP for parameter communication.
+        let mesh = Mesh4D::new(2, 2, 2, 3);
+        let g = mesh.fsdp_group_of(GlobalRank(0));
+        assert_eq!(g.len(), (2 * 3) as usize);
+        // Every member shares the same tp and pp coordinates.
+        for &r in g.ranks() {
+            let c = mesh.coords_of(r);
+            assert_eq!(c.tp, 0);
+            assert_eq!(c.pp, 0);
+        }
+    }
+
+    #[test]
+    fn group_structure_is_outermost_first_and_skips_trivial_dims() {
+        let mesh = Mesh4D::new(4, 2, 1, 2);
+        let gs = mesh.group_structure();
+        let names: Vec<&str> = gs.dims.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["dp", "cp", "tp"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_panics() {
+        Mesh4D::new(0, 1, 1, 1);
+    }
+}

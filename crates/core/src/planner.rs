@@ -1,0 +1,433 @@
+//! The §5.1 parallelism-configuration planner.
+//!
+//! Given a cluster, a model and a phase's token budget / sequence
+//! length, the planner reproduces the paper's reasoning:
+//!
+//! 1. **TP** never leaves the node (inter-host TP puts fully exposed
+//!    collectives on the slow fabric, §5.1).
+//! 2. **PP** must be large enough to fit memory, but every extra rank
+//!    inflates the bubble `(pp − 1)/nmb/v`.
+//! 3. **CP** replaces DP when long sequences shrink the global batch
+//!    below `bs ≥ pp` — and no further, since its all-gather is
+//!    exposed (`cp = 16` at 131 K).
+//! 4. **ZeRO mode and schedule** follow the §3.1.3 rule.
+//!
+//! Rather than hard-coding the conclusion, the planner enumerates every
+//! feasible `(tp, cp, pp)` and scores it with the closed-form step
+//! estimator ([`crate::step::StepModel::estimate`]), which prices the
+//! bubble, exposed TP/CP communication and DP exposure. Table 2 falls
+//! out of the scoring; the memory model follows the paper's precision
+//! policy (BF16 params, unsharded FP32 gradient accumulators during the
+//! step, sharded optimizer state, §6.2/§6.3).
+
+use crate::fsdp::{self, ZeroMode};
+use crate::mesh::Mesh4D;
+use crate::pp::balance::{BalancePolicy, StageAssignment};
+use crate::pp::schedule::ScheduleKind;
+use crate::step::StepModel;
+use cluster_model::gpu::GpuSpec;
+use cluster_model::topology::{Cluster, TopologySpec};
+use llm_model::masks::MaskSpec;
+use llm_model::{ModelLayout, TransformerConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Fraction of HBM usable for model state + activations (the rest is
+/// fragmentation, NCCL buffers, CUDA context).
+pub const HBM_BUDGET_FRACTION: f64 = 0.85;
+
+/// Fraction of naïve saved-activation bytes that remain after the §6.3
+/// memory optimizations (early release of PP boundary tensors, custom
+/// autograd checkpoints).
+pub const ACT_RELEASE_FACTOR: f64 = 0.5;
+
+/// Planner input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannerInput {
+    /// Total GPUs.
+    pub ngpu: u32,
+    /// GPUs per node (NVLink island size).
+    pub gpus_per_node: u32,
+    /// Tokens per global batch (16 M for Llama 3 text phases).
+    pub token_budget: u64,
+    /// Sequence length.
+    pub seq: u64,
+    /// The model.
+    pub model: TransformerConfig,
+    /// The accelerator (for HBM capacity).
+    pub gpu: GpuSpec,
+}
+
+impl PlannerInput {
+    /// The Llama 3 405B production planning problem for a given phase.
+    pub fn llama3_405b(ngpu: u32, seq: u64) -> PlannerInput {
+        PlannerInput {
+            ngpu,
+            gpus_per_node: 8,
+            token_budget: 16 * 1024 * 1024,
+            seq,
+            model: TransformerConfig::llama3_405b(),
+            gpu: GpuSpec::h100_sxm_hbm3(),
+        }
+    }
+}
+
+/// A planned configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// The 4D mesh.
+    pub mesh: Mesh4D,
+    /// Batch size per DP group.
+    pub bs: u64,
+    /// Chosen FSDP mode (§3.1.3 rule).
+    pub zero: ZeroMode,
+    /// Chosen schedule family (§3.1.3 rule).
+    pub schedule: ScheduleKind,
+    /// Estimated per-rank peak memory in bytes.
+    pub est_memory: u64,
+    /// Estimated TFLOPs per GPU.
+    pub est_tflops: f64,
+    /// Step-by-step reasoning, for humans.
+    pub reasoning: Vec<String>,
+}
+
+/// Planner failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// No (tp, pp, cp) combination fits memory and batch constraints.
+    Infeasible(String),
+    /// Input was malformed.
+    BadInput(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Infeasible(m) => write!(f, "no feasible configuration: {m}"),
+            PlanError::BadInput(m) => write!(f, "bad input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+fn powers_of_two_up_to(max: u32) -> impl Iterator<Item = u32> {
+    (0..31u32).map(|s| 1u32 << s).take_while(move |&p| p <= max)
+}
+
+/// Builds a [`StepModel`] for a candidate configuration. One layer per
+/// virtual stage (the production text-model placement).
+///
+/// Returns `None` if the shape is inadmissible.
+pub fn candidate_step(
+    input: &PlannerInput,
+    tp: u32,
+    cp: u32,
+    pp: u32,
+) -> Option<(StepModel, u64)> {
+    let model_parallel = tp as u64 * cp as u64 * pp as u64;
+    if model_parallel > input.ngpu as u64 || !(input.ngpu as u64).is_multiple_of(model_parallel) {
+        return None;
+    }
+    if pp as u64 > input.model.num_layers {
+        return None;
+    }
+    let dp = (input.ngpu as u64 / model_parallel) as u32;
+    let gbs = input.token_budget / input.seq;
+    if gbs == 0 || !gbs.is_multiple_of(dp as u64) {
+        return None;
+    }
+    let bs = gbs / dp as u64;
+    if bs == 0 || !input.seq.is_multiple_of(2 * cp as u64) {
+        return None;
+    }
+    let zero = fsdp::recommended_zero_mode(bs, pp as u64);
+    let schedule = if bs >= 2 * pp as u64 {
+        ScheduleKind::Flexible { nc: pp }
+    } else {
+        ScheduleKind::AllFwdAllBwd
+    };
+    let layout = ModelLayout::text(input.model.clone());
+    let v = u32::try_from(input.model.num_layers.div_ceil(pp as u64)).ok()?;
+    let assignment = StageAssignment::build(&layout, pp, v, BalancePolicy::Uniform);
+    let mesh = Mesh4D::new(tp, cp, pp, dp);
+    let cluster = Cluster {
+        gpu: input.gpu.clone(),
+        topology: TopologySpec::llama3_production(input.ngpu.div_ceil(input.gpus_per_node)),
+    };
+    let step = StepModel {
+        cluster,
+        mesh,
+        layout,
+        assignment,
+        schedule,
+        zero,
+        bs: u32::try_from(bs).ok()?,
+        seq: input.seq,
+        mask: MaskSpec::Causal,
+        recompute: false,
+    };
+    Some((step, bs))
+}
+
+/// The §5.1 "2D or 3D parallelism" analysis: with FSDP ZeRO-3 every
+/// parameter is all-gathered (2 BF16 bytes) per forward traversal while
+/// contributing `2 × tokens` FLOPs, so the achievable arithmetic
+/// intensity is `2 × tokens_per_rank / 2 = tokens_per_rank` FLOPs per
+/// byte. If that falls below the hardware's compute/bandwidth ratio,
+/// ZeRO-3 communication cannot be hidden and 3D parallelism (PP instead
+/// of parameter resharding) wins.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZeRO3Analysis {
+    /// FLOPs available per communicated byte (`tokens per rank`).
+    pub arithmetic_intensity: f64,
+    /// Hardware peak FLOPs over network bandwidth, the break-even line
+    /// (≈ 19.8 K for an H100 on a 50 GB/s NIC, §5.1).
+    pub hardware_ratio: f64,
+}
+
+impl ZeRO3Analysis {
+    /// Evaluates the trade-off for `tokens_per_rank` tokens of compute
+    /// per parameter traversal on `gpu` with `nic_bandwidth` bytes/s.
+    pub fn evaluate(tokens_per_rank: u64, gpu: &GpuSpec, nic_bandwidth: f64) -> ZeRO3Analysis {
+        ZeRO3Analysis {
+            // 2 FLOPs per token per parameter over 2 bytes per param.
+            arithmetic_intensity: tokens_per_rank as f64,
+            hardware_ratio: gpu.peak_bf16_flops / nic_bandwidth,
+        }
+    }
+
+    /// `true` when ZeRO-3's all-gathers can hide behind compute —
+    /// i.e. 2D parallelism is viable.
+    pub fn zero3_hideable(&self) -> bool {
+        self.arithmetic_intensity >= self.hardware_ratio
+    }
+}
+
+/// Runs the §5.1 planning procedure.
+///
+/// # Errors
+/// Returns [`PlanError`] if the input is malformed or no configuration
+/// satisfies memory and batch-size constraints.
+pub fn plan(input: &PlannerInput) -> Result<Plan, PlanError> {
+    if input.seq == 0 || !input.token_budget.is_multiple_of(input.seq) {
+        return Err(PlanError::BadInput(format!(
+            "sequence length {} must divide the token budget {}",
+            input.seq, input.token_budget
+        )));
+    }
+    let gbs = input.token_budget / input.seq;
+    let budget = (input.gpu.hbm_capacity as f64 * HBM_BUDGET_FRACTION) as u64;
+
+    // CP is admitted only when the batch dimension is exhausted even at
+    // tp = node size: bs ≥ pp at (tp = node, cp = 1) ⟺ gbs·node ≥ ngpu
+    // (§5.1: "we can only replace DP with CP" — and only once the long
+    // context forces it).
+    let cp_unlocked = gbs * u64::from(input.gpus_per_node) < u64::from(input.ngpu);
+
+    // For each TP degree: the smallest PP whose configuration fits
+    // memory, with CP set to exactly the smallest power of two that
+    // restores bs ≥ pp (never raised further — CP communication is
+    // exposed). The step estimator then arbitrates among the per-TP
+    // candidates.
+    let mut best: Option<(StepModel, u64, u64, f64)> = None;
+    let mut rejected_memory = 0u32;
+    let consider = |best: &mut Option<(StepModel, u64, u64, f64)>,
+                        rejected_memory: &mut u32,
+                        require_bs_ge_pp: bool| {
+        for tp in powers_of_two_up_to(input.gpus_per_node) {
+            let mut chosen: Option<(StepModel, u64, u64)> = None;
+            'pp: for pp in powers_of_two_up_to(input.ngpu / tp) {
+                let max_cp = if cp_unlocked { 64.min(input.ngpu / tp / pp) } else { 1 };
+                for cp in powers_of_two_up_to(max_cp) {
+                    let Some((step, bs)) = candidate_step(input, tp, cp, pp) else {
+                        continue;
+                    };
+                    if require_bs_ge_pp && bs < pp as u64 {
+                        continue; // raise cp (or give up on this pp)
+                    }
+                    let mem = step.peak_memory().into_iter().max().unwrap_or(u64::MAX);
+                    if mem > budget {
+                        *rejected_memory += 1;
+                        continue 'pp; // larger pp, not larger cp (§5.1)
+                    }
+                    chosen = Some((step, bs, mem));
+                    break 'pp; // smallest pp (and cp) for this tp
+                }
+            }
+            if let Some((step, bs, mem)) = chosen {
+                let est = step.estimate();
+                let better = match &*best {
+                    None => true,
+                    Some((_, _, _, t)) => est.tflops_per_gpu > *t * 1.001,
+                };
+                if better {
+                    *best = Some((step, bs, mem, est.tflops_per_gpu));
+                }
+            }
+        }
+    };
+    consider(&mut best, &mut rejected_memory, true);
+    if best.is_none() {
+        // No configuration achieves bs ≥ pp; relax to bs ≥ 1.
+        consider(&mut best, &mut rejected_memory, false);
+    }
+
+    let Some((step, bs, mem, tflops)) = best else {
+        return Err(PlanError::Infeasible(format!(
+            "model {} does not fit {} GPUs with ≤ {:.0} GiB usable HBM each \
+             ({rejected_memory} candidates exceeded memory)",
+            input.model.name,
+            input.ngpu,
+            budget as f64 / (1u64 << 30) as f64
+        )));
+    };
+    let mesh = step.mesh;
+    let reasoning = vec![
+        format!(
+            "token budget {} at seq {} gives gbs = {gbs} sequences",
+            input.token_budget, input.seq
+        ),
+        format!(
+            "tp = {}: TP stays on NVLink (node size {}); larger TP exposes collectives, smaller TP starves bs ≥ pp or memory",
+            mesh.tp(),
+            input.gpus_per_node
+        ),
+        format!(
+            "pp = {}: smallest pipeline fitting {:.1} GiB within the {:.1} GiB budget without inflating the bubble",
+            mesh.pp(),
+            mem as f64 / (1u64 << 30) as f64,
+            budget as f64 / (1u64 << 30) as f64
+        ),
+        if mesh.cp() > 1 {
+            format!(
+                "cp = {}: restores bs = {bs} ≥ pp at seq {} while keeping exposed CP all-gathers minimal",
+                mesh.cp(),
+                input.seq
+            )
+        } else {
+            format!("cp = 1: bs = {bs} ≥ pp without sharding the sequence")
+        },
+        format!("dp = {}: the remaining GPUs", mesh.dp()),
+        format!(
+            "§3.1.3 rule at bs = {bs}, pp = {}: {} with {:?}",
+            mesh.pp(),
+            match step.zero {
+                ZeroMode::Zero1 => "ZeRO-1 + 1F1B (bs ≥ 2·pp)",
+                ZeroMode::Zero2 => "ZeRO-2 + all-forward-all-backward (bs < 2·pp)",
+                ZeroMode::Zero3 => "ZeRO-3",
+            },
+            step.schedule
+        ),
+        format!("estimated {tflops:.0} TFLOPs/GPU"),
+    ];
+
+    Ok(Plan {
+        mesh,
+        bs,
+        zero: step.zero,
+        schedule: step.schedule,
+        est_memory: mem,
+        est_tflops: tflops,
+        reasoning,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_2_short_context_row() {
+        // 405B, 16K GPUs, 16M tokens, seq 8192 ⇒ tp 8, cp 1, pp 16,
+        // dp 128.
+        let plan = plan(&PlannerInput::llama3_405b(16_384, 8_192)).unwrap();
+        assert_eq!(plan.mesh.tp(), 8, "{:#?}", plan.reasoning);
+        assert_eq!(plan.mesh.cp(), 1, "{:#?}", plan.reasoning);
+        assert_eq!(plan.mesh.pp(), 16, "{:#?}", plan.reasoning);
+        assert_eq!(plan.mesh.dp(), 128, "{:#?}", plan.reasoning);
+        assert_eq!(plan.bs, 16);
+    }
+
+    #[test]
+    fn table_2_long_context_row() {
+        // seq 131072 ⇒ tp 8, cp 16, pp 16, dp 8.
+        let plan = plan(&PlannerInput::llama3_405b(16_384, 131_072)).unwrap();
+        assert_eq!(plan.mesh.tp(), 8, "{:#?}", plan.reasoning);
+        assert_eq!(plan.mesh.cp(), 16, "{:#?}", plan.reasoning);
+        assert_eq!(plan.mesh.pp(), 16, "{:#?}", plan.reasoning);
+        assert_eq!(plan.mesh.dp(), 8, "{:#?}", plan.reasoning);
+        assert_eq!(plan.bs, 16);
+    }
+
+    #[test]
+    fn zero_mode_follows_bs_rule() {
+        let p = plan(&PlannerInput::llama3_405b(16_384, 8_192)).unwrap();
+        // bs = 16 = pp < 2·pp ⇒ ZeRO-2 + AFAB.
+        assert_eq!(p.zero, ZeroMode::Zero2);
+        assert_eq!(p.schedule, ScheduleKind::AllFwdAllBwd);
+    }
+
+    #[test]
+    fn smaller_model_needs_less_model_parallelism() {
+        let mut input = PlannerInput::llama3_405b(1_024, 8_192);
+        input.model = TransformerConfig::llama3_8b();
+        let p = plan(&input).unwrap();
+        assert!(p.mesh.model_parallel() <= 16, "{:#?}", p.reasoning);
+    }
+
+    #[test]
+    fn higher_hbm_capacity_allows_smaller_tp() {
+        // §8.1: more HBM widens the hyper-parameter space (tp 8 → 4
+        // gave ~10 % on 2K GPUs).
+        let base = PlannerInput::llama3_405b(2_048, 8_192);
+        let p8 = plan(&base).unwrap();
+        let mut roomy = base.clone();
+        roomy.gpu = roomy.gpu.with_hbm_capacity(4 * 80 * (1 << 30));
+        let p4 = plan(&roomy).unwrap();
+        assert!(
+            p4.mesh.tp() <= p8.mesh.tp(),
+            "roomy {} vs base {}",
+            p4.mesh,
+            p8.mesh
+        );
+        assert!(p4.est_tflops >= p8.est_tflops);
+    }
+
+    #[test]
+    fn infeasible_when_memory_too_small() {
+        let mut input = PlannerInput::llama3_405b(64, 8_192);
+        input.gpu = input.gpu.with_hbm_capacity(8 << 30);
+        assert!(matches!(plan(&input), Err(PlanError::Infeasible(_))));
+    }
+
+    #[test]
+    fn bad_input_rejected() {
+        let mut input = PlannerInput::llama3_405b(16_384, 8_192);
+        input.seq = 1_000_000; // does not divide the budget
+        assert!(matches!(plan(&input), Err(PlanError::BadInput(_))));
+    }
+
+    #[test]
+    fn zero3_analysis_matches_section_5_1() {
+        // §5.1: with bs = 1 and seq = 8192, arithmetic intensity is
+        // (2 × 8K)/2 = 8K FLOPs/byte — far below the H100's
+        // 989 TFLOPs / 50 GB/s ≈ 19.8K, so ZeRO-3 2D is rejected.
+        let gpu = GpuSpec::h100_sxm_hbm3();
+        let a = ZeRO3Analysis::evaluate(8_192, &gpu, 50e9);
+        assert!((a.hardware_ratio - 19_780.0).abs() < 100.0, "{a:?}");
+        assert!(!a.zero3_hideable());
+        // A hypothetical 10× faster fabric would flip the verdict.
+        let fast = ZeRO3Analysis::evaluate(8_192, &gpu, 500e9);
+        assert!(fast.zero3_hideable() || fast.hardware_ratio > 8_192.0 * 0.99);
+        // And enough tokens per rank always hides it.
+        assert!(ZeRO3Analysis::evaluate(1 << 20, &gpu, 50e9).zero3_hideable());
+    }
+
+    #[test]
+    fn reasoning_is_populated() {
+        let p = plan(&PlannerInput::llama3_405b(16_384, 8_192)).unwrap();
+        assert!(p.reasoning.len() >= 5);
+        assert!(p.reasoning.iter().any(|r| r.contains("tp = 8")));
+    }
+}

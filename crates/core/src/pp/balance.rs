@@ -1,0 +1,193 @@
+//! Layer-to-stage assignment and the §3.1.2 balanced-pipeline
+//! co-design.
+//!
+//! Uniform sharding of model layers leaves the first pipeline rank with
+//! the input embedding plus the largest warm-up activation residency,
+//! and the last rank with the 128 K-vocabulary output head — causing
+//! OOM on the first rank and compute stragglers on the last. The
+//! paper's fix is *model co-design*: remove one transformer layer from
+//! the first and last pipeline rank (405B ships with 126 layers instead
+//! of 128).
+
+use llm_model::layers::{LayerKind, ModelLayout};
+use serde::{Deserialize, Serialize};
+
+/// How transformer layers are spread over pipeline stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BalancePolicy {
+    /// Spread `num_layers` as evenly as possible, earlier stages taking
+    /// the remainder (plus embedding on the first stage and the output
+    /// head on the last).
+    Uniform,
+    /// The §3.1.2 co-design: drop one layer from the first and last
+    /// *rank* (the model itself shrinks by two layers).
+    DropFirstAndLast,
+}
+
+/// Assignment of whole layers to the `pp × v` interleaved stages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageAssignment {
+    /// Pipeline size.
+    pub pp: u32,
+    /// Virtual stages per rank.
+    pub v: u32,
+    /// Layers of each global stage, in stage order. Stage 0 starts with
+    /// [`LayerKind::Embedding`]; the last stage ends with
+    /// [`LayerKind::OutputHead`].
+    pub stages: Vec<Vec<LayerKind>>,
+}
+
+impl StageAssignment {
+    /// Builds the assignment for `layout` under `policy`.
+    ///
+    /// With [`BalancePolicy::DropFirstAndLast`], the first layer of the
+    /// first stage and the last layer of the last stage quota are
+    /// removed — modelling the 128 → 126 co-design.
+    ///
+    /// # Panics
+    /// Panics if the layout has fewer body layers than stages would
+    /// need (each stage must receive at least one layer, except that
+    /// the embedding/head stages may hold only those modules when the
+    /// model is tiny).
+    pub fn build(layout: &ModelLayout, pp: u32, v: u32, policy: BalancePolicy) -> StageAssignment {
+        assert!(pp > 0 && v > 0, "pp and v must be positive");
+        let num_stages = (pp * v) as usize;
+        let body: Vec<LayerKind> = layout
+            .layers
+            .iter()
+            .copied()
+            .filter(|l| !matches!(l, LayerKind::Embedding | LayerKind::OutputHead))
+            .collect();
+        let mut quotas = even_quotas(body.len(), num_stages);
+        if policy == BalancePolicy::DropFirstAndLast {
+            assert!(
+                quotas[0] > 0 && quotas[num_stages - 1] > 0,
+                "cannot drop layers from empty stages"
+            );
+            quotas[0] -= 1;
+            quotas[num_stages - 1] -= 1;
+        }
+        let mut stages: Vec<Vec<LayerKind>> = Vec::with_capacity(num_stages);
+        let mut it = body.into_iter();
+        for (si, &q) in quotas.iter().enumerate() {
+            let mut stage: Vec<LayerKind> = Vec::with_capacity(q + 1);
+            if si == 0 {
+                stage.push(LayerKind::Embedding);
+            }
+            for _ in 0..q {
+                if let Some(l) = it.next() {
+                    stage.push(l);
+                }
+            }
+            if si == num_stages - 1 {
+                stage.push(LayerKind::OutputHead);
+            }
+            stages.push(stage);
+        }
+        StageAssignment { pp, v, stages }
+    }
+
+    /// Total transformer (body) layers in the assignment.
+    pub fn body_layers(&self) -> usize {
+        self.stages
+            .iter()
+            .flatten()
+            .filter(|l| !matches!(l, LayerKind::Embedding | LayerKind::OutputHead))
+            .count()
+    }
+
+    /// Layers of the stage at `(rank, chunk)` with interleaved
+    /// placement (stage `chunk·pp + rank`).
+    pub fn stage(&self, rank: u32, chunk: u32) -> &[LayerKind] {
+        &self.stages[(chunk * self.pp + rank) as usize]
+    }
+
+    /// All layers hosted by one rank across its chunks.
+    pub fn rank_layers(&self, rank: u32) -> Vec<LayerKind> {
+        (0..self.v)
+            .flat_map(|c| self.stage(rank, c).iter().copied())
+            .collect()
+    }
+}
+
+/// Splits `n` items into `k` quotas as evenly as possible, remainder to
+/// the earliest quotas.
+fn even_quotas(n: usize, k: usize) -> Vec<usize> {
+    let base = n / k;
+    let rem = n % k;
+    (0..k).map(|i| base + usize::from(i < rem)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm_model::TransformerConfig;
+
+    #[test]
+    fn production_405b_assignment() {
+        // 128-layer model, pp=16, v=8 ⇒ 1 layer/stage uniform; the
+        // co-design drops to 126 with first and last stage empty of
+        // body layers... use v=1 (16 stages of 8) for the headline
+        // shape: balanced = [7, 8 × 14, 7].
+        let layout = ModelLayout::text(TransformerConfig::llama3_405b().with_layers(128));
+        let a = StageAssignment::build(&layout, 16, 1, BalancePolicy::DropFirstAndLast);
+        assert_eq!(a.body_layers(), 126);
+        let counts: Vec<usize> = a
+            .stages
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .filter(|l| matches!(l, LayerKind::SelfAttention { .. }))
+                    .count()
+            })
+            .collect();
+        assert_eq!(counts[0], 7);
+        assert_eq!(counts[15], 7);
+        assert!(counts[1..15].iter().all(|&c| c == 8));
+    }
+
+    #[test]
+    fn uniform_keeps_all_layers() {
+        let layout = ModelLayout::text(TransformerConfig::llama3_405b_scaled(28));
+        let a = StageAssignment::build(&layout, 4, 1, BalancePolicy::Uniform);
+        assert_eq!(a.body_layers(), 28);
+        // Embedding on stage 0, head on last.
+        assert_eq!(a.stages[0][0], LayerKind::Embedding);
+        assert_eq!(*a.stages[3].last().unwrap(), LayerKind::OutputHead);
+    }
+
+    #[test]
+    fn remainder_goes_to_early_stages() {
+        let layout = ModelLayout::text(TransformerConfig::llama3_405b_scaled(10));
+        let a = StageAssignment::build(&layout, 4, 1, BalancePolicy::Uniform);
+        let counts: Vec<usize> = a
+            .stages
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .filter(|l| matches!(l, LayerKind::SelfAttention { .. }))
+                    .count()
+            })
+            .collect();
+        assert_eq!(counts, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn interleaved_stage_lookup() {
+        let layout = ModelLayout::text(TransformerConfig::llama3_405b_scaled(16));
+        let a = StageAssignment::build(&layout, 4, 2, BalancePolicy::Uniform);
+        // 8 stages of 2 layers each; rank 1 hosts stages 1 and 5.
+        assert_eq!(a.stage(1, 0).len(), 2);
+        assert_eq!(a.rank_layers(1).len(), 4);
+        // Rank 0 additionally hosts the embedding.
+        assert_eq!(a.rank_layers(0).len(), 5);
+    }
+
+    #[test]
+    fn drop_policy_reduces_exactly_two() {
+        let layout = ModelLayout::text(TransformerConfig::llama3_405b_scaled(28));
+        let u = StageAssignment::build(&layout, 4, 1, BalancePolicy::Uniform);
+        let b = StageAssignment::build(&layout, 4, 1, BalancePolicy::DropFirstAndLast);
+        assert_eq!(u.body_layers() - b.body_layers(), 2);
+    }
+}

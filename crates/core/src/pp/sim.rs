@@ -1,0 +1,407 @@
+//! Lowering pipeline schedules onto the timing-graph engine.
+//!
+//! Each pipeline rank gets a compute stream; every cross-stage
+//! activation (or gradient) transfer becomes a point-to-point op on its
+//! own link stream, so transfers overlap with compute and with each
+//! other — exposing P2P only where the schedule actually has to wait
+//! for data (Fig 3). A schedule whose op order cannot execute (e.g. a
+//! hand-built broken warm-up) is caught by the engine's deadlock
+//! detection.
+
+use super::schedule::{PpOp, PpSchedule};
+use serde::{Deserialize, Serialize};
+use sim_engine::graph::{GraphError, OpId, TaskGraph};
+use sim_engine::time::SimDuration;
+
+/// Metadata attached to each op in the lowered graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PpSimOp {
+    /// Forward compute of `(stage, mb)` on `rank`.
+    Forward {
+        /// Pipeline rank.
+        rank: u32,
+        /// Global stage index.
+        stage: u32,
+        /// Micro-batch.
+        mb: u32,
+    },
+    /// Backward compute of `(stage, mb)` on `rank`.
+    Backward {
+        /// Pipeline rank.
+        rank: u32,
+        /// Global stage index.
+        stage: u32,
+        /// Micro-batch.
+        mb: u32,
+    },
+    /// P2P transfer between adjacent ranks.
+    Transfer,
+}
+
+/// Per-op costs for the lowering.
+pub trait PpCostModel {
+    /// Forward compute time of global stage `stage` for micro-batch `mb`.
+    fn fwd(&self, stage: u32, mb: u32) -> SimDuration;
+    /// Backward compute time of global stage `stage` for micro-batch `mb`.
+    fn bwd(&self, stage: u32, mb: u32) -> SimDuration;
+    /// P2P time for the activation/gradient between stage `s` and `s+1`
+    /// (zero-cost models are allowed).
+    fn p2p(&self, from_stage: u32) -> SimDuration;
+}
+
+/// A uniform cost model: every stage costs the same.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniformCosts {
+    /// Forward time per stage per micro-batch.
+    pub fwd: SimDuration,
+    /// Backward time per stage per micro-batch.
+    pub bwd: SimDuration,
+    /// P2P time between adjacent stages.
+    pub p2p: SimDuration,
+}
+
+impl PpCostModel for UniformCosts {
+    fn fwd(&self, _stage: u32, _mb: u32) -> SimDuration {
+        self.fwd
+    }
+    fn bwd(&self, _stage: u32, _mb: u32) -> SimDuration {
+        self.bwd
+    }
+    fn p2p(&self, _from_stage: u32) -> SimDuration {
+        self.p2p
+    }
+}
+
+/// Per-stage table-driven cost model (used for imbalanced stages:
+/// embedding/output-head heavy first/last stages, §3.1.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableCosts {
+    /// Forward time per stage.
+    pub fwd: Vec<SimDuration>,
+    /// Backward time per stage.
+    pub bwd: Vec<SimDuration>,
+    /// P2P time between adjacent stages.
+    pub p2p: SimDuration,
+}
+
+impl PpCostModel for TableCosts {
+    fn fwd(&self, stage: u32, _mb: u32) -> SimDuration {
+        self.fwd[stage as usize]
+    }
+    fn bwd(&self, stage: u32, _mb: u32) -> SimDuration {
+        self.bwd[stage as usize]
+    }
+    fn p2p(&self, _from_stage: u32) -> SimDuration {
+        self.p2p
+    }
+}
+
+/// Result of simulating a pipeline schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PpSimResult {
+    /// End-to-end time of the pipelined batch.
+    pub makespan: SimDuration,
+    /// Per-rank total compute (forward + backward) time.
+    pub compute: Vec<SimDuration>,
+    /// Per-rank idle time within the makespan.
+    pub idle: Vec<SimDuration>,
+    /// Per-rank completion times of each op, in schedule order
+    /// (`(start_ns, end_ns)` pairs) — used for memory replay.
+    pub op_times: Vec<Vec<(u64, u64)>>,
+}
+
+impl PpSimResult {
+    /// Per-rank bubble ratio: idle time over compute time (§3.1.1's
+    /// definition of bubble ratio as idle over fwd+bwd compute).
+    pub fn bubble_ratio(&self, rank: u32) -> f64 {
+        let c = self.compute[rank as usize];
+        if c.is_zero() {
+            return 0.0;
+        }
+        self.idle[rank as usize].as_secs_f64() / c.as_secs_f64()
+    }
+
+    /// Worst bubble ratio across ranks.
+    pub fn max_bubble_ratio(&self) -> f64 {
+        (0..self.compute.len() as u32)
+            .map(|r| self.bubble_ratio(r))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Simulates `schedule` under `costs`.
+///
+/// # Errors
+/// Returns the engine's [`GraphError::Deadlock`] if the schedule's
+/// per-rank op orders cannot execute — the validation §3.1.1's flexible
+/// schedule generator is tested against.
+pub fn simulate_pp(
+    schedule: &PpSchedule,
+    costs: &dyn PpCostModel,
+) -> Result<PpSimResult, GraphError> {
+    let pp = schedule.pp;
+    let last_stage = schedule.num_stages() - 1;
+    let mut g: TaskGraph<PpSimOp> = TaskGraph::new();
+    let compute_streams = g.add_streams(pp as usize);
+
+    // First pass: create compute ops in per-rank program order.
+    let mut fwd_ids: Vec<Vec<Option<OpId>>> =
+        vec![vec![None; schedule.nmb as usize]; schedule.num_stages() as usize];
+    let mut bwd_ids: Vec<Vec<Option<OpId>>> =
+        vec![vec![None; schedule.nmb as usize]; schedule.num_stages() as usize];
+    for (ppr, ops) in schedule.ranks.iter().enumerate() {
+        let stream = compute_streams[ppr];
+        for op in ops {
+            let stage = schedule.stage_of(ppr as u32, op.chunk());
+            match op {
+                PpOp::Forward { mb, .. } => {
+                    let id = g.add_op(
+                        PpSimOp::Forward {
+                            rank: ppr as u32,
+                            stage,
+                            mb: *mb,
+                        },
+                        costs.fwd(stage, *mb),
+                        [stream],
+                        [],
+                    );
+                    fwd_ids[stage as usize][*mb as usize] = Some(id);
+                }
+                PpOp::Backward { mb, .. } => {
+                    let id = g.add_op(
+                        PpSimOp::Backward {
+                            rank: ppr as u32,
+                            stage,
+                            mb: *mb,
+                        },
+                        costs.bwd(stage, *mb),
+                        [stream],
+                        [],
+                    );
+                    bwd_ids[stage as usize][*mb as usize] = Some(id);
+                }
+            }
+        }
+    }
+
+    // Second pass: wire data dependencies through P2P transfer ops.
+    for stage in 0..schedule.num_stages() {
+        for mb in 0..schedule.nmb {
+            let f = fwd_ids[stage as usize][mb as usize].expect("forward scheduled");
+            let b = bwd_ids[stage as usize][mb as usize].expect("backward scheduled");
+            if stage > 0 {
+                // Activation from stage−1: transfer on its own link
+                // stream (async send), consumer waits for it.
+                let producer =
+                    fwd_ids[(stage - 1) as usize][mb as usize].expect("forward scheduled");
+                let dur = costs.p2p(stage - 1);
+                if dur.is_zero() {
+                    g.add_dep(f, producer);
+                } else {
+                    let link = g.add_stream();
+                    let t = g.add_op(PpSimOp::Transfer, dur, [link], []);
+                    g.add_dep(t, producer);
+                    g.add_dep(f, t);
+                }
+            }
+            if stage == last_stage {
+                g.add_dep(b, f);
+            } else {
+                let producer =
+                    bwd_ids[(stage + 1) as usize][mb as usize].expect("backward scheduled");
+                let dur = costs.p2p(stage);
+                if dur.is_zero() {
+                    g.add_dep(b, producer);
+                } else {
+                    let link = g.add_stream();
+                    let t = g.add_op(PpSimOp::Transfer, dur, [link], []);
+                    g.add_dep(t, producer);
+                    g.add_dep(b, t);
+                }
+            }
+        }
+    }
+
+    let run = g.execute()?;
+    let makespan = run.makespan();
+    let mut compute = vec![SimDuration::ZERO; pp as usize];
+    let mut op_times: Vec<Vec<(u64, u64)>> = vec![Vec::new(); pp as usize];
+    for rec in run.records() {
+        match rec.meta {
+            PpSimOp::Forward { rank, .. } | PpSimOp::Backward { rank, .. } => {
+                compute[rank as usize] += rec.duration();
+                op_times[rank as usize].push((rec.start.as_nanos(), rec.end.as_nanos()));
+            }
+            PpSimOp::Transfer => {}
+        }
+    }
+    let idle = compute
+        .iter()
+        .map(|&c| makespan.saturating_sub(c))
+        .collect();
+    Ok(PpSimResult {
+        makespan,
+        compute,
+        idle,
+        op_times,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pp::schedule::ScheduleKind;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    fn uniform(p2p_us: u64) -> UniformCosts {
+        UniformCosts {
+            fwd: us(100),
+            bwd: us(200),
+            p2p: us(p2p_us),
+        }
+    }
+
+    /// Every schedule family must execute without deadlock across a
+    /// sweep of shapes — the core §3.1.1 guarantee.
+    #[test]
+    fn schedules_are_deadlock_free_across_shapes() {
+        for pp in [2u32, 3, 4] {
+            for v in [1u32, 2, 3] {
+                for nmb in [1u32, 2, 5, 8, 12] {
+                    for nc in 1..=nmb {
+                        let s =
+                            PpSchedule::build(ScheduleKind::Flexible { nc }, pp, v, nmb).unwrap();
+                        s.assert_well_formed();
+                        let r = simulate_pp(&s, &uniform(5));
+                        assert!(
+                            r.is_ok(),
+                            "deadlock at pp={pp} v={v} nmb={nmb} nc={nc}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_pipeline_bound() {
+        // Makespan is at least (fwd+bwd)·nmb·v (one rank's work) and
+        // approaches it as nmb grows.
+        let s = PpSchedule::build(ScheduleKind::Interleaved1F1B, 4, 2, 32).unwrap();
+        let r = simulate_pp(&s, &uniform(0)).unwrap();
+        let work = us(300) * (32 * 2) as u64;
+        assert!(r.makespan >= work);
+        assert!(r.makespan.as_secs_f64() < work.as_secs_f64() * 1.25);
+    }
+
+    #[test]
+    fn measured_bubble_tracks_analytic_formula() {
+        // Bubble ratio ≈ (pp−1)/nmb/v for the interleaved schedule
+        // with zero-cost P2P.
+        for (pp, v, nmb) in [(4u32, 2u32, 16u32), (4, 2, 32), (8, 2, 32)] {
+            let s = PpSchedule::build(ScheduleKind::Interleaved1F1B, pp, v, nmb).unwrap();
+            let r = simulate_pp(&s, &uniform(0)).unwrap();
+            let analytic = s.analytic_bubble_ratio();
+            let measured = r.bubble_ratio(0);
+            assert!(
+                (measured - analytic).abs() < analytic * 0.8 + 0.02,
+                "pp={pp} v={v} nmb={nmb}: measured {measured}, analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_microbatches_shrink_bubble() {
+        let cost = uniform(0);
+        let small = simulate_pp(
+            &PpSchedule::build(ScheduleKind::Interleaved1F1B, 4, 2, 8).unwrap(),
+            &cost,
+        )
+        .unwrap();
+        let large = simulate_pp(
+            &PpSchedule::build(ScheduleKind::Interleaved1F1B, 4, 2, 32).unwrap(),
+            &cost,
+        )
+        .unwrap();
+        assert!(large.max_bubble_ratio() < small.max_bubble_ratio());
+    }
+
+    #[test]
+    fn exposed_p2p_slows_1f1b_and_extra_warmup_hides_it() {
+        // Fig 3: with significant P2P cost, nc > pp (extra warm-up
+        // micro-batches) reduces the makespan versus nc = pp.
+        let cost = uniform(60); // P2P comparable to compute
+        let nmb = 12;
+        let classic = simulate_pp(
+            &PpSchedule::build(ScheduleKind::Flexible { nc: 4 }, 4, 2, nmb).unwrap(),
+            &cost,
+        )
+        .unwrap();
+        let extra = simulate_pp(
+            &PpSchedule::build(ScheduleKind::Flexible { nc: 6 }, 4, 2, nmb).unwrap(),
+            &cost,
+        )
+        .unwrap();
+        assert!(
+            extra.makespan < classic.makespan,
+            "extra-warmup {} should beat classic {}",
+            extra.makespan,
+            classic.makespan
+        );
+    }
+
+    #[test]
+    fn afab_fastest_but_memory_heaviest_with_exposed_p2p() {
+        // Fig 9's ordering: AFAB ≥ flexible ≥ 1F1B in throughput;
+        // reverse in memory.
+        let cost = uniform(60);
+        let nmb = 12;
+        let s_1f1b = PpSchedule::build(ScheduleKind::Flexible { nc: 4 }, 4, 2, nmb).unwrap();
+        let s_flex = PpSchedule::build(ScheduleKind::Flexible { nc: 6 }, 4, 2, nmb).unwrap();
+        let s_afab = PpSchedule::build(ScheduleKind::AllFwdAllBwd, 4, 2, nmb).unwrap();
+        let t_1f1b = simulate_pp(&s_1f1b, &cost).unwrap().makespan;
+        let t_flex = simulate_pp(&s_flex, &cost).unwrap().makespan;
+        let t_afab = simulate_pp(&s_afab, &cost).unwrap().makespan;
+        assert!(t_afab <= t_flex, "afab {t_afab} vs flex {t_flex}");
+        assert!(t_flex < t_1f1b, "flex {t_flex} vs 1f1b {t_1f1b}");
+        assert!(s_1f1b.peak_in_flight(0) < s_flex.peak_in_flight(0));
+        assert!(s_flex.peak_in_flight(0) < s_afab.peak_in_flight(0));
+    }
+
+    #[test]
+    fn heavy_last_stage_creates_bubbles_on_others() {
+        // §3.1.2: an unbalanced heavy last stage (output head) slows
+        // the whole pipeline.
+        let pp = 4u32;
+        let v = 1u32;
+        let nmb = 16;
+        let s = PpSchedule::build(ScheduleKind::Interleaved1F1B, pp, v, nmb).unwrap();
+        let stages = (pp * v) as usize;
+        let mut fwd = vec![us(100); stages];
+        let mut bwd = vec![us(200); stages];
+        fwd[stages - 1] = us(180);
+        bwd[stages - 1] = us(360);
+        let heavy = TableCosts {
+            fwd,
+            bwd,
+            p2p: SimDuration::ZERO,
+        };
+        let balanced = uniform(0);
+        let r_heavy = simulate_pp(&s, &heavy).unwrap();
+        let r_bal = simulate_pp(&s, &balanced).unwrap();
+        assert!(r_heavy.makespan > r_bal.makespan);
+        // Rank 0 idles waiting on the heavy tail.
+        assert!(r_heavy.bubble_ratio(0) > r_bal.bubble_ratio(0));
+    }
+
+    #[test]
+    fn single_microbatch_serializes() {
+        let s = PpSchedule::build(ScheduleKind::Flexible { nc: 1 }, 4, 1, 1).unwrap();
+        let r = simulate_pp(&s, &uniform(0)).unwrap();
+        // 4 forwards then 4 backwards in sequence.
+        assert_eq!(r.makespan, us(100) * 4 + us(200) * 4);
+    }
+}

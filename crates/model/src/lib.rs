@@ -1,0 +1,32 @@
+//! # llm-model
+//!
+//! Model substrate: Llama 3 transformer configurations (8B/70B/405B and
+//! the paper's scaled-down variants), mask-aware FLOPs accounting,
+//! memory accounting under the paper's precision policy, and the
+//! multimodal (ViT + cross-attention) architecture of §3.2.
+//!
+//! ```
+//! use llm_model::{MaskSpec, TransformerConfig};
+//!
+//! let cfg = TransformerConfig::llama3_405b();
+//! assert!(cfg.total_params() > 400_000_000_000);
+//! // Document masks do strictly less attention work than causal.
+//! let doc = MaskSpec::document(vec![4096, 4096]);
+//! assert!(doc.attended_pairs(8192) < MaskSpec::Causal.attended_pairs(8192));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod flops;
+pub mod layers;
+pub mod masks;
+pub mod memory;
+pub mod multimodal;
+
+pub use config::TransformerConfig;
+pub use layers::{LayerKind, ModelLayout};
+pub use masks::MaskSpec;
+pub use memory::PrecisionPolicy;
+pub use multimodal::{CrossAttentionSpec, VitConfig};

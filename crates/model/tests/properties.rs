@@ -1,0 +1,71 @@
+//! Property tests for mask accounting and model arithmetic.
+
+use llm_model::masks::MaskSpec;
+use llm_model::TransformerConfig;
+use proptest::prelude::*;
+
+proptest! {
+    /// `attended_pairs` equals a brute-force count of `allows` over the
+    /// full query×key square, for every mask family.
+    #[test]
+    fn pairs_match_brute_force(lens in prop::collection::vec(1u64..12, 1..6)) {
+        let seq: u64 = lens.iter().sum();
+        for mask in [MaskSpec::Full, MaskSpec::Causal, MaskSpec::document(lens)] {
+            let brute: u128 = (0..seq)
+                .map(|q| (0..seq).filter(|&k| mask.allows(q, k)).count() as u128)
+                .sum();
+            prop_assert_eq!(mask.attended_pairs(seq), brute, "mask {:?}", mask);
+        }
+    }
+
+    /// Range accounting is additive over any split point.
+    #[test]
+    fn ranges_are_additive(lens in prop::collection::vec(1u64..40, 1..10), cut_ix in any::<prop::sample::Index>()) {
+        let seq: u64 = lens.iter().sum();
+        let cut = cut_ix.index(seq as usize + 1) as u64;
+        let mask = MaskSpec::document(lens);
+        prop_assert_eq!(
+            mask.attended_pairs_in(seq, 0, cut) + mask.attended_pairs_in(seq, cut, seq),
+            mask.attended_pairs(seq)
+        );
+    }
+
+    /// `kv_span_in` bounds: a range's span covers at least the widest
+    /// per-query need and never exceeds the sequence.
+    #[test]
+    fn kv_span_bounds(lens in prop::collection::vec(1u64..40, 1..10)) {
+        let seq: u64 = lens.iter().sum();
+        let mask = MaskSpec::document(lens);
+        let span = mask.kv_span_in(seq, 0, seq);
+        prop_assert!(span <= seq);
+        // The longest document dictates the widest span.
+        let longest = *match &mask {
+            MaskSpec::Document { doc_lens } => doc_lens.iter().max().unwrap(),
+            _ => unreachable!(),
+        };
+        prop_assert_eq!(span, longest);
+    }
+
+    /// Parameter accounting scales linearly with layers and is always
+    /// dominated by the body for big-enough models.
+    #[test]
+    fn params_linear_in_layers(layers in 1u64..60) {
+        let base = TransformerConfig::llama3_8b().with_layers(layers);
+        let more = TransformerConfig::llama3_8b().with_layers(layers + 1);
+        prop_assert_eq!(
+            more.total_params() - base.total_params(),
+            base.layer_params()
+        );
+    }
+
+    /// Density is within [0, 1] and causal density tends to 1/2.
+    #[test]
+    fn density_bounds(lens in prop::collection::vec(1u64..100, 1..10)) {
+        let seq: u64 = lens.iter().sum();
+        let doc = MaskSpec::document(lens);
+        let d = doc.density(seq);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!(d <= MaskSpec::Causal.density(seq) + 1e-12);
+        prop_assert!(MaskSpec::Full.density(seq) == 1.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Software BFloat16.
+//!
+//! A faithful bit-level emulation of the BF16 format the paper trains
+//! in (§6.2): 1 sign, 8 exponent, 7 mantissa bits — the top half of an
+//! IEEE-754 `f32`, converted with round-to-nearest-even, exactly as
+//! hardware converts tensor-core outputs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A 16-bit brain float.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+
+    /// Converts from `f32` with round-to-nearest-even.
+    pub fn from_f32(v: f32) -> Bf16 {
+        let bits = v.to_bits();
+        if v.is_nan() {
+            // Preserve NaN, force a quiet mantissa bit.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        // Round to nearest even on the truncated 16 bits.
+        let round_bit = 0x8000u32;
+        let lower = bits & 0xFFFF;
+        let mut upper = bits >> 16;
+        if lower > round_bit || (lower == round_bit && (upper & 1) == 1) {
+            upper += 1;
+        }
+        Bf16(upper as u16)
+    }
+
+    /// Widens to `f32` (exact).
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Raw bit pattern.
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Constructs from a raw bit pattern.
+    pub fn from_bits(bits: u16) -> Bf16 {
+        Bf16(bits)
+    }
+
+    /// Unit-in-last-place distance to another value (0 when bitwise
+    /// equal; `u16::MAX` when signs differ on non-zero values or either
+    /// is NaN).
+    pub fn ulp_distance(self, other: Bf16) -> u16 {
+        if self.to_f32().is_nan() || other.to_f32().is_nan() {
+            return u16::MAX;
+        }
+        // Map to a monotonic integer line.
+        let a = Self::monotone(self.0);
+        let b = Self::monotone(other.0);
+        a.abs_diff(b).min(u16::MAX as i32 as u32) as u16
+    }
+
+    fn monotone(bits: u16) -> i32 {
+        let b = bits as i32;
+        if b & 0x8000 != 0 {
+            0x8000 - b // negative range reversed
+        } else {
+            b
+        }
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(v: f32) -> Bf16 {
+        Bf16::from_f32(v)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(v: Bf16) -> f32 {
+        v.to_f32()
+    }
+}
+
+impl Add for Bf16 {
+    type Output = Bf16;
+    /// BF16 addition: compute in `f32`, round back — the accumulation
+    /// behaviour of a BF16 buffer.
+    fn add(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() + rhs.to_f32())
+    }
+}
+
+impl Sub for Bf16 {
+    type Output = Bf16;
+    fn sub(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() - rhs.to_f32())
+    }
+}
+
+impl Mul for Bf16 {
+    type Output = Bf16;
+    fn mul(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl Div for Bf16 {
+    type Output = Bf16;
+    fn div(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() / rhs.to_f32())
+    }
+}
+
+impl Neg for Bf16 {
+    type Output = Bf16;
+    fn neg(self) -> Bf16 {
+        Bf16(self.0 ^ 0x8000)
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// Quantizes an `f32` slice through BF16 (the "cast to BF16 for
+/// communication" step).
+pub fn quantize(values: &[f32]) -> Vec<Bf16> {
+    values.iter().map(|&v| Bf16::from_f32(v)).collect()
+}
+
+/// Widens a BF16 slice back to `f32`.
+pub fn dequantize(values: &[Bf16]) -> Vec<f32> {
+    values.iter().map(|v| v.to_f32()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for v in [-8.0f32, -1.0, 0.0, 0.5, 1.0, 2.0, 100.0] {
+            assert_eq!(Bf16::from_f32(v).to_f32(), v);
+        }
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1.0 + 2^-8 is exactly halfway between 1.0 and the next BF16;
+        // RNE rounds to the even mantissa (1.0).
+        let halfway = 1.0 + 2f32.powi(-8);
+        assert_eq!(Bf16::from_f32(halfway).to_f32(), 1.0);
+        // 1.0 + 3·2^-9 rounds up.
+        let above = 1.0 + 3.0 * 2f32.powi(-9);
+        assert!(Bf16::from_f32(above).to_f32() > 1.0);
+    }
+
+    #[test]
+    fn precision_loss_is_real() {
+        // BF16 has 8 significand bits: 257 is not representable.
+        let v = Bf16::from_f32(257.0);
+        assert_ne!(v.to_f32(), 257.0);
+        assert_eq!(v.to_f32(), 256.0);
+    }
+
+    #[test]
+    fn addition_swallows_small_terms() {
+        // 256 + 1 == 256 in BF16 — the §6.2 accumulation hazard.
+        let a = Bf16::from_f32(256.0);
+        let b = Bf16::from_f32(1.0);
+        assert_eq!((a + b).to_f32(), 256.0);
+        // But FP32 accumulation keeps it.
+        assert_eq!(a.to_f32() + b.to_f32(), 257.0);
+    }
+
+    #[test]
+    fn accumulation_order_changes_bf16_sums() {
+        // Σ in ascending vs descending order differs in BF16.
+        let values: Vec<f32> = (1..=100).map(|i| i as f32 * 0.1).collect();
+        let asc = values
+            .iter()
+            .fold(Bf16::ZERO, |acc, &v| acc + Bf16::from_f32(v));
+        let desc = values
+            .iter()
+            .rev()
+            .fold(Bf16::ZERO, |acc, &v| acc + Bf16::from_f32(v));
+        assert_ne!(asc.to_bits(), desc.to_bits());
+    }
+
+    #[test]
+    fn ulp_distance() {
+        let one = Bf16::from_f32(1.0);
+        let next = Bf16::from_bits(one.to_bits() + 1);
+        assert_eq!(one.ulp_distance(one), 0);
+        assert_eq!(one.ulp_distance(next), 1);
+        assert!(one.ulp_distance(Bf16::from_f32(-1.0)) > 100);
+    }
+
+    #[test]
+    fn nan_preserved() {
+        assert!(Bf16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn negation_flips_sign_bit() {
+        let v = Bf16::from_f32(3.5);
+        assert_eq!((-v).to_f32(), -3.5);
+        assert_eq!((-Bf16::ZERO).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn quantize_dequantize() {
+        let vals = vec![0.1f32, -2.7, 1e10, -1e-10];
+        let q = quantize(&vals);
+        let d = dequantize(&q);
+        for (orig, round) in vals.iter().zip(&d) {
+            let rel = ((orig - round) / orig).abs();
+            assert!(rel < 0.01, "{orig} -> {round}");
+        }
+    }
+}

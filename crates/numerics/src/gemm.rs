@@ -1,0 +1,227 @@
+//! GEMM with explicit precision and accumulation order.
+//!
+//! Tensor parallelism splits a GEMM's contraction (K) dimension across
+//! ranks; each rank produces a partial product that is summed by a
+//! collective. Floating-point addition is not associative, so the
+//! chunked-and-reduced result differs from the monolithic one at the
+//! ulp level — the §6.2 phenomenon that must be distinguished from an
+//! implementation bug. This module provides monolithic and chunked
+//! GEMMs whose accumulation orders can be matched exactly.
+
+use crate::bf16::Bf16;
+use crate::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Input/accumulator precision of a GEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GemmPrecision {
+    /// `f32` inputs, `f32` accumulation (reference).
+    Fp32,
+    /// BF16 inputs, `f32` accumulation — the tensor-core behaviour the
+    /// paper aligns its software accumulations with (§6.2).
+    Bf16InputsFp32Acc,
+    /// BF16 inputs, BF16 accumulation — the hazardous configuration.
+    Bf16All,
+}
+
+/// `C = A · B` with the given precision, accumulating along K from
+/// index 0 upward.
+///
+/// # Panics
+/// Panics if the inner dimensions disagree.
+pub fn gemm(a: &Matrix, b: &Matrix, precision: GemmPrecision) -> Matrix {
+    gemm_k_range(a, b, 0, a.cols(), precision)
+}
+
+/// `C = A[:, k0..k1] · B[k0..k1, :]` — one K-chunk partial product.
+///
+/// # Panics
+/// Panics on dimension mismatch or an invalid K range.
+pub fn gemm_k_range(
+    a: &Matrix,
+    b: &Matrix,
+    k0: usize,
+    k1: usize,
+    precision: GemmPrecision,
+) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+    assert!(k0 < k1 && k1 <= a.cols(), "bad K range");
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            match precision {
+                GemmPrecision::Fp32 => {
+                    let mut acc = 0.0f32;
+                    for k in k0..k1 {
+                        acc += a.get(i, k) * b.get(k, j);
+                    }
+                    c.set(i, j, acc);
+                }
+                GemmPrecision::Bf16InputsFp32Acc => {
+                    let mut acc = 0.0f32;
+                    for k in k0..k1 {
+                        let x = Bf16::from_f32(a.get(i, k)).to_f32();
+                        let y = Bf16::from_f32(b.get(k, j)).to_f32();
+                        acc += x * y;
+                    }
+                    c.set(i, j, acc);
+                }
+                GemmPrecision::Bf16All => {
+                    let mut acc = Bf16::ZERO;
+                    for k in k0..k1 {
+                        let x = Bf16::from_f32(a.get(i, k));
+                        let y = Bf16::from_f32(b.get(k, j));
+                        acc = acc + x * y;
+                    }
+                    c.set(i, j, acc.to_f32());
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Tensor-parallel-style GEMM: K split into `chunks` contiguous parts
+/// (one per "rank"), each computed independently, partials returned in
+/// rank order — the reduction is the caller's choice (see
+/// [`crate::reduce`]).
+///
+/// # Panics
+/// Panics if `chunks` is empty or does not divide K evenly enough
+/// (each chunk must be non-empty).
+pub fn gemm_k_split(
+    a: &Matrix,
+    b: &Matrix,
+    chunks: usize,
+    precision: GemmPrecision,
+) -> Vec<Matrix> {
+    assert!(chunks > 0 && chunks <= a.cols(), "bad chunk count");
+    let k = a.cols();
+    let base = k / chunks;
+    let rem = k % chunks;
+    let mut parts = Vec::with_capacity(chunks);
+    let mut k0 = 0;
+    for i in 0..chunks {
+        let len = base + usize::from(i < rem);
+        parts.push(gemm_k_range(a, b, k0, k0 + len, precision));
+        k0 += len;
+    }
+    parts
+}
+
+/// The §6.2 *matched-order sequential reference*: a sequential GEMM
+/// restructured to accumulate in exactly the same chunk order as the
+/// parallel version (compute each K-chunk's partial in f32, then sum
+/// the partials left-to-right). Bitwise equality against the parallel
+/// emulation proves the parallel implementation is bug-free; any
+/// difference from the *monolithic* GEMM is then attributable to
+/// accumulation order alone.
+pub fn gemm_matched_chunks(
+    a: &Matrix,
+    b: &Matrix,
+    chunks: usize,
+    precision: GemmPrecision,
+) -> Matrix {
+    let parts = gemm_k_split(a, b, chunks, precision);
+    parts
+        .into_iter()
+        .reduce(|acc, p| acc.add(&p))
+        .expect("at least one chunk")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab(seed: u64) -> (Matrix, Matrix) {
+        (
+            Matrix::random(8, 64, 1.0, seed),
+            Matrix::random(64, 8, 1.0, seed + 1),
+        )
+    }
+
+    #[test]
+    fn fp32_gemm_matches_naive() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = gemm(&a, &b, GemmPrecision::Fp32);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn chunked_differs_from_monolithic_at_ulp_level() {
+        // The §6.2 core fact: splitting K changes the sum order and the
+        // bits — without any bug.
+        let (a, b) = ab(11);
+        let mono = gemm(&a, &b, GemmPrecision::Bf16InputsFp32Acc);
+        let chunked = gemm_matched_chunks(&a, &b, 4, GemmPrecision::Bf16InputsFp32Acc);
+        assert!(!mono.bitwise_eq(&chunked), "expected order-induced gap");
+        // But the gap is tiny.
+        assert!(chunked.max_rel_diff(&mono) < 1e-4);
+    }
+
+    #[test]
+    fn matched_order_reference_is_bitwise_equal_to_parallel_sum() {
+        // Emulate the "parallel" path: per-rank partials reduced
+        // left-to-right; the matched sequential reference must be
+        // bit-identical.
+        let (a, b) = ab(21);
+        let parallel_parts = gemm_k_split(&a, &b, 4, GemmPrecision::Bf16InputsFp32Acc);
+        let parallel = parallel_parts
+            .into_iter()
+            .reduce(|acc, p| acc.add(&p))
+            .unwrap();
+        let reference = gemm_matched_chunks(&a, &b, 4, GemmPrecision::Bf16InputsFp32Acc);
+        assert!(parallel.bitwise_eq(&reference));
+    }
+
+    #[test]
+    fn bf16_accumulation_much_worse_than_fp32_accumulation() {
+        let a = Matrix::random(4, 512, 1.0, 3);
+        let b = Matrix::random(512, 4, 1.0, 4);
+        let exact = gemm(&a, &b, GemmPrecision::Fp32);
+        let fp32acc = gemm(&a, &b, GemmPrecision::Bf16InputsFp32Acc);
+        let bf16acc = gemm(&a, &b, GemmPrecision::Bf16All);
+        let err_fp32acc = fp32acc.max_abs_diff(&exact);
+        let err_bf16acc = bf16acc.max_abs_diff(&exact);
+        assert!(
+            err_bf16acc > err_fp32acc * 3.0,
+            "bf16 acc {err_bf16acc} vs fp32 acc {err_fp32acc}"
+        );
+    }
+
+    #[test]
+    fn k_split_partials_cover_all_of_k() {
+        let (a, b) = ab(31);
+        let parts = gemm_k_split(&a, &b, 3, GemmPrecision::Fp32);
+        assert_eq!(parts.len(), 3);
+        let sum = parts.into_iter().reduce(|acc, p| acc.add(&p)).unwrap();
+        let mono = gemm(&a, &b, GemmPrecision::Fp32);
+        // f32 partial sums differ from monolithic at ulp level but are
+        // close in absolute terms (relative error can blow up when the
+        // true sum is near zero).
+        assert!(sum.max_abs_diff(&mono) < 1e-4);
+    }
+
+    #[test]
+    fn single_chunk_is_exactly_monolithic() {
+        let (a, b) = ab(41);
+        for p in [
+            GemmPrecision::Fp32,
+            GemmPrecision::Bf16InputsFp32Acc,
+            GemmPrecision::Bf16All,
+        ] {
+            let mono = gemm(&a, &b, p);
+            let one = gemm_matched_chunks(&a, &b, 1, p);
+            assert!(mono.bitwise_eq(&one));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        gemm(&a, &b, GemmPrecision::Fp32);
+    }
+}

@@ -1,0 +1,173 @@
+//! The §6.2 numerical-debugging methodology.
+//!
+//! "As parallelism splits computation into chunks and reduces partial
+//! results, it cannot achieve bit-wise matching results as the
+//! sequential version. To distinguish [numerical issues from
+//! implementation bugs], we adopt an approach to split the sequential
+//! version into the same accumulation order as the parallel one and
+//! check for bit-wise exact matching."
+//!
+//! [`diagnose`] encodes that decision procedure over three artifacts:
+//! the parallel implementation's output, a *matched-order sequential
+//! reference* (sequential compute restructured to the parallel
+//! accumulation order), and the plain monolithic sequential output.
+
+use crate::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Outcome of the §6.2 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Diagnosis {
+    /// Parallel output is bitwise equal even to the monolithic
+    /// sequential version: nothing to explain.
+    ExactMatch,
+    /// Parallel output matches the matched-order reference bitwise but
+    /// differs from the monolithic version: the gap is caused by
+    /// accumulation order, not by a bug. Mitigate with higher-precision
+    /// accumulation if the magnitude matters.
+    OrderInducedGap {
+        /// Largest relative deviation from the monolithic reference.
+        max_rel: f32,
+        /// Largest absolute deviation from the monolithic reference.
+        max_abs: f32,
+    },
+    /// Parallel output does not even match the matched-order
+    /// reference: the parallel implementation has a bug.
+    LikelyBug {
+        /// Largest relative deviation from the matched-order reference.
+        max_rel: f32,
+    },
+}
+
+impl Diagnosis {
+    /// `true` when the implementation is exonerated (exact or
+    /// order-induced).
+    pub fn implementation_ok(self) -> bool {
+        !matches!(self, Diagnosis::LikelyBug { .. })
+    }
+}
+
+impl fmt::Display for Diagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Diagnosis::ExactMatch => write!(f, "bitwise exact match"),
+            Diagnosis::OrderInducedGap { max_rel, max_abs } => write!(
+                f,
+                "order-induced gap (max rel {max_rel:.3e}, max abs {max_abs:.3e}); implementation correct"
+            ),
+            Diagnosis::LikelyBug { max_rel } => write!(
+                f,
+                "MISMATCH vs matched-order reference (max rel {max_rel:.3e}); implementation bug likely"
+            ),
+        }
+    }
+}
+
+/// Runs the §6.2 decision procedure.
+///
+/// # Panics
+/// Panics on shape mismatches between the three matrices.
+pub fn diagnose(
+    parallel: &Matrix,
+    matched_order_reference: &Matrix,
+    monolithic_reference: &Matrix,
+) -> Diagnosis {
+    if !parallel.bitwise_eq(matched_order_reference) {
+        return Diagnosis::LikelyBug {
+            max_rel: parallel.max_rel_diff(matched_order_reference),
+        };
+    }
+    if parallel.bitwise_eq(monolithic_reference) {
+        Diagnosis::ExactMatch
+    } else {
+        Diagnosis::OrderInducedGap {
+            max_rel: parallel.max_rel_diff(monolithic_reference),
+            max_abs: parallel.max_abs_diff(monolithic_reference),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm, gemm_k_split, gemm_matched_chunks, GemmPrecision};
+
+    fn setup() -> (Matrix, Matrix) {
+        (
+            Matrix::random(8, 96, 1.0, 50),
+            Matrix::random(96, 8, 1.0, 51),
+        )
+    }
+
+    /// Emulates a correct "TP" GEMM: per-rank K-chunks reduced in rank
+    /// order.
+    fn parallel_gemm(a: &Matrix, b: &Matrix, ranks: usize) -> Matrix {
+        gemm_k_split(a, b, ranks, GemmPrecision::Bf16InputsFp32Acc)
+            .into_iter()
+            .reduce(|acc, p| acc.add(&p))
+            .expect("ranks > 0")
+    }
+
+    /// Emulates a buggy "TP" GEMM: one rank drops its last K column.
+    fn buggy_parallel_gemm(a: &Matrix, b: &Matrix, ranks: usize) -> Matrix {
+        let mut parts = gemm_k_split(a, b, ranks, GemmPrecision::Bf16InputsFp32Acc);
+        // Re-compute rank 0's chunk with an off-by-one K range.
+        let k = a.cols();
+        let chunk = k / ranks;
+        parts[0] = crate::gemm::gemm_k_range(a, b, 0, chunk - 1, GemmPrecision::Bf16InputsFp32Acc);
+        parts
+            .into_iter()
+            .reduce(|acc, p| acc.add(&p))
+            .expect("ranks > 0")
+    }
+
+    #[test]
+    fn correct_parallel_is_exonerated_as_order_induced() {
+        let (a, b) = setup();
+        let parallel = parallel_gemm(&a, &b, 4);
+        let matched = gemm_matched_chunks(&a, &b, 4, GemmPrecision::Bf16InputsFp32Acc);
+        let mono = gemm(&a, &b, GemmPrecision::Bf16InputsFp32Acc);
+        let d = diagnose(&parallel, &matched, &mono);
+        match d {
+            Diagnosis::OrderInducedGap { max_rel, .. } => {
+                assert!(max_rel < 1e-4, "gap too large: {max_rel}");
+            }
+            other => panic!("expected order-induced, got {other}"),
+        }
+        assert!(d.implementation_ok());
+    }
+
+    #[test]
+    fn buggy_parallel_is_flagged() {
+        let (a, b) = setup();
+        let parallel = buggy_parallel_gemm(&a, &b, 4);
+        let matched = gemm_matched_chunks(&a, &b, 4, GemmPrecision::Bf16InputsFp32Acc);
+        let mono = gemm(&a, &b, GemmPrecision::Bf16InputsFp32Acc);
+        let d = diagnose(&parallel, &matched, &mono);
+        assert!(matches!(d, Diagnosis::LikelyBug { .. }), "got {d}");
+        assert!(!d.implementation_ok());
+    }
+
+    #[test]
+    fn identical_computation_is_exact() {
+        let (a, b) = setup();
+        let x = gemm(&a, &b, GemmPrecision::Fp32);
+        let d = diagnose(&x, &x.clone(), &x.clone());
+        assert_eq!(d, Diagnosis::ExactMatch);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(Diagnosis::ExactMatch.to_string().contains("exact"));
+        assert!(Diagnosis::LikelyBug { max_rel: 0.5 }
+            .to_string()
+            .contains("bug"));
+        assert!(Diagnosis::OrderInducedGap {
+            max_rel: 1e-7,
+            max_abs: 1e-6
+        }
+        .to_string()
+        .contains("order-induced"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Gradient-reduction orders and precisions.
+//!
+//! Data parallelism reduce-scatters gradients; pipeline parallelism
+//! accumulates micro-batch gradients locally. Both are floating-point
+//! sums whose *order* (sequential, ring, tree) and *precision* (BF16
+//! vs FP32) change the result. §6.2's production fix is FP32
+//! accumulation for exactly these buffers.
+
+use crate::bf16::Bf16;
+use crate::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// The order in which `n` contributions are summed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReduceOrder {
+    /// `((g0 + g1) + g2) + …` — rank-order sequential (ring
+    /// reduce-scatter visits ranks in ring order).
+    Sequential,
+    /// Pairwise binary tree: `(g0+g1) + (g2+g3) …`.
+    Tree,
+}
+
+/// Accumulator precision of the reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReducePrecision {
+    /// FP32 accumulation (the paper's production setting for DP
+    /// reduce-scatter and PP micro-batch accumulation).
+    Fp32,
+    /// BF16 accumulation (each partial sum rounds to BF16).
+    Bf16,
+}
+
+/// Reduces `parts` element-wise in the given order and precision.
+///
+/// # Panics
+/// Panics if `parts` is empty or shapes mismatch.
+pub fn reduce(parts: &[Matrix], order: ReduceOrder, precision: ReducePrecision) -> Matrix {
+    assert!(!parts.is_empty(), "nothing to reduce");
+    match order {
+        ReduceOrder::Sequential => {
+            let mut acc = parts[0].clone();
+            for p in &parts[1..] {
+                acc = add_in(&acc, p, precision);
+            }
+            acc
+        }
+        ReduceOrder::Tree => {
+            let mut layer: Vec<Matrix> = parts.to_vec();
+            while layer.len() > 1 {
+                let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                for pair in layer.chunks(2) {
+                    next.push(match pair {
+                        [a, b] => add_in(a, b, precision),
+                        [a] => a.clone(),
+                        _ => unreachable!("chunks(2)"),
+                    });
+                }
+                layer = next;
+            }
+            layer.pop().expect("non-empty")
+        }
+    }
+}
+
+fn add_in(a: &Matrix, b: &Matrix, precision: ReducePrecision) -> Matrix {
+    match precision {
+        ReducePrecision::Fp32 => a.add(b),
+        ReducePrecision::Bf16 => Matrix::from_fn(a.rows(), a.cols(), |r, c| {
+            (Bf16::from_f32(a.get(r, c)) + Bf16::from_f32(b.get(r, c))).to_f32()
+        }),
+    }
+}
+
+/// Reference sum in `f64`, rounded once at the end — the "true"
+/// gradient against which accumulation error is measured.
+///
+/// # Panics
+/// Panics if `parts` is empty or shapes mismatch.
+pub fn reduce_exact(parts: &[Matrix]) -> Matrix {
+    assert!(!parts.is_empty(), "nothing to reduce");
+    let (rows, cols) = (parts[0].rows(), parts[0].cols());
+    Matrix::from_fn(rows, cols, |r, c| {
+        parts.iter().map(|p| p.get(r, c) as f64).sum::<f64>() as f32
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grads(n: usize, seed: u64) -> Vec<Matrix> {
+        (0..n)
+            .map(|i| Matrix::random(8, 8, 1.0, seed + i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn orders_agree_in_value_not_in_bits() {
+        let parts = grads(16, 100);
+        let seq = reduce(&parts, ReduceOrder::Sequential, ReducePrecision::Fp32);
+        let tree = reduce(&parts, ReduceOrder::Tree, ReducePrecision::Fp32);
+        assert!(seq.max_rel_diff(&tree) < 1e-5);
+        assert!(
+            !seq.bitwise_eq(&tree),
+            "different orders should differ at the bit level"
+        );
+    }
+
+    #[test]
+    fn fp32_accumulation_beats_bf16_accumulation() {
+        // §6.2: FP32 accumulation for DP reduce-scatter closes most of
+        // the numerical gap.
+        let parts = grads(64, 7);
+        let exact = reduce_exact(&parts);
+        let fp32 = reduce(&parts, ReduceOrder::Sequential, ReducePrecision::Fp32);
+        let bf16 = reduce(&parts, ReduceOrder::Sequential, ReducePrecision::Bf16);
+        let err32 = fp32.max_abs_diff(&exact);
+        let err16 = bf16.max_abs_diff(&exact);
+        assert!(err16 > err32 * 10.0, "bf16 {err16} vs fp32 {err32}");
+    }
+
+    #[test]
+    fn bf16_tree_beats_bf16_sequential_on_many_terms() {
+        // Tree reduction keeps partial sums small — a well-known
+        // property the production ring order gives up, making FP32
+        // accumulation necessary.
+        let parts = grads(256, 13);
+        let exact = reduce_exact(&parts);
+        let seq = reduce(&parts, ReduceOrder::Sequential, ReducePrecision::Bf16);
+        let tree = reduce(&parts, ReduceOrder::Tree, ReducePrecision::Bf16);
+        assert!(tree.max_abs_diff(&exact) < seq.max_abs_diff(&exact));
+    }
+
+    #[test]
+    fn single_part_is_identity() {
+        let parts = grads(1, 5);
+        for order in [ReduceOrder::Sequential, ReduceOrder::Tree] {
+            assert!(reduce(&parts, order, ReducePrecision::Fp32).bitwise_eq(&parts[0]));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let parts = grads(8, 3);
+        let a = reduce(&parts, ReduceOrder::Tree, ReducePrecision::Bf16);
+        let b = reduce(&parts, ReduceOrder::Tree, ReducePrecision::Bf16);
+        assert!(a.bitwise_eq(&b));
+    }
+}

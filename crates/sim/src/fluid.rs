@@ -1,0 +1,418 @@
+//! Max-min-fair fluid-flow network simulation.
+//!
+//! Network transfers are modelled as fluid flows over capacitated links.
+//! At any instant the rate of each active flow is the max-min fair
+//! allocation (progressive filling): links are saturated one bottleneck
+//! at a time, each flow receiving an equal share of its tightest link.
+//! The simulator advances between *rate-change events* (a transfer
+//! starting or finishing), which is exact for piecewise-constant rates.
+//!
+//! This captures the congestion phenomena the paper describes in §3.1.3
+//! and §8.2 — e.g. FSDP reduce-scatter traffic degrading pipeline P2P
+//! latency when both cross the same inter-node links — without modelling
+//! individual packets.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a link in a [`FluidNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link{}", self.0)
+    }
+}
+
+/// Identifies a transfer submitted to a [`FluidNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TransferId(pub u32);
+
+/// A transfer request: `bytes` to move along `route` starting at `start`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Links traversed, in order. An empty route completes instantly.
+    pub route: Vec<LinkId>,
+    /// Payload size in bytes.
+    pub bytes: f64,
+    /// Earliest start time.
+    pub start: SimTime,
+}
+
+/// Completion record for one transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferOutcome {
+    /// The transfer.
+    pub id: TransferId,
+    /// When it finished.
+    pub finish: SimTime,
+    /// Average achieved bandwidth in bytes/second (0 for empty routes or
+    /// zero-byte transfers).
+    pub avg_bandwidth: f64,
+}
+
+/// Errors from fluid simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FluidError {
+    /// A transfer referenced a link that does not exist.
+    UnknownLink(LinkId),
+    /// A link has non-positive capacity but carries traffic.
+    DeadLink(LinkId),
+}
+
+impl fmt::Display for FluidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FluidError::UnknownLink(l) => write!(f, "unknown {l}"),
+            FluidError::DeadLink(l) => write!(f, "{l} has zero capacity but carries traffic"),
+        }
+    }
+}
+
+impl std::error::Error for FluidError {}
+
+/// A capacitated network carrying fluid flows.
+///
+/// ```
+/// use sim_engine::fluid::{FluidNet, Transfer};
+/// use sim_engine::time::SimTime;
+///
+/// let mut net = FluidNet::new();
+/// let l = net.add_link(100.0); // 100 B/s
+/// // Two flows share the link: each gets 50 B/s.
+/// let outcomes = net.run(vec![
+///     Transfer { route: vec![l], bytes: 100.0, start: SimTime::ZERO },
+///     Transfer { route: vec![l], bytes: 100.0, start: SimTime::ZERO },
+/// ])?;
+/// assert_eq!(outcomes[0].finish.as_secs_f64(), 2.0);
+/// # Ok::<(), sim_engine::fluid::FluidError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FluidNet {
+    capacities: Vec<f64>, // bytes per second
+}
+
+impl FluidNet {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        FluidNet::default()
+    }
+
+    /// Adds a link with `bytes_per_sec` capacity and returns its id.
+    pub fn add_link(&mut self, bytes_per_sec: f64) -> LinkId {
+        let id = LinkId(u32::try_from(self.capacities.len()).expect("too many links"));
+        self.capacities.push(bytes_per_sec);
+        id
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Capacity of a link in bytes/second.
+    pub fn capacity(&self, link: LinkId) -> f64 {
+        self.capacities[link.0 as usize]
+    }
+
+    /// Computes the max-min fair rate (bytes/sec) of each flow given each
+    /// flow's route. Flows with empty routes get `f64::INFINITY`.
+    ///
+    /// # Errors
+    /// Returns an error for unknown links or zero-capacity links in use.
+    pub fn max_min_rates(&self, routes: &[Vec<LinkId>]) -> Result<Vec<f64>, FluidError> {
+        for r in routes {
+            for &l in r {
+                if (l.0 as usize) >= self.capacities.len() {
+                    return Err(FluidError::UnknownLink(l));
+                }
+                if self.capacities[l.0 as usize] <= 0.0 {
+                    return Err(FluidError::DeadLink(l));
+                }
+            }
+        }
+        let n = routes.len();
+        let mut rate = vec![f64::INFINITY; n];
+        let mut frozen = vec![false; n];
+        let mut residual = self.capacities.clone();
+        // Progressive filling: find the most contended link, freeze its
+        // flows at the fair share, remove its capacity, repeat.
+        loop {
+            // Count unfrozen flows per link.
+            let mut users = vec![0u32; self.capacities.len()];
+            for (i, r) in routes.iter().enumerate() {
+                if frozen[i] {
+                    continue;
+                }
+                for &l in r {
+                    users[l.0 as usize] += 1;
+                }
+            }
+            let bottleneck = users
+                .iter()
+                .enumerate()
+                .filter(|&(_, &u)| u > 0)
+                .map(|(l, &u)| (l, residual[l] / u as f64))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fair shares"));
+            let Some((bl, share)) = bottleneck else {
+                break; // no link has unfrozen users
+            };
+            for (i, r) in routes.iter().enumerate() {
+                if frozen[i] || !r.contains(&LinkId(bl as u32)) {
+                    continue;
+                }
+                frozen[i] = true;
+                rate[i] = share;
+                for &l in r {
+                    residual[l.0 as usize] -= share;
+                    if residual[l.0 as usize] < 0.0 {
+                        residual[l.0 as usize] = 0.0;
+                    }
+                }
+            }
+        }
+        Ok(rate)
+    }
+
+    /// Simulates `transfers` to completion and returns one outcome per
+    /// transfer (same order).
+    ///
+    /// # Errors
+    /// Returns an error for unknown or zero-capacity links.
+    pub fn run(&self, transfers: Vec<Transfer>) -> Result<Vec<TransferOutcome>, FluidError> {
+        // Validate up front so errors do not depend on event order.
+        for t in &transfers {
+            for &l in &t.route {
+                if (l.0 as usize) >= self.capacities.len() {
+                    return Err(FluidError::UnknownLink(l));
+                }
+                if self.capacities[l.0 as usize] <= 0.0 {
+                    return Err(FluidError::DeadLink(l));
+                }
+            }
+        }
+        let n = transfers.len();
+        let mut remaining: Vec<f64> = transfers.iter().map(|t| t.bytes.max(0.0)).collect();
+        let mut finish: Vec<Option<SimTime>> = vec![None; n];
+        let mut now = SimTime::ZERO;
+
+        // Instantly complete empty-route or zero-byte transfers at start.
+        for (i, t) in transfers.iter().enumerate() {
+            if t.route.is_empty() || remaining[i] == 0.0 {
+                finish[i] = Some(t.start);
+            }
+        }
+
+        loop {
+            let active: Vec<usize> = (0..n)
+                .filter(|&i| finish[i].is_none() && transfers[i].start <= now)
+                .collect();
+            let pending_starts: Vec<SimTime> = (0..n)
+                .filter(|&i| finish[i].is_none() && transfers[i].start > now)
+                .map(|i| transfers[i].start)
+                .collect();
+            if active.is_empty() {
+                match pending_starts.iter().min() {
+                    Some(&t) => {
+                        now = t;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            let routes: Vec<Vec<LinkId>> = active.iter().map(|&i| transfers[i].route.clone()).collect();
+            let rates = self.max_min_rates(&routes)?;
+            // Next event: earliest completion among active flows, or the
+            // next pending start, whichever comes first.
+            let mut next_completion = f64::INFINITY;
+            for (k, &i) in active.iter().enumerate() {
+                let dt = remaining[i] / rates[k];
+                if dt < next_completion {
+                    next_completion = dt;
+                }
+            }
+            // Round the completion horizon *up* to the nanosecond grid:
+            // rounding down can produce a zero-length step that never
+            // finishes the flow (starvation).
+            let completion_ns = (next_completion * 1e9).ceil().max(1.0);
+            let completion_at = if completion_ns.is_finite() {
+                now + SimDuration::from_nanos(completion_ns as u64)
+            } else {
+                SimTime::MAX
+            };
+            let next_start = pending_starts.iter().min().copied();
+            let horizon = match next_start {
+                Some(s) if s < completion_at => s,
+                _ => completion_at,
+            };
+            let dt = horizon.saturating_since(now).as_secs_f64();
+            for (k, &i) in active.iter().enumerate() {
+                remaining[i] -= rates[k] * dt;
+                // Tolerate floating-point residue.
+                if remaining[i] <= remaining_epsilon(transfers[i].bytes) {
+                    remaining[i] = 0.0;
+                    finish[i] = Some(horizon);
+                }
+            }
+            now = horizon;
+        }
+
+        Ok(transfers
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let fin = finish[i].expect("all transfers complete");
+                let dt = fin.saturating_since(t.start).as_secs_f64();
+                let avg = if dt > 0.0 { t.bytes / dt } else { 0.0 };
+                TransferOutcome {
+                    id: TransferId(i as u32),
+                    finish: fin,
+                    avg_bandwidth: avg,
+                }
+            })
+            .collect())
+    }
+}
+
+fn remaining_epsilon(total: f64) -> f64 {
+    (total.abs() * 1e-9).max(1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_full_bandwidth() {
+        let mut net = FluidNet::new();
+        let l = net.add_link(1000.0);
+        let out = net
+            .run(vec![Transfer {
+                route: vec![l],
+                bytes: 500.0,
+                start: SimTime::ZERO,
+            }])
+            .unwrap();
+        assert!((out[0].finish.as_secs_f64() - 0.5).abs() < 1e-6);
+        assert!((out[0].avg_bandwidth - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        let mut net = FluidNet::new();
+        let l = net.add_link(100.0);
+        let out = net
+            .run(vec![
+                Transfer { route: vec![l], bytes: 100.0, start: SimTime::ZERO },
+                Transfer { route: vec![l], bytes: 100.0, start: SimTime::ZERO },
+            ])
+            .unwrap();
+        assert!((out[0].finish.as_secs_f64() - 2.0).abs() < 1e-6);
+        assert!((out[1].finish.as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn short_flow_finishes_then_long_flow_speeds_up() {
+        let mut net = FluidNet::new();
+        let l = net.add_link(100.0);
+        let out = net
+            .run(vec![
+                Transfer { route: vec![l], bytes: 50.0, start: SimTime::ZERO },
+                Transfer { route: vec![l], bytes: 150.0, start: SimTime::ZERO },
+            ])
+            .unwrap();
+        // Both run at 50 B/s. Flow 0 finishes at t=1 (50 bytes). Flow 1
+        // has 100 bytes left, now alone at 100 B/s: finishes at t=2.
+        assert!((out[0].finish.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert!((out[1].finish.as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn late_arrival_slows_existing_flow() {
+        let mut net = FluidNet::new();
+        let l = net.add_link(100.0);
+        let out = net
+            .run(vec![
+                Transfer { route: vec![l], bytes: 200.0, start: SimTime::ZERO },
+                Transfer {
+                    route: vec![l],
+                    bytes: 100.0,
+                    start: SimTime::from_nanos(1_000_000_000),
+                },
+            ])
+            .unwrap();
+        // Flow 0 alone for 1s (100 bytes done), then shares: 100 left at
+        // 50 B/s -> finishes at t=3. Flow 1: 100 bytes at 50 B/s -> t=3.
+        assert!((out[0].finish.as_secs_f64() - 3.0).abs() < 1e-6);
+        assert!((out[1].finish.as_secs_f64() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_min_respects_multi_link_bottlenecks() {
+        let mut net = FluidNet::new();
+        let a = net.add_link(100.0);
+        let b = net.add_link(30.0);
+        // Flow 0 uses a only; flow 1 uses a and b. Flow 1 is bottlenecked
+        // at 30 on b; flow 0 then takes the rest of a (70).
+        let rates = net
+            .max_min_rates(&[vec![a], vec![a, b]])
+            .unwrap();
+        assert!((rates[1] - 30.0).abs() < 1e-9);
+        assert!((rates[0] - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interact() {
+        let mut net = FluidNet::new();
+        let a = net.add_link(100.0);
+        let b = net.add_link(50.0);
+        let rates = net.max_min_rates(&[vec![a], vec![b]]).unwrap();
+        assert_eq!(rates, vec![100.0, 50.0]);
+    }
+
+    #[test]
+    fn empty_route_completes_instantly() {
+        let net = FluidNet::new();
+        let out = net
+            .run(vec![Transfer {
+                route: vec![],
+                bytes: 1e9,
+                start: SimTime::from_nanos(42),
+            }])
+            .unwrap();
+        assert_eq!(out[0].finish, SimTime::from_nanos(42));
+    }
+
+    #[test]
+    fn unknown_link_is_an_error() {
+        let net = FluidNet::new();
+        let err = net
+            .run(vec![Transfer {
+                route: vec![LinkId(3)],
+                bytes: 1.0,
+                start: SimTime::ZERO,
+            }])
+            .unwrap_err();
+        assert_eq!(err, FluidError::UnknownLink(LinkId(3)));
+    }
+
+    #[test]
+    fn oversubscription_halves_effective_bandwidth() {
+        // Two node-local flows funnel into one uplink at half the summed
+        // capacity — the §8.2 oversubscribed-spine scenario.
+        let mut net = FluidNet::new();
+        let leaf0 = net.add_link(100.0);
+        let leaf1 = net.add_link(100.0);
+        let spine = net.add_link(100.0); // 2:1 oversubscribed
+        let out = net
+            .run(vec![
+                Transfer { route: vec![leaf0, spine], bytes: 100.0, start: SimTime::ZERO },
+                Transfer { route: vec![leaf1, spine], bytes: 100.0, start: SimTime::ZERO },
+            ])
+            .unwrap();
+        assert!((out[0].finish.as_secs_f64() - 2.0).abs() < 1e-6);
+        assert!((out[0].avg_bandwidth - 50.0).abs() < 1e-3);
+    }
+}

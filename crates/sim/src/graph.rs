@@ -1,0 +1,671 @@
+//! Deterministic timing-graph execution.
+//!
+//! A training step (or any distributed program) is lowered to a directed
+//! graph of *ops*. Each op occupies one or more FIFO *streams* — a stream
+//! models an exclusive hardware queue such as a GPU compute stream, a
+//! communication channel, or a CPU launch thread. Ops placed on the same
+//! stream execute in the order they were added (program order).
+//!
+//! An op with several streams models a *collective*: it begins only when
+//! every participating stream has reached it, runs for its duration on all
+//! of them simultaneously, and completes everywhere at the same instant.
+//! The per-stream gap between "stream became ready" and "collective
+//! started" is recorded as *sync wait* — this is exactly the "waiting for
+//! the slowest rank to join the collective" quantity analysed in §7.3.2 of
+//! the paper.
+//!
+//! Dependencies may point at ops added *later* in program order (via
+//! [`TaskGraph::add_dep`]); this is how pipeline-parallel receives are
+//! wired to sends issued by other ranks. A schedule whose program orders
+//! and dependencies admit no complete execution is reported as a
+//! [`GraphError::Deadlock`], which the pipeline-schedule validators rely
+//! on to reject broken schedules.
+//!
+//! Start times are fully determined by the graph — there are no
+//! scheduling choices — so execution is deterministic and independent of
+//! wall-clock time or hash-map iteration order.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifies a FIFO stream within a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StreamId(pub(crate) u32);
+
+impl StreamId {
+    /// The index of this stream in creation order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stream{}", self.0)
+    }
+}
+
+/// Identifies an op within a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub(crate) u32);
+
+impl OpId {
+    /// The index of this op in creation order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Errors produced while executing a task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Execution stalled with ops remaining: the program deadlocks.
+    ///
+    /// Carries the ids of the ops that could not run. Pipeline-schedule
+    /// validators use this to reject schedules whose send/recv ordering
+    /// can never complete.
+    Deadlock(Vec<OpId>),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Deadlock(ops) => {
+                write!(f, "deadlock with {} ops unexecuted", ops.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+struct OpNode<M> {
+    meta: M,
+    duration: SimDuration,
+    streams: Vec<StreamId>,
+    deps: Vec<OpId>,
+}
+
+/// A buildable, executable timing graph.
+///
+/// `M` is caller-supplied metadata attached to each op (a label, an op
+/// class, a rank, ...) and returned in the [`OpRecord`]s of the resulting
+/// [`ExecutedGraph`].
+///
+/// ```
+/// use sim_engine::graph::TaskGraph;
+/// use sim_engine::time::SimDuration;
+///
+/// let mut g: TaskGraph<&str> = TaskGraph::new();
+/// let s = g.add_stream();
+/// let a = g.add_op("a", SimDuration::from_micros(3), [s], []);
+/// let _b = g.add_op("b", SimDuration::from_micros(2), [s], [a]);
+/// let run = g.execute()?;
+/// assert_eq!(run.makespan(), SimDuration::from_micros(5));
+/// # Ok::<(), sim_engine::graph::GraphError>(())
+/// ```
+pub struct TaskGraph<M> {
+    ops: Vec<OpNode<M>>,
+    stream_programs: Vec<Vec<OpId>>,
+}
+
+impl<M> Default for TaskGraph<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> TaskGraph<M> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        TaskGraph {
+            ops: Vec::new(),
+            stream_programs: Vec::new(),
+        }
+    }
+
+    /// Adds a new FIFO stream and returns its id.
+    pub fn add_stream(&mut self) -> StreamId {
+        let id = StreamId(u32::try_from(self.stream_programs.len()).expect("too many streams"));
+        self.stream_programs.push(Vec::new());
+        id
+    }
+
+    /// Adds `n` streams, returning their ids in order.
+    pub fn add_streams(&mut self, n: usize) -> Vec<StreamId> {
+        (0..n).map(|_| self.add_stream()).collect()
+    }
+
+    /// Number of streams created so far.
+    pub fn stream_count(&self) -> usize {
+        self.stream_programs.len()
+    }
+
+    /// Number of ops created so far.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Adds an op occupying every stream in `streams` (program order on
+    /// each stream is `add_op` call order) that waits for every op in
+    /// `deps`. Further dependencies — including on ops added later — can
+    /// be wired with [`TaskGraph::add_dep`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stream or dependency id is invalid, `streams` is empty,
+    /// or a stream is repeated — these are programming errors in the
+    /// lowering code. (Deadlocks, which are *simulated-program* errors,
+    /// are reported by [`TaskGraph::execute`] instead.)
+    pub fn add_op(
+        &mut self,
+        meta: M,
+        duration: SimDuration,
+        streams: impl IntoIterator<Item = StreamId>,
+        deps: impl IntoIterator<Item = OpId>,
+    ) -> OpId {
+        let id = OpId(u32::try_from(self.ops.len()).expect("too many ops"));
+        let streams: Vec<StreamId> = streams.into_iter().collect();
+        assert!(!streams.is_empty(), "{id} has no streams");
+        for (i, s) in streams.iter().enumerate() {
+            assert!(
+                s.index() < self.stream_programs.len(),
+                "{id} references unknown {s}"
+            );
+            assert!(!streams[..i].contains(s), "{id} lists {s} more than once");
+        }
+        let deps: Vec<OpId> = deps.into_iter().collect();
+        for d in &deps {
+            assert!(d.0 < id.0, "{id} constructor dep {d} must already exist");
+        }
+        for s in &streams {
+            self.stream_programs[s.index()].push(id);
+        }
+        self.ops.push(OpNode {
+            meta,
+            duration,
+            streams,
+            deps,
+        });
+        id
+    }
+
+    /// Makes `op` wait for `dep`. Unlike constructor deps, `dep` may have
+    /// been added after `op` — this is how a pipeline receive is wired to
+    /// a send that appears later in global creation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is invalid.
+    pub fn add_dep(&mut self, op: OpId, dep: OpId) {
+        assert!(op.index() < self.ops.len(), "unknown {op}");
+        assert!(dep.index() < self.ops.len(), "unknown dep {dep}");
+        self.ops[op.index()].deps.push(dep);
+    }
+
+    /// Executes the graph, consuming it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Deadlock`] if the per-stream program orders
+    /// and the dependency edges admit no complete execution (e.g. a
+    /// dependency cycle, or a receive ordered before the only op that
+    /// could satisfy it on the same stream).
+    pub fn execute(self) -> Result<ExecutedGraph<M>, GraphError> {
+        let n = self.ops.len();
+        let mut queues: Vec<VecDeque<OpId>> = self
+            .stream_programs
+            .iter()
+            .map(|p| p.iter().copied().collect())
+            .collect();
+        let mut stream_free = vec![SimTime::ZERO; self.stream_programs.len()];
+        let mut dependents: Vec<Vec<OpId>> = vec![Vec::new(); n];
+        let mut unmet: Vec<u32> = vec![0; n];
+        for (i, op) in self.ops.iter().enumerate() {
+            for d in &op.deps {
+                dependents[d.index()].push(OpId(i as u32));
+                unmet[i] += 1;
+            }
+        }
+        let mut finish: Vec<SimTime> = vec![SimTime::ZERO; n];
+        let mut records: Vec<Option<OpRecord<M>>> = (0..n).map(|_| None).collect();
+        let mut ops: Vec<Option<OpNode<M>>> = self.ops.into_iter().map(Some).collect();
+
+        let mut ready: VecDeque<OpId> = (0..n as u32).map(OpId).collect();
+        let mut done = 0usize;
+
+        // Each pass drains the candidate worklist; completing an op
+        // enqueues its dependents and new stream fronts. A full pass with
+        // no progress means no op is runnable: deadlock.
+        loop {
+            let mut progressed = false;
+            let mut pass: VecDeque<OpId> = std::mem::take(&mut ready);
+            while let Some(id) = pass.pop_front() {
+                if records[id.index()].is_some() {
+                    continue;
+                }
+                let runnable = {
+                    let node = ops[id.index()].as_ref().expect("op present until run");
+                    unmet[id.index()] == 0
+                        && node
+                            .streams
+                            .iter()
+                            .all(|s| queues[s.index()].front() == Some(&id))
+                };
+                if !runnable {
+                    continue;
+                }
+                let node = ops[id.index()].take().expect("op present until run");
+                let dep_ready = node
+                    .deps
+                    .iter()
+                    .map(|d| finish[d.index()])
+                    .max()
+                    .unwrap_or(SimTime::ZERO);
+                let start = node
+                    .streams
+                    .iter()
+                    .map(|s| stream_free[s.index()])
+                    .chain(std::iter::once(dep_ready))
+                    .max()
+                    .expect("op has at least one stream");
+                let end = start + node.duration;
+                let sync_wait = node
+                    .streams
+                    .iter()
+                    .map(|s| {
+                        let local_ready = stream_free[s.index()].max(dep_ready);
+                        start.saturating_since(local_ready)
+                    })
+                    .collect();
+                for s in &node.streams {
+                    queues[s.index()].pop_front();
+                    stream_free[s.index()] = end;
+                }
+                finish[id.index()] = end;
+                for dep in &dependents[id.index()] {
+                    unmet[dep.index()] -= 1;
+                    ready.push_back(*dep);
+                }
+                for s in &node.streams {
+                    if let Some(front) = queues[s.index()].front() {
+                        ready.push_back(*front);
+                    }
+                }
+                records[id.index()] = Some(OpRecord {
+                    id,
+                    meta: node.meta,
+                    streams: node.streams,
+                    start,
+                    end,
+                    sync_wait,
+                });
+                done += 1;
+                progressed = true;
+            }
+            if done == n {
+                break;
+            }
+            if !progressed {
+                // Refill and retry once from a complete candidate set:
+                // the worklist may have been drained while ops became
+                // runnable through a combination of events.
+                if ready.is_empty() {
+                    let stuck: Vec<OpId> = records
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| r.is_none())
+                        .map(|(i, _)| OpId(i as u32))
+                        .collect();
+                    let retry: VecDeque<OpId> = stuck.iter().copied().collect();
+                    ready = retry;
+                    // One more full pass over everything unexecuted; if
+                    // nothing runs, declare deadlock.
+                    let before = done;
+                    let mut pass2 = std::mem::take(&mut ready);
+                    'retry: while let Some(id) = pass2.pop_front() {
+                        if records[id.index()].is_some() {
+                            continue 'retry;
+                        }
+                        let runnable = {
+                            let node = ops[id.index()].as_ref().expect("op present");
+                            unmet[id.index()] == 0
+                                && node
+                                    .streams
+                                    .iter()
+                                    .all(|s| queues[s.index()].front() == Some(&id))
+                        };
+                        if runnable {
+                            ready.push_back(id);
+                        }
+                    }
+                    if done == before && ready.is_empty() {
+                        return Err(GraphError::Deadlock(stuck));
+                    }
+                } else {
+                    continue;
+                }
+            }
+        }
+
+        let records: Vec<OpRecord<M>> = records
+            .into_iter()
+            .map(|r| r.expect("all ops recorded"))
+            .collect();
+        let makespan = records
+            .iter()
+            .map(|r| r.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .saturating_since(SimTime::ZERO);
+        let stream_count = self.stream_programs.len();
+        Ok(ExecutedGraph {
+            records,
+            stream_count,
+            makespan,
+        })
+    }
+}
+
+/// Timing record of one executed op.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpRecord<M> {
+    /// The op's id.
+    pub id: OpId,
+    /// Caller metadata.
+    pub meta: M,
+    /// Streams the op occupied.
+    pub streams: Vec<StreamId>,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant.
+    pub end: SimTime,
+    /// Per participating stream (parallel to `streams`): how long that
+    /// stream sat idle between becoming ready for this op and the op
+    /// actually starting — i.e. time spent waiting for slower peers.
+    pub sync_wait: Vec<SimDuration>,
+}
+
+impl<M> OpRecord<M> {
+    /// The op's duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Largest per-stream sync wait.
+    pub fn max_sync_wait(&self) -> SimDuration {
+        self.sync_wait
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// The result of executing a [`TaskGraph`].
+#[derive(Debug, Clone)]
+pub struct ExecutedGraph<M> {
+    records: Vec<OpRecord<M>>,
+    stream_count: usize,
+    makespan: SimDuration,
+}
+
+impl<M> ExecutedGraph<M> {
+    /// Total simulated time from zero to the last op end.
+    pub fn makespan(&self) -> SimDuration {
+        self.makespan
+    }
+
+    /// All op records, indexed by [`OpId`].
+    pub fn records(&self) -> &[OpRecord<M>] {
+        &self.records
+    }
+
+    /// The record for a specific op.
+    pub fn record(&self, id: OpId) -> &OpRecord<M> {
+        &self.records[id.index()]
+    }
+
+    /// Number of streams in the executed graph.
+    pub fn stream_count(&self) -> usize {
+        self.stream_count
+    }
+
+    /// Total busy time of one stream (sum of durations of its ops).
+    pub fn stream_busy(&self, stream: StreamId) -> SimDuration {
+        self.records
+            .iter()
+            .filter(|r| r.streams.contains(&stream))
+            .map(|r| r.duration())
+            .sum()
+    }
+
+    /// Idle time of one stream within the makespan.
+    pub fn stream_idle(&self, stream: StreamId) -> SimDuration {
+        self.makespan.saturating_sub(self.stream_busy(stream))
+    }
+
+    /// Sum of durations of ops selected by `pred`.
+    pub fn total_where(&self, mut pred: impl FnMut(&OpRecord<M>) -> bool) -> SimDuration {
+        self.records
+            .iter()
+            .filter(|r| pred(r))
+            .map(|r| r.duration())
+            .sum()
+    }
+
+    /// Sum of max sync waits of ops selected by `pred` — the "waiting for
+    /// the slowest participant" share of those ops.
+    pub fn sync_wait_where(&self, mut pred: impl FnMut(&OpRecord<M>) -> bool) -> SimDuration {
+        self.records
+            .iter()
+            .filter(|r| pred(r))
+            .map(|r| r.max_sync_wait())
+            .sum()
+    }
+
+    /// Consumes the run and returns the records.
+    pub fn into_records(self) -> Vec<OpRecord<M>> {
+        self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn sequential_ops_on_one_stream() {
+        let mut g: TaskGraph<u32> = TaskGraph::new();
+        let s = g.add_stream();
+        g.add_op(0, us(3), [s], []);
+        g.add_op(1, us(2), [s], []);
+        let run = g.execute().unwrap();
+        assert_eq!(run.makespan(), us(5));
+        assert_eq!(run.records()[1].start, SimTime::from_nanos(3_000));
+    }
+
+    #[test]
+    fn independent_streams_run_in_parallel() {
+        let mut g: TaskGraph<u32> = TaskGraph::new();
+        let a = g.add_stream();
+        let b = g.add_stream();
+        g.add_op(0, us(3), [a], []);
+        g.add_op(1, us(4), [b], []);
+        let run = g.execute().unwrap();
+        assert_eq!(run.makespan(), us(4));
+    }
+
+    #[test]
+    fn dependency_across_streams() {
+        let mut g: TaskGraph<u32> = TaskGraph::new();
+        let a = g.add_stream();
+        let b = g.add_stream();
+        let x = g.add_op(0, us(3), [a], []);
+        g.add_op(1, us(2), [b], [x]);
+        let run = g.execute().unwrap();
+        assert_eq!(run.records()[1].start.as_nanos(), 3_000);
+        assert_eq!(run.makespan(), us(5));
+    }
+
+    #[test]
+    fn forward_dependency_via_add_dep() {
+        // Receive is first in stream b's program but waits on a send added
+        // later (on stream a).
+        let mut g: TaskGraph<&str> = TaskGraph::new();
+        let a = g.add_stream();
+        let b = g.add_stream();
+        let recv = g.add_op("recv", us(1), [b], []);
+        let send = g.add_op("send", us(2), [a], []);
+        g.add_dep(recv, send);
+        let run = g.execute().unwrap();
+        assert_eq!(run.record(recv).start.as_nanos(), 2_000);
+    }
+
+    #[test]
+    fn collective_waits_for_slowest_and_records_skew() {
+        let mut g: TaskGraph<&str> = TaskGraph::new();
+        let a = g.add_stream();
+        let b = g.add_stream();
+        g.add_op("fast", us(1), [a], []);
+        g.add_op("slow", us(5), [b], []);
+        let c = g.add_op("coll", us(2), [a, b], []);
+        let run = g.execute().unwrap();
+        let rec = run.record(c);
+        assert_eq!(rec.start.as_nanos(), 5_000);
+        assert_eq!(rec.end.as_nanos(), 7_000);
+        assert_eq!(rec.sync_wait, vec![us(4), us(0)]);
+        assert_eq!(rec.max_sync_wait(), us(4));
+    }
+
+    #[test]
+    fn fifo_order_is_program_order() {
+        // Op 1 is added before op 2 on the same stream; even though op 2
+        // has no deps it must wait behind op 1's dependency chain.
+        let mut g: TaskGraph<u32> = TaskGraph::new();
+        let a = g.add_stream();
+        let b = g.add_stream();
+        let slow = g.add_op(0, us(10), [b], []);
+        g.add_op(1, us(1), [a], [slow]);
+        g.add_op(2, us(1), [a], []);
+        let run = g.execute().unwrap();
+        assert_eq!(run.records()[1].start.as_nanos(), 10_000);
+        assert_eq!(run.records()[2].start.as_nanos(), 11_000);
+    }
+
+    #[test]
+    fn dependency_cycle_deadlocks() {
+        let mut g: TaskGraph<u32> = TaskGraph::new();
+        let s = g.add_stream();
+        let t = g.add_stream();
+        let a = g.add_op(0, us(1), [s], []);
+        let b = g.add_op(1, us(1), [t], []);
+        g.add_dep(a, b);
+        g.add_dep(b, a);
+        match g.execute() {
+            Err(GraphError::Deadlock(stuck)) => assert_eq!(stuck.len(), 2),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_ordered_before_its_send_on_same_stream_deadlocks() {
+        // Stream s program: [recv, send]; recv waits on send, which can
+        // never reach the front. This is the canonical broken pipeline
+        // schedule.
+        let mut g: TaskGraph<&str> = TaskGraph::new();
+        let s = g.add_stream();
+        let recv = g.add_op("recv", us(1), [s], []);
+        let send = g.add_op("send", us(1), [s], []);
+        g.add_dep(recv, send);
+        assert!(matches!(g.execute(), Err(GraphError::Deadlock(_))));
+    }
+
+    #[test]
+    fn partial_deadlock_reports_only_stuck_ops() {
+        let mut g: TaskGraph<u32> = TaskGraph::new();
+        let s = g.add_stream();
+        let t = g.add_stream();
+        g.add_op(0, us(1), [s], []); // runs fine
+        let a = g.add_op(1, us(1), [t], []);
+        let b = g.add_op(2, us(1), [t], []);
+        g.add_dep(a, b); // a before b on t, but a waits for b
+        match g.execute() {
+            Err(GraphError::Deadlock(stuck)) => {
+                assert_eq!(stuck, vec![a, b]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn busy_idle_accounting() {
+        let mut g: TaskGraph<u32> = TaskGraph::new();
+        let a = g.add_stream();
+        let b = g.add_stream();
+        g.add_op(0, us(3), [a], []);
+        g.add_op(1, us(7), [b], []);
+        let run = g.execute().unwrap();
+        assert_eq!(run.stream_busy(StreamId(0)), us(3));
+        assert_eq!(run.stream_idle(StreamId(0)), us(4));
+        assert_eq!(run.stream_idle(StreamId(1)), us(0));
+    }
+
+    #[test]
+    fn total_and_sync_wait_filters() {
+        let mut g: TaskGraph<&str> = TaskGraph::new();
+        let a = g.add_stream();
+        let b = g.add_stream();
+        g.add_op("comp", us(4), [a], []);
+        g.add_op("comp", us(1), [b], []);
+        g.add_op("coll", us(2), [a, b], []);
+        let run = g.execute().unwrap();
+        assert_eq!(run.total_where(|r| r.meta == "comp"), us(5));
+        assert_eq!(run.total_where(|r| r.meta == "coll"), us(2));
+        // Stream b waited 3us for stream a to reach the collective.
+        assert_eq!(run.sync_wait_where(|r| r.meta == "coll"), us(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "no streams")]
+    fn empty_streams_panics() {
+        let mut g: TaskGraph<u32> = TaskGraph::new();
+        g.add_op(0, us(1), [], []);
+    }
+
+    #[test]
+    fn zero_duration_ops() {
+        let mut g: TaskGraph<u32> = TaskGraph::new();
+        let s = g.add_stream();
+        for i in 0..100 {
+            g.add_op(i, SimDuration::ZERO, [s], []);
+        }
+        let run = g.execute().unwrap();
+        assert_eq!(run.makespan(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn diamond_dependency_timing() {
+        let mut g: TaskGraph<u32> = TaskGraph::new();
+        let streams = g.add_streams(3);
+        let root = g.add_op(0, us(1), [streams[0]], []);
+        let l = g.add_op(1, us(5), [streams[1]], [root]);
+        let r = g.add_op(2, us(3), [streams[2]], [root]);
+        let join = g.add_op(3, us(1), [streams[0]], [l, r]);
+        let run = g.execute().unwrap();
+        assert_eq!(run.record(join).start.as_nanos(), 6_000);
+        assert_eq!(run.makespan(), us(7));
+    }
+}

@@ -1,0 +1,54 @@
+//! # sim-engine
+//!
+//! Deterministic simulation substrate for the `llama3-parallelism`
+//! workspace — the timing machinery on which 4D-parallel training steps
+//! are replayed and measured.
+//!
+//! The crate provides independent pieces:
+//!
+//! * [`time`] — integer-nanosecond simulated time ([`time::SimTime`],
+//!   [`time::SimDuration`]).
+//! * [`graph`] — a timing-graph executor: ops on FIFO streams with
+//!   dependencies and collective (multi-stream barrier) semantics,
+//!   including deadlock detection used to validate pipeline schedules.
+//! * [`fluid`] — a max-min-fair fluid-flow network simulator for
+//!   congestion and bandwidth-sharing studies.
+//! * [`memory`] — per-pool allocation timelines and peak tracking.
+//! * [`stats`] — summaries, percentiles and ASCII histograms for reports.
+//!
+//! Everything is deterministic: no wall-clock reads, no unordered-map
+//! iteration affecting results, and all randomness (none in this crate)
+//! is seeded by callers.
+//!
+//! ## Example: a two-rank collective
+//!
+//! ```
+//! use sim_engine::graph::TaskGraph;
+//! use sim_engine::time::SimDuration;
+//!
+//! let mut g: TaskGraph<&str> = TaskGraph::new();
+//! let r0 = g.add_stream();
+//! let r1 = g.add_stream();
+//! g.add_op("compute", SimDuration::from_micros(10), [r0], []);
+//! g.add_op("compute", SimDuration::from_micros(40), [r1], []);
+//! let ag = g.add_op("all_gather", SimDuration::from_micros(5), [r0, r1], []);
+//! let run = g.execute()?;
+//! // Rank 0 waited 30us for rank 1 to join the all-gather.
+//! assert_eq!(run.record(ag).max_sync_wait(), SimDuration::from_micros(30));
+//! # Ok::<(), sim_engine::graph::GraphError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fluid;
+pub mod graph;
+pub mod memory;
+pub mod stats;
+pub mod time;
+
+pub use fluid::{FluidNet, Transfer, TransferOutcome};
+pub use graph::{ExecutedGraph, GraphError, OpId, OpRecord, StreamId, TaskGraph};
+pub use memory::{MemoryTracker, PoolId};
+pub use stats::Summary;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,111 @@
+//! Property tests for the simulation engine.
+
+use proptest::prelude::*;
+use sim_engine::fluid::{FluidNet, Transfer};
+use sim_engine::graph::TaskGraph;
+use sim_engine::memory::{MemoryTracker, PoolId};
+use sim_engine::stats::Summary;
+use sim_engine::time::{SimDuration, SimTime};
+
+proptest! {
+    /// Random chains-with-cross-deps always execute (backward deps on a
+    /// fixed stream order cannot deadlock), the makespan is at least
+    /// the longest stream's busy time, and execution is deterministic.
+    #[test]
+    fn random_graphs_execute_deterministically(
+        streams in 1usize..6,
+        ops in prop::collection::vec((0usize..6, 1u64..1000, prop::collection::vec(any::<prop::sample::Index>(), 0..3)), 1..40),
+    ) {
+        let build = || {
+            let mut g: TaskGraph<usize> = TaskGraph::new();
+            let sids = g.add_streams(streams);
+            let sids_copy = sids.clone();
+            let mut ids = Vec::new();
+            for (i, (s, dur, deps)) in ops.iter().enumerate() {
+                let dep_ids: Vec<_> = deps
+                    .iter()
+                    .filter(|_| !ids.is_empty())
+                    .map(|ix| *ix.get(&ids))
+                    .collect();
+                let id = g.add_op(
+                    i,
+                    SimDuration::from_nanos(*dur),
+                    [sids[s % streams]],
+                    dep_ids,
+                );
+                ids.push(id);
+            }
+            (g.execute().expect("backward deps cannot deadlock"), sids_copy)
+        };
+        let (a, sids) = build();
+        let (b, _) = build();
+        prop_assert_eq!(a.makespan(), b.makespan());
+        // Makespan ≥ busiest stream.
+        for &sid in &sids {
+            prop_assert!(a.stream_busy(sid) <= a.makespan());
+        }
+        // Makespan ≤ serial sum of all durations.
+        let serial: u64 = ops.iter().map(|(_, d, _)| *d).sum();
+        prop_assert!(a.makespan().as_nanos() <= serial);
+    }
+
+    /// Fluid transfers never finish before their contention-free lower
+    /// bound, and total delivered bytes are conserved.
+    #[test]
+    fn fluid_lower_bound(
+        cap in 1.0f64..1e6,
+        flows in prop::collection::vec(1.0f64..1e6, 1..8),
+    ) {
+        let mut net = FluidNet::new();
+        let link = net.add_link(cap);
+        let transfers: Vec<Transfer> = flows
+            .iter()
+            .map(|&b| Transfer { route: vec![link], bytes: b, start: SimTime::ZERO })
+            .collect();
+        let out = net.run(transfers).unwrap();
+        for (o, &b) in out.iter().zip(&flows) {
+            prop_assert!(o.finish.as_secs_f64() + 1e-9 >= b / cap);
+        }
+        // The link is fully utilized until the last byte: the last
+        // finisher cannot beat total/capacity.
+        let total: f64 = flows.iter().sum();
+        let last = out.iter().map(|o| o.finish.as_secs_f64()).fold(0.0, f64::max);
+        prop_assert!(last + 1e-6 >= total / cap);
+    }
+
+    /// Memory tracker: the peak is at least the final usage and at
+    /// least the baseline; the timeline never dips below zero.
+    #[test]
+    fn memory_tracker_invariants(
+        baseline in 0u64..1000,
+        allocs in prop::collection::vec((0u64..1_000_000, 1i64..1000), 0..30),
+    ) {
+        let mut m = MemoryTracker::new(1);
+        let p = PoolId(0);
+        m.set_baseline(p, baseline);
+        let mut live = Vec::new();
+        for (at, delta) in &allocs {
+            m.record(p, SimTime::from_nanos(*at), *delta);
+            live.push((*at, *delta));
+        }
+        let peak = m.peak(p);
+        prop_assert!(peak >= baseline);
+        prop_assert!(peak >= m.final_usage(p));
+        let max_possible: i64 = baseline as i64 + allocs.iter().map(|(_, d)| d).sum::<i64>().max(0)
+            + allocs.iter().map(|(_, d)| d.abs()).sum::<i64>();
+        prop_assert!((peak as i64) <= max_possible);
+    }
+
+    /// Summary statistics are order-invariant and bounded by min/max.
+    #[test]
+    fn summary_invariants(mut values in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let s1 = Summary::of(&values).unwrap();
+        values.reverse();
+        let s2 = Summary::of(&values).unwrap();
+        prop_assert_eq!(s1.min, s2.min);
+        prop_assert_eq!(s1.max, s2.max);
+        prop_assert!((s1.mean - s2.mean).abs() < 1e-6);
+        prop_assert!(s1.min <= s1.p50 && s1.p50 <= s1.max);
+        prop_assert!(s1.min <= s1.mean && s1.mean <= s1.max);
+    }
+}

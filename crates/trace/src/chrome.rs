@@ -1,0 +1,98 @@
+//! Chrome-trace (about://tracing, Perfetto) export.
+//!
+//! Serializes a [`Trace`] to the Trace Event Format's JSON array form:
+//! complete events (`"ph": "X"`) with one process per rank, so the
+//! result opens directly in `chrome://tracing` or Perfetto for visual
+//! inspection of simulated schedules.
+
+use crate::format::{EventCategory, Trace};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ChromeEvent<'a> {
+    name: &'a str,
+    cat: &'static str,
+    ph: &'static str,
+    /// Microseconds, per the Trace Event Format.
+    ts: f64,
+    dur: f64,
+    pid: u32,
+    tid: u32,
+}
+
+fn cat_name(c: EventCategory) -> &'static str {
+    match c {
+        EventCategory::Compute => "compute",
+        EventCategory::TpComm => "tp_comm",
+        EventCategory::CpComm => "cp_comm",
+        EventCategory::PpComm => "pp_comm",
+        EventCategory::DpComm => "dp_comm",
+        EventCategory::Other => "other",
+    }
+}
+
+fn cat_tid(c: EventCategory) -> u32 {
+    match c {
+        EventCategory::Compute => 0,
+        EventCategory::TpComm => 1,
+        EventCategory::CpComm => 2,
+        EventCategory::PpComm => 3,
+        EventCategory::DpComm => 4,
+        EventCategory::Other => 5,
+    }
+}
+
+/// Renders the trace as a Chrome Trace Event Format JSON string.
+/// Each rank becomes a process; each category becomes a thread lane.
+///
+/// # Errors
+/// Returns a `serde_json` error if serialization fails (practically
+/// impossible for this data model, but surfaced rather than swallowed).
+pub fn to_chrome_json(trace: &Trace) -> Result<String, serde_json::Error> {
+    let events: Vec<ChromeEvent<'_>> = trace
+        .events
+        .iter()
+        .map(|e| ChromeEvent {
+            name: &e.name,
+            cat: cat_name(e.category),
+            ph: "X",
+            ts: e.start_ns as f64 / 1000.0,
+            dur: e.duration_ns as f64 / 1000.0,
+            pid: e.rank,
+            tid: cat_tid(e.category),
+        })
+        .collect();
+    serde_json::to_string(&events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceEvent;
+
+    #[test]
+    fn exports_valid_json() {
+        let mut t = Trace::new();
+        t.push(TraceEvent {
+            rank: 2,
+            name: "all_gather".to_string(),
+            category: EventCategory::CpComm,
+            start_ns: 1500,
+            duration_ns: 2500,
+        });
+        let json = to_chrome_json(&t).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = parsed.as_array().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0]["ph"], "X");
+        assert_eq!(arr[0]["pid"], 2);
+        assert_eq!(arr[0]["cat"], "cp_comm");
+        assert_eq!(arr[0]["ts"], 1.5);
+        assert_eq!(arr[0]["dur"], 2.5);
+    }
+
+    #[test]
+    fn empty_trace_is_empty_array() {
+        assert_eq!(to_chrome_json(&Trace::new()).unwrap(), "[]");
+    }
+}

@@ -1,0 +1,157 @@
+//! Performance-trace data model.
+//!
+//! A [`Trace`] is a flat list of per-rank timed events, mirroring what a
+//! production profiler (Kineto et al.) collects: compute kernels and
+//! communication collectives, each tagged with the parallelism dimension
+//! it belongs to. The §6.1 slow-rank analysis consumes these.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which subsystem an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EventCategory {
+    /// GPU compute kernels.
+    Compute,
+    /// Tensor-parallel collectives.
+    TpComm,
+    /// Context-parallel collectives.
+    CpComm,
+    /// Pipeline-parallel point-to-point.
+    PpComm,
+    /// Data-parallel (FSDP) collectives.
+    DpComm,
+    /// Anything else (host, memory ops, ...).
+    Other,
+}
+
+/// One timed event on one rank.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Global rank the event executed on.
+    pub rank: u32,
+    /// Event name (kernel or collective label).
+    pub name: String,
+    /// Subsystem.
+    pub category: EventCategory,
+    /// Start timestamp in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds. For a collective this is the *observed*
+    /// duration on this rank: time from the rank's call until the
+    /// collective completed — early arrivers therefore record *longer*
+    /// durations (they wait), and the slowest rank records the shortest.
+    pub duration_ns: u64,
+}
+
+/// A collection of events across ranks.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// All events, in no particular order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if there are no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All distinct ranks appearing in the trace, ascending.
+    pub fn ranks(&self) -> Vec<u32> {
+        let mut r: Vec<u32> = self.events.iter().map(|e| e.rank).collect();
+        r.sort_unstable();
+        r.dedup();
+        r
+    }
+
+    /// Total event time per rank for one category, in nanoseconds.
+    pub fn total_by_rank(&self, category: EventCategory) -> BTreeMap<u32, u64> {
+        let mut totals = BTreeMap::new();
+        for e in &self.events {
+            if e.category == category {
+                *totals.entry(e.rank).or_insert(0) += e.duration_ns;
+            }
+        }
+        totals
+    }
+
+    /// Total time of one category on one rank.
+    pub fn rank_total(&self, rank: u32, category: EventCategory) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.rank == rank && e.category == category)
+            .map(|e| e.duration_ns)
+            .sum()
+    }
+
+    /// End timestamp of the last event (ns), or 0 for an empty trace.
+    pub fn span_ns(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| e.start_ns + e.duration_ns)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(rank: u32, cat: EventCategory, start: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            rank,
+            name: "e".to_string(),
+            category: cat,
+            start_ns: start,
+            duration_ns: dur,
+        }
+    }
+
+    #[test]
+    fn totals_by_rank() {
+        let mut t = Trace::new();
+        t.push(ev(0, EventCategory::Compute, 0, 10));
+        t.push(ev(0, EventCategory::Compute, 10, 5));
+        t.push(ev(1, EventCategory::Compute, 0, 7));
+        t.push(ev(0, EventCategory::TpComm, 15, 3));
+        let totals = t.total_by_rank(EventCategory::Compute);
+        assert_eq!(totals[&0], 15);
+        assert_eq!(totals[&1], 7);
+        assert_eq!(t.rank_total(0, EventCategory::TpComm), 3);
+        assert_eq!(t.rank_total(1, EventCategory::TpComm), 0);
+    }
+
+    #[test]
+    fn ranks_and_span() {
+        let mut t = Trace::new();
+        t.push(ev(3, EventCategory::Other, 5, 10));
+        t.push(ev(1, EventCategory::Other, 0, 2));
+        t.push(ev(3, EventCategory::Other, 20, 1));
+        assert_eq!(t.ranks(), vec![1, 3]);
+        assert_eq!(t.span_ns(), 21);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.span_ns(), 0);
+        assert!(t.ranks().is_empty());
+    }
+}

@@ -1,0 +1,21 @@
+//! # trace-analysis
+//!
+//! Performance-trace tooling for the `llama3-parallelism` workspace:
+//! the trace data model, Chrome-trace export for visual inspection,
+//! synthetic trace generation, and the §6.1 top-down slow-rank
+//! localization that finds the root-cause straggler across parallelism
+//! dimensions (Fig 8).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chrome;
+pub mod report;
+pub mod format;
+pub mod slowrank;
+pub mod synth;
+
+pub use report::{auto_report, AutoReport};
+pub use format::{EventCategory, Trace, TraceEvent};
+pub use slowrank::{locate_slow_rank, DimGroups, GroupStructure, SlowRankReport};
+pub use synth::{synth_trace, SynthSpec};

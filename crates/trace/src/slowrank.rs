@@ -1,0 +1,289 @@
+//! Top-down slow-rank localization (§6.1).
+//!
+//! In multi-dimensional parallelism, the rank where a slowdown is
+//! *observed* is usually not its *source*: every peer of a straggler
+//! shows inflated collective times (they wait), while the straggler
+//! itself shows the **shortest** collective durations — it arrives
+//! last and waits for nobody (Fig 8).
+//!
+//! Following the paper, the analysis walks the parallelism dimensions
+//! from the outermost level inward (the reverse of the §5.2
+//! `[TP, CP, PP, DP]` inner→outer order). At each level:
+//!
+//! 1. Every group's *skew* — the gap between its most-waiting and
+//!    least-waiting member in that dimension's collectives — is
+//!    computed. A large skew means the group contains (or is chained
+//!    to) the bottleneck.
+//! 2. If one group's skew clearly dominates, the candidate set is
+//!    narrowed to that group.
+//!
+//! Once all dimensions are processed, the culprit among the remaining
+//! candidates is the rank with the **least total communication time**
+//! across every dimension (it never waits; every victim waits
+//! somewhere), with compute time as the tie-breaker.
+
+use crate::format::{EventCategory, Trace};
+use serde::{Deserialize, Serialize};
+
+/// The groups of one parallelism dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DimGroups {
+    /// Dimension name (`"dp"`, `"pp"`, `"cp"`, `"tp"`).
+    pub name: String,
+    /// Trace category of this dimension's collectives.
+    pub category: EventCategory,
+    /// Rank groups: each inner vec is one communicating group.
+    pub groups: Vec<Vec<u32>>,
+}
+
+/// Parallelism structure ordered **outermost dimension first** — the
+/// traversal order of the top-down analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupStructure {
+    /// Dimensions, outermost first.
+    pub dims: Vec<DimGroups>,
+}
+
+/// One narrowing step of the analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NarrowingStep {
+    /// Dimension examined.
+    pub dim: String,
+    /// Per candidate-intersecting group: `(group index, skew_ns)` where
+    /// skew is `max − min` member duration in this dimension.
+    pub group_skews: Vec<(usize, u64)>,
+    /// Group selected as containing the bottleneck chain, if the signal
+    /// was decisive.
+    pub picked_group: Option<usize>,
+    /// Candidate ranks remaining after this step.
+    pub survivors: Vec<u32>,
+}
+
+/// Result of the top-down analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowRankReport {
+    /// The narrowing steps, outermost dimension first.
+    pub steps: Vec<NarrowingStep>,
+    /// The rank identified as the root-cause straggler.
+    pub culprit: u32,
+}
+
+/// A group's skew must exceed the runner-up by this factor to be
+/// considered decisive; otherwise the step keeps all candidates
+/// (ambiguous signals are common at outer dimensions, where lateness
+/// has already propagated to everyone — §6.1's "the first rank where a
+/// problem is observed is often not the true source").
+const DECISIVE_SKEW_RATIO: f64 = 1.10;
+
+/// Runs the §6.1 top-down analysis. See the module docs for the
+/// algorithm.
+///
+/// # Panics
+/// Panics if `structure` has no dimensions or the trace is empty.
+pub fn locate_slow_rank(trace: &Trace, structure: &GroupStructure) -> SlowRankReport {
+    assert!(!structure.dims.is_empty(), "need at least one dimension");
+    let mut candidates: Vec<u32> = trace.ranks();
+    assert!(!candidates.is_empty(), "empty trace");
+    let mut steps = Vec::new();
+
+    for dim in &structure.dims {
+        if candidates.len() == 1 {
+            break;
+        }
+        let mut group_skews: Vec<(usize, u64)> = Vec::new();
+        for (gi, group) in dim.groups.iter().enumerate() {
+            if !group.iter().any(|r| candidates.contains(r)) {
+                continue;
+            }
+            let durs: Vec<u64> = group
+                .iter()
+                .map(|&r| trace.rank_total(r, dim.category))
+                .collect();
+            let skew = durs.iter().max().unwrap_or(&0) - durs.iter().min().unwrap_or(&0);
+            group_skews.push((gi, skew));
+        }
+        if group_skews.is_empty() {
+            continue;
+        }
+        let mut ranked = group_skews.clone();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let decisive = match ranked.as_slice() {
+            [(_, best)] => *best > 0,
+            [(_, best), (_, second), ..] => {
+                *best > 0 && *best as f64 > *second as f64 * DECISIVE_SKEW_RATIO
+            }
+            [] => false,
+        };
+        let (picked_group, survivors) = if decisive {
+            let gi = ranked[0].0;
+            let inter: Vec<u32> = dim.groups[gi]
+                .iter()
+                .copied()
+                .filter(|r| candidates.contains(r))
+                .collect();
+            if inter.is_empty() {
+                (None, candidates.clone())
+            } else {
+                (Some(gi), inter)
+            }
+        } else {
+            (None, candidates.clone())
+        };
+        steps.push(NarrowingStep {
+            dim: dim.name.clone(),
+            group_skews,
+            picked_group,
+            survivors: survivors.clone(),
+        });
+        candidates = survivors;
+    }
+
+    // Final rule: the culprit waits the least across all communication
+    // dimensions; ties go to the rank with the most compute time.
+    let comm_cats: Vec<EventCategory> = structure.dims.iter().map(|d| d.category).collect();
+    let total_comm = |r: u32| -> u64 { comm_cats.iter().map(|&c| trace.rank_total(r, c)).sum() };
+    let culprit = *candidates
+        .iter()
+        .min_by(|&&a, &&b| {
+            total_comm(a).cmp(&total_comm(b)).then_with(|| {
+                trace
+                    .rank_total(b, EventCategory::Compute)
+                    .cmp(&trace.rank_total(a, EventCategory::Compute))
+            })
+        })
+        .expect("non-empty candidates");
+
+    SlowRankReport { steps, culprit }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synth_trace, SynthSpec};
+
+    /// The Fig 8 configuration: 8 GPUs, cp = 2 (outer), tp = 4 (inner).
+    /// TP groups: {0..3}, {4..7}; CP pairs: (i, i+4).
+    fn fig8_structure() -> GroupStructure {
+        GroupStructure {
+            dims: vec![
+                DimGroups {
+                    name: "cp".to_string(),
+                    category: EventCategory::CpComm,
+                    groups: (0..4).map(|i| vec![i, i + 4]).collect(),
+                },
+                DimGroups {
+                    name: "tp".to_string(),
+                    category: EventCategory::TpComm,
+                    groups: vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn fig8_scenario_finds_true_straggler() {
+        // Rank 6 is the real straggler. Inside TP group 0, rank 2 *looks*
+        // slowest (shortest TP collectives) because its CP peer is rank 6
+        // — exactly the misleading observation in Fig 8.
+        let spec = SynthSpec {
+            num_ranks: 8,
+            rounds: 4,
+            base_compute_ns: 100_000,
+            straggler: Some((6, 2.0)),
+            structure: fig8_structure(),
+            seed: 1,
+        };
+        let trace = synth_trace(&spec);
+        // Sanity: within TP group {0,1,2,3}, rank 2 has the shortest TP
+        // collective total (it is delayed by its CP pair with rank 6).
+        let tp2 = trace.rank_total(2, EventCategory::TpComm);
+        for r in [0u32, 1, 3] {
+            assert!(
+                trace.rank_total(r, EventCategory::TpComm) > tp2,
+                "rank {r} should wait longer than rank 2 in TP"
+            );
+        }
+        let report = locate_slow_rank(&trace, &spec.structure);
+        assert_eq!(report.culprit, 6, "steps: {:#?}", report.steps);
+        // The CP step narrowed to the pair {2, 6}.
+        assert_eq!(report.steps[0].dim, "cp");
+        assert_eq!(report.steps[0].survivors, vec![2, 6]);
+    }
+
+    #[test]
+    fn straggler_in_every_position_is_found() {
+        for culprit in 0..8u32 {
+            let spec = SynthSpec {
+                num_ranks: 8,
+                rounds: 3,
+                base_compute_ns: 50_000,
+                straggler: Some((culprit, 1.5)),
+                structure: fig8_structure(),
+                seed: culprit as u64 + 10,
+            };
+            let trace = synth_trace(&spec);
+            let report = locate_slow_rank(&trace, &spec.structure);
+            assert_eq!(report.culprit, culprit);
+        }
+    }
+
+    #[test]
+    fn no_straggler_returns_some_rank_without_panicking() {
+        let spec = SynthSpec {
+            num_ranks: 8,
+            rounds: 2,
+            base_compute_ns: 10_000,
+            straggler: None,
+            structure: fig8_structure(),
+            seed: 3,
+        };
+        let trace = synth_trace(&spec);
+        let report = locate_slow_rank(&trace, &spec.structure);
+        assert!(report.culprit < 8);
+    }
+
+    #[test]
+    fn three_level_structure() {
+        // 16 ranks: dp=2 (outer) × cp=2 × tp=4 (inner).
+        let tp_groups: Vec<Vec<u32>> = (0..4).map(|g| (g * 4..g * 4 + 4).collect()).collect();
+        let cp_groups: Vec<Vec<u32>> = (0..8)
+            .map(|i| {
+                let base = (i / 4) * 8 + (i % 4);
+                vec![base, base + 4]
+            })
+            .collect();
+        let dp_groups: Vec<Vec<u32>> = (0..8).map(|i| vec![i, i + 8]).collect();
+        let structure = GroupStructure {
+            dims: vec![
+                DimGroups {
+                    name: "dp".to_string(),
+                    category: EventCategory::DpComm,
+                    groups: dp_groups,
+                },
+                DimGroups {
+                    name: "cp".to_string(),
+                    category: EventCategory::CpComm,
+                    groups: cp_groups,
+                },
+                DimGroups {
+                    name: "tp".to_string(),
+                    category: EventCategory::TpComm,
+                    groups: tp_groups,
+                },
+            ],
+        };
+        for culprit in [0u32, 5, 11, 15] {
+            let spec = SynthSpec {
+                num_ranks: 16,
+                rounds: 4,
+                base_compute_ns: 80_000,
+                straggler: Some((culprit, 1.8)),
+                structure: structure.clone(),
+                seed: 99 + culprit as u64,
+            };
+            let trace = synth_trace(&spec);
+            let report = locate_slow_rank(&trace, &structure);
+            assert_eq!(report.culprit, culprit, "steps: {:#?}", report.steps);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # workload
+//!
+//! Data substrate: seeded synthetic document-length sampling, sequence
+//! packing with document masks, global-batch → DP-group → micro-batch
+//! splitting, and the Llama 3 training-phase schedule.
+//!
+//! ```
+//! use workload::{DocLengthDist, DocumentSampler, GlobalBatch};
+//!
+//! let mut sampler = DocumentSampler::new(DocLengthDist::Exponential { mean: 1024.0 }, 42);
+//! let batch = GlobalBatch::sampled(8192, 16, &mut sampler);
+//! assert_eq!(batch.tokens(), 8192 * 16);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod docgen;
+pub mod phases;
+
+pub use batch::{gbs_from_token_budget, DpBatch, GlobalBatch, MicroBatch};
+pub use docgen::{DocLengthDist, DocumentSampler};
+pub use phases::{llama3_405b_phases, PhaseKind, TrainingPhase};

@@ -1,0 +1,69 @@
+//! Property tests for workload generation.
+
+use llm_model::masks::MaskSpec;
+use proptest::prelude::*;
+use workload::{gbs_from_token_budget, DocLengthDist, DocumentSampler, GlobalBatch};
+
+proptest! {
+    /// Packed sequences always sum to exactly the requested length,
+    /// with positive document lengths, for every distribution.
+    #[test]
+    fn packing_is_exact(
+        seq in 1u64..32_768,
+        seed in any::<u64>(),
+        mean in 1.0f64..4096.0,
+    ) {
+        for dist in [
+            DocLengthDist::Fixed(mean as u64 + 1),
+            DocLengthDist::Exponential { mean },
+            DocLengthDist::LogNormal { mean, sigma: 1.0 },
+        ] {
+            let mut s = DocumentSampler::new(dist, seed);
+            match s.pack_sequence(seq) {
+                MaskSpec::Document { doc_lens } => {
+                    prop_assert_eq!(doc_lens.iter().sum::<u64>(), seq);
+                    prop_assert!(doc_lens.iter().all(|&l| l > 0));
+                }
+                other => prop_assert!(false, "unexpected mask {:?}", other),
+            }
+        }
+    }
+
+    /// DP splitting partitions the batch: every sequence appears in
+    /// exactly one group, groups have equal size.
+    #[test]
+    fn dp_split_partitions(groups in 1usize..16, per in 1usize..16, seq in 1u64..512) {
+        let gbs = groups * per;
+        let mut s = DocumentSampler::new(DocLengthDist::Exponential { mean: 64.0 }, 5);
+        let batch = GlobalBatch::sampled(seq, gbs, &mut s);
+        let parts = batch.split_dp(groups);
+        prop_assert_eq!(parts.len(), groups);
+        let total: usize = parts.iter().map(|p| p.bs()).sum();
+        prop_assert_eq!(total, gbs);
+        prop_assert!(parts.iter().all(|p| p.bs() == per));
+    }
+
+    /// Micro-batching covers the DP batch in order with no loss.
+    #[test]
+    fn microbatching_covers(bs in 1usize..40, mbs in 1usize..10, seq in 1u64..256) {
+        let mut s = DocumentSampler::new(DocLengthDist::Exponential { mean: 32.0 }, 9);
+        let batch = GlobalBatch::sampled(seq, bs, &mut s);
+        let dp = &batch.split_dp(1)[0];
+        let mbs_list = dp.microbatches(mbs);
+        let total: usize = mbs_list.iter().map(|m| m.mbs()).sum();
+        prop_assert_eq!(total, bs);
+        let rejoined: Vec<_> = mbs_list
+            .iter()
+            .flat_map(|m| m.sequences.iter().cloned())
+            .collect();
+        prop_assert_eq!(rejoined, dp.sequences.clone());
+    }
+
+    /// Token-budget arithmetic: gbs × seq == budget whenever divisible.
+    #[test]
+    fn token_budget_roundtrip(seq_pow in 8u32..18, budget_mult in 1u64..64) {
+        let seq = 1u64 << seq_pow;
+        let budget = seq * budget_mult;
+        prop_assert_eq!(gbs_from_token_budget(budget, seq) as u64 * seq, budget);
+    }
+}

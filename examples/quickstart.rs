@@ -1,0 +1,67 @@
+//! Quickstart: plan a 4D parallelism configuration for Llama 3 405B
+//! and simulate one training step.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use llama3_parallelism::core::planner::{plan, PlannerInput};
+use llama3_parallelism::core::pp::balance::{BalancePolicy, StageAssignment};
+use llama3_parallelism::core::step::StepModel;
+use llama3_parallelism::cluster::Cluster;
+use llama3_parallelism::model::{MaskSpec, ModelLayout, TransformerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Plan: 16K H100s, 16M tokens per step, 8K sequences — the
+    //    paper's short-context phase.
+    let input = PlannerInput::llama3_405b(16_384, 8_192);
+    let plan = plan(&input)?;
+    println!("planned configuration: {}", plan.mesh);
+    for line in &plan.reasoning {
+        println!("  - {line}");
+    }
+
+    // 2. Build a step from the plan and simulate it.
+    let cfg = TransformerConfig::llama3_405b().with_layers(128);
+    let layout = ModelLayout::text(cfg);
+    let assignment = StageAssignment::build(
+        &layout,
+        plan.mesh.pp(),
+        8,
+        BalancePolicy::DropFirstAndLast,
+    );
+    let step = StepModel {
+        cluster: Cluster::llama3(plan.mesh.num_gpus()),
+        mesh: plan.mesh,
+        layout,
+        assignment,
+        schedule: plan.schedule,
+        zero: plan.zero,
+        bs: plan.bs as u32,
+        seq: input.seq,
+        mask: MaskSpec::Causal,
+        recompute: false,
+    };
+    let report = step.simulate();
+
+    println!("\nsimulated one training step:");
+    println!("  step time        : {}", report.step_time);
+    println!("  TFLOPs per GPU   : {:.0} (paper: ~400)", report.tflops_per_gpu);
+    println!(
+        "  tokens per second: {:.1} M",
+        report.tokens as f64 / report.step_time.as_secs_f64() / 1e6
+    );
+    println!(
+        "  mid-rank bubble  : {:.1} % (paper: 12 % at bs = pp)",
+        report.bubble_ratio[8] * 100.0
+    );
+    println!(
+        "  peak memory      : {:.1} GiB of 80 GiB HBM",
+        report.max_peak_memory() as f64 / (1u64 << 30) as f64
+    );
+    println!(
+        "  exposed TP comm  : {} per rank per step",
+        report.exposed.tp
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! # llama3-parallelism
+//!
+//! A simulator-based reproduction of **"Scaling Llama 3 Training with
+//! Efficient Parallelism Strategies"** (ISCA '25): the 4D parallelism
+//! stack (FSDP/ZeRO, tensor parallelism, flexible pipeline schedules,
+//! all-gather context parallelism), the §5.1 configuration planner, the
+//! §6 debugging methodology (top-down slow-rank localization, bitwise
+//! numerical parity), and the experiment harness regenerating every
+//! table and figure of the paper's evaluation.
+//!
+//! This crate is a facade: it re-exports the workspace's crates under
+//! stable module names. Start with [`core`] (the paper's contribution)
+//! and the `repro` binary in `bench-harness`.
+//!
+//! ```
+//! use llama3_parallelism::core::planner::{plan, PlannerInput};
+//!
+//! // Reproduce Table 2's short-context row.
+//! let plan = plan(&PlannerInput::llama3_405b(16_384, 8_192))?;
+//! assert_eq!(plan.mesh.to_string(), "tp8·cp1·pp16·dp128 (16384 GPUs)");
+//! # Ok::<(), llama3_parallelism::core::planner::PlanError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Deterministic simulation engine (timing graphs, fluid network,
+/// memory tracking).
+pub use sim_engine as sim;
+
+/// GPU and network hardware models.
+pub use cluster_model as cluster;
+
+/// Collective-communication cost models and algorithms.
+pub use collectives;
+
+/// Transformer / multimodal model descriptions and accounting.
+pub use llm_model as model;
+
+/// Synthetic document-masked workload generation.
+pub use workload;
+
+/// The paper's contribution: 4D parallelism, schedules, planner, step
+/// simulator.
+pub use parallelism_core as core;
+
+/// Real-arithmetic substrate for the §6.2 numerical methodology.
+pub use numerics;
+
+/// Traces, Chrome-trace export and slow-rank localization.
+pub use trace_analysis as trace;

@@ -1,0 +1,81 @@
+//! Every layer of the stack must be bit-for-bit reproducible: same
+//! seeds, same results — the property the whole experiment harness
+//! rests on.
+
+use llama3_parallelism::core::mesh::Mesh4D;
+use llama3_parallelism::core::planner::{plan, PlannerInput};
+use llama3_parallelism::trace::synth::{synth_trace, SynthSpec};
+use llama3_parallelism::workload::{DocLengthDist, DocumentSampler, GlobalBatch};
+
+#[test]
+fn workload_generation_is_seed_deterministic() {
+    let make = || {
+        let mut s = DocumentSampler::new(
+            DocLengthDist::LogNormal {
+                mean: 1024.0,
+                sigma: 1.2,
+            },
+            99,
+        );
+        GlobalBatch::sampled(8192, 32, &mut s)
+    };
+    assert_eq!(make(), make());
+}
+
+#[test]
+fn planner_is_deterministic() {
+    let input = PlannerInput::llama3_405b(16_384, 8_192);
+    let a = plan(&input).unwrap();
+    let b = plan(&input).unwrap();
+    assert_eq!(a.mesh, b.mesh);
+    assert_eq!(a.est_memory, b.est_memory);
+    assert_eq!(a.reasoning, b.reasoning);
+}
+
+#[test]
+fn step_simulation_is_deterministic() {
+    use llama3_parallelism::cluster::Cluster;
+    use llama3_parallelism::core::fsdp::ZeroMode;
+    use llama3_parallelism::core::pp::balance::{BalancePolicy, StageAssignment};
+    use llama3_parallelism::core::pp::schedule::ScheduleKind;
+    use llama3_parallelism::core::step::StepModel;
+    use llama3_parallelism::model::{MaskSpec, ModelLayout, TransformerConfig};
+
+    let make = || {
+        let layout = ModelLayout::text(TransformerConfig::llama3_405b_scaled(28));
+        let mesh = Mesh4D::new(8, 2, 4, 2);
+        let assignment = StageAssignment::build(&layout, 4, 7, BalancePolicy::Uniform);
+        StepModel {
+            cluster: Cluster::llama3(mesh.num_gpus()),
+            mesh,
+            layout,
+            assignment,
+            schedule: ScheduleKind::Flexible { nc: 4 },
+            zero: ZeroMode::Zero1,
+            bs: 8,
+            seq: 16_384,
+            mask: MaskSpec::document(vec![4096; 4]),
+            recompute: false,
+        }
+        .simulate()
+    };
+    let a = make();
+    let b = make();
+    assert_eq!(a.step_time, b.step_time);
+    assert_eq!(a.peak_memory, b.peak_memory);
+    assert_eq!(a.exposed, b.exposed);
+}
+
+#[test]
+fn trace_synthesis_is_deterministic() {
+    let mesh = Mesh4D::new(2, 2, 2, 2);
+    let spec = SynthSpec {
+        num_ranks: mesh.num_gpus(),
+        rounds: 3,
+        base_compute_ns: 10_000,
+        straggler: Some((5, 1.5)),
+        structure: mesh.group_structure(),
+        seed: 4,
+    };
+    assert_eq!(synth_trace(&spec), synth_trace(&spec));
+}
