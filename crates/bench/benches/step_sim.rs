@@ -7,6 +7,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use parallelism_core::planner::{plan, PlannerInput};
 use parallelism_core::pp::balance::BalancePolicy;
 use parallelism_core::pp::schedule::ScheduleKind;
+use parallelism_core::step::SimFidelity;
 
 fn bench_step_simulate(c: &mut Criterion) {
     let mut g = c.benchmark_group("step_simulate");
@@ -30,6 +31,26 @@ fn bench_step_simulate(c: &mut Criterion) {
     g.finish();
 }
 
+/// DP-symmetry folding: the same step at both fidelities. Folded lowers
+/// one representative pipeline; Full lowers every DP replica, so the
+/// gap widens linearly with dp.
+fn bench_fidelity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fidelity");
+    g.sample_size(10);
+    let step = scaled_405b_step(
+        ScheduleKind::Flexible { nc: 4 },
+        BalancePolicy::DropFirstAndLast,
+        false,
+    );
+    g.bench_function("scaled_405b_folded", |b| {
+        b.iter(|| black_box(step.simulate_at(SimFidelity::Folded).step_time))
+    });
+    g.bench_function("scaled_405b_full", |b| {
+        b.iter(|| black_box(step.simulate_at(SimFidelity::Full).step_time))
+    });
+    g.finish();
+}
+
 fn bench_planner(c: &mut Criterion) {
     let mut g = c.benchmark_group("planner");
     g.sample_size(10);
@@ -42,5 +63,5 @@ fn bench_planner(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_step_simulate, bench_planner);
+criterion_group!(benches, bench_step_simulate, bench_fidelity, bench_planner);
 criterion_main!(benches);

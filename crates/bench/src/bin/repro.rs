@@ -34,9 +34,19 @@ fn main() -> ExitCode {
         }
         sel
     };
-    for e in selected {
+    // Experiments are independent: run them concurrently on scoped
+    // threads, then print reports in selection order so the output is
+    // byte-identical to a sequential run.
+    let reports: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = selected.iter().map(|e| s.spawn(|| (e.run)())).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment thread panicked"))
+            .collect()
+    });
+    for (e, report) in selected.iter().zip(reports) {
         println!("\n################ {} — {} ################", e.id, e.title);
-        println!("{}", (e.run)());
+        println!("{report}");
     }
     ExitCode::SUCCESS
 }

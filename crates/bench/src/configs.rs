@@ -97,6 +97,33 @@ pub fn production_long_context(seed: u64) -> StepModel {
     }
 }
 
+/// An 8 K-GPU 405B short-context step (tp 8 / cp 1 / pp 16 / dp 64,
+/// bs 16, seq 8192) — the folded-vs-full fidelity comparison
+/// configuration used by the perf snapshot.
+pub fn production_8k_gpu_step(bs: u32) -> StepModel {
+    let cfg = TransformerConfig::llama3_405b().with_layers(128);
+    let layout = ModelLayout::text(cfg);
+    let mesh = Mesh4D::new(8, 1, 16, 64);
+    let assignment = StageAssignment::build(&layout, 16, 8, BalancePolicy::DropFirstAndLast);
+    let schedule = if bs as u64 >= 2 * 16 {
+        ScheduleKind::Flexible { nc: 16 }
+    } else {
+        ScheduleKind::AllFwdAllBwd
+    };
+    StepModel {
+        cluster: Cluster::llama3(mesh.num_gpus()),
+        mesh,
+        layout,
+        assignment,
+        schedule,
+        zero: parallelism_core::fsdp::recommended_zero_mode(bs as u64, 16),
+        bs,
+        seq: 8192,
+        mask: MaskSpec::Causal,
+        recompute: false,
+    }
+}
+
 /// A document mask with the §7.2 mean length of ~1 K tokens.
 pub fn doc_mask(seq: u64, seed: u64) -> MaskSpec {
     let mut sampler = DocumentSampler::new(

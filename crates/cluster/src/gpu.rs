@@ -8,11 +8,10 @@
 //! arithmetic intensity until kernels become memory-bound or
 //! launch-bound.
 
-use serde::{Deserialize, Serialize};
 use sim_engine::time::SimDuration;
 
 /// Floating-point element width in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dtype {
     /// 16-bit brain float — the paper's compute/communication format.
     Bf16,
@@ -31,7 +30,7 @@ impl Dtype {
 }
 
 /// Abstract cost of a kernel before it is priced on a specific GPU.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct KernelCost {
     /// Floating point operations.
     pub flops: f64,
@@ -82,7 +81,7 @@ impl KernelCost {
 /// A GPU model: peak throughput, memory system and launch overheads.
 ///
 /// All bandwidth figures are *bytes per second*; capacities are bytes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     /// Marketing name, e.g. `"H100-SXM-HBM3"`.
     pub name: String,

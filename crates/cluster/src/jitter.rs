@@ -11,10 +11,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// How per-rank slowdowns vary over time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum JitterKind {
     /// Every rank has a fixed multiplier for all steps (deterministic
     /// DVFS / static silicon spread).
@@ -37,7 +36,7 @@ pub enum JitterKind {
 /// // Static jitter does not change across steps.
 /// assert_eq!(m, j.multiplier(3, 17));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JitterModel {
     /// Variation behaviour over time.
     pub kind: JitterKind,

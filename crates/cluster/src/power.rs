@@ -9,14 +9,13 @@
 //! and compares accelerator choices by deliverable cluster throughput.
 
 use crate::gpu::{Dtype, GpuSpec, KernelCost};
-use serde::{Deserialize, Serialize};
 
 /// Fraction of datacenter power that reaches accelerators (the rest is
 /// cooling, hosts, network — a typical PUE-and-overheads allowance).
 pub const ACCELERATOR_POWER_FRACTION: f64 = 0.6;
 
 /// A cluster sized to a power envelope.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerSizedCluster {
     /// The accelerator chosen.
     pub gpu: GpuSpec,

@@ -11,13 +11,12 @@
 //!   fluid-flow congestion simulator.
 
 use crate::gpu::GpuSpec;
-use serde::{Deserialize, Serialize};
 use sim_engine::fluid::{FluidNet, LinkId};
 use sim_engine::time::SimDuration;
 use std::fmt;
 
 /// A global GPU rank in the cluster (0-based).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GlobalRank(pub u32);
 
 impl fmt::Display for GlobalRank {
@@ -27,7 +26,7 @@ impl fmt::Display for GlobalRank {
 }
 
 /// The locality class of a rank-to-rank path, in increasing distance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PathClass {
     /// Same GPU (no communication).
     Local,
@@ -42,7 +41,7 @@ pub enum PathClass {
 /// Cluster network description.
 ///
 /// Bandwidths are bytes/second *per direction*; latencies are one-way.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TopologySpec {
     /// GPUs per node (8 on Grand Teton, §7.3).
     pub gpus_per_node: u32,
@@ -239,7 +238,7 @@ impl FluidTopology {
 }
 
 /// A complete cluster: GPU model plus fabric.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cluster {
     /// Accelerator model (identical across the cluster).
     pub gpu: GpuSpec,

@@ -8,13 +8,12 @@
 
 use crate::group::ProcessGroup;
 use cluster_model::topology::FluidTopology;
-use serde::{Deserialize, Serialize};
 use sim_engine::fluid::{FluidError, Transfer};
 use sim_engine::time::SimTime;
 
 /// One logical flow of a stepped collective: who sends to whom, how many
 /// bytes, and which algorithm step it belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowSpec {
     /// Sender position in the group.
     pub from_pos: usize,
@@ -55,7 +54,7 @@ pub fn ring_reduce_scatter_flows(group: &ProcessGroup, bytes_per_rank: u64) -> V
 }
 
 /// Outcome of running a stepped collective on the fluid network.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SteppedOutcome {
     /// When the final step's slowest flow finished.
     pub finish: SimTime,

@@ -11,13 +11,14 @@
 //! at NVLink speed, inter-node ring at NIC speed) used by FSDP when its
 //! group spans many nodes.
 
-use crate::group::ProcessGroup;
+use crate::group::{GroupShape, ProcessGroup};
 use cluster_model::topology::{GlobalRank, TopologySpec};
-use serde::{Deserialize, Serialize};
 use sim_engine::time::SimDuration;
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 /// Which algorithm family prices a collective.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Flat ring over the group order.
     Ring,
@@ -26,8 +27,58 @@ pub enum Algorithm {
     Hierarchical,
 }
 
+/// Collective kind discriminant inside a [`CacheKey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum OpKind {
+    AllGather,
+    Broadcast,
+}
+
+/// Everything a priced collective depends on besides the group members:
+/// topology constants, protocol parameters, and algorithm family.
+/// Floats are keyed by bit pattern — the cache must only ever hit on
+/// *exactly* the configuration that produced the entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ModelSig {
+    gpus_per_node: u32,
+    nodes_per_leaf: u32,
+    num_nodes: u32,
+    nvlink_bandwidth: u64,
+    nvlink_latency_ns: u64,
+    nic_bandwidth: u64,
+    net_latency_ns: u64,
+    spine_oversubscription: u64,
+    launch_overhead_ns: u64,
+    bandwidth_efficiency: u64,
+    algorithm: Algorithm,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    model: ModelSig,
+    op: OpKind,
+    group: GroupShape,
+    bytes: u64,
+}
+
+thread_local! {
+    /// Memoized collective costs. Thread-local so concurrent planner
+    /// sweeps never contend on a lock; each worker warms its own table.
+    static COST_CACHE: RefCell<HashMap<CacheKey, SimDuration>> = RefCell::new(HashMap::new());
+}
+
+/// Empties this thread's collective cost cache.
+pub fn clear_cost_cache() {
+    COST_CACHE.with(|c| c.borrow_mut().clear());
+}
+
+/// Number of entries in this thread's collective cost cache.
+pub fn cost_cache_len() -> usize {
+    COST_CACHE.with(|c| c.borrow().len())
+}
+
 /// Prices collectives on a topology.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CommCostModel {
     topo: TopologySpec,
     /// Fixed software cost to enqueue one collective (CPU + NCCL
@@ -37,6 +88,7 @@ pub struct CommCostModel {
     /// sustains (protocol efficiency).
     pub bandwidth_efficiency: f64,
     algorithm: Algorithm,
+    caching: bool,
 }
 
 impl CommCostModel {
@@ -48,6 +100,7 @@ impl CommCostModel {
             launch_overhead: SimDuration::from_micros(8),
             bandwidth_efficiency: 0.8,
             algorithm: Algorithm::Hierarchical,
+            caching: true,
         }
     }
 
@@ -55,6 +108,57 @@ impl CommCostModel {
     pub fn with_algorithm(mut self, algorithm: Algorithm) -> CommCostModel {
         self.algorithm = algorithm;
         self
+    }
+
+    /// Enables or disables collective cost memoization (on by default).
+    /// Cached and uncached pricing are bit-identical; disabling only
+    /// matters for benchmarking the uncached path.
+    pub fn with_caching(mut self, caching: bool) -> CommCostModel {
+        self.caching = caching;
+        self
+    }
+
+    fn sig(&self) -> ModelSig {
+        ModelSig {
+            gpus_per_node: self.topo.gpus_per_node,
+            nodes_per_leaf: self.topo.nodes_per_leaf,
+            num_nodes: self.topo.num_nodes,
+            nvlink_bandwidth: self.topo.nvlink_bandwidth.to_bits(),
+            nvlink_latency_ns: self.topo.nvlink_latency.as_nanos(),
+            nic_bandwidth: self.topo.nic_bandwidth.to_bits(),
+            net_latency_ns: self.topo.net_latency.as_nanos(),
+            spine_oversubscription: self.topo.spine_oversubscription.to_bits(),
+            launch_overhead_ns: self.launch_overhead.as_nanos(),
+            bandwidth_efficiency: self.bandwidth_efficiency.to_bits(),
+            algorithm: self.algorithm,
+        }
+    }
+
+    /// Looks up `(op, group, bytes)` under this model's signature, or
+    /// prices it with `compute` and remembers the result.
+    fn cached(
+        &self,
+        op: OpKind,
+        group: &ProcessGroup,
+        bytes: u64,
+        compute: impl FnOnce() -> SimDuration,
+    ) -> SimDuration {
+        if !self.caching {
+            return compute();
+        }
+        let leaf_ranks = self.topo.gpus_per_node * self.topo.nodes_per_leaf;
+        let key = CacheKey {
+            model: self.sig(),
+            op,
+            group: group.shape(leaf_ranks),
+            bytes,
+        };
+        if let Some(hit) = COST_CACHE.with(|c| c.borrow().get(&key).copied()) {
+            return hit;
+        }
+        let v = compute();
+        COST_CACHE.with(|c| c.borrow_mut().insert(key, v));
+        v
     }
 
     /// The underlying topology.
@@ -104,6 +208,13 @@ impl CommCostModel {
         if n <= 1 {
             return SimDuration::ZERO;
         }
+        self.cached(OpKind::AllGather, group, bytes_per_rank, || {
+            self.all_gather_priced(group, bytes_per_rank)
+        })
+    }
+
+    fn all_gather_priced(&self, group: &ProcessGroup, bytes_per_rank: u64) -> SimDuration {
+        let n = group.len() as u64;
         match (self.algorithm, self.rectangular_split(group)) {
             (Algorithm::Hierarchical, Some((k, m))) if k > 1 => {
                 // Phase 1: inter-node ring gathers each node-local shard
@@ -151,12 +262,14 @@ impl CommCostModel {
         if n <= 1 {
             return SimDuration::ZERO;
         }
-        let Some((bw, lat)) = self.ring_bottleneck(group) else {
-            return SimDuration::ZERO;
-        };
-        self.launch_overhead
-            + lat * (n - 1)
-            + SimDuration::from_secs_f64(bytes as f64 / bw)
+        self.cached(OpKind::Broadcast, group, bytes, || {
+            let Some((bw, lat)) = self.ring_bottleneck(group) else {
+                return SimDuration::ZERO;
+            };
+            self.launch_overhead
+                + lat * (n - 1)
+                + SimDuration::from_secs_f64(bytes as f64 / bw)
+        })
     }
 
     /// Point-to-point send of `bytes`.
@@ -268,6 +381,85 @@ mod tests {
         let b1 = m.broadcast(&g8, 1 << 20);
         let b2 = m.broadcast(&g8, 1 << 24);
         assert!(b2 > b1);
+    }
+
+    #[test]
+    fn cached_costs_bit_identical_to_uncached() {
+        // Ring and hierarchical all-gather / reduce-scatter / all-reduce
+        // on NVLink-local, leaf-local, and cross-leaf groups: caching
+        // must never change a single bit of the priced duration.
+        clear_cost_cache();
+        let topo = TopologySpec::llama3_production(64);
+        let groups = [
+            ProcessGroup::contiguous(0, 8),    // one NVLink island
+            ProcessGroup::contiguous(0, 32),   // 4 nodes, one leaf
+            ProcessGroup::strided(0, 16, 8),   // rank 0 of 16 nodes
+            ProcessGroup::strided(3, 4, 128),  // cross-leaf stride
+            ProcessGroup::new(vec![
+                GlobalRank(0),
+                GlobalRank(9),
+                GlobalRank(2),
+                GlobalRank(300),
+            ]), // irregular
+        ];
+        for alg in [Algorithm::Ring, Algorithm::Hierarchical] {
+            let cached = CommCostModel::new(topo.clone()).with_algorithm(alg);
+            let raw = CommCostModel::new(topo.clone())
+                .with_algorithm(alg)
+                .with_caching(false);
+            for g in &groups {
+                for bytes in [1u64, 4 << 10, 64 << 20, 1 << 30] {
+                    // Two passes: the second exercises actual cache hits.
+                    for pass in 0..2 {
+                        assert_eq!(
+                            cached.all_gather(g, bytes),
+                            raw.all_gather(g, bytes),
+                            "all_gather {alg:?} {g} {bytes}B pass{pass}"
+                        );
+                        assert_eq!(
+                            cached.reduce_scatter(g, bytes),
+                            raw.reduce_scatter(g, bytes),
+                            "reduce_scatter {alg:?} {g} {bytes}B pass{pass}"
+                        );
+                        assert_eq!(
+                            cached.all_reduce(g, bytes),
+                            raw.all_reduce(g, bytes),
+                            "all_reduce {alg:?} {g} {bytes}B pass{pass}"
+                        );
+                        assert_eq!(
+                            cached.broadcast(g, bytes),
+                            raw.broadcast(g, bytes),
+                            "broadcast {alg:?} {g} {bytes}B pass{pass}"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(cost_cache_len() > 0, "cache should have been populated");
+    }
+
+    #[test]
+    fn cache_hits_on_translated_groups() {
+        // Two DP-style groups offset by exactly one leaf (128 ranks on
+        // the production topology) share a shape, so the second lookup
+        // must not add a cache entry — and must price identically.
+        clear_cost_cache();
+        let m = model();
+        let leaf_ranks = 8 * 16;
+        let a = ProcessGroup::strided(5, 8, 8);
+        let b = ProcessGroup::strided(5 + leaf_ranks, 8, 8);
+        let before = cost_cache_len();
+        let ta = m.all_gather(&a, 64 << 20);
+        let after_a = cost_cache_len();
+        let tb = m.all_gather(&b, 64 << 20);
+        let after_b = cost_cache_len();
+        assert_eq!(ta, tb);
+        assert_eq!(after_a, before + 1);
+        assert_eq!(after_b, after_a, "translated group must hit the cache");
+        // Different start alignment within the leaf is a different shape.
+        let c = ProcessGroup::strided(6, 8, 8);
+        m.all_gather(&c, 64 << 20);
+        assert_eq!(cost_cache_len(), after_b + 1);
     }
 
     #[test]

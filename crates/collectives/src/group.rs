@@ -1,7 +1,6 @@
 //! Process groups: ordered sets of ranks participating in a collective.
 
 use cluster_model::topology::{GlobalRank, TopologySpec};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An ordered set of distinct global ranks that communicate together,
@@ -9,7 +8,7 @@ use std::fmt;
 ///
 /// The order is meaningful: ring algorithms send from `ranks[i]` to
 /// `ranks[(i + 1) % n]`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ProcessGroup {
     ranks: Vec<GlobalRank>,
 }
@@ -99,6 +98,80 @@ impl ProcessGroup {
         nodes.dedup();
         nodes.len()
     }
+
+    /// A topology signature for cost caching: two groups with equal
+    /// shapes have identical collective costs on any topology whose
+    /// leaf holds `leaf_ranks` ranks (`gpus_per_node × nodes_per_leaf`).
+    ///
+    /// Path classes depend only on rank positions *within* the
+    /// node/leaf grid, so translating a whole group by a multiple of
+    /// `leaf_ranks` changes nothing — captured by keeping the first
+    /// rank modulo `leaf_ranks` plus the exact offset pattern. The
+    /// signature is exact (no hashing), so equal signatures can never
+    /// alias groups with different costs.
+    ///
+    /// # Panics
+    /// Panics if `leaf_ranks == 0`.
+    pub fn shape(&self, leaf_ranks: u32) -> GroupShape {
+        assert!(leaf_ranks > 0, "leaf_ranks must be positive");
+        let start = self.ranks[0].0;
+        let start_mod = start % leaf_ranks;
+        let n = self.ranks.len() as u32;
+        if n == 1 {
+            return GroupShape::Strided {
+                start_mod,
+                stride: 1,
+                n: 1,
+            };
+        }
+        // Ascending arithmetic progressions (the contiguous/strided
+        // constructors) get a compact signature; anything else keeps the
+        // exact offset list.
+        if self.ranks[1].0 > start {
+            let stride = self.ranks[1].0 - start;
+            let is_ap = self
+                .ranks
+                .windows(2)
+                .all(|w| w[1].0 > w[0].0 && w[1].0 - w[0].0 == stride);
+            if is_ap {
+                return GroupShape::Strided {
+                    start_mod,
+                    stride,
+                    n,
+                };
+            }
+        }
+        GroupShape::Irregular {
+            start_mod,
+            offsets: self
+                .ranks
+                .iter()
+                .map(|r| i64::from(r.0) - i64::from(start))
+                .collect(),
+        }
+    }
+}
+
+/// Translation-invariant group signature returned by
+/// [`ProcessGroup::shape`]; used as part of collective cost-cache keys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GroupShape {
+    /// Ascending arithmetic progression `start + i × stride`.
+    Strided {
+        /// First rank modulo the leaf size.
+        start_mod: u32,
+        /// Rank step.
+        stride: u32,
+        /// Participant count.
+        n: u32,
+    },
+    /// Any other ordering; `offsets[i]` is `ranks[i] − ranks[0]`.
+    Irregular {
+        /// First rank modulo the leaf size.
+        start_mod: u32,
+        /// Signed offsets from the first rank (exact, collision-free).
+        offsets: Vec<i64>,
+    },
 }
 
 impl fmt::Display for ProcessGroup {

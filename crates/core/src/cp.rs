@@ -19,11 +19,10 @@ use collectives::{CommCostModel, ProcessGroup};
 use llm_model::flops;
 use llm_model::masks::MaskSpec;
 use llm_model::TransformerConfig;
-use serde::{Deserialize, Serialize};
 use sim_engine::time::SimDuration;
 
 /// Zig-zag sharding of a sequence across `cp` ranks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CpSharding {
     /// CP degree.
     pub cp: u32,
@@ -94,7 +93,7 @@ impl CpSharding {
 }
 
 /// Timing breakdown of one CP attention layer (forward).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpAttnBreakdown {
     /// Exposed all-gather (or summed ring-P2P residue) time.
     pub comm: SimDuration,
@@ -120,7 +119,7 @@ impl CpAttnBreakdown {
 }
 
 /// All-gather based CP attention (the paper's design).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AllGatherCp {
     /// Sharding (CP degree).
     pub sharding: CpSharding,
@@ -215,7 +214,7 @@ impl AllGatherCp {
 /// iterations, each computing partial attention on one K/V block while
 /// P2P-exchanging the next, then merging partials via log-sum-exp
 /// rescaling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RingCp {
     /// Sharding (CP degree).
     pub sharding: CpSharding,

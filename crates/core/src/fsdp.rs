@@ -20,10 +20,9 @@
 //! [`recommended_zero_mode`].
 
 use llm_model::memory::PrecisionPolicy;
-use serde::{Deserialize, Serialize};
 
 /// FSDP sharding level, following the ZeRO definitions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ZeroMode {
     /// Shard optimizer state only.
     Zero1,

@@ -13,10 +13,9 @@
 //! recompute-time overhead, and [`policy_tradeoff`] quantifies the
 //! §6.3 claim that buffer release dominates recomputation.
 
-use serde::{Deserialize, Serialize};
 
 /// How a rank manages saved activations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ActivationPolicy {
     /// Keep every tensor autograd pins (the conservative PyTorch
     /// default the paper starts from).
@@ -66,7 +65,7 @@ impl ActivationPolicy {
 /// Outcome of applying a policy to a rank whose naïve activation
 /// residency is `act_bytes` and whose step spends `fwd_fraction` of its
 /// compute in forward passes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PolicyTradeoff {
     /// Activation bytes retained.
     pub retained_bytes: u64,

@@ -8,12 +8,11 @@
 
 use cluster_model::topology::GlobalRank;
 use collectives::ProcessGroup;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use trace_analysis::{DimGroups, EventCategory, GroupStructure};
 
 /// A rank's coordinates in the 4D mesh.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Coord4 {
     /// Tensor-parallel index, `0..tp`.
     pub tp: u32,
@@ -26,7 +25,7 @@ pub struct Coord4 {
 }
 
 /// One of the four parallelism dimensions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dim {
     /// Tensor parallelism (innermost).
     Tp,
@@ -76,7 +75,7 @@ impl fmt::Display for Dim {
 /// let mesh = Mesh4D::new(8, 16, 16, 8);
 /// assert_eq!(mesh.num_gpus(), 16384);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Mesh4D {
     tp: u32,
     cp: u32,

@@ -20,12 +20,11 @@ use collectives::CommCostModel;
 use llm_model::masks::MaskSpec;
 use llm_model::multimodal::VitConfig;
 use llm_model::{ModelLayout, TransformerConfig};
-use serde::{Deserialize, Serialize};
 use sim_engine::time::SimDuration;
 
 /// How the image encoder is sharded relative to the text pipeline
 /// (Fig 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EncoderSharding {
     /// Option 1: the encoder runs on the first PP rank inside the text
     /// pipeline, per micro-batch; outputs ride the P2P chain.
@@ -65,7 +64,7 @@ pub struct MultimodalStep {
 }
 
 /// Multimodal step report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultimodalReport {
     /// End-to-end step time.
     pub step_time: SimDuration,
@@ -217,7 +216,7 @@ impl MultimodalStep {
 
 /// How heterogeneous text-model layers wrap into PP virtual stages
 /// (§3.2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StageWrapping {
     /// Option 1: `n` self-attention layers + 1 cross-attention layer
     /// per virtual stage — balanced stages, fewer of them (larger
@@ -288,7 +287,7 @@ pub fn wrapping_stage_profile(
 
 /// Summary of a wrapping option: stage count, bubble-ratio estimate,
 /// and stage-time imbalance (max/mean).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WrappingReport {
     /// Virtual stages produced.
     pub stages: usize,

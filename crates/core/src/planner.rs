@@ -29,7 +29,6 @@ use cluster_model::gpu::GpuSpec;
 use cluster_model::topology::{Cluster, TopologySpec};
 use llm_model::masks::MaskSpec;
 use llm_model::{ModelLayout, TransformerConfig};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Fraction of HBM usable for model state + activations (the rest is
@@ -42,7 +41,7 @@ pub const HBM_BUDGET_FRACTION: f64 = 0.85;
 pub const ACT_RELEASE_FACTOR: f64 = 0.5;
 
 /// Planner input.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlannerInput {
     /// Total GPUs.
     pub ngpu: u32,
@@ -73,7 +72,7 @@ impl PlannerInput {
 }
 
 /// A planned configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
     /// The 4D mesh.
     pub mesh: Mesh4D,
@@ -177,7 +176,7 @@ pub fn candidate_step(
 /// byte. If that falls below the hardware's compute/bandwidth ratio,
 /// ZeRO-3 communication cannot be hidden and 3D parallelism (PP instead
 /// of parameter resharding) wins.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ZeRO3Analysis {
     /// FLOPs available per communicated byte (`tokens per rank`).
     pub arithmetic_intensity: f64,
@@ -204,7 +203,51 @@ impl ZeRO3Analysis {
     }
 }
 
+/// A scored planner candidate: `(step, bs, peak memory, est TFLOPs)`.
+type Candidate = (StepModel, u64, u64, f64);
+
+/// Scores one TP degree: the smallest PP (and, if unlocked, smallest
+/// CP restoring `bs ≥ pp`) that fits memory, together with its
+/// estimated TFLOPs/GPU and the number of memory-rejected candidates.
+fn score_tp(
+    input: &PlannerInput,
+    tp: u32,
+    cp_unlocked: bool,
+    budget: u64,
+    require_bs_ge_pp: bool,
+) -> (Option<Candidate>, u32) {
+    let mut rejected_memory = 0u32;
+    let mut chosen: Option<(StepModel, u64, u64)> = None;
+    'pp: for pp in powers_of_two_up_to(input.ngpu / tp) {
+        let max_cp = if cp_unlocked { 64.min(input.ngpu / tp / pp) } else { 1 };
+        for cp in powers_of_two_up_to(max_cp) {
+            let Some((step, bs)) = candidate_step(input, tp, cp, pp) else {
+                continue;
+            };
+            if require_bs_ge_pp && bs < pp as u64 {
+                continue; // raise cp (or give up on this pp)
+            }
+            let mem = step.peak_memory().into_iter().max().unwrap_or(u64::MAX);
+            if mem > budget {
+                rejected_memory += 1;
+                continue 'pp; // larger pp, not larger cp (§5.1)
+            }
+            chosen = Some((step, bs, mem));
+            break 'pp; // smallest pp (and cp) for this tp
+        }
+    }
+    let candidate = chosen.map(|(step, bs, mem)| {
+        let tflops = step.estimate().tflops_per_gpu;
+        (step, bs, mem, tflops)
+    });
+    (candidate, rejected_memory)
+}
+
 /// Runs the §5.1 planning procedure.
+///
+/// TP candidates are scored concurrently on scoped threads; the fold
+/// over results is sequential in TP order, so the outcome is
+/// deterministic.
 ///
 /// # Errors
 /// Returns [`PlanError`] if the input is malformed or no configuration
@@ -229,40 +272,40 @@ pub fn plan(input: &PlannerInput) -> Result<Plan, PlanError> {
     // memory, with CP set to exactly the smallest power of two that
     // restores bs ≥ pp (never raised further — CP communication is
     // exposed). The step estimator then arbitrates among the per-TP
-    // candidates.
-    let mut best: Option<(StepModel, u64, u64, f64)> = None;
+    // candidates. TP degrees are independent, so each is scored on its
+    // own scoped thread (memory replay + estimation dominate planning
+    // time); results are folded back in ascending-TP order, keeping the
+    // selection deterministic and identical to the sequential sweep.
+    let mut best: Option<Candidate> = None;
     let mut rejected_memory = 0u32;
-    let consider = |best: &mut Option<(StepModel, u64, u64, f64)>,
+    let consider = |best: &mut Option<Candidate>,
                         rejected_memory: &mut u32,
                         require_bs_ge_pp: bool| {
-        for tp in powers_of_two_up_to(input.gpus_per_node) {
-            let mut chosen: Option<(StepModel, u64, u64)> = None;
-            'pp: for pp in powers_of_two_up_to(input.ngpu / tp) {
-                let max_cp = if cp_unlocked { 64.min(input.ngpu / tp / pp) } else { 1 };
-                for cp in powers_of_two_up_to(max_cp) {
-                    let Some((step, bs)) = candidate_step(input, tp, cp, pp) else {
-                        continue;
-                    };
-                    if require_bs_ge_pp && bs < pp as u64 {
-                        continue; // raise cp (or give up on this pp)
-                    }
-                    let mem = step.peak_memory().into_iter().max().unwrap_or(u64::MAX);
-                    if mem > budget {
-                        *rejected_memory += 1;
-                        continue 'pp; // larger pp, not larger cp (§5.1)
-                    }
-                    chosen = Some((step, bs, mem));
-                    break 'pp; // smallest pp (and cp) for this tp
-                }
-            }
-            if let Some((step, bs, mem)) = chosen {
-                let est = step.estimate();
+        let tps: Vec<u32> = powers_of_two_up_to(input.gpus_per_node).collect();
+        let scored: Vec<(Option<Candidate>, u32)> =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = tps
+                    .iter()
+                    .map(|&tp| {
+                        s.spawn(move || {
+                            score_tp(input, tp, cp_unlocked, budget, require_bs_ge_pp)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("planner scoring thread panicked"))
+                    .collect()
+            });
+        for (candidate, rejected) in scored {
+            *rejected_memory += rejected;
+            if let Some((step, bs, mem, tflops)) = candidate {
                 let better = match &*best {
                     None => true,
-                    Some((_, _, _, t)) => est.tflops_per_gpu > *t * 1.001,
+                    Some((_, _, _, t)) => tflops > *t * 1.001,
                 };
                 if better {
-                    *best = Some((step, bs, mem, est.tflops_per_gpu));
+                    *best = Some((step, bs, mem, tflops));
                 }
             }
         }

@@ -10,10 +10,9 @@
 //! of 128).
 
 use llm_model::layers::{LayerKind, ModelLayout};
-use serde::{Deserialize, Serialize};
 
 /// How transformer layers are spread over pipeline stages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BalancePolicy {
     /// Spread `num_layers` as evenly as possible, earlier stages taking
     /// the remainder (plus embedding on the first stage and the output
@@ -25,7 +24,7 @@ pub enum BalancePolicy {
 }
 
 /// Assignment of whole layers to the `pp × v` interleaved stages.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageAssignment {
     /// Pipeline size.
     pub pp: u32,

@@ -18,11 +18,10 @@
 //! * `nc ≥ nmb` degenerates into all-forward-all-backward (Fig 4b);
 //! * any `nmb` is legal — no "batch size divisible by pp" constraint.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One pipeline operation on a rank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PpOp {
     /// Forward pass of `chunk` (virtual-stage index on this rank) for
     /// micro-batch `mb`.
@@ -72,7 +71,7 @@ impl fmt::Display for PpOp {
 }
 
 /// Which schedule family to build.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScheduleKind {
     /// All forwards, then all backwards (GPipe-style, Fig 4b).
     AllFwdAllBwd,
@@ -87,7 +86,7 @@ pub enum ScheduleKind {
 }
 
 /// A complete pipeline schedule.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PpSchedule {
     /// Pipeline size.
     pub pp: u32,

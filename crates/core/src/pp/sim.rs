@@ -9,12 +9,11 @@
 //! detection.
 
 use super::schedule::{PpOp, PpSchedule};
-use serde::{Deserialize, Serialize};
-use sim_engine::graph::{GraphError, OpId, TaskGraph};
+use sim_engine::graph::{GraphError, OpId, StreamId, TaskGraph};
 use sim_engine::time::SimDuration;
 
 /// Metadata attached to each op in the lowered graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PpSimOp {
     /// Forward compute of `(stage, mb)` on `rank`.
     Forward {
@@ -50,7 +49,7 @@ pub trait PpCostModel {
 }
 
 /// A uniform cost model: every stage costs the same.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UniformCosts {
     /// Forward time per stage per micro-batch.
     pub fwd: SimDuration,
@@ -74,7 +73,7 @@ impl PpCostModel for UniformCosts {
 
 /// Per-stage table-driven cost model (used for imbalanced stages:
 /// embedding/output-head heavy first/last stages, §3.1.2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableCosts {
     /// Forward time per stage.
     pub fwd: Vec<SimDuration>,
@@ -97,7 +96,7 @@ impl PpCostModel for TableCosts {
 }
 
 /// Result of simulating a pipeline schedule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PpSimResult {
     /// End-to-end time of the pipelined batch.
     pub makespan: SimDuration,
@@ -140,87 +139,9 @@ pub fn simulate_pp(
     costs: &dyn PpCostModel,
 ) -> Result<PpSimResult, GraphError> {
     let pp = schedule.pp;
-    let last_stage = schedule.num_stages() - 1;
-    let mut g: TaskGraph<PpSimOp> = TaskGraph::new();
-    let compute_streams = g.add_streams(pp as usize);
-
-    // First pass: create compute ops in per-rank program order.
-    let mut fwd_ids: Vec<Vec<Option<OpId>>> =
-        vec![vec![None; schedule.nmb as usize]; schedule.num_stages() as usize];
-    let mut bwd_ids: Vec<Vec<Option<OpId>>> =
-        vec![vec![None; schedule.nmb as usize]; schedule.num_stages() as usize];
-    for (ppr, ops) in schedule.ranks.iter().enumerate() {
-        let stream = compute_streams[ppr];
-        for op in ops {
-            let stage = schedule.stage_of(ppr as u32, op.chunk());
-            match op {
-                PpOp::Forward { mb, .. } => {
-                    let id = g.add_op(
-                        PpSimOp::Forward {
-                            rank: ppr as u32,
-                            stage,
-                            mb: *mb,
-                        },
-                        costs.fwd(stage, *mb),
-                        [stream],
-                        [],
-                    );
-                    fwd_ids[stage as usize][*mb as usize] = Some(id);
-                }
-                PpOp::Backward { mb, .. } => {
-                    let id = g.add_op(
-                        PpSimOp::Backward {
-                            rank: ppr as u32,
-                            stage,
-                            mb: *mb,
-                        },
-                        costs.bwd(stage, *mb),
-                        [stream],
-                        [],
-                    );
-                    bwd_ids[stage as usize][*mb as usize] = Some(id);
-                }
-            }
-        }
-    }
-
-    // Second pass: wire data dependencies through P2P transfer ops.
-    for stage in 0..schedule.num_stages() {
-        for mb in 0..schedule.nmb {
-            let f = fwd_ids[stage as usize][mb as usize].expect("forward scheduled");
-            let b = bwd_ids[stage as usize][mb as usize].expect("backward scheduled");
-            if stage > 0 {
-                // Activation from stage−1: transfer on its own link
-                // stream (async send), consumer waits for it.
-                let producer =
-                    fwd_ids[(stage - 1) as usize][mb as usize].expect("forward scheduled");
-                let dur = costs.p2p(stage - 1);
-                if dur.is_zero() {
-                    g.add_dep(f, producer);
-                } else {
-                    let link = g.add_stream();
-                    let t = g.add_op(PpSimOp::Transfer, dur, [link], []);
-                    g.add_dep(t, producer);
-                    g.add_dep(f, t);
-                }
-            }
-            if stage == last_stage {
-                g.add_dep(b, f);
-            } else {
-                let producer =
-                    bwd_ids[(stage + 1) as usize][mb as usize].expect("backward scheduled");
-                let dur = costs.p2p(stage);
-                if dur.is_zero() {
-                    g.add_dep(b, producer);
-                } else {
-                    let link = g.add_stream();
-                    let t = g.add_op(PpSimOp::Transfer, dur, [link], []);
-                    g.add_dep(t, producer);
-                    g.add_dep(b, t);
-                }
-            }
-        }
-    }
+    let (ops, streams) = lowering_capacity(schedule);
+    let mut g: TaskGraph<PpSimOp> = TaskGraph::with_capacity(ops, streams);
+    lower_pp(&mut g, schedule, costs, &[], |op| op);
 
     let run = g.execute()?;
     let makespan = run.makespan();
@@ -245,6 +166,134 @@ pub fn simulate_pp(
         idle,
         op_times,
     })
+}
+
+/// Graph capacity (ops, streams) needed to lower one copy of `schedule`:
+/// 2 compute ops per (stage, micro-batch) plus up to 2 transfers each;
+/// one compute stream per rank plus one link stream per transfer.
+pub fn lowering_capacity(schedule: &PpSchedule) -> (usize, usize) {
+    let ops = schedule.num_stages() as usize * schedule.nmb as usize * 4;
+    (ops, schedule.pp as usize + ops / 2)
+}
+
+/// Handle to one pipeline instance lowered into a task graph by
+/// [`lower_pp`].
+#[derive(Debug, Clone)]
+pub struct PpLowering {
+    /// One compute stream per pipeline rank, in rank order.
+    pub compute_streams: Vec<StreamId>,
+}
+
+fn scaled(d: SimDuration, scale: f64) -> SimDuration {
+    // Exact when unscaled: the DP-folding identity relies on a 1.0
+    // multiplier reproducing the duration bit-for-bit.
+    if scale == 1.0 {
+        d
+    } else {
+        d.scale(scale)
+    }
+}
+
+/// Lowers one instance of `schedule` under `costs` into `g`, which may
+/// already hold other instances (the full-fidelity step simulation adds
+/// one per DP replica plus cross-replica collectives).
+///
+/// `rank_scale[r]` multiplies rank `r`'s *compute* durations (per-rank
+/// jitter/straggler injection); an empty slice means no scaling, and
+/// transfers are never scaled. `meta` wraps each op's [`PpSimOp`] into
+/// the graph's metadata type, letting callers tag ops with a replica
+/// index.
+pub fn lower_pp<M>(
+    g: &mut TaskGraph<M>,
+    schedule: &PpSchedule,
+    costs: &dyn PpCostModel,
+    rank_scale: &[f64],
+    mut meta: impl FnMut(PpSimOp) -> M,
+) -> PpLowering {
+    let pp = schedule.pp;
+    let last_stage = schedule.num_stages() - 1;
+    let compute_streams = g.add_streams(pp as usize);
+
+    // First pass: create compute ops in per-rank program order.
+    let mut fwd_ids: Vec<Vec<Option<OpId>>> =
+        vec![vec![None; schedule.nmb as usize]; schedule.num_stages() as usize];
+    let mut bwd_ids: Vec<Vec<Option<OpId>>> =
+        vec![vec![None; schedule.nmb as usize]; schedule.num_stages() as usize];
+    for (ppr, ops) in schedule.ranks.iter().enumerate() {
+        let stream = compute_streams[ppr];
+        let scale = rank_scale.get(ppr).copied().unwrap_or(1.0);
+        for op in ops {
+            let stage = schedule.stage_of(ppr as u32, op.chunk());
+            match op {
+                PpOp::Forward { mb, .. } => {
+                    let id = g.add_op(
+                        meta(PpSimOp::Forward {
+                            rank: ppr as u32,
+                            stage,
+                            mb: *mb,
+                        }),
+                        scaled(costs.fwd(stage, *mb), scale),
+                        [stream],
+                        [],
+                    );
+                    fwd_ids[stage as usize][*mb as usize] = Some(id);
+                }
+                PpOp::Backward { mb, .. } => {
+                    let id = g.add_op(
+                        meta(PpSimOp::Backward {
+                            rank: ppr as u32,
+                            stage,
+                            mb: *mb,
+                        }),
+                        scaled(costs.bwd(stage, *mb), scale),
+                        [stream],
+                        [],
+                    );
+                    bwd_ids[stage as usize][*mb as usize] = Some(id);
+                }
+            }
+        }
+    }
+
+    // Second pass: wire data dependencies through P2P transfer ops.
+    for stage in 0..schedule.num_stages() {
+        for mb in 0..schedule.nmb {
+            let f = fwd_ids[stage as usize][mb as usize].expect("forward scheduled");
+            let b = bwd_ids[stage as usize][mb as usize].expect("backward scheduled");
+            if stage > 0 {
+                // Activation from stage−1: transfer on its own link
+                // stream (async send), consumer waits for it.
+                let producer =
+                    fwd_ids[(stage - 1) as usize][mb as usize].expect("forward scheduled");
+                let dur = costs.p2p(stage - 1);
+                if dur.is_zero() {
+                    g.add_dep(f, producer);
+                } else {
+                    let link = g.add_stream();
+                    let t = g.add_op(meta(PpSimOp::Transfer), dur, [link], []);
+                    g.add_dep(t, producer);
+                    g.add_dep(f, t);
+                }
+            }
+            if stage == last_stage {
+                g.add_dep(b, f);
+            } else {
+                let producer =
+                    bwd_ids[(stage + 1) as usize][mb as usize].expect("backward scheduled");
+                let dur = costs.p2p(stage);
+                if dur.is_zero() {
+                    g.add_dep(b, producer);
+                } else {
+                    let link = g.add_stream();
+                    let t = g.add_op(meta(PpSimOp::Transfer), dur, [link], []);
+                    g.add_dep(t, producer);
+                    g.add_dep(b, t);
+                }
+            }
+        }
+    }
+
+    PpLowering { compute_streams }
 }
 
 #[cfg(test)]

@@ -21,17 +21,20 @@ use crate::fsdp::{self, ZeroMode};
 use crate::mesh::{Dim, Mesh4D};
 use crate::pp::balance::StageAssignment;
 use crate::pp::schedule::{PpSchedule, ScheduleKind};
-use crate::pp::sim::{simulate_pp, PpCostModel, PpSimResult};
+use crate::pp::sim::{
+    lower_pp, lowering_capacity, simulate_pp, PpSimOp, PpSimResult,
+};
 use crate::tp::TpPlan;
 use cluster_model::gpu::{Dtype, KernelCost};
+use cluster_model::jitter::JitterModel;
 use cluster_model::topology::{Cluster, GlobalRank};
 use collectives::CommCostModel;
 use llm_model::layers::LayerKind;
 use llm_model::masks::MaskSpec;
 use llm_model::memory as mem;
 use llm_model::{ModelLayout, PrecisionPolicy};
-use serde::{Deserialize, Serialize};
-use sim_engine::time::SimDuration;
+use sim_engine::graph::TaskGraph;
+use sim_engine::time::{SimDuration, SimTime};
 
 /// A fully specified training-step configuration.
 #[derive(Debug, Clone)]
@@ -59,8 +62,27 @@ pub struct StepModel {
     pub recompute: bool,
 }
 
+/// How much of the cluster the step simulation actually lowers.
+///
+/// All DP replicas execute the same program on identical hardware, so a
+/// jitter-free step is fully determined by one representative
+/// TP×CP×PP slice plus the DP collective terms — that is
+/// [`SimFidelity::Folded`], and it makes step simulation O(slice)
+/// instead of O(cluster). [`SimFidelity::Full`] lowers every DP replica
+/// into one task graph with cross-replica DP collectives; it exists to
+/// validate the folding identity and to host per-rank jitter/straggler
+/// injection, where replicas genuinely differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimFidelity {
+    /// One representative DP replica + DP collective terms (exact for
+    /// jitter-free configurations, and the default).
+    Folded,
+    /// Every DP replica lowered explicitly.
+    Full,
+}
+
 /// Exposed-communication breakdown of one step.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ExposedComm {
     /// Tensor-parallel collectives (always exposed).
     pub tp: SimDuration,
@@ -74,7 +96,7 @@ pub struct ExposedComm {
 }
 
 /// Step-level report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StepReport {
     /// End-to-end step time.
     pub step_time: SimDuration,
@@ -341,40 +363,137 @@ impl StepModel {
         self.report_from(step_time, vec![bubble; self.mesh.pp() as usize], &times, None)
     }
 
+    /// Per-stage table costs for the pipeline lowering.
+    fn pp_costs(&self, times: &StageTimes) -> crate::pp::sim::TableCosts {
+        crate::pp::sim::TableCosts {
+            fwd: times.fwd.clone(),
+            bwd: times.bwd.clone(),
+            p2p: self.p2p_time(),
+        }
+    }
+
     /// Timing-graph simulation of the schedule (per-stage table costs,
-    /// P2P transfers, memory replay).
+    /// P2P transfers, memory replay) at [`SimFidelity::Folded`] — the
+    /// default, exact for jitter-free configurations.
     ///
     /// # Panics
     /// Panics if the schedule deadlocks — impossible for schedules
     /// produced by [`PpSchedule::build`].
     pub fn simulate(&self) -> StepReport {
+        self.simulate_at(SimFidelity::Folded)
+    }
+
+    /// Timing-graph simulation at an explicit fidelity. Folded and Full
+    /// produce identical reports for jitter-free configurations; Full
+    /// additionally supports per-rank slowdowns via
+    /// [`StepModel::simulate_jittered`].
+    ///
+    /// # Panics
+    /// Panics if the schedule deadlocks — impossible for schedules
+    /// produced by [`PpSchedule::build`].
+    pub fn simulate_at(&self, fidelity: SimFidelity) -> StepReport {
+        match fidelity {
+            SimFidelity::Folded => self.simulate_folded(),
+            SimFidelity::Full => self.simulate_full(None),
+        }
+    }
+
+    /// Full-fidelity simulation with per-rank performance variation:
+    /// compute durations on the pipeline rank at mesh coordinate
+    /// `(tp 0, cp 0, pp r, dp d)` are scaled by that global rank's
+    /// jitter multiplier at `step`. Always lowers every DP replica —
+    /// folding is invalid once replicas differ.
+    ///
+    /// # Panics
+    /// Panics if the schedule deadlocks — impossible for schedules
+    /// produced by [`PpSchedule::build`].
+    pub fn simulate_jittered(&self, jitter: &JitterModel, step: u64) -> StepReport {
+        self.simulate_full(Some((jitter, step)))
+    }
+
+    fn simulate_folded(&self) -> StepReport {
         let times = self.stage_times();
         let sched = self.build_schedule();
-        struct Costs {
-            fwd: Vec<SimDuration>,
-            bwd: Vec<SimDuration>,
-            p2p: SimDuration,
-        }
-        impl PpCostModel for Costs {
-            fn fwd(&self, stage: u32, _mb: u32) -> SimDuration {
-                self.fwd[stage as usize]
-            }
-            fn bwd(&self, stage: u32, _mb: u32) -> SimDuration {
-                self.bwd[stage as usize]
-            }
-            fn p2p(&self, _from: u32) -> SimDuration {
-                self.p2p
-            }
-        }
-        let costs = Costs {
-            fwd: times.fwd.clone(),
-            bwd: times.bwd.clone(),
-            p2p: self.p2p_time(),
-        };
+        let costs = self.pp_costs(&times);
         let result = simulate_pp(&sched, &costs).expect("built schedules cannot deadlock");
         let bubbles: Vec<f64> = (0..self.mesh.pp()).map(|r| result.bubble_ratio(r)).collect();
         let step_time = result.makespan + self.dp_exposed();
         self.report_from(step_time, bubbles, &times, Some(&result))
+    }
+
+    fn simulate_full(&self, jitter: Option<(&JitterModel, u64)>) -> StepReport {
+        let times = self.stage_times();
+        let sched = self.build_schedule();
+        let costs = self.pp_costs(&times);
+        let dp = self.mesh.dp();
+        let pp = self.mesh.pp() as usize;
+        let dp_cost = self.dp_exposed();
+
+        // One task graph holding every DP replica's pipeline plus one
+        // DP collective per pipeline rank spanning all replicas.
+        let (ops_per_replica, streams_per_replica) = lowering_capacity(&sched);
+        let mut g: TaskGraph<(u32, PpSimOp)> = TaskGraph::with_capacity(
+            ops_per_replica * dp as usize + pp,
+            streams_per_replica * dp as usize,
+        );
+        let mut replicas = Vec::with_capacity(dp as usize);
+        for d in 0..dp {
+            let scales: Vec<f64> = match jitter {
+                None => Vec::new(),
+                Some((j, step)) => (0..pp as u32)
+                    .map(|r| {
+                        let rank =
+                            r * self.mesh.stride(Dim::Pp) + d * self.mesh.stride(Dim::Dp);
+                        j.multiplier(rank, step)
+                    })
+                    .collect(),
+            };
+            replicas.push(lower_pp(&mut g, &sched, &costs, &scales, |op| (d, op)));
+        }
+        // The exposed DP collective (first all-gather + last
+        // reduce-scatter) joins the same pipeline rank across all
+        // replicas: it starts once the slowest replica's rank finishes.
+        for r in 0..pp {
+            let streams: Vec<_> = replicas.iter().map(|l| l.compute_streams[r]).collect();
+            g.add_op((u32::MAX, PpSimOp::Transfer), dp_cost, streams, []);
+        }
+
+        let run = g.execute().expect("built schedules cannot deadlock");
+        let step_time = run.makespan();
+
+        // Per-replica bubble accounting against the replica-local
+        // pipeline makespan (the DP sync op is excluded — it is
+        // communication, not bubble). Report the worst replica per rank.
+        let mut compute = vec![SimDuration::ZERO; dp as usize * pp];
+        let mut local_end = vec![SimTime::ZERO; dp as usize];
+        for rec in run.records() {
+            let (d, op) = rec.meta;
+            if d == u32::MAX {
+                continue;
+            }
+            match op {
+                PpSimOp::Forward { rank, .. } | PpSimOp::Backward { rank, .. } => {
+                    compute[d as usize * pp + rank as usize] += rec.duration();
+                    local_end[d as usize] = local_end[d as usize].max(rec.end);
+                }
+                PpSimOp::Transfer => {}
+            }
+        }
+        let bubbles: Vec<f64> = (0..pp)
+            .map(|r| {
+                (0..dp as usize)
+                    .map(|d| {
+                        let c = compute[d * pp + r];
+                        if c.is_zero() {
+                            return 0.0;
+                        }
+                        let makespan = local_end[d].saturating_since(SimTime::ZERO);
+                        makespan.saturating_sub(c).as_secs_f64() / c.as_secs_f64()
+                    })
+                    .fold(0.0, f64::max)
+            })
+            .collect();
+        self.report_from(step_time, bubbles, &times, None)
     }
 
     /// Runs the timing-graph simulation and additionally emits a
@@ -390,27 +509,7 @@ impl StepModel {
         let report = self.simulate();
         let times = self.stage_times();
         let sched = self.build_schedule();
-        struct Costs {
-            fwd: Vec<SimDuration>,
-            bwd: Vec<SimDuration>,
-            p2p: SimDuration,
-        }
-        impl PpCostModel for Costs {
-            fn fwd(&self, stage: u32, _mb: u32) -> SimDuration {
-                self.fwd[stage as usize]
-            }
-            fn bwd(&self, stage: u32, _mb: u32) -> SimDuration {
-                self.bwd[stage as usize]
-            }
-            fn p2p(&self, _from: u32) -> SimDuration {
-                self.p2p
-            }
-        }
-        let costs = Costs {
-            fwd: times.fwd.clone(),
-            bwd: times.bwd.clone(),
-            p2p: self.p2p_time(),
-        };
+        let costs = self.pp_costs(&times);
         let result = simulate_pp(&sched, &costs).expect("built schedules cannot deadlock");
         let mut trace = Trace::new();
         for (rank, (ops, op_times)) in sched.ranks.iter().zip(&result.op_times).enumerate() {
@@ -663,5 +762,90 @@ mod tests {
         ]);
         let doc = m.simulate();
         assert!(doc.exposed.cp_sync_wait > causal.exposed.cp_sync_wait);
+    }
+
+    /// A small jitter-free step for one of the three Llama 3 scales.
+    fn folding_case(cfg: TransformerConfig, mesh: Mesh4D, v: u32, bs: u32) -> StepModel {
+        let layout = ModelLayout::text(cfg);
+        let assignment = StageAssignment::build(&layout, mesh.pp(), v, BalancePolicy::Uniform);
+        StepModel {
+            cluster: Cluster::llama3(mesh.num_gpus()),
+            mesh,
+            layout,
+            assignment,
+            schedule: ScheduleKind::Flexible { nc: 4 },
+            zero: ZeroMode::Zero1,
+            bs,
+            seq: 8192,
+            mask: MaskSpec::Causal,
+            recompute: false,
+        }
+    }
+
+    #[test]
+    fn folded_equals_full_8b() {
+        let m = folding_case(TransformerConfig::llama3_8b(), Mesh4D::new(4, 1, 2, 4), 4, 8);
+        assert_eq!(
+            m.simulate_at(SimFidelity::Folded),
+            m.simulate_at(SimFidelity::Full)
+        );
+    }
+
+    #[test]
+    fn folded_equals_full_70b() {
+        let m = folding_case(TransformerConfig::llama3_70b(), Mesh4D::new(4, 1, 4, 2), 5, 8);
+        assert_eq!(
+            m.simulate_at(SimFidelity::Folded),
+            m.simulate_at(SimFidelity::Full)
+        );
+    }
+
+    #[test]
+    fn folded_equals_full_405b_scaled_with_cp() {
+        let m = folding_case(
+            TransformerConfig::llama3_405b_scaled(28),
+            Mesh4D::new(4, 2, 4, 2),
+            7,
+            12,
+        );
+        assert_eq!(
+            m.simulate_at(SimFidelity::Folded),
+            m.simulate_at(SimFidelity::Full)
+        );
+    }
+
+    #[test]
+    fn zero_amplitude_jitter_matches_folded() {
+        let m = scaled_step(
+            ScheduleKind::Flexible { nc: 4 },
+            BalancePolicy::Uniform,
+            false,
+        );
+        let jittered = m.simulate_jittered(&JitterModel::none(), 0);
+        assert_eq!(jittered, m.simulate());
+    }
+
+    #[test]
+    fn static_jitter_slows_the_step() {
+        use cluster_model::jitter::JitterKind;
+        let m = scaled_step(
+            ScheduleKind::Flexible { nc: 4 },
+            BalancePolicy::Uniform,
+            false,
+        );
+        let baseline = m.simulate();
+        let j = JitterModel::new(JitterKind::Static, 0.10, 42);
+        let jittered = m.simulate_jittered(&j, 0);
+        assert!(
+            jittered.step_time > baseline.step_time,
+            "jittered {:?} ≤ baseline {:?}",
+            jittered.step_time,
+            baseline.step_time
+        );
+        // The slowdown is bounded by the amplitude (compute scales by at
+        // most 1.1; transfers and DP collectives are unscaled).
+        let ratio =
+            jittered.step_time.as_secs_f64() / baseline.step_time.as_secs_f64();
+        assert!(ratio < 1.12, "slowdown {ratio} exceeds amplitude bound");
     }
 }

@@ -11,7 +11,6 @@
 use cluster_model::gpu::{Dtype, KernelCost};
 use collectives::{CommCostModel, ProcessGroup};
 use llm_model::TransformerConfig;
-use serde::{Deserialize, Serialize};
 use sim_engine::time::SimDuration;
 
 /// Number of exposed collectives per transformer layer under TP+SP:
@@ -19,7 +18,7 @@ use sim_engine::time::SimDuration;
 pub const COLLECTIVES_PER_LAYER: u64 = 4;
 
 /// Tensor-parallel execution plan for one rank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TpPlan {
     /// TP degree.
     pub tp: u32,

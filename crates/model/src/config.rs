@@ -6,10 +6,9 @@
 //! scaled-down variants used in the paper's §7.1 pipeline experiments
 //! (same dimensions as 405B, fewer layers) are provided too.
 
-use serde::{Deserialize, Serialize};
 
 /// Dimensions of a dense GQA transformer.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TransformerConfig {
     /// Human-readable name.
     pub name: String,

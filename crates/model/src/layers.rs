@@ -12,10 +12,9 @@ use crate::masks::MaskSpec;
 use crate::memory;
 use crate::multimodal::CrossAttentionSpec;
 use cluster_model::gpu::KernelCost;
-use serde::{Deserialize, Serialize};
 
 /// One layer of a model, as seen by the pipeline planner.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerKind {
     /// Token embedding (first pipeline rank only).
     Embedding,
@@ -106,7 +105,7 @@ impl LayerKind {
 }
 
 /// An ordered full-model layer list plus its base transformer config.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelLayout {
     /// Base transformer dimensions.
     pub cfg: TransformerConfig,

@@ -9,10 +9,9 @@
 //! quantity needed to price one context-parallel chunk's share of the
 //! work).
 
-use serde::{Deserialize, Serialize};
 
 /// An attention mask over a packed sequence.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum MaskSpec {
     /// Every query attends every key (bidirectional; used by the ViT
     /// image encoder).

@@ -8,10 +8,9 @@
 //! Adam optimizer state.
 
 use crate::config::TransformerConfig;
-use serde::{Deserialize, Serialize};
 
 /// Bytes used per parameter by each training-state component.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrecisionPolicy {
     /// Bytes per parameter for the compute copy of weights (BF16 = 2).
     pub param_bytes: u64,

@@ -9,10 +9,9 @@
 use crate::config::TransformerConfig;
 use crate::flops;
 use cluster_model::gpu::{Dtype, KernelCost};
-use serde::{Deserialize, Serialize};
 
 /// ViT image-encoder configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VitConfig {
     /// Human-readable name.
     pub name: String,
@@ -110,7 +109,7 @@ impl VitConfig {
 
 /// Cross-attention block: queries from the text stream, keys/values
 /// from the image-encoder output.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CrossAttentionSpec {
     /// Image (KV) tokens visible to each text token.
     pub image_tokens: u64,

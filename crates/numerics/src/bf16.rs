@@ -5,12 +5,11 @@
 //! IEEE-754 `f32`, converted with round-to-nearest-even, exactly as
 //! hardware converts tensor-core outputs.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
 /// A 16-bit brain float.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Bf16(u16);
 
 impl Bf16 {

@@ -10,10 +10,9 @@
 
 use crate::bf16::Bf16;
 use crate::tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// Input/accumulator precision of a GEMM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GemmPrecision {
     /// `f32` inputs, `f32` accumulation (reference).
     Fp32,

@@ -13,11 +13,10 @@
 //! accumulation order), and the plain monolithic sequential output.
 
 use crate::tensor::Matrix;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Outcome of the §6.2 comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Diagnosis {
     /// Parallel output is bitwise equal even to the monolithic
     /// sequential version: nothing to explain.

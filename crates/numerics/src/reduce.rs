@@ -8,10 +8,9 @@
 
 use crate::bf16::Bf16;
 use crate::tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// The order in which `n` contributions are summed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReduceOrder {
     /// `((g0 + g1) + g2) + …` — rank-order sequential (ring
     /// reduce-scatter visits ranks in ring order).
@@ -21,7 +20,7 @@ pub enum ReduceOrder {
 }
 
 /// Accumulator precision of the reduction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReducePrecision {
     /// FP32 accumulation (the paper's production setting for DP
     /// reduce-scatter and PP micro-batch accumulation).

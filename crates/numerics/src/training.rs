@@ -11,10 +11,9 @@ use crate::bf16::Bf16;
 use crate::tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Gradient-accumulation precision across micro-batches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccumPrecision {
     /// FP32 accumulator (the paper's fix).
     Fp32,
@@ -25,7 +24,7 @@ pub enum AccumPrecision {
 }
 
 /// Result of one training run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainingRun {
     /// Mean-squared-error loss after every step.
     pub losses: Vec<f64>,

@@ -13,11 +13,10 @@
 //! individual packets.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a link in a [`FluidNet`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub u32);
 
 impl fmt::Display for LinkId {
@@ -27,11 +26,11 @@ impl fmt::Display for LinkId {
 }
 
 /// Identifies a transfer submitted to a [`FluidNet`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TransferId(pub u32);
 
 /// A transfer request: `bytes` to move along `route` starting at `start`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Transfer {
     /// Links traversed, in order. An empty route completes instantly.
     pub route: Vec<LinkId>,
@@ -42,7 +41,7 @@ pub struct Transfer {
 }
 
 /// Completion record for one transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransferOutcome {
     /// The transfer.
     pub id: TransferId,
@@ -205,6 +204,25 @@ impl FluidNet {
             }
         }
 
+        // Fast path: when every route is a single link and no link is
+        // shared, flows never interact — each runs at full link capacity
+        // for its whole lifetime, so the event loop (quadratic in the
+        // number of rate-change events) is unnecessary. This covers the
+        // common lowering of pipeline P2P traffic: one transfer per
+        // dedicated point-to-point link.
+        if self.transfers_are_disjoint_single_link(&transfers) {
+            for (i, t) in transfers.iter().enumerate() {
+                if finish[i].is_some() {
+                    continue;
+                }
+                let rate = self.capacities[t.route[0].0 as usize];
+                // Same nanosecond-grid round-up as the event loop.
+                let dt_ns = (remaining[i] / rate * 1e9).ceil().max(1.0);
+                finish[i] = Some(t.start + SimDuration::from_nanos(dt_ns as u64));
+            }
+            return Ok(Self::outcomes(&transfers, &finish));
+        }
+
         loop {
             let active: Vec<usize> = (0..n)
                 .filter(|&i| finish[i].is_none() && transfers[i].start <= now)
@@ -259,7 +277,32 @@ impl FluidNet {
             now = horizon;
         }
 
-        Ok(transfers
+        Ok(Self::outcomes(&transfers, &finish))
+    }
+
+    /// True when every non-instant transfer uses exactly one link and no
+    /// link carries more than one transfer — the precondition for the
+    /// `run` fast path.
+    fn transfers_are_disjoint_single_link(&self, transfers: &[Transfer]) -> bool {
+        let mut used = vec![false; self.capacities.len()];
+        for t in transfers {
+            match t.route.as_slice() {
+                [] => {}
+                [l] => {
+                    let li = l.0 as usize;
+                    if used[li] {
+                        return false;
+                    }
+                    used[li] = true;
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    fn outcomes(transfers: &[Transfer], finish: &[Option<SimTime>]) -> Vec<TransferOutcome> {
+        transfers
             .iter()
             .enumerate()
             .map(|(i, t)| {
@@ -272,7 +315,7 @@ impl FluidNet {
                     avg_bandwidth: avg,
                 }
             })
-            .collect())
+            .collect()
     }
 }
 
@@ -396,6 +439,40 @@ mod tests {
             }])
             .unwrap_err();
         assert_eq!(err, FluidError::UnknownLink(LinkId(3)));
+    }
+
+    #[test]
+    fn disjoint_single_link_fast_path_matches_event_loop() {
+        // 64 staggered transfers on private links (fast path), plus the
+        // same set with one extra flow sharing link 0 (event loop). The
+        // shared set's private flows must finish at the same instants.
+        let mut net = FluidNet::new();
+        let links: Vec<LinkId> = (0..64).map(|i| net.add_link(100.0 + i as f64)).collect();
+        let mk = |extra: bool| {
+            let mut ts: Vec<Transfer> = links
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| Transfer {
+                    route: vec![l],
+                    bytes: 50.0 * (i + 1) as f64,
+                    start: SimTime::from_nanos(1_000 * i as u64),
+                })
+                .collect();
+            if extra {
+                ts.push(Transfer {
+                    route: vec![links[0], links[1]],
+                    bytes: 0.0,
+                    start: SimTime::ZERO,
+                });
+            }
+            ts
+        };
+        let fast = net.run(mk(false)).unwrap();
+        let slow = net.run(mk(true)).unwrap();
+        for i in 0..64 {
+            let d = (fast[i].finish.as_secs_f64() - slow[i].finish.as_secs_f64()).abs();
+            assert!(d < 1e-6, "transfer {i} differs by {d}s");
+        }
     }
 
     #[test]

@@ -26,12 +26,10 @@
 //! wall-clock time or hash-map iteration order.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 use std::fmt;
 
 /// Identifies a FIFO stream within a [`TaskGraph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StreamId(pub(crate) u32);
 
 impl StreamId {
@@ -48,7 +46,7 @@ impl fmt::Display for StreamId {
 }
 
 /// Identifies an op within a [`TaskGraph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct OpId(pub(crate) u32);
 
 impl OpId {
@@ -129,6 +127,18 @@ impl<M> TaskGraph<M> {
         TaskGraph {
             ops: Vec::new(),
             stream_programs: Vec::new(),
+        }
+    }
+
+    /// Creates an empty graph with preallocated op and stream arenas.
+    ///
+    /// Lowering code that knows its op count up front (pipeline
+    /// schedules, step simulation) should use this to avoid repeated
+    /// reallocation while building large graphs.
+    pub fn with_capacity(ops: usize, streams: usize) -> Self {
+        TaskGraph {
+            ops: Vec::with_capacity(ops),
+            stream_programs: Vec::with_capacity(streams),
         }
     }
 
@@ -221,162 +231,145 @@ impl<M> TaskGraph<M> {
     /// could satisfy it on the same stream).
     pub fn execute(self) -> Result<ExecutedGraph<M>, GraphError> {
         let n = self.ops.len();
-        let mut queues: Vec<VecDeque<OpId>> = self
-            .stream_programs
-            .iter()
-            .map(|p| p.iter().copied().collect())
-            .collect();
-        let mut stream_free = vec![SimTime::ZERO; self.stream_programs.len()];
-        let mut dependents: Vec<Vec<OpId>> = vec![Vec::new(); n];
+        let stream_count = self.stream_programs.len();
+
+        // Reversed dependency edges ("who waits on me") in a flat CSR
+        // arena: heads[i]..heads[i+1] indexes into `dependents`.
         let mut unmet: Vec<u32> = vec![0; n];
+        let mut heads: Vec<u32> = vec![0; n + 1];
+        for (i, op) in self.ops.iter().enumerate() {
+            unmet[i] = op.deps.len() as u32;
+            for d in &op.deps {
+                heads[d.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            heads[i + 1] += heads[i];
+        }
+        let mut dependents: Vec<OpId> = vec![OpId(0); heads[n] as usize];
+        let mut fill: Vec<u32> = heads[..n].to_vec();
         for (i, op) in self.ops.iter().enumerate() {
             for d in &op.deps {
-                dependents[d.index()].push(OpId(i as u32));
-                unmet[i] += 1;
+                dependents[fill[d.index()] as usize] = OpId(i as u32);
+                fill[d.index()] += 1;
             }
         }
+
+        // Per-stream cursors into the (immutable) program vectors replace
+        // the per-execute queue copies; flat start/finish/sync arenas
+        // replace the Vec<Option<..>> churn of take-and-rebuild.
+        let mut stream_cursor: Vec<u32> = vec![0; stream_count];
+        let mut stream_free: Vec<SimTime> = vec![SimTime::ZERO; stream_count];
+        let mut stream_busy: Vec<SimDuration> = vec![SimDuration::ZERO; stream_count];
+        let mut executed: Vec<bool> = vec![false; n];
+        let mut starts: Vec<SimTime> = vec![SimTime::ZERO; n];
         let mut finish: Vec<SimTime> = vec![SimTime::ZERO; n];
-        let mut records: Vec<Option<OpRecord<M>>> = (0..n).map(|_| None).collect();
-        let mut ops: Vec<Option<OpNode<M>>> = self.ops.into_iter().map(Some).collect();
+        let mut sync_waits: Vec<Vec<SimDuration>> = (0..n).map(|_| Vec::new()).collect();
 
-        let mut ready: VecDeque<OpId> = (0..n as u32).map(OpId).collect();
+        // Event-driven worklist. An op is runnable iff its dep count hit
+        // zero AND it is at the front of all its streams. It is (re)pushed
+        // exactly when either condition may newly hold: when its last dep
+        // finishes, and when it becomes the front of a stream. A popped op
+        // that is not yet runnable is simply dropped — the missing event
+        // will push it again — so an empty worklist with unexecuted ops
+        // remaining means no event can ever fire again: deadlock.
+        let mut worklist: Vec<OpId> = (0..n as u32)
+            .map(OpId)
+            .filter(|id| unmet[id.index()] == 0)
+            .collect();
         let mut done = 0usize;
+        let mut makespan_end = SimTime::ZERO;
 
-        // Each pass drains the candidate worklist; completing an op
-        // enqueues its dependents and new stream fronts. A full pass with
-        // no progress means no op is runnable: deadlock.
-        loop {
-            let mut progressed = false;
-            let mut pass: VecDeque<OpId> = std::mem::take(&mut ready);
-            while let Some(id) = pass.pop_front() {
-                if records[id.index()].is_some() {
-                    continue;
-                }
-                let runnable = {
-                    let node = ops[id.index()].as_ref().expect("op present until run");
-                    unmet[id.index()] == 0
-                        && node
-                            .streams
-                            .iter()
-                            .all(|s| queues[s.index()].front() == Some(&id))
-                };
-                if !runnable {
-                    continue;
-                }
-                let node = ops[id.index()].take().expect("op present until run");
-                let dep_ready = node
-                    .deps
-                    .iter()
-                    .map(|d| finish[d.index()])
-                    .max()
-                    .unwrap_or(SimTime::ZERO);
-                let start = node
-                    .streams
-                    .iter()
-                    .map(|s| stream_free[s.index()])
-                    .chain(std::iter::once(dep_ready))
-                    .max()
-                    .expect("op has at least one stream");
-                let end = start + node.duration;
-                let sync_wait = node
-                    .streams
-                    .iter()
-                    .map(|s| {
-                        let local_ready = stream_free[s.index()].max(dep_ready);
-                        start.saturating_since(local_ready)
-                    })
-                    .collect();
-                for s in &node.streams {
-                    queues[s.index()].pop_front();
-                    stream_free[s.index()] = end;
-                }
-                finish[id.index()] = end;
-                for dep in &dependents[id.index()] {
-                    unmet[dep.index()] -= 1;
-                    ready.push_back(*dep);
-                }
-                for s in &node.streams {
-                    if let Some(front) = queues[s.index()].front() {
-                        ready.push_back(*front);
-                    }
-                }
-                records[id.index()] = Some(OpRecord {
-                    id,
-                    meta: node.meta,
-                    streams: node.streams,
-                    start,
-                    end,
-                    sync_wait,
-                });
-                done += 1;
-                progressed = true;
+        while let Some(id) = worklist.pop() {
+            let i = id.index();
+            if executed[i] || unmet[i] != 0 {
+                continue;
             }
-            if done == n {
-                break;
+            let node = &self.ops[i];
+            let at_front = node.streams.iter().all(|s| {
+                let prog = &self.stream_programs[s.index()];
+                prog.get(stream_cursor[s.index()] as usize) == Some(&id)
+            });
+            if !at_front {
+                continue;
             }
-            if !progressed {
-                // Refill and retry once from a complete candidate set:
-                // the worklist may have been drained while ops became
-                // runnable through a combination of events.
-                if ready.is_empty() {
-                    let stuck: Vec<OpId> = records
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, r)| r.is_none())
-                        .map(|(i, _)| OpId(i as u32))
-                        .collect();
-                    let retry: VecDeque<OpId> = stuck.iter().copied().collect();
-                    ready = retry;
-                    // One more full pass over everything unexecuted; if
-                    // nothing runs, declare deadlock.
-                    let before = done;
-                    let mut pass2 = std::mem::take(&mut ready);
-                    'retry: while let Some(id) = pass2.pop_front() {
-                        if records[id.index()].is_some() {
-                            continue 'retry;
-                        }
-                        let runnable = {
-                            let node = ops[id.index()].as_ref().expect("op present");
-                            unmet[id.index()] == 0
-                                && node
-                                    .streams
-                                    .iter()
-                                    .all(|s| queues[s.index()].front() == Some(&id))
-                        };
-                        if runnable {
-                            ready.push_back(id);
-                        }
-                    }
-                    if done == before && ready.is_empty() {
-                        return Err(GraphError::Deadlock(stuck));
-                    }
-                } else {
-                    continue;
+
+            let dep_ready = node
+                .deps
+                .iter()
+                .map(|d| finish[d.index()])
+                .max()
+                .unwrap_or(SimTime::ZERO);
+            let start = node
+                .streams
+                .iter()
+                .map(|s| stream_free[s.index()])
+                .chain(std::iter::once(dep_ready))
+                .max()
+                .expect("op has at least one stream");
+            let end = start + node.duration;
+            let mut sync_wait = Vec::with_capacity(node.streams.len());
+            for s in &node.streams {
+                let local_ready = stream_free[s.index()].max(dep_ready);
+                sync_wait.push(start.saturating_since(local_ready));
+            }
+            for s in &node.streams {
+                let si = s.index();
+                stream_free[si] = end;
+                stream_busy[si] += node.duration;
+                stream_cursor[si] += 1;
+                if let Some(front) = self.stream_programs[si].get(stream_cursor[si] as usize) {
+                    worklist.push(*front);
+                }
+            }
+            starts[i] = start;
+            finish[i] = end;
+            sync_waits[i] = sync_wait;
+            executed[i] = true;
+            done += 1;
+            makespan_end = makespan_end.max(end);
+            for &dep in &dependents[heads[i] as usize..heads[i + 1] as usize] {
+                let j = dep.index();
+                unmet[j] -= 1;
+                if unmet[j] == 0 {
+                    worklist.push(dep);
                 }
             }
         }
 
-        let records: Vec<OpRecord<M>> = records
-            .into_iter()
-            .map(|r| r.expect("all ops recorded"))
-            .collect();
-        let makespan = records
-            .iter()
-            .map(|r| r.end)
-            .max()
-            .unwrap_or(SimTime::ZERO)
-            .saturating_since(SimTime::ZERO);
-        let stream_count = self.stream_programs.len();
+        if done != n {
+            let stuck: Vec<OpId> = executed
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| !**e)
+                .map(|(i, _)| OpId(i as u32))
+                .collect();
+            return Err(GraphError::Deadlock(stuck));
+        }
+
+        let mut records: Vec<OpRecord<M>> = Vec::with_capacity(n);
+        for (i, node) in self.ops.into_iter().enumerate() {
+            records.push(OpRecord {
+                id: OpId(i as u32),
+                meta: node.meta,
+                streams: node.streams,
+                start: starts[i],
+                end: finish[i],
+                sync_wait: std::mem::take(&mut sync_waits[i]),
+            });
+        }
+        let makespan = makespan_end.saturating_since(SimTime::ZERO);
         Ok(ExecutedGraph {
             records,
             stream_count,
+            stream_busy,
             makespan,
         })
     }
 }
 
 /// Timing record of one executed op.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OpRecord<M> {
     /// The op's id.
     pub id: OpId,
@@ -415,6 +408,7 @@ impl<M> OpRecord<M> {
 pub struct ExecutedGraph<M> {
     records: Vec<OpRecord<M>>,
     stream_count: usize,
+    stream_busy: Vec<SimDuration>,
     makespan: SimDuration,
 }
 
@@ -440,12 +434,9 @@ impl<M> ExecutedGraph<M> {
     }
 
     /// Total busy time of one stream (sum of durations of its ops).
+    /// Precomputed during execution, so this is O(1).
     pub fn stream_busy(&self, stream: StreamId) -> SimDuration {
-        self.records
-            .iter()
-            .filter(|r| r.streams.contains(&stream))
-            .map(|r| r.duration())
-            .sum()
+        self.stream_busy[stream.index()]
     }
 
     /// Idle time of one stream within the makespan.

@@ -7,11 +7,10 @@
 //! the balanced-pipeline memory comparison (Fig 10).
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a memory pool (typically one GPU rank's HBM).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PoolId(pub u32);
 
 impl fmt::Display for PoolId {
@@ -21,7 +20,7 @@ impl fmt::Display for PoolId {
 }
 
 /// One allocation (+) or release (−) event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemEvent {
     /// The pool affected.
     pub pool: PoolId,
@@ -33,7 +32,7 @@ pub struct MemEvent {
 
 /// A point on a pool's usage timeline: usage in bytes from `at` until the
 /// next point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemSample {
     /// Instant the usage changed.
     pub at: SimTime,

@@ -1,9 +1,8 @@
 //! Small statistics helpers used across the experiment harness.
 
-use serde::{Deserialize, Serialize};
 
 /// Summary statistics of a sample of `f64` values.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,
@@ -82,7 +81,7 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
 
 /// A fixed-width histogram over `[lo, hi)` used to print distribution
 /// shapes (Fig 14) in text reports.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -3,22 +3,11 @@
 //! Serializes a [`Trace`] to the Trace Event Format's JSON array form:
 //! complete events (`"ph": "X"`) with one process per rank, so the
 //! result opens directly in `chrome://tracing` or Perfetto for visual
-//! inspection of simulated schedules.
+//! inspection of simulated schedules. The JSON is emitted directly
+//! (no serde dependency); only event names need escaping, the rest of
+//! the fields are numbers or fixed ASCII literals.
 
 use crate::format::{EventCategory, Trace};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct ChromeEvent<'a> {
-    name: &'a str,
-    cat: &'static str,
-    ph: &'static str,
-    /// Microseconds, per the Trace Event Format.
-    ts: f64,
-    dur: f64,
-    pid: u32,
-    tid: u32,
-}
 
 fn cat_name(c: EventCategory) -> &'static str {
     match c {
@@ -42,27 +31,66 @@ fn cat_tid(c: EventCategory) -> u32 {
     }
 }
 
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Microsecond timestamps rendered the way `chrome://tracing` expects:
+/// a plain decimal with no exponent (`1.5`, not `1.5e0` or `1.500000`).
+fn push_micros(out: &mut String, ns: u64) {
+    let whole = ns / 1000;
+    let frac = ns % 1000;
+    if frac == 0 {
+        out.push_str(&format!("{whole}.0"));
+    } else {
+        let s = format!("{frac:03}");
+        out.push_str(&format!("{whole}.{}", s.trim_end_matches('0')));
+    }
+}
+
 /// Renders the trace as a Chrome Trace Event Format JSON string.
 /// Each rank becomes a process; each category becomes a thread lane.
 ///
 /// # Errors
-/// Returns a `serde_json` error if serialization fails (practically
-/// impossible for this data model, but surfaced rather than swallowed).
-pub fn to_chrome_json(trace: &Trace) -> Result<String, serde_json::Error> {
-    let events: Vec<ChromeEvent<'_>> = trace
-        .events
-        .iter()
-        .map(|e| ChromeEvent {
-            name: &e.name,
-            cat: cat_name(e.category),
-            ph: "X",
-            ts: e.start_ns as f64 / 1000.0,
-            dur: e.duration_ns as f64 / 1000.0,
-            pid: e.rank,
-            tid: cat_tid(e.category),
-        })
-        .collect();
-    serde_json::to_string(&events)
+/// Infallible today (kept as a `Result` so callers don't churn if a
+/// fallible writer backend is introduced later).
+pub fn to_chrome_json(trace: &Trace) -> Result<String, std::fmt::Error> {
+    let mut out = String::with_capacity(64 + trace.events.len() * 96);
+    out.push('[');
+    for (i, e) in trace.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_json_string(&mut out, &e.name);
+        out.push_str(",\"cat\":\"");
+        out.push_str(cat_name(e.category));
+        out.push_str("\",\"ph\":\"X\",\"ts\":");
+        push_micros(&mut out, e.start_ns);
+        out.push_str(",\"dur\":");
+        push_micros(&mut out, e.duration_ns);
+        out.push_str(&format!(
+            ",\"pid\":{},\"tid\":{}}}",
+            e.rank,
+            cat_tid(e.category)
+        ));
+    }
+    out.push(']');
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -81,14 +109,38 @@ mod tests {
             duration_ns: 2500,
         });
         let json = to_chrome_json(&t).unwrap();
-        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
-        let arr = parsed.as_array().unwrap();
-        assert_eq!(arr.len(), 1);
-        assert_eq!(arr[0]["ph"], "X");
-        assert_eq!(arr[0]["pid"], 2);
-        assert_eq!(arr[0]["cat"], "cp_comm");
-        assert_eq!(arr[0]["ts"], 1.5);
-        assert_eq!(arr[0]["dur"], 2.5);
+        assert_eq!(
+            json,
+            "[{\"name\":\"all_gather\",\"cat\":\"cp_comm\",\"ph\":\"X\",\
+             \"ts\":1.5,\"dur\":2.5,\"pid\":2,\"tid\":2}]"
+        );
+    }
+
+    #[test]
+    fn escapes_event_names() {
+        let mut t = Trace::new();
+        t.push(TraceEvent {
+            rank: 0,
+            name: "layer \"q\" \\ proj\n".to_string(),
+            category: EventCategory::Compute,
+            start_ns: 1000,
+            duration_ns: 1000,
+        });
+        let json = to_chrome_json(&t).unwrap();
+        assert!(json.contains(r#""name":"layer \"q\" \\ proj\n""#), "{json}");
+    }
+
+    #[test]
+    fn whole_and_fractional_micros() {
+        let mut s = String::new();
+        push_micros(&mut s, 2000);
+        assert_eq!(s, "2.0");
+        s.clear();
+        push_micros(&mut s, 2050);
+        assert_eq!(s, "2.05");
+        s.clear();
+        push_micros(&mut s, 1);
+        assert_eq!(s, "0.001");
     }
 
     #[test]

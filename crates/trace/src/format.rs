@@ -5,11 +5,10 @@
 //! communication collectives, each tagged with the parallelism dimension
 //! it belongs to. The §6.1 slow-rank analysis consumes these.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Which subsystem an event belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EventCategory {
     /// GPU compute kernels.
     Compute,
@@ -26,7 +25,7 @@ pub enum EventCategory {
 }
 
 /// One timed event on one rank.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Global rank the event executed on.
     pub rank: u32,
@@ -44,7 +43,7 @@ pub struct TraceEvent {
 }
 
 /// A collection of events across ranks.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Trace {
     /// All events, in no particular order.
     pub events: Vec<TraceEvent>,

@@ -10,11 +10,10 @@
 
 use crate::format::{EventCategory, Trace};
 use crate::slowrank::{locate_slow_rank, GroupStructure, SlowRankReport};
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// A complete automatic diagnosis of one trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AutoReport {
     /// The localization result.
     pub slow_rank: SlowRankReport,

@@ -23,10 +23,9 @@
 //! somewhere), with compute time as the tie-breaker.
 
 use crate::format::{EventCategory, Trace};
-use serde::{Deserialize, Serialize};
 
 /// The groups of one parallelism dimension.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DimGroups {
     /// Dimension name (`"dp"`, `"pp"`, `"cp"`, `"tp"`).
     pub name: String,
@@ -38,14 +37,14 @@ pub struct DimGroups {
 
 /// Parallelism structure ordered **outermost dimension first** — the
 /// traversal order of the top-down analysis.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupStructure {
     /// Dimensions, outermost first.
     pub dims: Vec<DimGroups>,
 }
 
 /// One narrowing step of the analysis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NarrowingStep {
     /// Dimension examined.
     pub dim: String,
@@ -60,7 +59,7 @@ pub struct NarrowingStep {
 }
 
 /// Result of the top-down analysis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlowRankReport {
     /// The narrowing steps, outermost dimension first.
     pub steps: Vec<NarrowingStep>,

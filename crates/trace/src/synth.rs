@@ -10,10 +10,9 @@
 
 use crate::format::{Trace, TraceEvent};
 use crate::slowrank::GroupStructure;
-use serde::{Deserialize, Serialize};
 
 /// Specification of a synthetic workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SynthSpec {
     /// Number of ranks (must cover every rank in `structure`).
     pub num_ranks: u32,

@@ -8,10 +8,9 @@
 
 use crate::docgen::DocumentSampler;
 use llm_model::masks::MaskSpec;
-use serde::{Deserialize, Serialize};
 
 /// One training step's worth of sequences.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GlobalBatch {
     /// Sequence length of every sequence.
     pub seq: u64,
@@ -75,7 +74,7 @@ impl GlobalBatch {
 }
 
 /// One data-parallel group's share of a step.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DpBatch {
     /// Sequence length.
     pub seq: u64,
@@ -108,7 +107,7 @@ impl DpBatch {
 }
 
 /// One micro-batch: the unit a pipeline stage executes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MicroBatch {
     /// Sequence length.
     pub seq: u64,

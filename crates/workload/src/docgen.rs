@@ -11,10 +11,9 @@
 use llm_model::masks::MaskSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Document-length distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DocLengthDist {
     /// Every document has exactly this many tokens.
     Fixed(u64),

@@ -6,10 +6,9 @@
 //! flexibility requirements on the pipeline schedule (variable batch
 //! sizes, §3.1.1) and on context parallelism (§4).
 
-use serde::{Deserialize, Serialize};
 
 /// What the phase trains.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PhaseKind {
     /// Text, short context (8 K).
     ShortContext,
@@ -21,7 +20,7 @@ pub enum PhaseKind {
 }
 
 /// One pre-training phase.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainingPhase {
     /// Phase name.
     pub name: String,
