@@ -7,7 +7,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use parallelism_core::planner::{plan, PlannerInput};
 use parallelism_core::pp::balance::BalancePolicy;
 use parallelism_core::pp::schedule::ScheduleKind;
-use parallelism_core::step::SimFidelity;
+use parallelism_core::step::{SimFidelity, SimOptions};
 
 fn bench_step_simulate(c: &mut Criterion) {
     let mut g = c.benchmark_group("step_simulate");
@@ -17,16 +17,17 @@ fn bench_step_simulate(c: &mut Criterion) {
         BalancePolicy::DropFirstAndLast,
         false,
     );
+    let opts = SimOptions::default();
     g.bench_function("scaled_405b_pp4", |b| {
-        b.iter(|| black_box(scaled.simulate().tflops_per_gpu))
+        b.iter(|| black_box(scaled.run(&opts).unwrap().report.tflops_per_gpu))
     });
     let short = production_short_context(16);
     g.bench_function("production_16k_gpus_8k_seq", |b| {
-        b.iter(|| black_box(short.simulate().tflops_per_gpu))
+        b.iter(|| black_box(short.run(&opts).unwrap().report.tflops_per_gpu))
     });
     let long = production_long_context(11);
     g.bench_function("production_16k_gpus_131k_seq", |b| {
-        b.iter(|| black_box(long.simulate().tflops_per_gpu))
+        b.iter(|| black_box(long.run(&opts).unwrap().report.tflops_per_gpu))
     });
     g.finish();
 }
@@ -42,11 +43,13 @@ fn bench_fidelity(c: &mut Criterion) {
         BalancePolicy::DropFirstAndLast,
         false,
     );
+    let folded = SimOptions::new().fidelity(SimFidelity::Folded);
+    let full = SimOptions::new().fidelity(SimFidelity::Full);
     g.bench_function("scaled_405b_folded", |b| {
-        b.iter(|| black_box(step.simulate_at(SimFidelity::Folded).step_time))
+        b.iter(|| black_box(step.run(&folded).unwrap().report.step_time))
     });
     g.bench_function("scaled_405b_full", |b| {
-        b.iter(|| black_box(step.simulate_at(SimFidelity::Full).step_time))
+        b.iter(|| black_box(step.run(&full).unwrap().report.step_time))
     });
     g.finish();
 }

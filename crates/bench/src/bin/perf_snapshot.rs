@@ -17,7 +17,7 @@
 
 use bench_harness::configs::production_8k_gpu_step;
 use parallelism_core::planner::{plan, PlannerInput};
-use parallelism_core::step::SimFidelity;
+use parallelism_core::step::{SimFidelity, SimOptions};
 use sim_engine::fluid::{FluidNet, Transfer};
 use sim_engine::time::SimTime;
 use std::fmt::Write as _;
@@ -53,8 +53,11 @@ fn main() {
 
     // 2. Folded vs full step simulation on the 8 K-GPU 405B step.
     let step = production_8k_gpu_step(16);
-    let (folded_ms, folded) = time_ms(5, || step.simulate_at(SimFidelity::Folded));
-    let (full_ms, full) = time_ms(3, || step.simulate_at(SimFidelity::Full));
+    let folded_opts = SimOptions::new().fidelity(SimFidelity::Folded);
+    let full_opts = SimOptions::new().fidelity(SimFidelity::Full);
+    let (folded_ms, folded) =
+        time_ms(5, || step.run(&folded_opts).expect("valid step").report);
+    let (full_ms, full) = time_ms(3, || step.run(&full_opts).expect("valid step").report);
     let identical = folded == full;
     let speedup = full_ms / folded_ms;
     println!("folded 8K-GPU 405B step     {folded_ms:9.2} ms");

@@ -1,3 +1,4 @@
+
 //! Shared experiment configurations.
 
 use cluster_model::topology::Cluster;
@@ -139,6 +140,7 @@ pub fn doc_mask(seq: u64, seed: u64) -> MaskSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parallelism_core::step::SimOptions;
 
     #[test]
     fn configs_simulate() {
@@ -147,7 +149,7 @@ mod tests {
             BalancePolicy::Uniform,
             false,
         )
-        .simulate();
+        .run(&SimOptions::default()).expect("valid step config").report;
         assert!(r.tflops_per_gpu > 100.0);
     }
 

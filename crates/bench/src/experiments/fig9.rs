@@ -5,6 +5,7 @@ use crate::configs::scaled_405b_step;
 use crate::report::{gib, Table};
 use parallelism_core::pp::balance::BalancePolicy;
 use parallelism_core::pp::schedule::ScheduleKind;
+use parallelism_core::SimOptions;
 
 /// Runs the experiment and returns the report.
 pub fn run() -> String {
@@ -18,7 +19,7 @@ pub fn run() -> String {
         ("all-F-all-B", ScheduleKind::AllFwdAllBwd, 12, 1),
     ] {
         let step = scaled_405b_step(kind, BalancePolicy::DropFirstAndLast, false);
-        let r = step.simulate();
+        let r = step.run(&SimOptions::default()).expect("valid step config").report;
         t.row(&[
             name.to_string(),
             nc.to_string(),
@@ -38,7 +39,7 @@ mod tests {
     #[test]
     fn throughput_and_memory_shapes_hold() {
         let sim = |kind| {
-            scaled_405b_step(kind, BalancePolicy::DropFirstAndLast, false).simulate()
+            scaled_405b_step(kind, BalancePolicy::DropFirstAndLast, false).run(&SimOptions::default()).expect("valid step config").report
         };
         let f1b = sim(ScheduleKind::Flexible { nc: 4 });
         let flex = sim(ScheduleKind::Flexible { nc: 6 });

@@ -7,6 +7,7 @@ use cluster_model::topology::{GlobalRank, TopologySpec};
 use collectives::algorithms::{ring_all_gather_flows, run_stepped};
 use collectives::ProcessGroup;
 use parallelism_core::planner::{candidate_step, PlannerInput};
+use parallelism_core::SimOptions;
 use sim_engine::time::SimTime;
 
 /// §8.1 HBM-capacity what-if: TP 8 vs TP 4 on 2 K GPUs, memory
@@ -18,8 +19,8 @@ pub fn hbm_tp_ablation() -> (f64, f64, u64, u64) {
     let m8 = tp8.peak_memory().into_iter().max().unwrap_or(0);
     let m4 = tp4.peak_memory().into_iter().max().unwrap_or(0);
     (
-        tp8.simulate().tflops_per_gpu,
-        tp4.simulate().tflops_per_gpu,
+        tp8.run(&SimOptions::default()).expect("valid step config").report.tflops_per_gpu,
+        tp4.run(&SimOptions::default()).expect("valid step config").report.tflops_per_gpu,
         m8,
         m4,
     )

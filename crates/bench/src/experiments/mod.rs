@@ -10,6 +10,7 @@ pub mod fig14;
 pub mod fig3;
 pub mod fig4;
 pub mod fig9;
+pub mod goodput;
 pub mod hardware;
 pub mod multimodal;
 pub mod numerics_exp;
@@ -45,6 +46,7 @@ pub fn all() -> Vec<Experiment> {
         Experiment { id: "multimodal", title: "§3.2: multimodal encoder sharding case study", run: multimodal::run },
         Experiment { id: "slowrank", title: "Fig 8/§6.1: top-down slow-rank localization", run: slowrank::run },
         Experiment { id: "numerics", title: "§6.2: numerical parity & FP32 accumulation", run: numerics_exp::run },
+        Experiment { id: "goodput", title: "§6: goodput under faults, checkpoint-interval sweep", run: goodput::run },
         Experiment { id: "hardware", title: "§8: HBM / DVFS / network ablations", run: hardware::run },
     ]
 }

@@ -71,10 +71,16 @@ pub fn run() -> String {
     // The "automatic tool" §6.1 wishes for, run on the same trace.
     let auto = auto_report(&trace, &spec.structure);
     format!(
-        "{}{}\nlocalized culprit: rank {} (injected straggler: rank {culprit})\n\n{}",
+        "{}{}\nlocalized culprit: {} (injected straggler: rank {culprit})\n\n{}",
         obs.render(),
         steps.render(),
-        report.culprit,
+        match report.culprit {
+            Some(r) => format!("rank {r} (confidence {:.2})", report.confidence),
+            None => format!(
+                "none (best candidate rank {} at confidence {:.2})",
+                report.suspect, report.confidence
+            ),
+        },
         auto.render()
     )
 }
@@ -106,6 +112,6 @@ mod tests {
         };
         let trace = synth_trace(&spec);
         let report = locate_slow_rank(&trace, &structure);
-        assert_eq!(report.culprit, culprit, "{:#?}", report.steps);
+        assert_eq!(report.culprit, Some(culprit), "{:#?}", report.steps);
     }
 }

@@ -11,6 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sim_engine::error::SimError;
 
 /// How per-rank slowdowns vary over time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,6 +62,21 @@ impl JitterModel {
             amplitude,
             seed,
         }
+    }
+
+    /// Fallible constructor: like [`JitterModel::new`] but returns an
+    /// error instead of panicking on a bad amplitude.
+    pub fn try_new(kind: JitterKind, amplitude: f64, seed: u64) -> Result<JitterModel, SimError> {
+        if !(amplitude.is_finite() && amplitude >= 0.0) {
+            return Err(SimError::InvalidValue(
+                "jitter amplitude must be finite and >= 0".into(),
+            ));
+        }
+        Ok(JitterModel {
+            kind,
+            amplitude,
+            seed,
+        })
     }
 
     /// A model with no variation (multiplier always exactly 1).

@@ -16,11 +16,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod faults;
 pub mod gpu;
 pub mod jitter;
 pub mod power;
 pub mod topology;
 
+pub use faults::{ClusterHealth, FaultEvent, FaultKind, FaultRates, FaultScope, FaultTimeline};
 pub use gpu::{Dtype, GpuSpec, KernelCost};
 pub use power::{rank_by_cluster_throughput, PowerSizedCluster};
 pub use jitter::{JitterKind, JitterModel};

@@ -10,7 +10,9 @@
 //! * the concrete *link route* between two ranks — consumed by the
 //!   fluid-flow congestion simulator.
 
+use crate::faults::ClusterHealth;
 use crate::gpu::GpuSpec;
+use sim_engine::error::SimError;
 use sim_engine::fluid::{FluidNet, LinkId};
 use sim_engine::time::SimDuration;
 use std::fmt;
@@ -214,6 +216,29 @@ pub struct FluidTopology {
 }
 
 impl FluidTopology {
+    /// Applies a [`ClusterHealth`] snapshot's link degradations: every
+    /// degraded node's NIC and leaf-port links are scaled to the
+    /// event's capacity fraction (§8.2 — a flapped or mis-negotiated
+    /// link slows every ring crossing it). Scaling is multiplicative
+    /// against current capacities, so apply it to a freshly built
+    /// topology; thermal throttles do not touch the network and are
+    /// ignored here.
+    pub fn apply_health(&mut self, health: &ClusterHealth) {
+        for &(node, scale) in &health.degraded_nodes {
+            let node = node as usize;
+            if node >= self.node_up.len() {
+                continue; // outside this fabric; nothing to degrade
+            }
+            self.net.scale_capacity(self.node_up[node], scale);
+            self.net.scale_capacity(self.node_down[node], scale);
+            let g0 = node * self.spec.gpus_per_node as usize;
+            for g in g0..(g0 + self.spec.gpus_per_node as usize).min(self.nic_up.len()) {
+                self.net.scale_capacity(self.nic_up[g], scale);
+                self.net.scale_capacity(self.nic_down[g], scale);
+            }
+        }
+    }
+
     /// The link route from rank `a` to rank `b`.
     pub fn route(&self, a: GlobalRank, b: GlobalRank) -> Vec<LinkId> {
         match self.spec.path_class(a, b) {
@@ -253,11 +278,21 @@ impl Cluster {
     /// # Panics
     /// Panics if `num_gpus` is not a positive multiple of 8.
     pub fn llama3(num_gpus: u32) -> Cluster {
-        assert!(num_gpus > 0 && num_gpus.is_multiple_of(8), "need a multiple of 8 GPUs");
-        Cluster {
+        Cluster::try_llama3(num_gpus).expect("need a multiple of 8 GPUs")
+    }
+
+    /// Fallible form of [`Cluster::llama3`]: returns an error instead
+    /// of panicking when `num_gpus` is not a positive multiple of 8.
+    pub fn try_llama3(num_gpus: u32) -> Result<Cluster, SimError> {
+        if num_gpus == 0 || !num_gpus.is_multiple_of(8) {
+            return Err(SimError::InvalidShape(format!(
+                "cluster size must be a positive multiple of 8, got {num_gpus}"
+            )));
+        }
+        Ok(Cluster {
             gpu: GpuSpec::h100_sxm_hbm3(),
             topology: TopologySpec::llama3_production(num_gpus / 8),
-        }
+        })
     }
 
     /// Number of GPUs.
@@ -345,5 +380,29 @@ mod tests {
         let c = Cluster::llama3(16384);
         assert_eq!(c.num_gpus(), 16384);
         assert_eq!(c.topology.num_leaves(), 128);
+        assert!(Cluster::try_llama3(12).is_err());
+        assert!(Cluster::try_llama3(0).is_err());
+        assert_eq!(Cluster::try_llama3(16384).unwrap(), c);
+    }
+
+    #[test]
+    fn apply_health_degrades_node_links() {
+        use crate::faults::ClusterHealth;
+        let mut ft = spec().build_fluid();
+        let healthy = spec().build_fluid();
+        ft.apply_health(&ClusterHealth::healthy().degrade_node(1, 0.25));
+        // Node 1's links (ranks 8..16) run at a quarter capacity.
+        let route = ft.route(GlobalRank(0), GlobalRank(8));
+        let base = healthy.route(GlobalRank(0), GlobalRank(8));
+        // nic_up of rank 0 is untouched; node_down/nic_down of node 1 scaled.
+        assert_eq!(ft.net.capacity(route[0]), healthy.net.capacity(base[0]));
+        assert!(
+            (ft.net.capacity(route[2]) / healthy.net.capacity(base[2]) - 0.25).abs() < 1e-12
+        );
+        assert!(
+            (ft.net.capacity(route[3]) / healthy.net.capacity(base[3]) - 0.25).abs() < 1e-12
+        );
+        // Out-of-range nodes are ignored rather than panicking.
+        ft.apply_health(&ClusterHealth::healthy().degrade_node(10_000, 0.5));
     }
 }

@@ -100,6 +100,17 @@ pub fn comm_bytes_per_step(
     }
 }
 
+/// Checkpoint shard bytes each rank persists: its `1/fsdp_n` share of
+/// parameters and optimizer state (gradients are not checkpointed —
+/// they are recomputed from data after a restore). Every ZeRO mode
+/// checkpoints the same sharded layout: ranks dump the shards they own
+/// under ZeRO-3, and ZeRO-1/2 distributed checkpointing partitions the
+/// write identically to avoid `fsdp_n` redundant copies.
+pub fn checkpoint_bytes_per_rank(params: u64, policy: PrecisionPolicy, fsdp_n: u64) -> u64 {
+    assert!(fsdp_n > 0, "FSDP group cannot be empty");
+    (params * (policy.param_bytes + policy.optim_bytes)).div_ceil(fsdp_n)
+}
+
 /// The §3.1.3 production rule for combining FSDP with pipeline
 /// parallelism: ZeRO-1 with the 1F1B schedule when `bs ≥ 2·pp` (enough
 /// micro-batches to keep gradients resident cheaply), ZeRO-2 with

@@ -14,6 +14,7 @@
 pub mod cp;
 pub mod multimodal;
 pub mod planner;
+pub mod run;
 pub mod step;
 pub mod fsdp;
 pub mod memory_opt;
@@ -28,5 +29,9 @@ pub use mesh::{Coord4, Dim, Mesh4D};
 pub use pp::{BalancePolicy, PpSchedule, ScheduleKind, StageAssignment};
 pub use multimodal::{EncoderSharding, MultimodalReport, MultimodalStep};
 pub use planner::{plan, Plan, PlanError, PlannerInput};
-pub use step::{ExposedComm, StepModel, StepReport};
+pub use run::{CheckpointPolicy, GoodputLoss, GoodputReport, RunSimulator};
+pub use sim_engine::error::SimError;
+pub use step::{
+    ExposedComm, SimFidelity, SimOptions, StepModel, StepOutcome, StepReport,
+};
 pub use tp::TpPlan;

@@ -8,6 +8,7 @@
 
 use cluster_model::topology::GlobalRank;
 use collectives::ProcessGroup;
+use sim_engine::error::SimError;
 use std::fmt;
 use trace_analysis::{DimGroups, EventCategory, GroupStructure};
 
@@ -89,11 +90,18 @@ impl Mesh4D {
     /// # Panics
     /// Panics if any size is zero.
     pub fn new(tp: u32, cp: u32, pp: u32, dp: u32) -> Mesh4D {
-        assert!(
-            tp > 0 && cp > 0 && pp > 0 && dp > 0,
-            "mesh sizes must be positive"
-        );
-        Mesh4D { tp, cp, pp, dp }
+        Mesh4D::try_new(tp, cp, pp, dp).expect("mesh sizes must be positive")
+    }
+
+    /// Fallible form of [`Mesh4D::new`]: returns an error instead of
+    /// panicking on a zero-sized dimension.
+    pub fn try_new(tp: u32, cp: u32, pp: u32, dp: u32) -> Result<Mesh4D, SimError> {
+        if tp == 0 || cp == 0 || pp == 0 || dp == 0 {
+            return Err(SimError::InvalidShape(format!(
+                "mesh sizes must be positive, got [{tp}, {cp}, {pp}, {dp}]"
+            )));
+        }
+        Ok(Mesh4D { tp, cp, pp, dp })
     }
 
     /// Tensor-parallel size.

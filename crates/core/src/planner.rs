@@ -110,6 +110,15 @@ impl fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
+impl From<PlanError> for sim_engine::error::SimError {
+    fn from(e: PlanError) -> Self {
+        match e {
+            PlanError::Infeasible(m) => sim_engine::error::SimError::Infeasible(m),
+            PlanError::BadInput(m) => sim_engine::error::SimError::InvalidValue(m),
+        }
+    }
+}
+
 fn powers_of_two_up_to(max: u32) -> impl Iterator<Item = u32> {
     (0..31u32).map(|s| 1u32 << s).take_while(move |&p| p <= max)
 }

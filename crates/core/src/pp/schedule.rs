@@ -140,6 +140,12 @@ impl fmt::Display for ScheduleError {
 
 impl std::error::Error for ScheduleError {}
 
+impl From<ScheduleError> for sim_engine::error::SimError {
+    fn from(e: ScheduleError) -> Self {
+        sim_engine::error::SimError::InvalidSchedule(e.to_string())
+    }
+}
+
 impl PpSchedule {
     /// Builds a schedule.
     ///

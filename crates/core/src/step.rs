@@ -21,13 +21,13 @@ use crate::fsdp::{self, ZeroMode};
 use crate::mesh::{Dim, Mesh4D};
 use crate::pp::balance::StageAssignment;
 use crate::pp::schedule::{PpSchedule, ScheduleKind};
-use crate::pp::sim::{
-    lower_pp, lowering_capacity, simulate_pp, PpSimOp, PpSimResult,
-};
+use crate::pp::sim::{lower_pp, lowering_capacity, simulate_pp, PpSimOp};
 use crate::tp::TpPlan;
+use cluster_model::faults::ClusterHealth;
 use cluster_model::gpu::{Dtype, KernelCost};
 use cluster_model::jitter::JitterModel;
 use cluster_model::topology::{Cluster, GlobalRank};
+use sim_engine::error::SimError;
 use collectives::CommCostModel;
 use llm_model::layers::LayerKind;
 use llm_model::masks::MaskSpec;
@@ -72,13 +72,119 @@ pub struct StepModel {
 /// into one task graph with cross-replica DP collectives; it exists to
 /// validate the folding identity and to host per-rank jitter/straggler
 /// injection, where replicas genuinely differ.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SimFidelity {
     /// One representative DP replica + DP collective terms (exact for
     /// jitter-free configurations, and the default).
+    #[default]
     Folded,
     /// Every DP replica lowered explicitly.
     Full,
+}
+
+/// Options for [`StepModel::run`] — the one knob set for healthy,
+/// jittered, faulted and traced step simulation.
+///
+/// The default (`SimOptions::default()`) is a healthy, jitter-free,
+/// folded simulation and produces a report bit-identical to the legacy
+/// `simulate()` entrypoint.
+///
+/// ```
+/// use parallelism_core::step::SimOptions;
+/// use cluster_model::jitter::{JitterKind, JitterModel};
+///
+/// let opts = SimOptions::default()
+///     .jitter(JitterModel::new(JitterKind::Static, 0.05, 42))
+///     .step(3)
+///     .trace(true);
+/// assert!(opts.wants_full());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimOptions {
+    /// How much of the cluster to lower. Requests with per-rank
+    /// variation (jitter, throttled ranks) are promoted to
+    /// [`SimFidelity::Full`] automatically — folding is invalid once
+    /// replicas differ.
+    pub fidelity: SimFidelity,
+    /// Per-rank performance variation (`None` = no jitter).
+    pub jitter: Option<JitterModel>,
+    /// Training-step index sampled by transient jitter.
+    pub step: u64,
+    /// Degraded-cluster state: thermally throttled ranks slow their
+    /// compute via the jitter multiplier path; degraded node links
+    /// stretch inter-node communication (P2P transfers and the exposed
+    /// DP collectives) by the inverse of the worst capacity scale —
+    /// matching the fluid model's behaviour for a ring crossing the
+    /// degraded link (§8.2).
+    pub health: ClusterHealth,
+    /// Also produce a pipeline execution trace (one compute event per
+    /// stage-micro-batch per rank). The trace shows the representative
+    /// healthy replica's schedule.
+    pub trace: bool,
+}
+
+impl SimOptions {
+    /// Healthy, jitter-free, folded, no trace.
+    pub fn new() -> SimOptions {
+        SimOptions::default()
+    }
+
+    /// Sets the lowering fidelity.
+    pub fn fidelity(mut self, fidelity: SimFidelity) -> SimOptions {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Enables per-rank performance variation.
+    pub fn jitter(mut self, jitter: JitterModel) -> SimOptions {
+        self.jitter = Some(jitter);
+        self
+    }
+
+    /// Sets the training-step index sampled by transient jitter.
+    pub fn step(mut self, step: u64) -> SimOptions {
+        self.step = step;
+        self
+    }
+
+    /// Injects a degraded-cluster state (from
+    /// [`cluster_model::faults::FaultTimeline::health_at`] or built by
+    /// hand).
+    pub fn faults(mut self, health: ClusterHealth) -> SimOptions {
+        self.health = health;
+        self
+    }
+
+    /// Requests a pipeline execution trace alongside the report.
+    pub fn trace(mut self, trace: bool) -> SimOptions {
+        self.trace = trace;
+        self
+    }
+
+    /// `true` when the request needs the full (per-replica) lowering:
+    /// explicit [`SimFidelity::Full`], jitter, or throttled ranks.
+    pub fn wants_full(&self) -> bool {
+        self.fidelity == SimFidelity::Full
+            || self.jitter.is_some_and(|j| j.amplitude > 0.0)
+            || !self.health.throttled.is_empty()
+    }
+
+    /// Inter-node communication stretch factor implied by the degraded
+    /// links (1.0 when healthy).
+    fn comm_stretch(&self) -> f64 {
+        1.0 / self.health.worst_link_scale()
+    }
+}
+
+/// What [`StepModel::run`] returns: the step report plus the optional
+/// execution trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome {
+    /// Step-level metrics.
+    pub report: StepReport,
+    /// Pipeline execution trace, present iff [`SimOptions::trace`] was
+    /// requested.
+    pub trace: Option<trace_analysis::Trace>,
 }
 
 /// Exposed-communication breakdown of one step.
@@ -149,10 +255,17 @@ impl StepModel {
     ///
     /// # Panics
     /// Panics if the schedule parameters are invalid (the fields are
-    /// validated at construction in practice).
+    /// validated at construction in practice). Prefer
+    /// [`StepModel::schedule`] in fallible contexts.
     pub fn build_schedule(&self) -> PpSchedule {
+        self.schedule().expect("valid schedule parameters")
+    }
+
+    /// Builds the pipeline schedule for this step, reporting invalid
+    /// parameters as [`SimError::InvalidSchedule`].
+    pub fn schedule(&self) -> Result<PpSchedule, SimError> {
         PpSchedule::build(self.schedule, self.mesh.pp(), self.assignment.v, self.nmb())
-            .expect("valid schedule parameters")
+            .map_err(|e| SimError::InvalidSchedule(e.to_string()))
     }
 
     fn comm_model(&self) -> CommCostModel {
@@ -359,8 +472,9 @@ impl StepModel {
         // inflated by the analytic bubble.
         let work = per_mb * self.nmb() as u64 / self.mesh.pp() as u64;
         let bubble = sched.analytic_bubble_ratio();
-        let step_time = work.scale(1.0 + bubble) + self.dp_exposed();
-        self.report_from(step_time, vec![bubble; self.mesh.pp() as usize], &times, None)
+        let dp_cost = self.dp_exposed();
+        let step_time = work.scale(1.0 + bubble) + dp_cost;
+        self.report_from(step_time, vec![bubble; self.mesh.pp() as usize], &times, dp_cost)
     }
 
     /// Per-stage table costs for the pipeline lowering.
@@ -372,6 +486,39 @@ impl StepModel {
         }
     }
 
+    /// The unified simulation entrypoint: healthy, jittered, faulted
+    /// and traced simulation are all the same code path, selected by
+    /// [`SimOptions`].
+    ///
+    /// `run(&SimOptions::default())` is bit-identical to the legacy
+    /// `simulate()`. Requests with per-rank variation (jitter or
+    /// throttled ranks) are automatically promoted to
+    /// [`SimFidelity::Full`]; degraded links stretch inter-node
+    /// communication (P2P and exposed DP) by `1 / worst_link_scale`.
+    ///
+    /// # Errors
+    /// [`SimError::InvalidSchedule`] for bad schedule parameters,
+    /// [`SimError::Deadlock`] if the lowered graph cannot run.
+    pub fn run(&self, opts: &SimOptions) -> Result<StepOutcome, SimError> {
+        let stretch = opts.comm_stretch();
+        if !(stretch.is_finite() && stretch >= 1.0) {
+            return Err(SimError::InvalidValue(format!(
+                "link capacity scales must be in (0, 1], implied stretch {stretch}"
+            )));
+        }
+        let report = if opts.wants_full() {
+            self.full_report(opts.jitter.as_ref().map(|j| (j, opts.step)), &opts.health)?
+        } else {
+            self.folded_report(stretch)?
+        };
+        let trace = if opts.trace {
+            Some(self.build_trace()?)
+        } else {
+            None
+        };
+        Ok(StepOutcome { report, trace })
+    }
+
     /// Timing-graph simulation of the schedule (per-stage table costs,
     /// P2P transfers, memory replay) at [`SimFidelity::Folded`] — the
     /// default, exact for jitter-free configurations.
@@ -379,23 +526,24 @@ impl StepModel {
     /// # Panics
     /// Panics if the schedule deadlocks — impossible for schedules
     /// produced by [`PpSchedule::build`].
+    #[deprecated(note = "use StepModel::run(&SimOptions::default())")]
     pub fn simulate(&self) -> StepReport {
-        self.simulate_at(SimFidelity::Folded)
+        self.folded_report(1.0).expect("built schedules cannot deadlock")
     }
 
     /// Timing-graph simulation at an explicit fidelity. Folded and Full
-    /// produce identical reports for jitter-free configurations; Full
-    /// additionally supports per-rank slowdowns via
-    /// [`StepModel::simulate_jittered`].
+    /// produce identical reports for jitter-free configurations.
     ///
     /// # Panics
     /// Panics if the schedule deadlocks — impossible for schedules
     /// produced by [`PpSchedule::build`].
+    #[deprecated(note = "use StepModel::run with SimOptions::new().fidelity(..)")]
     pub fn simulate_at(&self, fidelity: SimFidelity) -> StepReport {
         match fidelity {
-            SimFidelity::Folded => self.simulate_folded(),
-            SimFidelity::Full => self.simulate_full(None),
+            SimFidelity::Folded => self.folded_report(1.0),
+            SimFidelity::Full => self.full_report(None, &ClusterHealth::healthy()),
         }
+        .expect("built schedules cannot deadlock")
     }
 
     /// Full-fidelity simulation with per-rank performance variation:
@@ -407,27 +555,43 @@ impl StepModel {
     /// # Panics
     /// Panics if the schedule deadlocks — impossible for schedules
     /// produced by [`PpSchedule::build`].
+    #[deprecated(note = "use StepModel::run with SimOptions::new().jitter(..).step(..)")]
     pub fn simulate_jittered(&self, jitter: &JitterModel, step: u64) -> StepReport {
-        self.simulate_full(Some((jitter, step)))
+        self.full_report(Some((jitter, step)), &ClusterHealth::healthy())
+            .expect("built schedules cannot deadlock")
     }
 
-    fn simulate_folded(&self) -> StepReport {
+    fn folded_report(&self, comm_stretch: f64) -> Result<StepReport, SimError> {
         let times = self.stage_times();
-        let sched = self.build_schedule();
-        let costs = self.pp_costs(&times);
-        let result = simulate_pp(&sched, &costs).expect("built schedules cannot deadlock");
+        let sched = self.schedule()?;
+        let mut costs = self.pp_costs(&times);
+        let mut dp_cost = self.dp_exposed();
+        if comm_stretch != 1.0 {
+            costs.p2p = costs.p2p.scale(comm_stretch);
+            dp_cost = dp_cost.scale(comm_stretch);
+        }
+        let result = simulate_pp(&sched, &costs)?;
         let bubbles: Vec<f64> = (0..self.mesh.pp()).map(|r| result.bubble_ratio(r)).collect();
-        let step_time = result.makespan + self.dp_exposed();
-        self.report_from(step_time, bubbles, &times, Some(&result))
+        let step_time = result.makespan + dp_cost;
+        Ok(self.report_from(step_time, bubbles, &times, dp_cost))
     }
 
-    fn simulate_full(&self, jitter: Option<(&JitterModel, u64)>) -> StepReport {
+    fn full_report(
+        &self,
+        jitter: Option<(&JitterModel, u64)>,
+        health: &ClusterHealth,
+    ) -> Result<StepReport, SimError> {
         let times = self.stage_times();
-        let sched = self.build_schedule();
-        let costs = self.pp_costs(&times);
+        let sched = self.schedule()?;
+        let mut costs = self.pp_costs(&times);
         let dp = self.mesh.dp();
         let pp = self.mesh.pp() as usize;
-        let dp_cost = self.dp_exposed();
+        let comm_stretch = 1.0 / health.worst_link_scale();
+        let mut dp_cost = self.dp_exposed();
+        if comm_stretch != 1.0 {
+            costs.p2p = costs.p2p.scale(comm_stretch);
+            dp_cost = dp_cost.scale(comm_stretch);
+        }
 
         // One task graph holding every DP replica's pipeline plus one
         // DP collective per pipeline rank spanning all replicas.
@@ -436,17 +600,20 @@ impl StepModel {
             ops_per_replica * dp as usize + pp,
             streams_per_replica * dp as usize,
         );
+        let vary = jitter.is_some() || !health.throttled.is_empty();
         let mut replicas = Vec::with_capacity(dp as usize);
         for d in 0..dp {
-            let scales: Vec<f64> = match jitter {
-                None => Vec::new(),
-                Some((j, step)) => (0..pp as u32)
+            let scales: Vec<f64> = if !vary {
+                Vec::new()
+            } else {
+                (0..pp as u32)
                     .map(|r| {
                         let rank =
                             r * self.mesh.stride(Dim::Pp) + d * self.mesh.stride(Dim::Dp);
-                        j.multiplier(rank, step)
+                        let j = jitter.map_or(1.0, |(j, step)| j.multiplier(rank, step));
+                        j * health.compute_multiplier(rank)
                     })
-                    .collect(),
+                    .collect()
             };
             replicas.push(lower_pp(&mut g, &sched, &costs, &scales, |op| (d, op)));
         }
@@ -458,7 +625,7 @@ impl StepModel {
             g.add_op((u32::MAX, PpSimOp::Transfer), dp_cost, streams, []);
         }
 
-        let run = g.execute().expect("built schedules cannot deadlock");
+        let run = g.execute()?;
         let step_time = run.makespan();
 
         // Per-replica bubble accounting against the replica-local
@@ -493,7 +660,7 @@ impl StepModel {
                     .fold(0.0, f64::max)
             })
             .collect();
-        self.report_from(step_time, bubbles, &times, None)
+        Ok(self.report_from(step_time, bubbles, &times, dp_cost))
     }
 
     /// Runs the timing-graph simulation and additionally emits a
@@ -504,13 +671,19 @@ impl StepModel {
     /// # Panics
     /// Panics if the schedule deadlocks (impossible for built
     /// schedules).
+    #[deprecated(note = "use StepModel::run with SimOptions::new().trace(true)")]
     pub fn simulate_with_trace(&self) -> (StepReport, trace_analysis::Trace) {
+        let report = self.folded_report(1.0).expect("built schedules cannot deadlock");
+        let trace = self.build_trace().expect("built schedules cannot deadlock");
+        (report, trace)
+    }
+
+    fn build_trace(&self) -> Result<trace_analysis::Trace, SimError> {
         use trace_analysis::{EventCategory, Trace, TraceEvent};
-        let report = self.simulate();
         let times = self.stage_times();
-        let sched = self.build_schedule();
+        let sched = self.schedule()?;
         let costs = self.pp_costs(&times);
-        let result = simulate_pp(&sched, &costs).expect("built schedules cannot deadlock");
+        let result = simulate_pp(&sched, &costs)?;
         let mut trace = Trace::new();
         for (rank, (ops, op_times)) in sched.ranks.iter().zip(&result.op_times).enumerate() {
             for (op, &(start, end)) in ops.iter().zip(op_times) {
@@ -523,7 +696,7 @@ impl StepModel {
                 });
             }
         }
-        (report, trace)
+        Ok(trace)
     }
 
     fn report_from(
@@ -531,14 +704,14 @@ impl StepModel {
         step_time: SimDuration,
         bubble_ratio: Vec<f64>,
         times: &StageTimes,
-        _sim: Option<&PpSimResult>,
+        dp_exposed: SimDuration,
     ) -> StepReport {
         let nmb = self.nmb() as u64;
         let exposed = ExposedComm {
             tp: times.tp_total * nmb / self.mesh.pp() as u64,
             cp: times.cp_total * nmb / self.mesh.pp() as u64,
             cp_sync_wait: times.cp_wait * nmb / self.mesh.pp() as u64,
-            dp: self.dp_exposed(),
+            dp: dp_exposed,
         };
         let tokens = self.seq * self.bs as u64 * self.mesh.dp() as u64;
         let flops = self.model_flops_per_step();
@@ -609,6 +782,16 @@ mod tests {
     use crate::pp::balance::BalancePolicy;
     use llm_model::TransformerConfig;
 
+    /// Default-options run, unwrapped to the report.
+    trait RunDefault {
+        fn pipe_sim(&self) -> StepReport;
+    }
+    impl RunDefault for StepModel {
+        fn pipe_sim(&self) -> StepReport {
+            self.run(&SimOptions::default()).unwrap().report
+        }
+    }
+
     /// A scaled-down 405B on a small cluster (the §7.1 experimental
     /// setup): 28 full-dimension layers, pp = 4, one layer per virtual
     /// stage (v = 7), bs = 12.
@@ -642,7 +825,7 @@ mod tests {
             BalancePolicy::Uniform,
             false,
         );
-        let r = m.simulate();
+        let r = m.pipe_sim();
         assert!(r.step_time > SimDuration::ZERO);
         assert!(r.tflops_per_gpu > 50.0, "tflops {}", r.tflops_per_gpu);
         assert!(r.tflops_per_gpu < 600.0, "tflops {}", r.tflops_per_gpu);
@@ -655,7 +838,7 @@ mod tests {
     fn fig9_schedule_ordering() {
         // AFAB ≥ flexible(nc 6) ≥ 1F1B(nc 4) in throughput; reversed in
         // peak memory (Fig 9).
-        let t = |k| scaled_step(k, BalancePolicy::Uniform, false).simulate();
+        let t = |k| scaled_step(k, BalancePolicy::Uniform, false).pipe_sim();
         let r_1f1b = t(ScheduleKind::Flexible { nc: 4 });
         let r_flex = t(ScheduleKind::Flexible { nc: 6 });
         let r_afab = t(ScheduleKind::AllFwdAllBwd);
@@ -687,13 +870,13 @@ mod tests {
             BalancePolicy::Uniform,
             false,
         )
-        .simulate();
+        .pipe_sim();
         let bal = scaled_step(
             ScheduleKind::Flexible { nc: 4 },
             BalancePolicy::DropFirstAndLast,
             false,
         )
-        .simulate();
+        .pipe_sim();
         assert!(
             bal.max_peak_memory() < uni.max_peak_memory(),
             "balanced {} vs uniform {}",
@@ -710,13 +893,13 @@ mod tests {
             BalancePolicy::Uniform,
             false,
         )
-        .simulate();
+        .pipe_sim();
         let on = scaled_step(
             ScheduleKind::Flexible { nc: 4 },
             BalancePolicy::Uniform,
             true,
         )
-        .simulate();
+        .pipe_sim();
         assert!(on.max_peak_memory() < off.max_peak_memory());
         assert!(on.tflops_per_gpu < off.tflops_per_gpu);
     }
@@ -741,7 +924,7 @@ mod tests {
             false,
         );
         let est = m.estimate();
-        let sim = m.simulate();
+        let sim = m.pipe_sim();
         let ratio = est.step_time.as_secs_f64() / sim.step_time.as_secs_f64();
         assert!((0.6..1.4).contains(&ratio), "estimate off by {ratio}");
     }
@@ -756,11 +939,11 @@ mod tests {
         m.mesh = Mesh4D::new(8, 4, 4, 2);
         m.cluster = Cluster::llama3(m.mesh.num_gpus());
         m.seq = 32768;
-        let causal = m.simulate();
+        let causal = m.pipe_sim();
         m.mask = MaskSpec::document(vec![
             16384, 1024, 1024, 2048, 512, 512, 1024, 1024, 512, 4096, 512, 3072, 1024,
         ]);
-        let doc = m.simulate();
+        let doc = m.pipe_sim();
         assert!(doc.exposed.cp_sync_wait > causal.exposed.cp_sync_wait);
     }
 
@@ -786,8 +969,8 @@ mod tests {
     fn folded_equals_full_8b() {
         let m = folding_case(TransformerConfig::llama3_8b(), Mesh4D::new(4, 1, 2, 4), 4, 8);
         assert_eq!(
-            m.simulate_at(SimFidelity::Folded),
-            m.simulate_at(SimFidelity::Full)
+            m.run(&SimOptions::default()).unwrap().report,
+            m.run(&SimOptions::new().fidelity(SimFidelity::Full)).unwrap().report
         );
     }
 
@@ -795,8 +978,8 @@ mod tests {
     fn folded_equals_full_70b() {
         let m = folding_case(TransformerConfig::llama3_70b(), Mesh4D::new(4, 1, 4, 2), 5, 8);
         assert_eq!(
-            m.simulate_at(SimFidelity::Folded),
-            m.simulate_at(SimFidelity::Full)
+            m.run(&SimOptions::default()).unwrap().report,
+            m.run(&SimOptions::new().fidelity(SimFidelity::Full)).unwrap().report
         );
     }
 
@@ -809,8 +992,8 @@ mod tests {
             12,
         );
         assert_eq!(
-            m.simulate_at(SimFidelity::Folded),
-            m.simulate_at(SimFidelity::Full)
+            m.run(&SimOptions::default()).unwrap().report,
+            m.run(&SimOptions::new().fidelity(SimFidelity::Full)).unwrap().report
         );
     }
 
@@ -821,8 +1004,11 @@ mod tests {
             BalancePolicy::Uniform,
             false,
         );
-        let jittered = m.simulate_jittered(&JitterModel::none(), 0);
-        assert_eq!(jittered, m.simulate());
+        let jittered = m
+            .run(&SimOptions::new().fidelity(SimFidelity::Full).jitter(JitterModel::none()))
+            .unwrap()
+            .report;
+        assert_eq!(jittered, m.pipe_sim());
     }
 
     #[test]
@@ -833,9 +1019,9 @@ mod tests {
             BalancePolicy::Uniform,
             false,
         );
-        let baseline = m.simulate();
+        let baseline = m.pipe_sim();
         let j = JitterModel::new(JitterKind::Static, 0.10, 42);
-        let jittered = m.simulate_jittered(&j, 0);
+        let jittered = m.run(&SimOptions::new().jitter(j)).unwrap().report;
         assert!(
             jittered.step_time > baseline.step_time,
             "jittered {:?} ≤ baseline {:?}",
@@ -847,5 +1033,117 @@ mod tests {
         let ratio =
             jittered.step_time.as_secs_f64() / baseline.step_time.as_secs_f64();
         assert!(ratio < 1.12, "slowdown {ratio} exceeds amplitude bound");
+    }
+
+    #[test]
+    fn throttled_rank_slows_the_whole_step() {
+        let m = scaled_step(
+            ScheduleKind::Flexible { nc: 4 },
+            BalancePolicy::Uniform,
+            false,
+        );
+        let baseline = m.pipe_sim();
+        let throttled = m
+            .run(&SimOptions::new().faults(ClusterHealth::healthy().throttle(0, 1.15)))
+            .unwrap()
+            .report;
+        assert!(throttled.step_time > baseline.step_time);
+        let ratio = throttled.step_time.as_secs_f64() / baseline.step_time.as_secs_f64();
+        assert!(ratio < 1.17, "slowdown {ratio} exceeds throttle bound");
+        // A rank outside the lowered slice's jitter mapping still exists;
+        // throttling a rank that maps to no pipeline rank leaves the step
+        // unchanged.
+        let elsewhere = m
+            .run(&SimOptions::new().faults(ClusterHealth::healthy().throttle(3, 1.15)))
+            .unwrap()
+            .report;
+        assert!(elsewhere.step_time <= throttled.step_time);
+    }
+
+    #[test]
+    fn degraded_link_stretches_communication() {
+        let m = scaled_step(
+            ScheduleKind::Flexible { nc: 4 },
+            BalancePolicy::Uniform,
+            false,
+        );
+        let baseline = m.pipe_sim();
+        let degraded = m
+            .run(&SimOptions::new().faults(ClusterHealth::healthy().degrade_node(0, 0.25)))
+            .unwrap()
+            .report;
+        assert!(
+            degraded.step_time > baseline.step_time,
+            "degraded {:?} ≤ baseline {:?}",
+            degraded.step_time,
+            baseline.step_time
+        );
+        // 4× stretch applies to exposed DP exactly.
+        assert_eq!(degraded.exposed.dp, baseline.exposed.dp.scale(4.0));
+        // Degradation alone stays on the folded path (replicas identical).
+        let full = m
+            .run(
+                &SimOptions::new()
+                    .fidelity(SimFidelity::Full)
+                    .faults(ClusterHealth::healthy().degrade_node(0, 0.25)),
+            )
+            .unwrap()
+            .report;
+        assert_eq!(degraded, full);
+    }
+
+    #[test]
+    fn trace_rides_along_with_any_run() {
+        let m = scaled_step(
+            ScheduleKind::Flexible { nc: 4 },
+            BalancePolicy::Uniform,
+            false,
+        );
+        let plain = m.run(&SimOptions::default()).unwrap();
+        assert!(plain.trace.is_none());
+        let traced = m.run(&SimOptions::new().trace(true)).unwrap();
+        let trace = traced.trace.expect("trace requested");
+        assert!(!trace.events.is_empty());
+        assert_eq!(traced.report, plain.report);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_run() {
+        let m = scaled_step(
+            ScheduleKind::Flexible { nc: 4 },
+            BalancePolicy::Uniform,
+            false,
+        );
+        assert_eq!(m.simulate(), m.pipe_sim());
+        assert_eq!(
+            m.simulate_at(SimFidelity::Full),
+            m.run(&SimOptions::new().fidelity(SimFidelity::Full))
+                .unwrap()
+                .report
+        );
+        let j = JitterModel::new(cluster_model::jitter::JitterKind::Static, 0.05, 9);
+        assert_eq!(
+            m.simulate_jittered(&j, 2),
+            m.run(&SimOptions::new().jitter(j).step(2)).unwrap().report
+        );
+        let (rep, trace) = m.simulate_with_trace();
+        let out = m.run(&SimOptions::new().trace(true)).unwrap();
+        assert_eq!(rep, out.report);
+        assert_eq!(trace.events.len(), out.trace.unwrap().events.len());
+    }
+
+    #[test]
+    fn invalid_schedule_surfaces_as_error() {
+        let mut m = scaled_step(
+            ScheduleKind::Flexible { nc: 4 },
+            BalancePolicy::Uniform,
+            false,
+        );
+        m.schedule = ScheduleKind::Flexible { nc: 99 }; // nc > nmb
+        match m.run(&SimOptions::default()) {
+            Err(SimError::InvalidSchedule(msg)) => assert!(msg.contains("nc")),
+            other => panic!("expected InvalidSchedule, got {other:?}"),
+        }
     }
 }

@@ -111,6 +111,33 @@ impl FluidNet {
         self.capacities.len()
     }
 
+    /// Overwrites a link's capacity (bytes/second). Used by fault
+    /// injection to degrade or restore a link in place.
+    ///
+    /// # Panics
+    /// Panics if the link does not exist.
+    pub fn set_capacity(&mut self, link: LinkId, bytes_per_sec: f64) {
+        self.capacities[link.0 as usize] = bytes_per_sec;
+    }
+
+    /// Multiplies a link's capacity by `factor` — the degraded-link
+    /// fault model: a NIC flap or mis-negotiated link runs at a
+    /// fraction of nominal bandwidth, and every flow crossing it slows
+    /// down under the max-min allocation. A factor of `0.0` kills the
+    /// link (transfers routed over it then return
+    /// [`FluidError::DeadLink`]).
+    ///
+    /// # Panics
+    /// Panics if the link does not exist or `factor` is negative or
+    /// non-finite.
+    pub fn scale_capacity(&mut self, link: LinkId, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "capacity scale must be finite and >= 0"
+        );
+        self.capacities[link.0 as usize] *= factor;
+    }
+
     /// Capacity of a link in bytes/second.
     pub fn capacity(&self, link: LinkId) -> f64 {
         self.capacities[link.0 as usize]
@@ -473,6 +500,40 @@ mod tests {
             let d = (fast[i].finish.as_secs_f64() - slow[i].finish.as_secs_f64()).abs();
             assert!(d < 1e-6, "transfer {i} differs by {d}s");
         }
+    }
+
+    #[test]
+    fn degraded_link_slows_crossing_flows() {
+        // The §8.2 degraded-link scenario: scaling one link's capacity
+        // to 25 % stretches a transfer crossing it 4×, while a flow on
+        // a healthy link is unaffected.
+        let mut net = FluidNet::new();
+        let bad = net.add_link(100.0);
+        let good = net.add_link(100.0);
+        net.scale_capacity(bad, 0.25);
+        assert!((net.capacity(bad) - 25.0).abs() < 1e-9);
+        let out = net
+            .run(vec![
+                Transfer { route: vec![bad], bytes: 100.0, start: SimTime::ZERO },
+                Transfer { route: vec![good], bytes: 100.0, start: SimTime::ZERO },
+            ])
+            .unwrap();
+        assert!((out[0].finish.as_secs_f64() - 4.0).abs() < 1e-6);
+        assert!((out[1].finish.as_secs_f64() - 1.0).abs() < 1e-6);
+        // Restoring the capacity restores the rate.
+        net.set_capacity(bad, 100.0);
+        assert!((net.capacity(bad) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_failed_link_is_dead() {
+        let mut net = FluidNet::new();
+        let l = net.add_link(100.0);
+        net.scale_capacity(l, 0.0);
+        let err = net
+            .run(vec![Transfer { route: vec![l], bytes: 1.0, start: SimTime::ZERO }])
+            .unwrap_err();
+        assert_eq!(err, FluidError::DeadLink(l));
     }
 
     #[test]

@@ -41,12 +41,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod error;
 pub mod fluid;
 pub mod graph;
 pub mod memory;
 pub mod stats;
 pub mod time;
 
+pub use error::SimError;
 pub use fluid::{FluidNet, Transfer, TransferOutcome};
 pub use graph::{ExecutedGraph, GraphError, OpId, OpRecord, StreamId, TaskGraph};
 pub use memory::{MemoryTracker, PoolId};

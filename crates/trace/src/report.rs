@@ -21,19 +21,19 @@ pub struct AutoReport {
     /// order, where the comm vector follows the structure's dimension
     /// order.
     pub rank_totals: Vec<(u32, u64, Vec<u64>)>,
-    /// For the culprit: its compute time relative to the population
+    /// For the suspect: its compute time relative to the population
     /// median (> 1 supports a genuine compute straggler).
-    pub culprit_compute_ratio: f64,
-    /// For the culprit: its total communication time relative to the
+    pub suspect_compute_ratio: f64,
+    /// For the suspect: its total communication time relative to the
     /// population median (< 1 supports "everyone waits for it").
-    pub culprit_comm_ratio: f64,
+    pub suspect_comm_ratio: f64,
 }
 
 impl AutoReport {
-    /// `true` when the evidence is internally consistent: the culprit
+    /// `true` when the evidence is internally consistent: the suspect
     /// computes more and waits less than the median rank.
     pub fn evidence_consistent(&self) -> bool {
-        self.culprit_compute_ratio >= 1.0 && self.culprit_comm_ratio <= 1.0
+        self.suspect_compute_ratio >= 1.0 && self.suspect_comm_ratio <= 1.0
     }
 
     /// Renders a human-readable diagnostic.
@@ -53,18 +53,34 @@ impl AutoReport {
                 step.survivors
             );
         }
-        let _ = writeln!(
-            out,
-            "  culprit: rank {} (compute {:.2}x median, comm {:.2}x median{})",
-            self.slow_rank.culprit,
-            self.culprit_compute_ratio,
-            self.culprit_comm_ratio,
-            if self.evidence_consistent() {
-                "; evidence consistent"
-            } else {
-                "; WARNING: evidence inconsistent — inspect manually"
+        match self.slow_rank.culprit {
+            Some(rank) => {
+                let _ = writeln!(
+                    out,
+                    "  culprit: rank {} (confidence {:.2}, compute {:.2}x median, \
+                     comm {:.2}x median{})",
+                    rank,
+                    self.slow_rank.confidence,
+                    self.suspect_compute_ratio,
+                    self.suspect_comm_ratio,
+                    if self.evidence_consistent() {
+                        "; evidence consistent"
+                    } else {
+                        "; WARNING: evidence inconsistent — inspect manually"
+                    }
+                );
             }
-        );
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  no clear slow rank (best candidate: rank {} at confidence \
+                     {:.2}, below the {:.2} threshold) — skew is within noise",
+                    self.slow_rank.suspect,
+                    self.slow_rank.confidence,
+                    crate::slowrank::CULPRIT_CONFIDENCE_THRESHOLD,
+                );
+            }
+        }
         out
     }
 }
@@ -108,21 +124,21 @@ pub fn auto_report(trace: &Trace, structure: &GroupStructure) -> AutoReport {
             .map(|(_, _, comm)| comm.iter().sum::<u64>())
             .collect(),
     );
-    let culprit = slow_rank.culprit;
+    let suspect = slow_rank.suspect;
     let (_, c_compute, c_comm) = rank_totals
         .iter()
-        .find(|(r, _, _)| *r == culprit)
+        .find(|(r, _, _)| *r == suspect)
         .cloned()
-        .expect("culprit present in trace");
+        .expect("suspect present in trace");
     AutoReport {
         slow_rank,
         rank_totals,
-        culprit_compute_ratio: if med_compute > 0.0 {
+        suspect_compute_ratio: if med_compute > 0.0 {
             c_compute as f64 / med_compute
         } else {
             1.0
         },
-        culprit_comm_ratio: if med_comm > 0.0 {
+        suspect_comm_ratio: if med_comm > 0.0 {
             c_comm.iter().sum::<u64>() as f64 / med_comm
         } else {
             1.0
@@ -165,9 +181,9 @@ mod tests {
         };
         let trace = synth_trace(&spec);
         let report = auto_report(&trace, &spec.structure);
-        assert_eq!(report.slow_rank.culprit, 6);
-        assert!(report.culprit_compute_ratio > 1.5);
-        assert!(report.culprit_comm_ratio < 1.0);
+        assert_eq!(report.slow_rank.culprit, Some(6));
+        assert!(report.suspect_compute_ratio > 1.5);
+        assert!(report.suspect_comm_ratio < 1.0);
         assert!(report.evidence_consistent());
         let text = report.render();
         assert!(text.contains("culprit: rank 6"));
@@ -192,6 +208,23 @@ mod tests {
             .rank_totals
             .iter()
             .all(|(_, compute, _)| *compute > 0));
+    }
+
+    #[test]
+    fn healthy_trace_renders_no_clear_slow_rank() {
+        let spec = SynthSpec {
+            num_ranks: 8,
+            rounds: 2,
+            base_compute_ns: 50_000,
+            straggler: None,
+            structure: structure(),
+            seed: 5,
+        };
+        let trace = synth_trace(&spec);
+        let report = auto_report(&trace, &spec.structure);
+        assert_eq!(report.slow_rank.culprit, None);
+        let text = report.render();
+        assert!(text.contains("no clear slow rank"), "{text}");
     }
 
     #[test]

@@ -63,8 +63,19 @@ pub struct NarrowingStep {
 pub struct SlowRankReport {
     /// The narrowing steps, outermost dimension first.
     pub steps: Vec<NarrowingStep>,
-    /// The rank identified as the root-cause straggler.
-    pub culprit: u32,
+    /// The rank identified as the root-cause straggler, or `None` when
+    /// the trace shows no rank waiting decisively less than its peers —
+    /// a healthy, straggler-free step also produces skew noise, and
+    /// naming a rank there would be a false positive.
+    pub culprit: Option<u32>,
+    /// The best candidate by the least-waits rule, even when the signal
+    /// was too weak to name it as [`SlowRankReport::culprit`].
+    pub suspect: u32,
+    /// How decisively the suspect separates from the rest:
+    /// `1 − suspect_comm / mean_other_comm`, clamped to `[0, 1]`. A
+    /// genuine straggler's victims wait for it in every collective, so
+    /// real slowdowns score near 1; healthy traces score near 0.
+    pub confidence: f64,
 }
 
 /// A group's skew must exceed the runner-up by this factor to be
@@ -73,6 +84,12 @@ pub struct SlowRankReport {
 /// has already propagated to everyone — §6.1's "the first rank where a
 /// problem is observed is often not the true source").
 const DECISIVE_SKEW_RATIO: f64 = 1.10;
+
+/// Minimum [`SlowRankReport::confidence`] for the suspect to be named
+/// as the culprit: it must wait less than half of what its peers
+/// average. Synthetic healthy traces score well below this; a ≥1.5×
+/// straggler scores well above it.
+pub const CULPRIT_CONFIDENCE_THRESHOLD: f64 = 0.5;
 
 /// Runs the §6.1 top-down analysis. See the module docs for the
 /// algorithm.
@@ -141,7 +158,7 @@ pub fn locate_slow_rank(trace: &Trace, structure: &GroupStructure) -> SlowRankRe
     // dimensions; ties go to the rank with the most compute time.
     let comm_cats: Vec<EventCategory> = structure.dims.iter().map(|d| d.category).collect();
     let total_comm = |r: u32| -> u64 { comm_cats.iter().map(|&c| trace.rank_total(r, c)).sum() };
-    let culprit = *candidates
+    let suspect = *candidates
         .iter()
         .min_by(|&&a, &&b| {
             total_comm(a).cmp(&total_comm(b)).then_with(|| {
@@ -152,7 +169,34 @@ pub fn locate_slow_rank(trace: &Trace, structure: &GroupStructure) -> SlowRankRe
         })
         .expect("non-empty candidates");
 
-    SlowRankReport { steps, culprit }
+    // True-negative detection: a real straggler waits far less than
+    // everyone who waits *for* it. Compare the suspect against the mean
+    // of all other ranks in the trace (victims everywhere wait, not
+    // just the surviving candidates).
+    let others: Vec<u64> = trace
+        .ranks()
+        .into_iter()
+        .filter(|&r| r != suspect)
+        .map(total_comm)
+        .collect();
+    let confidence = if others.is_empty() {
+        0.0
+    } else {
+        let mean = others.iter().sum::<u64>() as f64 / others.len() as f64;
+        if mean <= 0.0 {
+            0.0
+        } else {
+            (1.0 - total_comm(suspect) as f64 / mean).clamp(0.0, 1.0)
+        }
+    };
+    let culprit = (confidence >= CULPRIT_CONFIDENCE_THRESHOLD).then_some(suspect);
+
+    SlowRankReport {
+        steps,
+        culprit,
+        suspect,
+        confidence,
+    }
 }
 
 #[cfg(test)]
@@ -203,7 +247,8 @@ mod tests {
             );
         }
         let report = locate_slow_rank(&trace, &spec.structure);
-        assert_eq!(report.culprit, 6, "steps: {:#?}", report.steps);
+        assert_eq!(report.culprit, Some(6), "steps: {:#?}", report.steps);
+        assert!(report.confidence >= CULPRIT_CONFIDENCE_THRESHOLD);
         // The CP step narrowed to the pair {2, 6}.
         assert_eq!(report.steps[0].dim, "cp");
         assert_eq!(report.steps[0].survivors, vec![2, 6]);
@@ -222,23 +267,50 @@ mod tests {
             };
             let trace = synth_trace(&spec);
             let report = locate_slow_rank(&trace, &spec.structure);
-            assert_eq!(report.culprit, culprit);
+            assert_eq!(report.culprit, Some(culprit));
         }
     }
 
     #[test]
-    fn no_straggler_returns_some_rank_without_panicking() {
+    fn no_straggler_reports_no_culprit() {
+        // A healthy trace must be a true negative: noise-level skew is
+        // not enough to accuse a rank.
+        for seed in 0..8u64 {
+            let spec = SynthSpec {
+                num_ranks: 8,
+                rounds: 2,
+                base_compute_ns: 10_000,
+                straggler: None,
+                structure: fig8_structure(),
+                seed,
+            };
+            let trace = synth_trace(&spec);
+            let report = locate_slow_rank(&trace, &spec.structure);
+            assert_eq!(
+                report.culprit, None,
+                "seed {seed}: confidence {} steps {:#?}",
+                report.confidence, report.steps
+            );
+            assert!(report.confidence < CULPRIT_CONFIDENCE_THRESHOLD);
+            assert!(report.suspect < 8);
+        }
+    }
+
+    #[test]
+    fn mild_straggler_is_still_confident() {
+        // 1.3x is the weakest slowdown the paper cares about (thermal
+        // throttle range); it should still clear the threshold.
         let spec = SynthSpec {
             num_ranks: 8,
-            rounds: 2,
-            base_compute_ns: 10_000,
-            straggler: None,
+            rounds: 4,
+            base_compute_ns: 100_000,
+            straggler: Some((5, 1.3)),
             structure: fig8_structure(),
-            seed: 3,
+            seed: 17,
         };
         let trace = synth_trace(&spec);
         let report = locate_slow_rank(&trace, &spec.structure);
-        assert!(report.culprit < 8);
+        assert_eq!(report.culprit, Some(5), "confidence {}", report.confidence);
     }
 
     #[test]
@@ -282,7 +354,7 @@ mod tests {
             };
             let trace = synth_trace(&spec);
             let report = locate_slow_rank(&trace, &structure);
-            assert_eq!(report.culprit, culprit, "steps: {:#?}", report.steps);
+            assert_eq!(report.culprit, Some(culprit), "steps: {:#?}", report.steps);
         }
     }
 }

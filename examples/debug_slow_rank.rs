@@ -6,7 +6,7 @@
 //! cargo run --release --example debug_slow_rank
 //! ```
 
-use llama3_parallelism::core::mesh::Mesh4D;
+use llama3_parallelism::prelude::*;
 use llama3_parallelism::trace::chrome::to_chrome_json;
 use llama3_parallelism::trace::slowrank::locate_slow_rank;
 use llama3_parallelism::trace::synth::{synth_trace, SynthSpec};
@@ -43,8 +43,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             step.dim, step.picked_group, step.survivors
         );
     }
-    println!("localized culprit: rank {}", report.culprit);
-    assert_eq!(report.culprit, culprit, "localization must find the straggler");
+    match report.culprit {
+        Some(r) => println!(
+            "localized culprit: rank {r} (confidence {:.2})",
+            report.confidence
+        ),
+        None => println!(
+            "no clear slow rank (best candidate rank {} at confidence {:.2})",
+            report.suspect, report.confidence
+        ),
+    }
+    assert_eq!(
+        report.culprit,
+        Some(culprit),
+        "localization must find the straggler"
+    );
     println!("matches the injected straggler ✓");
     Ok(())
 }

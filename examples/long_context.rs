@@ -10,7 +10,7 @@ use llama3_parallelism::cluster::gpu::GpuSpec;
 use llama3_parallelism::cluster::topology::TopologySpec;
 use llama3_parallelism::collectives::{CommCostModel, ProcessGroup};
 use llama3_parallelism::core::cp::{relative_hfu, AllGatherCp, CpSharding};
-use llama3_parallelism::model::{MaskSpec, TransformerConfig};
+use llama3_parallelism::prelude::*;
 use llama3_parallelism::workload::{DocLengthDist, DocumentSampler};
 
 fn main() {

@@ -5,11 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use llama3_parallelism::core::planner::{plan, PlannerInput};
-use llama3_parallelism::core::pp::balance::{BalancePolicy, StageAssignment};
-use llama3_parallelism::core::step::StepModel;
-use llama3_parallelism::cluster::Cluster;
-use llama3_parallelism::model::{MaskSpec, ModelLayout, TransformerConfig};
+use llama3_parallelism::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Plan: 16K H100s, 16M tokens per step, 8K sequences — the
@@ -42,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mask: MaskSpec::Causal,
         recompute: false,
     };
-    let report = step.simulate();
+    let report = step.run(&SimOptions::default()).expect("valid step config").report;
 
     println!("\nsimulated one training step:");
     println!("  step time        : {}", report.step_time);

@@ -6,7 +6,8 @@
 //! cargo run --release --example schedule_timeline
 //! ```
 
-use llama3_parallelism::core::pp::schedule::{PpSchedule, ScheduleKind};
+use llama3_parallelism::core::pp::schedule::PpSchedule;
+use llama3_parallelism::prelude::*;
 use llama3_parallelism::core::pp::sim::{simulate_pp, UniformCosts};
 use llama3_parallelism::sim::time::SimDuration;
 use llama3_parallelism::trace::chrome::to_chrome_json;
@@ -94,7 +95,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    let (report, trace) = production_short_context().simulate_with_trace();
+    let outcome = production_short_context().run(&SimOptions::new().trace(true))?;
+    let (report, trace) = (outcome.report, outcome.trace.expect("trace requested"));
     let path = std::env::temp_dir().join("llama3_production_step.json");
     std::fs::write(&path, to_chrome_json(&trace)?)?;
     println!(

@@ -7,10 +7,16 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo build --release --examples"
+cargo build --release --examples
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
+
+echo "==> goodput perf snapshot (writes BENCH_goodput.json)"
+cargo run --release -p bench-harness --bin goodput_snapshot
 
 echo "==> all checks passed"

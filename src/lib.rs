@@ -49,3 +49,30 @@ pub use numerics;
 
 /// Traces, Chrome-trace export and slow-rank localization.
 pub use trace_analysis as trace;
+
+/// The one-stop import for simulator users: the step/run entrypoints,
+/// their option builders, and the configuration types every example
+/// needs.
+///
+/// ```
+/// use llama3_parallelism::prelude::*;
+///
+/// let plan = plan(&PlannerInput::llama3_405b(16_384, 8_192))?;
+/// assert_eq!(plan.mesh.num_gpus(), 16_384);
+/// # Ok::<(), PlanError>(())
+/// ```
+pub mod prelude {
+    pub use cluster_model::faults::{ClusterHealth, FaultEvent, FaultKind, FaultRates, FaultTimeline};
+    pub use cluster_model::jitter::{JitterKind, JitterModel};
+    pub use cluster_model::topology::Cluster;
+    pub use llm_model::masks::MaskSpec;
+    pub use llm_model::{ModelLayout, TransformerConfig};
+    pub use parallelism_core::planner::{plan, Plan, PlanError, PlannerInput};
+    pub use parallelism_core::pp::balance::{BalancePolicy, StageAssignment};
+    pub use parallelism_core::pp::schedule::ScheduleKind;
+    pub use parallelism_core::run::{CheckpointPolicy, GoodputLoss, GoodputReport, RunSimulator};
+    pub use parallelism_core::step::{
+        ExposedComm, SimFidelity, SimOptions, StepModel, StepOutcome, StepReport,
+    };
+    pub use parallelism_core::{Mesh4D, SimError, ZeroMode};
+}

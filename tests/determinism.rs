@@ -39,6 +39,7 @@ fn step_simulation_is_deterministic() {
     use llama3_parallelism::core::pp::balance::{BalancePolicy, StageAssignment};
     use llama3_parallelism::core::pp::schedule::ScheduleKind;
     use llama3_parallelism::core::step::StepModel;
+    use llama3_parallelism::core::SimOptions;
     use llama3_parallelism::model::{MaskSpec, ModelLayout, TransformerConfig};
 
     let make = || {
@@ -57,13 +58,112 @@ fn step_simulation_is_deterministic() {
             mask: MaskSpec::document(vec![4096; 4]),
             recompute: false,
         }
-        .simulate()
+        .run(&SimOptions::default()).expect("valid step config").report
     };
     let a = make();
     let b = make();
     assert_eq!(a.step_time, b.step_time);
     assert_eq!(a.peak_memory, b.peak_memory);
     assert_eq!(a.exposed, b.exposed);
+}
+
+/// A small 4D step shared by the fault/goodput determinism tests.
+fn fault_test_step(
+    cfg: llama3_parallelism::model::TransformerConfig,
+    mesh: Mesh4D,
+    v: u32,
+    bs: u32,
+) -> llama3_parallelism::prelude::StepModel {
+    use llama3_parallelism::prelude::*;
+    let layout = ModelLayout::text(cfg);
+    let assignment = StageAssignment::build(&layout, mesh.pp(), v, BalancePolicy::Uniform);
+    StepModel {
+        cluster: Cluster::llama3(mesh.num_gpus()),
+        mesh,
+        layout,
+        assignment,
+        schedule: ScheduleKind::Flexible { nc: 4 },
+        zero: ZeroMode::Zero1,
+        bs,
+        seq: 8192,
+        mask: llama3_parallelism::model::MaskSpec::Causal,
+        recompute: false,
+    }
+}
+
+#[test]
+fn fault_timeline_is_seed_deterministic() {
+    use llama3_parallelism::prelude::*;
+    let make = |seed| {
+        FaultTimeline::generate(FaultRates::llama3_production(), 1024, 8, 86_400.0, seed)
+            .expect("valid timeline")
+    };
+    assert_eq!(make(7).events(), make(7).events());
+    assert_ne!(make(7).events(), make(8).events());
+}
+
+#[test]
+fn goodput_report_is_seed_deterministic() {
+    use llama3_parallelism::prelude::*;
+    let report = |seed| {
+        let step = fault_test_step(
+            llama3_parallelism::model::TransformerConfig::llama3_405b_scaled(28),
+            Mesh4D::new(8, 1, 4, 2),
+            7,
+            12,
+        );
+        // High rates so the small 64-GPU test cluster actually faults.
+        let rates = FaultRates {
+            gpu_fail_per_gpu_hour: 2e-2,
+            thermal_per_gpu_hour: 4e-2,
+            ..FaultRates::llama3_production()
+        };
+        let timeline = FaultTimeline::generate(rates, step.cluster.num_gpus(), 8, 43_200.0, seed)
+            .expect("valid timeline");
+        RunSimulator::new(step, timeline, CheckpointPolicy::llama3_production())
+            .expect("valid run")
+            .simulate()
+            .expect("simulates")
+    };
+    // Byte-identical: every f64 field must match exactly, not just
+    // approximately.
+    assert_eq!(report(3), report(3));
+    assert_ne!(report(3), report(4));
+}
+
+/// The API-redesign regression: the unified entrypoint with default
+/// options must be bit-identical to the old `simulate()` on the
+/// paper's three model scales.
+#[test]
+#[allow(deprecated)]
+fn run_default_matches_legacy_simulate() {
+    use llama3_parallelism::prelude::*;
+    let cases = [
+        (
+            llama3_parallelism::model::TransformerConfig::llama3_8b(),
+            Mesh4D::new(4, 1, 2, 4),
+            4,
+            8,
+        ),
+        (
+            llama3_parallelism::model::TransformerConfig::llama3_70b(),
+            Mesh4D::new(4, 1, 4, 2),
+            5,
+            8,
+        ),
+        (
+            llama3_parallelism::model::TransformerConfig::llama3_405b_scaled(28),
+            Mesh4D::new(4, 2, 4, 2),
+            7,
+            12,
+        ),
+    ];
+    for (cfg, mesh, v, bs) in cases {
+        let step = fault_test_step(cfg, mesh, v, bs);
+        let new = step.run(&SimOptions::default()).expect("valid step").report;
+        let old = step.simulate();
+        assert_eq!(new, old, "run(default) diverged from simulate()");
+    }
 }
 
 #[test]

@@ -7,6 +7,7 @@ use llama3_parallelism::core::planner::{plan, PlannerInput};
 use llama3_parallelism::core::pp::balance::{BalancePolicy, StageAssignment};
 use llama3_parallelism::core::pp::schedule::ScheduleKind;
 use llama3_parallelism::core::step::StepModel;
+use llama3_parallelism::core::SimOptions;
 use llama3_parallelism::model::{ModelLayout, TransformerConfig};
 use llama3_parallelism::workload::{llama3_405b_phases, DocLengthDist, DocumentSampler, PhaseKind};
 
@@ -42,7 +43,7 @@ fn simulate_phase(ngpu: u32, seq: u64, seed: u64) -> llama3_parallelism::core::s
         mask: sampler.pack_sequence(seq),
         recompute: false,
     }
-    .simulate()
+    .run(&SimOptions::default()).expect("valid step config").report
 }
 
 #[test]

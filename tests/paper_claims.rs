@@ -75,7 +75,7 @@ fn fig8_localization_survives_the_full_mesh_path() {
             structure: structure.clone(),
             seed: 11 + culprit as u64,
         });
-        assert_eq!(locate_slow_rank(&trace, &structure).culprit, culprit);
+        assert_eq!(locate_slow_rank(&trace, &structure).culprit, Some(culprit));
     }
 }
 
