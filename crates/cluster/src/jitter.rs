@@ -68,9 +68,9 @@ impl JitterModel {
     /// error instead of panicking on a bad amplitude.
     pub fn try_new(kind: JitterKind, amplitude: f64, seed: u64) -> Result<JitterModel, SimError> {
         if !(amplitude.is_finite() && amplitude >= 0.0) {
-            return Err(SimError::InvalidValue(
-                "jitter amplitude must be finite and >= 0".into(),
-            ));
+            return Err(SimError::InvalidValue(format!(
+                "jitter amplitude must be finite and >= 0, got {amplitude}"
+            )));
         }
         Ok(JitterModel {
             kind,

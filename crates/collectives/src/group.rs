@@ -85,6 +85,19 @@ impl ProcessGroup {
             .map(move |i| (self.ranks[i], self.ranks[(i + 1) % n]))
     }
 
+    /// Bytes each member `(sends, receives)` in a ring all-gather (or
+    /// reduce-scatter) where every rank contributes `bytes_per_rank`:
+    /// `(n − 1) · bytes_per_rank` each way, zero for singletons.
+    ///
+    /// Because the ring is symmetric this doubles as the byte-
+    /// conservation reference: summing over members, total bytes sent
+    /// equals total bytes received. Conformance checkers re-derive the
+    /// same totals by walking [`ProcessGroup::ring_edges`] and compare.
+    pub fn ring_traffic_per_rank(&self, bytes_per_rank: u64) -> (u64, u64) {
+        let each = bytes_per_rank * (self.ranks.len() as u64 - 1);
+        (each, each)
+    }
+
     /// `true` if every rank lives on the same node of `topo`.
     pub fn is_intra_node(&self, topo: &TopologySpec) -> bool {
         let node = topo.node_of(self.ranks[0]);
@@ -224,6 +237,14 @@ mod tests {
         let g = ProcessGroup::contiguous(5, 1);
         assert!(g.is_singleton());
         assert_eq!(g.ring_edges().count(), 0);
+    }
+
+    #[test]
+    fn ring_traffic_is_conserved() {
+        let g = ProcessGroup::contiguous(0, 4);
+        assert_eq!(g.ring_traffic_per_rank(100), (300, 300));
+        let solo = ProcessGroup::contiguous(9, 1);
+        assert_eq!(solo.ring_traffic_per_rank(100), (0, 0));
     }
 
     #[test]

@@ -1,0 +1,454 @@
+//! Seeded random configuration sampling with greedy shrinking.
+//!
+//! [`CaseSpec`] is a flattened, fully-owned description of one fuzz
+//! case: mesh shape, virtual stages, schedule family, ZeRO mode, batch
+//! geometry and accelerator. It is `Copy`, `Debug` and reconstructible
+//! from a literal, which is what makes counterexamples shrinkable and
+//! emittable as ready-to-paste `#[test]` functions.
+//!
+//! Sampling draws from the vendored proptest [`TestRng`] (xoshiro256++)
+//! so a `(seed, case index)` pair replays exactly. Every drawn spec is
+//! passed through [`CaseSpec::normalized`], which repairs the
+//! cross-field constraints (the Llama 3 cluster wants a multiple of 8
+//! GPUs, interleaved schedules want `bs % pp == 0`, `nc ≤ bs`, CP wants
+//! `seq % (2·cp) == 0`) rather than rejection-sampling them, so no draw
+//! is wasted.
+
+use crate::invariants::{
+    check_executed_graph, check_fsdp_conservation, check_memory_model, check_phase_counts,
+    check_ring_conservation, check_schedule_completeness, check_schedule_executes,
+    check_step_report, check_trace_monotone,
+};
+use crate::oracles::{oracle_fluid_fast_path, oracle_folded_vs_full, oracle_run_vs_deprecated};
+use cluster_model::{Cluster, GlobalRank, GpuSpec};
+use llm_model::{MaskSpec, ModelLayout, PrecisionPolicy, TransformerConfig};
+use parallelism_core::pp::sim::{lower_pp, lowering_capacity, PpSimOp};
+use parallelism_core::pp::UniformCosts;
+use parallelism_core::step::{SimOptions, StepModel};
+use parallelism_core::{BalancePolicy, Dim, Mesh4D, ScheduleKind, StageAssignment, ZeroMode};
+use proptest::test_runner::TestRng;
+use sim_engine::graph::TaskGraph;
+use sim_engine::time::SimDuration;
+use std::fmt;
+
+/// Accelerator choice for a fuzz case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuChoice {
+    /// H100 SXM with HBM3 (the Llama 3 production part).
+    H100Hbm3,
+    /// H100 with HBM2e (the paper's supplementary-cluster part).
+    H100Hbm2e,
+    /// A100 SXM.
+    A100,
+}
+
+impl GpuChoice {
+    /// All variants, in sampling order.
+    pub const ALL: [GpuChoice; 3] = [GpuChoice::H100Hbm3, GpuChoice::H100Hbm2e, GpuChoice::A100];
+
+    /// The concrete accelerator spec.
+    pub fn spec(self) -> GpuSpec {
+        match self {
+            GpuChoice::H100Hbm3 => GpuSpec::h100_sxm_hbm3(),
+            GpuChoice::H100Hbm2e => GpuSpec::h100_hbm2e(),
+            GpuChoice::A100 => GpuSpec::a100_sxm(),
+        }
+    }
+
+    fn literal(self) -> &'static str {
+        match self {
+            GpuChoice::H100Hbm3 => "GpuChoice::H100Hbm3",
+            GpuChoice::H100Hbm2e => "GpuChoice::H100Hbm2e",
+            GpuChoice::A100 => "GpuChoice::A100",
+        }
+    }
+}
+
+/// One fuzz case: everything needed to rebuild a [`StepModel`] from a
+/// literal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseSpec {
+    /// Accelerator.
+    pub gpu: GpuChoice,
+    /// Body layers per (stage, chunk); total layers = `pp · v · this`.
+    pub layers_per_stage: u32,
+    /// Tensor-parallel width.
+    pub tp: u32,
+    /// Context-parallel width.
+    pub cp: u32,
+    /// Pipeline depth.
+    pub pp: u32,
+    /// Data-parallel replicas.
+    pub dp: u32,
+    /// Virtual stages (interleaving chunks) per pipeline rank.
+    pub v: u32,
+    /// Sequences per DP replica per step (= micro-batches).
+    pub bs: u32,
+    /// Sequence length.
+    pub seq: u64,
+    /// Pipeline schedule family.
+    pub kind: ScheduleKind,
+    /// FSDP sharding mode.
+    pub zero: ZeroMode,
+    /// Activation recomputation on/off.
+    pub recompute: bool,
+}
+
+impl fmt::Display for CaseSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} mesh [{}, {}, {}, {}] v={} layers/stage={} bs={} seq={} {:?} {:?} recompute={}",
+            self.gpu,
+            self.tp,
+            self.cp,
+            self.pp,
+            self.dp,
+            self.v,
+            self.layers_per_stage,
+            self.bs,
+            self.seq,
+            self.kind,
+            self.zero,
+            self.recompute
+        )
+    }
+}
+
+impl CaseSpec {
+    /// Draws one spec from the shared fuzz stream and normalizes it.
+    pub fn sample(rng: &mut TestRng) -> CaseSpec {
+        let bs = 1 + rng.below(12) as u32;
+        let kind = match rng.below(3) {
+            0 => ScheduleKind::AllFwdAllBwd,
+            1 => ScheduleKind::Interleaved1F1B,
+            _ => ScheduleKind::Flexible {
+                nc: 1 + rng.below(u64::from(bs)) as u32,
+            },
+        };
+        let spec = CaseSpec {
+            gpu: GpuChoice::ALL[rng.below(GpuChoice::ALL.len() as u64) as usize],
+            layers_per_stage: 1 + rng.below(2) as u32,
+            tp: 1 << rng.below(4),
+            cp: 1 + rng.below(2) as u32,
+            pp: 1 << rng.below(3),
+            dp: 1 << rng.below(3),
+            v: 1 + rng.below(3) as u32,
+            bs,
+            seq: 4096 << rng.below(2),
+            kind,
+            zero: match rng.below(3) {
+                0 => ZeroMode::Zero1,
+                1 => ZeroMode::Zero2,
+                _ => ZeroMode::Zero3,
+            },
+            recompute: rng.below(2) == 1,
+        };
+        spec.normalized()
+    }
+
+    /// Repairs cross-field constraints so the spec always builds:
+    /// positive dimensions, a multiple-of-8 GPU count (TP doubles until
+    /// it fits), `seq` divisible by `2·cp`, and a schedule kind valid
+    /// for `(bs, pp)`.
+    pub fn normalized(mut self) -> CaseSpec {
+        for d in [
+            &mut self.layers_per_stage,
+            &mut self.tp,
+            &mut self.cp,
+            &mut self.pp,
+            &mut self.dp,
+            &mut self.v,
+            &mut self.bs,
+        ] {
+            *d = (*d).max(1);
+        }
+        while !(self.tp * self.cp * self.pp * self.dp).is_multiple_of(8) {
+            self.tp *= 2;
+        }
+        self.seq = if self.seq < 8192 { 4096 } else { 8192 };
+        self.kind = match self.kind {
+            ScheduleKind::Interleaved1F1B if !self.bs.is_multiple_of(self.pp) => ScheduleKind::Flexible {
+                nc: self.pp.min(self.bs),
+            },
+            ScheduleKind::Flexible { nc } => ScheduleKind::Flexible {
+                nc: nc.clamp(1, self.bs),
+            },
+            k => k,
+        };
+        self
+    }
+
+    /// Materializes the spec as a [`StepModel`]. Infallible for
+    /// normalized specs.
+    pub fn build(&self) -> StepModel {
+        let layers = self.pp * self.v * self.layers_per_stage;
+        let cfg = TransformerConfig::llama3_405b_scaled(u64::from(layers));
+        let layout = ModelLayout::text(cfg);
+        let assignment = StageAssignment::build(&layout, self.pp, self.v, BalancePolicy::Uniform);
+        let mesh = Mesh4D::new(self.tp, self.cp, self.pp, self.dp);
+        let mut cluster = Cluster::llama3(mesh.num_gpus());
+        cluster.gpu = self.gpu.spec();
+        StepModel {
+            cluster,
+            mesh,
+            layout,
+            assignment,
+            schedule: self.kind,
+            zero: self.zero,
+            bs: self.bs,
+            seq: self.seq,
+            mask: MaskSpec::Causal,
+            recompute: self.recompute,
+        }
+    }
+
+    /// Runs the full conformance battery on this spec: schedule
+    /// invariants, no-deadlock execution, executed-graph causality,
+    /// memory recomposition, step-report sanity, trace monotonicity,
+    /// ring/FSDP byte conservation, and the cheap differential oracles
+    /// (folding, deprecated wrappers, fluid fast path). The goodput and
+    /// memoization oracles run in the grid tests instead — they price a
+    /// whole training day and a shared thread-local cache, which would
+    /// dominate a multi-thousand-case sweep.
+    pub fn check(&self) -> Result<(), String> {
+        let ctx = |label: &'static str| {
+            let spec = *self;
+            move |e: String| format!("[{spec}] {label}: {e}")
+        };
+        let m = self.build();
+        let sched = m.schedule().map_err(|e| ctx("schedule build")(e.to_string()))?;
+        check_schedule_completeness(&sched).map_err(ctx("completeness"))?;
+        check_phase_counts(&sched).map_err(ctx("phase counts"))?;
+
+        let costs = UniformCosts {
+            fwd: SimDuration::from_micros(120),
+            bwd: SimDuration::from_micros(240),
+            p2p: SimDuration::from_micros(15),
+        };
+        check_schedule_executes(&sched, &costs).map_err(ctx("deadlock"))?;
+        let (ops, streams) = lowering_capacity(&sched);
+        let mut g: TaskGraph<PpSimOp> = TaskGraph::with_capacity(ops, streams);
+        lower_pp(&mut g, &sched, &costs, &[], |op| op);
+        let run = g
+            .execute()
+            .map_err(|e| ctx("graph execution")(format!("{e:?}")))?;
+        check_executed_graph(&run).map_err(ctx("executed graph"))?;
+
+        check_memory_model(&m).map_err(ctx("memory model"))?;
+        let outcome = m
+            .run(&SimOptions::new().trace(true))
+            .map_err(|e| ctx("step run")(e.to_string()))?;
+        check_step_report(&m, &outcome.report).map_err(ctx("step report"))?;
+        let trace = outcome
+            .trace
+            .ok_or_else(|| ctx("trace")("run(trace: true) produced no trace".into()))?;
+        check_trace_monotone(&trace).map_err(ctx("trace"))?;
+
+        for dim in [Dim::Tp, Dim::Cp, Dim::Pp, Dim::Dp] {
+            let group = m.mesh.group_of(GlobalRank(0), dim);
+            check_ring_conservation(&group, 1 << 20).map_err(ctx("ring conservation"))?;
+        }
+        check_fsdp_conservation(
+            u64::from(self.layers_per_stage) * 1_000_003,
+            PrecisionPolicy::llama3(),
+            u64::from(self.v),
+        )
+        .map_err(ctx("fsdp conservation"))?;
+
+        oracle_folded_vs_full(&m).map_err(ctx("oracle folded-vs-full"))?;
+        oracle_run_vs_deprecated(&m).map_err(ctx("oracle run-vs-deprecated"))?;
+        oracle_fluid_fast_path(
+            &[25e9, 50e9, 100e9, 200e9],
+            &[
+                f64::from(self.bs) * 1e6,
+                self.seq as f64 * 512.0,
+                f64::from(self.tp * self.pp) * 3e6,
+            ],
+        )
+        .map_err(ctx("oracle fluid-fast-path"))?;
+        Ok(())
+    }
+
+    /// Strictly-smaller candidate specs for greedy shrinking: each
+    /// parallelism dimension halved, the batch and virtual-stage counts
+    /// halved, and the categorical knobs reset to their simplest value.
+    /// Every candidate is re-normalized; candidates equal to `self` are
+    /// dropped, so shrinking always terminates.
+    pub fn shrink(&self) -> Vec<CaseSpec> {
+        let mut out = Vec::new();
+        let mut push = |c: CaseSpec| {
+            let c = c.normalized();
+            if c != *self && !out.contains(&c) {
+                out.push(c);
+            }
+        };
+        push(CaseSpec { tp: self.tp / 2, ..*self });
+        push(CaseSpec { cp: self.cp / 2, ..*self });
+        push(CaseSpec { pp: self.pp / 2, ..*self });
+        push(CaseSpec { dp: self.dp / 2, ..*self });
+        push(CaseSpec { v: self.v / 2, ..*self });
+        push(CaseSpec { bs: self.bs / 2, ..*self });
+        push(CaseSpec { layers_per_stage: 1, ..*self });
+        push(CaseSpec { seq: 4096, ..*self });
+        if let ScheduleKind::Flexible { nc } = self.kind {
+            push(CaseSpec {
+                kind: ScheduleKind::Flexible { nc: nc / 2 },
+                ..*self
+            });
+        }
+        push(CaseSpec {
+            kind: ScheduleKind::AllFwdAllBwd,
+            ..*self
+        });
+        push(CaseSpec {
+            gpu: GpuChoice::H100Hbm3,
+            ..*self
+        });
+        push(CaseSpec {
+            zero: ZeroMode::Zero1,
+            ..*self
+        });
+        push(CaseSpec {
+            recompute: false,
+            ..*self
+        });
+        out
+    }
+
+    /// Renders this spec as a ready-to-paste `#[test]` function that
+    /// reproduces the failure by calling [`CaseSpec::check`].
+    pub fn as_test_snippet(&self, seed: u64, case: u64, shrink_steps: u32) -> String {
+        let kind = match self.kind {
+            ScheduleKind::AllFwdAllBwd => "ScheduleKind::AllFwdAllBwd".to_string(),
+            ScheduleKind::Interleaved1F1B => "ScheduleKind::Interleaved1F1B".to_string(),
+            ScheduleKind::Flexible { nc } => format!("ScheduleKind::Flexible {{ nc: {nc} }}"),
+        };
+        format!(
+            r#"// Found by `conformance_fuzz --seed {seed:#x}` (case {case}, {shrink_steps} shrink steps).
+#[test]
+fn conformance_counterexample_seed_{seed:x}_case_{case}() {{
+    use conformance::fuzz::{{CaseSpec, GpuChoice}};
+    use parallelism_core::{{ScheduleKind, ZeroMode}};
+    let spec = CaseSpec {{
+        gpu: {gpu},
+        layers_per_stage: {layers_per_stage},
+        tp: {tp},
+        cp: {cp},
+        pp: {pp},
+        dp: {dp},
+        v: {v},
+        bs: {bs},
+        seq: {seq},
+        kind: {kind},
+        zero: ZeroMode::{zero:?},
+        recompute: {recompute},
+    }};
+    if let Err(msg) = spec.check() {{
+        panic!("conformance violation: {{msg}}");
+    }}
+}}
+"#,
+            gpu = self.gpu.literal(),
+            layers_per_stage = self.layers_per_stage,
+            tp = self.tp,
+            cp = self.cp,
+            pp = self.pp,
+            dp = self.dp,
+            v = self.v,
+            bs = self.bs,
+            seq = self.seq,
+            zero = self.zero,
+            recompute = self.recompute,
+        )
+    }
+}
+
+/// Greedily minimizes a failing spec: repeatedly replaces it with the
+/// first [`CaseSpec::shrink`] candidate that still fails `check()`,
+/// until no candidate fails. Returns the minimal spec and the number of
+/// accepted shrink steps. The input must itself fail `check()`.
+pub fn minimize(mut spec: CaseSpec) -> (CaseSpec, u32) {
+    let mut steps = 0u32;
+    // Dimensions only shrink, so this terminates; the bound is a
+    // safety net against a pathological shrink cycle.
+    'outer: for _ in 0..10_000 {
+        for cand in spec.shrink() {
+            if cand.check().is_err() {
+                spec = cand;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (spec, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_and_normalized() {
+        let mut a = TestRng::new(0xC0FFEE);
+        let mut b = TestRng::new(0xC0FFEE);
+        for _ in 0..50 {
+            let sa = CaseSpec::sample(&mut a);
+            let sb = CaseSpec::sample(&mut b);
+            assert_eq!(sa, sb);
+            assert_eq!((sa.tp * sa.cp * sa.pp * sa.dp) % 8, 0);
+            assert!(sa.seq % u64::from(2 * sa.cp) == 0);
+            if let ScheduleKind::Flexible { nc } = sa.kind {
+                assert!(nc >= 1 && nc <= sa.bs);
+            }
+            if sa.kind == ScheduleKind::Interleaved1F1B {
+                assert_eq!(sa.bs % sa.pp, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_specs_pass_the_battery() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..4 {
+            let spec = CaseSpec::sample(&mut rng);
+            spec.check().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_are_normalized_and_distinct() {
+        let spec = CaseSpec {
+            gpu: GpuChoice::A100,
+            layers_per_stage: 2,
+            tp: 4,
+            cp: 2,
+            pp: 4,
+            dp: 4,
+            v: 2,
+            bs: 8,
+            seq: 8192,
+            kind: ScheduleKind::Flexible { nc: 4 },
+            zero: ZeroMode::Zero3,
+            recompute: true,
+        }
+        .normalized();
+        let candidates = spec.shrink();
+        assert!(!candidates.is_empty());
+        for c in &candidates {
+            assert_ne!(*c, spec);
+            assert_eq!(*c, c.normalized(), "candidate not in normal form: {c}");
+        }
+    }
+
+    #[test]
+    fn snippet_round_trips_the_spec() {
+        let spec = CaseSpec::sample(&mut TestRng::new(11));
+        let snippet = spec.as_test_snippet(0xC0FFEE, 3, 2);
+        assert!(snippet.contains("fn conformance_counterexample_seed_c0ffee_case_3"));
+        assert!(snippet.contains(&format!("tp: {}", spec.tp)));
+        assert!(snippet.contains(&format!("seq: {}", spec.seq)));
+        assert!(snippet.contains("spec.check()"));
+    }
+}

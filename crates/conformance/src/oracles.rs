@@ -1,0 +1,463 @@
+//! Differential oracles: run the fast path and the reference path on
+//! the same input and demand equivalence.
+//!
+//! The generic entry point is [`assert_equivalent`]; the five concrete
+//! oracles cover every fast path added so far:
+//!
+//! 1. [`oracle_folded_vs_full`] — DP-symmetry folding vs lowering every
+//!    replica.
+//! 2. [`oracle_memoized_costs`] — the thread-local collective cost
+//!    cache vs pricing uncached.
+//! 3. [`oracle_fluid_fast_path`] — the disjoint-single-link fluid
+//!    shortcut vs the general max-min event loop.
+//! 4. [`oracle_run_vs_deprecated`] — `StepModel::run` vs the four
+//!    deprecated `simulate*` wrappers.
+//! 5. [`oracle_goodput_recomposition`] — `RunSimulator::simulate` vs an
+//!    independent step-by-step walk of the same fault timeline.
+
+use crate::invariants::CheckResult;
+use collectives::cost::{clear_cost_cache, CommCostModel};
+use parallelism_core::run::{GoodputLoss, GoodputReport, RunSimulator};
+use parallelism_core::step::{ExposedComm, SimFidelity, SimOptions, StepModel, StepReport};
+use sim_engine::fluid::{FluidNet, Transfer, TransferOutcome};
+use sim_engine::time::{SimDuration, SimTime};
+
+/// Structural approximate equality with field-naming error messages.
+///
+/// `tol` is a *relative* tolerance; `tol == 0.0` demands bit-identical
+/// values. Implementations return the offending field path so a fuzz
+/// counterexample explains itself.
+pub trait ApproxEq {
+    /// Compares `self` to `other` within relative tolerance `tol`.
+    fn approx_eq(&self, other: &Self, tol: f64) -> CheckResult;
+}
+
+fn field(name: &str, r: CheckResult) -> CheckResult {
+    r.map_err(|e| format!("{name}: {e}"))
+}
+
+impl ApproxEq for f64 {
+    fn approx_eq(&self, other: &Self, tol: f64) -> CheckResult {
+        // Infinities compare equal to themselves at any tolerance.
+        if self == other {
+            return Ok(());
+        }
+        let diff = (self - other).abs();
+        let scale = self.abs().max(other.abs()).max(1.0);
+        if diff <= tol * scale {
+            Ok(())
+        } else {
+            Err(format!("{self} vs {other} (|Δ| = {diff:e}, tol = {tol:e})"))
+        }
+    }
+}
+
+impl ApproxEq for u64 {
+    fn approx_eq(&self, other: &Self, tol: f64) -> CheckResult {
+        if self == other {
+            return Ok(());
+        }
+        if tol > 0.0 {
+            return (*self as f64).approx_eq(&(*other as f64), tol);
+        }
+        Err(format!("{self} vs {other}"))
+    }
+}
+
+impl ApproxEq for u32 {
+    fn approx_eq(&self, other: &Self, tol: f64) -> CheckResult {
+        u64::from(*self).approx_eq(&u64::from(*other), tol)
+    }
+}
+
+impl ApproxEq for SimDuration {
+    fn approx_eq(&self, other: &Self, tol: f64) -> CheckResult {
+        if tol > 0.0 {
+            return self.as_secs_f64().approx_eq(&other.as_secs_f64(), tol);
+        }
+        if self == other {
+            Ok(())
+        } else {
+            Err(format!("{} ns vs {} ns", self.as_nanos(), other.as_nanos()))
+        }
+    }
+}
+
+impl<T: ApproxEq> ApproxEq for Vec<T> {
+    fn approx_eq(&self, other: &Self, tol: f64) -> CheckResult {
+        if self.len() != other.len() {
+            return Err(format!("length {} vs {}", self.len(), other.len()));
+        }
+        for (i, (a, b)) in self.iter().zip(other).enumerate() {
+            field(&format!("[{i}]"), a.approx_eq(b, tol))?;
+        }
+        Ok(())
+    }
+}
+
+impl ApproxEq for ExposedComm {
+    fn approx_eq(&self, other: &Self, tol: f64) -> CheckResult {
+        field("tp", self.tp.approx_eq(&other.tp, tol))?;
+        field("cp", self.cp.approx_eq(&other.cp, tol))?;
+        field(
+            "cp_sync_wait",
+            self.cp_sync_wait.approx_eq(&other.cp_sync_wait, tol),
+        )?;
+        field("dp", self.dp.approx_eq(&other.dp, tol))
+    }
+}
+
+impl ApproxEq for StepReport {
+    fn approx_eq(&self, other: &Self, tol: f64) -> CheckResult {
+        field("step_time", self.step_time.approx_eq(&other.step_time, tol))?;
+        field(
+            "tflops_per_gpu",
+            self.tflops_per_gpu.approx_eq(&other.tflops_per_gpu, tol),
+        )?;
+        field(
+            "bubble_ratio",
+            self.bubble_ratio.approx_eq(&other.bubble_ratio, tol),
+        )?;
+        field(
+            "peak_memory",
+            self.peak_memory.approx_eq(&other.peak_memory, tol),
+        )?;
+        field("exposed", self.exposed.approx_eq(&other.exposed, tol))?;
+        field("tokens", self.tokens.approx_eq(&other.tokens, tol))
+    }
+}
+
+impl ApproxEq for GoodputLoss {
+    fn approx_eq(&self, other: &Self, tol: f64) -> CheckResult {
+        field(
+            "checkpoint_s",
+            self.checkpoint_s.approx_eq(&other.checkpoint_s, tol),
+        )?;
+        field("detect_s", self.detect_s.approx_eq(&other.detect_s, tol))?;
+        field("restart_s", self.restart_s.approx_eq(&other.restart_s, tol))?;
+        field("rework_s", self.rework_s.approx_eq(&other.rework_s, tol))?;
+        field(
+            "degraded_s",
+            self.degraded_s.approx_eq(&other.degraded_s, tol),
+        )
+    }
+}
+
+impl ApproxEq for GoodputReport {
+    fn approx_eq(&self, other: &Self, tol: f64) -> CheckResult {
+        field(
+            "wall_time_s",
+            self.wall_time_s.approx_eq(&other.wall_time_s, tol),
+        )?;
+        field(
+            "productive_s",
+            self.productive_s.approx_eq(&other.productive_s, tol),
+        )?;
+        field("goodput", self.goodput.approx_eq(&other.goodput, tol))?;
+        field(
+            "steps_completed",
+            self.steps_completed.approx_eq(&other.steps_completed, tol),
+        )?;
+        field("restarts", self.restarts.approx_eq(&other.restarts, tol))?;
+        field("loss", self.loss.approx_eq(&other.loss, tol))?;
+        field(
+            "healthy_step_s",
+            self.healthy_step_s.approx_eq(&other.healthy_step_s, tol),
+        )?;
+        field(
+            "checkpoint_bytes_per_rank",
+            self.checkpoint_bytes_per_rank
+                .approx_eq(&other.checkpoint_bytes_per_rank, tol),
+        )?;
+        field(
+            "checkpoint_write_s",
+            self.checkpoint_write_s
+                .approx_eq(&other.checkpoint_write_s, tol),
+        )?;
+        field(
+            "checkpoint_interval_s",
+            self.checkpoint_interval_s
+                .approx_eq(&other.checkpoint_interval_s, tol),
+        )?;
+        field(
+            "young_daly_interval_s",
+            self.young_daly_interval_s
+                .approx_eq(&other.young_daly_interval_s, tol),
+        )?;
+        field("mtbf_s", self.mtbf_s.approx_eq(&other.mtbf_s, tol))
+    }
+}
+
+/// Asserts `a ≈ b` within relative tolerance `tol`, prefixing any
+/// violation with `label` and the full field path.
+pub fn assert_equivalent<T: ApproxEq>(label: &str, a: &T, b: &T, tol: f64) -> CheckResult {
+    field(label, a.approx_eq(b, tol))
+}
+
+/// Oracle 1 — DP-symmetry folding. A jitter-free, healthy step must
+/// produce *bit-identical* reports under [`SimFidelity::Folded`] and
+/// [`SimFidelity::Full`]: the folding identity is exact, not
+/// approximate.
+pub fn oracle_folded_vs_full(m: &StepModel) -> CheckResult {
+    let folded = m
+        .run(&SimOptions::new().fidelity(SimFidelity::Folded))
+        .map_err(|e| format!("folded run failed: {e}"))?
+        .report;
+    let full = m
+        .run(&SimOptions::new().fidelity(SimFidelity::Full))
+        .map_err(|e| format!("full run failed: {e}"))?
+        .report;
+    assert_equivalent("folded vs full", &folded, &full, 0.0)
+}
+
+/// Oracle 2 — memoized collective costs. Pricing the same collectives
+/// with the thread-local cache enabled and disabled must be
+/// bit-identical; the cache may never change a cost, only skip
+/// recomputing it. Exercises all five collective entry points over the
+/// given groups and byte sizes.
+pub fn oracle_memoized_costs(
+    model: &CommCostModel,
+    groups: &[collectives::ProcessGroup],
+    byte_sizes: &[u64],
+) -> CheckResult {
+    let uncached = model.clone().with_caching(false);
+    let cached = model.clone().with_caching(true);
+    clear_cost_cache();
+    for g in groups {
+        for &bytes in byte_sizes {
+            let pairs = [
+                ("all_gather", cached.all_gather(g, bytes), uncached.all_gather(g, bytes)),
+                (
+                    "reduce_scatter",
+                    cached.reduce_scatter(g, bytes),
+                    uncached.reduce_scatter(g, bytes),
+                ),
+                ("all_reduce", cached.all_reduce(g, bytes), uncached.all_reduce(g, bytes)),
+                ("broadcast", cached.broadcast(g, bytes), uncached.broadcast(g, bytes)),
+            ];
+            for (name, c, u) in pairs {
+                assert_equivalent(&format!("{name}({g}, {bytes})"), &c, &u, 0.0)?;
+            }
+            // Re-query through the now-warm cache: the hit must also match.
+            assert_equivalent(
+                &format!("all_gather({g}, {bytes}) cache hit"),
+                &cached.all_gather(g, bytes),
+                &uncached.all_gather(g, bytes),
+                0.0,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Oracle 3 — the fluid solver's disjoint-single-link fast path vs the
+/// general max-min event loop on the *same* transfer set. The general
+/// path is forced by appending a zero-byte transfer routed over two
+/// links: it changes no rate (zero demand) but defeats the
+/// single-link-disjointness gate. Finish times may differ only by the
+/// event loop's nanosecond rounding, bounded here at 1 µs.
+pub fn oracle_fluid_fast_path(link_bps: &[f64], transfer_bytes: &[f64]) -> CheckResult {
+    if link_bps.len() < 2 || transfer_bytes.len() > link_bps.len() {
+        return Err(format!(
+            "need ≥ 2 links and one transfer per link, got {} links / {} transfers",
+            link_bps.len(),
+            transfer_bytes.len()
+        ));
+    }
+    let mut net = FluidNet::new();
+    let links: Vec<_> = link_bps.iter().map(|&bps| net.add_link(bps)).collect();
+    let make_transfers = || -> Vec<Transfer> {
+        transfer_bytes
+            .iter()
+            .enumerate()
+            .map(|(i, &bytes)| Transfer {
+                route: vec![links[i]],
+                bytes,
+                start: SimTime::ZERO,
+            })
+            .collect()
+    };
+    let fast = net
+        .run(make_transfers())
+        .map_err(|e| format!("fast path failed: {e:?}"))?;
+    let mut with_sentinel = make_transfers();
+    with_sentinel.push(Transfer {
+        route: vec![links[0], links[1]],
+        bytes: 0.0,
+        start: SimTime::ZERO,
+    });
+    let general = net
+        .run(with_sentinel)
+        .map_err(|e| format!("general path failed: {e:?}"))?;
+    let finish = |outcomes: &[TransferOutcome], id: usize| {
+        outcomes
+            .iter()
+            .find(|o| o.id.0 as usize == id)
+            .map(|o| o.finish.as_nanos() as f64 / 1e9)
+    };
+    for (i, &bytes) in transfer_bytes.iter().enumerate() {
+        let (Some(f), Some(g)) = (finish(&fast, i), finish(&general, i)) else {
+            return Err(format!("transfer {i} missing from an outcome set"));
+        };
+        if (f - g).abs() > 1e-6 {
+            return Err(format!(
+                "transfer {i} ({bytes} bytes over link {i}): fast path finishes at {f} s, \
+                 general max-min at {g} s"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Oracle 4 — the deprecated `simulate*` wrappers are thin shims over
+/// [`StepModel::run`] and must stay bit-identical to it until removed.
+#[allow(deprecated)]
+pub fn oracle_run_vs_deprecated(m: &StepModel) -> CheckResult {
+    let run_default = m
+        .run(&SimOptions::default())
+        .map_err(|e| format!("run failed: {e}"))?
+        .report;
+    assert_equivalent("simulate() vs run", &m.simulate(), &run_default, 0.0)?;
+    for fidelity in [SimFidelity::Folded, SimFidelity::Full] {
+        let via_run = m
+            .run(&SimOptions::new().fidelity(fidelity))
+            .map_err(|e| format!("run({fidelity:?}) failed: {e}"))?
+            .report;
+        assert_equivalent(
+            &format!("simulate_at({fidelity:?}) vs run"),
+            &m.simulate_at(fidelity),
+            &via_run,
+            0.0,
+        )?;
+    }
+    let jitter = cluster_model::jitter::JitterModel::new(
+        cluster_model::jitter::JitterKind::Static,
+        0.05,
+        17,
+    );
+    let via_run = m
+        .run(&SimOptions::new().jitter(jitter).step(3))
+        .map_err(|e| format!("jittered run failed: {e}"))?
+        .report;
+    assert_equivalent(
+        "simulate_jittered vs run",
+        &m.simulate_jittered(&jitter, 3),
+        &via_run,
+        0.0,
+    )?;
+    let (report, trace) = m.simulate_with_trace();
+    let outcome = m
+        .run(&SimOptions::new().trace(true))
+        .map_err(|e| format!("traced run failed: {e}"))?;
+    assert_equivalent("simulate_with_trace vs run", &report, &outcome.report, 0.0)?;
+    match outcome.trace {
+        Some(t) if t == trace => Ok(()),
+        Some(_) => Err("simulate_with_trace vs run: traces differ".into()),
+        None => Err("run(trace: true) produced no trace".into()),
+    }
+}
+
+/// Oracle 5 — `RunSimulator` day totals vs an independent naive
+/// recomposition of the same `FaultTimeline`: walk the horizon one step
+/// at a time, pricing degraded steps, checkpoint stalls and
+/// fatal-fault outages directly from the timeline, with no code shared
+/// with `RunSimulator::simulate`. Totals must agree to float-rounding
+/// tolerance.
+pub fn oracle_goodput_recomposition(sim: &RunSimulator) -> CheckResult {
+    let reference = sim
+        .simulate()
+        .map_err(|e| format!("RunSimulator::simulate failed: {e}"))?;
+    let naive = naive_goodput(sim).map_err(|e| format!("naive recomposition failed: {e}"))?;
+    assert_equivalent("goodput vs naive recomposition", &reference, &naive, 1e-9)
+}
+
+/// Independent step-by-step recomposition used by
+/// [`oracle_goodput_recomposition`]. Deliberately re-derives every
+/// quantity (step pricing, checkpoint cadence, outage arithmetic) from
+/// the public `StepModel`/`FaultTimeline`/`CheckpointPolicy` APIs
+/// rather than calling into `RunSimulator`'s loop.
+pub fn naive_goodput(sim: &RunSimulator) -> Result<GoodputReport, String> {
+    let base = sim
+        .step
+        .run(&SimOptions::default())
+        .map_err(|e| e.to_string())?
+        .report;
+    let healthy = base.step_time.as_secs_f64();
+    if healthy <= 0.0 {
+        return Err("healthy step time must be positive".into());
+    }
+    let dp_exposed = base.exposed.dp.as_secs_f64();
+    let bytes = sim.checkpoint_bytes_per_rank();
+    let write_s = bytes as f64 / sim.policy.write_bandwidth;
+    let read_s = bytes as f64 / sim.policy.read_bandwidth;
+    let every = (sim.policy.interval_s / healthy).round().max(1.0) as u64;
+    let horizon = sim.timeline.horizon_s();
+    let fatals: Vec<f64> = sim.timeline.fatal_events().map(|e| e.start_s).collect();
+
+    let mut t = 0.0f64;
+    let mut committed = 0u64;
+    let mut restarts = 0u32;
+    let mut loss = GoodputLoss::default();
+    let mut since_ckpt = 0u64;
+    let mut since_ckpt_wall = 0.0f64;
+    let mut since_ckpt_degraded = 0.0f64;
+    let mut next_fatal = 0usize;
+
+    while t < horizon {
+        let health = sim.timeline.health_at(t);
+        let step_s = healthy * health.worst_compute_multiplier()
+            + dp_exposed * (1.0 / health.worst_link_scale() - 1.0);
+        if next_fatal < fatals.len() && fatals[next_fatal] <= t + step_s {
+            let f = fatals[next_fatal];
+            next_fatal += 1;
+            loss.rework_s += since_ckpt_wall + (f - t).max(0.0);
+            since_ckpt = 0;
+            since_ckpt_wall = 0.0;
+            since_ckpt_degraded = 0.0;
+            loss.detect_s += sim.policy.detect_s;
+            loss.restart_s += sim.policy.reschedule_s + read_s;
+            t = t.max(f) + sim.policy.detect_s + sim.policy.reschedule_s + read_s;
+            restarts += 1;
+            while next_fatal < fatals.len() && fatals[next_fatal] <= t {
+                next_fatal += 1;
+            }
+            continue;
+        }
+        t += step_s;
+        since_ckpt += 1;
+        since_ckpt_wall += step_s;
+        since_ckpt_degraded += step_s - healthy;
+        if since_ckpt >= every {
+            t += write_s;
+            loss.checkpoint_s += write_s;
+            committed += since_ckpt;
+            loss.degraded_s += since_ckpt_degraded;
+            since_ckpt = 0;
+            since_ckpt_wall = 0.0;
+            since_ckpt_degraded = 0.0;
+        }
+    }
+    committed += since_ckpt;
+    loss.degraded_s += since_ckpt_degraded;
+
+    let productive = committed as f64 * healthy;
+    let mtbf = sim.timeline.mtbf_s();
+    Ok(GoodputReport {
+        wall_time_s: t,
+        productive_s: productive,
+        goodput: productive / t.max(f64::MIN_POSITIVE),
+        steps_completed: committed,
+        restarts,
+        loss,
+        healthy_step_s: healthy,
+        checkpoint_bytes_per_rank: bytes,
+        checkpoint_write_s: write_s,
+        checkpoint_interval_s: every as f64 * healthy,
+        young_daly_interval_s: if mtbf.is_finite() {
+            (2.0 * write_s * mtbf).sqrt()
+        } else {
+            f64::INFINITY
+        },
+        mtbf_s: mtbf,
+    })
+}

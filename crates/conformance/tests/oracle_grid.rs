@@ -1,0 +1,105 @@
+//! Runs the five differential oracles over the deterministic
+//! ≥ 50-configuration grid from `conformance::grid`.
+
+use cluster_model::{FaultRates, FaultTimeline};
+use collectives::CommCostModel;
+use conformance::grid::config_grid;
+use conformance::oracles::{
+    oracle_fluid_fast_path, oracle_folded_vs_full, oracle_goodput_recomposition,
+    oracle_memoized_costs, oracle_run_vs_deprecated,
+};
+use parallelism_core::{CheckpointPolicy, Dim, RunSimulator};
+
+#[test]
+fn folded_matches_full_across_grid() {
+    let grid = config_grid();
+    assert!(grid.len() >= 50);
+    for spec in &grid {
+        oracle_folded_vs_full(&spec.build()).unwrap_or_else(|e| panic!("[{spec}] {e}"));
+    }
+}
+
+#[test]
+fn deprecated_wrappers_match_run_across_grid() {
+    let grid = config_grid();
+    assert!(grid.len() >= 50);
+    for spec in &grid {
+        oracle_run_vs_deprecated(&spec.build()).unwrap_or_else(|e| panic!("[{spec}] {e}"));
+    }
+}
+
+#[test]
+fn memoized_costs_match_uncached_across_grid() {
+    let grid = config_grid();
+    assert!(grid.len() >= 50);
+    for spec in &grid {
+        let m = spec.build();
+        let model = CommCostModel::new(m.cluster.topology.clone());
+        let groups: Vec<_> = [Dim::Tp, Dim::Cp, Dim::Pp, Dim::Dp]
+            .into_iter()
+            .map(|d| m.mesh.group_of(cluster_model::GlobalRank(0), d))
+            .collect();
+        oracle_memoized_costs(&model, &groups, &[1 << 16, 1 << 20, 1 << 24])
+            .unwrap_or_else(|e| panic!("[{spec}] {e}"));
+    }
+}
+
+#[test]
+fn fluid_fast_path_matches_general_across_grid() {
+    // 50 parameterized nets: link speeds and transfer sizes scaled per
+    // index, plus a zero-byte and a link-saturating transfer in the mix.
+    for i in 0..50u32 {
+        let base = 12.5e9 * f64::from(1 + i % 7);
+        let links = [base, base * 2.0, base * 4.0, base * 0.5];
+        let bytes = [
+            1e6 * f64::from(1 + i),
+            64.0 * f64::from(1 + i % 13),
+            if i % 5 == 0 { 0.0 } else { 3e8 },
+        ];
+        oracle_fluid_fast_path(&links, &bytes)
+            .unwrap_or_else(|e| panic!("net {i} (base {base} B/s): {e}"));
+    }
+}
+
+#[test]
+fn goodput_recomposition_matches_across_grid() {
+    // ≥ 50 (step model, fault seed) combos. Rates are boosted well past
+    // production so 6-hour horizons include fatal faults, degraded
+    // windows and restarts, not just clean checkpoint cadence.
+    let rates = {
+        let p = FaultRates::llama3_production();
+        FaultRates {
+            gpu_fail_per_gpu_hour: p.gpu_fail_per_gpu_hour * 2000.0,
+            node_loss_per_gpu_hour: p.node_loss_per_gpu_hour * 2000.0,
+            link_degrade_per_gpu_hour: p.link_degrade_per_gpu_hour * 2000.0,
+            thermal_per_gpu_hour: p.thermal_per_gpu_hour * 2000.0,
+            ..p
+        }
+    };
+    let grid = config_grid();
+    let specs: Vec<_> = grid
+        .iter()
+        .filter(|s| s.tp * s.cp * s.pp * s.dp == 8)
+        .take(5)
+        .collect();
+    assert!(specs.len() * 10 >= 50);
+    let mut combos = 0u32;
+    for spec in specs {
+        for seed in 0..10u64 {
+            let step = spec.build();
+            let timeline =
+                FaultTimeline::generate(rates, step.cluster.num_gpus(), 8, 6.0 * 3600.0, seed)
+                    .expect("timeline generates");
+            let sim = RunSimulator::new(
+                step,
+                timeline,
+                CheckpointPolicy::llama3_production().with_interval(600.0),
+            )
+            .expect("run simulator builds");
+            oracle_goodput_recomposition(&sim)
+                .unwrap_or_else(|e| panic!("[{spec}] seed {seed}: {e}"));
+            combos += 1;
+        }
+    }
+    assert!(combos >= 50, "only {combos} goodput combos ran");
+}

@@ -309,6 +309,42 @@ impl PpSchedule {
         peak as u32
     }
 
+    /// The in-flight activation profile of rank `ppr`: after each op,
+    /// the running count of forwards executed minus backwards executed.
+    /// This is the buffer-lifetime series the memory model integrates
+    /// over; its maximum equals [`PpSchedule::peak_in_flight`] and a
+    /// well-formed schedule ends at zero. Entries are `i64` so that a
+    /// malformed schedule (a backward without a prior forward) shows up
+    /// as a negative value instead of an underflow.
+    pub fn in_flight_profile(&self, ppr: u32) -> Vec<i64> {
+        let mut cur = 0i64;
+        self.ranks[ppr as usize]
+            .iter()
+            .map(|op| {
+                cur += if op.is_forward() { 1 } else { -1 };
+                cur
+            })
+            .collect()
+    }
+
+    /// Warm-up / steady / cool-down phase counts of rank `ppr`'s op
+    /// list: `(leading forwards, interior F/B pairs, trailing
+    /// backwards)`. For full-main-region 1F1B-family schedules the
+    /// leading count is `warmup_microbatches(..) + 1` and equals the
+    /// trailing count; the conformance checkers verify that law.
+    pub fn phase_counts(&self, ppr: u32) -> (u32, u32, u32) {
+        let ops = &self.ranks[ppr as usize];
+        let lead = ops.iter().take_while(|op| op.is_forward()).count();
+        let trail = ops
+            .iter()
+            .rev()
+            .take_while(|op| !op.is_forward())
+            .count()
+            .min(ops.len() - lead);
+        let steady = ops.len() - lead - trail;
+        (lead as u32, (steady / 2) as u32, trail as u32)
+    }
+
     /// Validates structural invariants: every `(chunk, mb)` appears
     /// exactly once as forward and once as backward on each rank, and
     /// no backward precedes its own forward locally.

@@ -735,6 +735,19 @@ impl StepModel {
     /// recomputation is off; recomputation keeps only boundary
     /// activations).
     pub fn peak_memory(&self) -> Vec<u64> {
+        self.memory_components()
+            .iter()
+            .map(MemoryComponents::total)
+            .collect()
+    }
+
+    /// The per-PP-rank breakdown [`StepModel::peak_memory`] is composed
+    /// from, exposed so conformance checkers can re-derive the
+    /// high-water mark independently: `total = state_bytes +
+    /// act_bytes_per_stage_mb × peak_in_flight`, where
+    /// `peak_in_flight` must equal the schedule's own
+    /// [`PpSchedule::peak_in_flight`](crate::pp::schedule::PpSchedule::peak_in_flight).
+    pub fn memory_components(&self) -> Vec<MemoryComponents> {
         let cfg = &self.layout.cfg;
         let policy = PrecisionPolicy::llama3();
         let sched = self.build_schedule();
@@ -749,13 +762,13 @@ impl StepModel {
                     .map(|l| l.params(cfg))
                     .sum::<u64>()
                     / self.mesh.tp() as u64;
-                let state = fsdp::state_bytes_per_rank(params, policy, self.zero, fsdp_n)
+                let state_bytes = fsdp::state_bytes_per_rank(params, policy, self.zero, fsdp_n)
                     // FP32 gradient accumulators live unsharded at the
                     // backward peak even under ZeRO-2 (§6.2).
                     .max(params * (policy.param_bytes + policy.grad_bytes));
                 // Mean activation bytes per stage-micro-batch on this
                 // rank.
-                let act_per_stage_mb: u64 = {
+                let act_bytes_per_stage_mb: u64 = {
                     let layers = self.assignment.rank_layers(rank);
                     let total: u64 = layers
                         .iter()
@@ -769,10 +782,33 @@ impl StepModel {
                     };
                     per_token * tokens / self.mesh.tp() as u64 / self.assignment.v as u64
                 };
-                let in_flight = sched.peak_in_flight(rank) as u64;
-                state + act_per_stage_mb * in_flight
+                MemoryComponents {
+                    state_bytes,
+                    act_bytes_per_stage_mb,
+                    peak_in_flight: sched.peak_in_flight(rank),
+                }
             })
             .collect()
+    }
+}
+
+/// One PP rank's peak-memory breakdown (see
+/// [`StepModel::memory_components`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryComponents {
+    /// Parameter/optimizer/gradient state bytes under the ZeRO mode.
+    pub state_bytes: u64,
+    /// Mean activation bytes held per in-flight stage-micro-batch.
+    pub act_bytes_per_stage_mb: u64,
+    /// Peak concurrently-live micro-batches from the schedule replay.
+    pub peak_in_flight: u32,
+}
+
+impl MemoryComponents {
+    /// The recomposed peak:
+    /// `state + act_per_stage_mb × peak_in_flight`.
+    pub fn total(&self) -> u64 {
+        self.state_bytes + self.act_bytes_per_stage_mb * self.peak_in_flight as u64
     }
 }
 

@@ -353,6 +353,7 @@ impl<M> TaskGraph<M> {
                 id: OpId(i as u32),
                 meta: node.meta,
                 streams: node.streams,
+                deps: node.deps,
                 start: starts[i],
                 end: finish[i],
                 sync_wait: std::mem::take(&mut sync_waits[i]),
@@ -377,6 +378,12 @@ pub struct OpRecord<M> {
     pub meta: M,
     /// Streams the op occupied.
     pub streams: Vec<StreamId>,
+    /// Every dependency the op waited on — constructor deps followed by
+    /// [`TaskGraph::add_dep`] wiring, in insertion order. Retained so
+    /// external validators can re-check causality (each dep's `end` must
+    /// not exceed this op's `start`) and acyclicity on the executed
+    /// graph.
+    pub deps: Vec<OpId>,
     /// Start instant.
     pub start: SimTime,
     /// End instant.
@@ -523,6 +530,20 @@ mod tests {
         g.add_dep(recv, send);
         let run = g.execute().unwrap();
         assert_eq!(run.record(recv).start.as_nanos(), 2_000);
+    }
+
+    #[test]
+    fn records_retain_dependency_edges() {
+        let mut g: TaskGraph<&str> = TaskGraph::new();
+        let a = g.add_stream();
+        let b = g.add_stream();
+        let recv = g.add_op("recv", us(1), [b], []);
+        let send = g.add_op("send", us(2), [a], []);
+        g.add_dep(recv, send);
+        let run = g.execute().unwrap();
+        assert_eq!(run.record(recv).deps, vec![send]);
+        assert!(run.record(send).deps.is_empty());
+        assert!(run.record(recv).start >= run.record(send).end);
     }
 
     #[test]

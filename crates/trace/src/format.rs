@@ -98,6 +98,13 @@ impl Trace {
             .sum()
     }
 
+    /// All events on one rank, in push order. Emitters append per-rank
+    /// lanes in timestamp order, so conformance checkers iterate this to
+    /// verify monotone, non-overlapping lanes.
+    pub fn events_for_rank(&self, rank: u32) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.rank == rank)
+    }
+
     /// End timestamp of the last event (ns), or 0 for an empty trace.
     pub fn span_ns(&self) -> u64 {
         self.events

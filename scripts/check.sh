@@ -16,6 +16,9 @@ cargo test -q --workspace
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> conformance fuzz smoke (200 cases)"
+cargo run --release -q -p conformance --bin conformance_fuzz -- --cases 200 --seed 0xC0FFEE
+
 echo "==> goodput perf snapshot (writes BENCH_goodput.json)"
 cargo run --release -p bench-harness --bin goodput_snapshot
 

@@ -1,0 +1,56 @@
+//! Negative-path contract tests: the fallible constructors must reject
+//! invalid inputs with `Display` messages that name the offending
+//! value, so a planner or CLI user sees *what* was wrong, not just
+//! that something was.
+
+use llama3_parallelism::cluster::{JitterKind, JitterModel};
+use llama3_parallelism::prelude::*;
+
+#[test]
+fn mesh_rejects_zero_dimensions_naming_the_shape() {
+    let err = Mesh4D::try_new(0, 1, 1, 1).expect_err("zero TP must be rejected");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("[0, 1, 1, 1]"),
+        "message does not name the offending shape: {msg}"
+    );
+    for (tp, cp, pp, dp, needle) in [
+        (2, 0, 2, 2, "[2, 0, 2, 2]"),
+        (2, 2, 0, 2, "[2, 2, 0, 2]"),
+        (2, 2, 2, 0, "[2, 2, 2, 0]"),
+    ] {
+        let msg = Mesh4D::try_new(tp, cp, pp, dp).expect_err("zero dim").to_string();
+        assert!(msg.contains(needle), "missing {needle}: {msg}");
+    }
+}
+
+#[test]
+fn cluster_rejects_non_multiple_of_node_size_naming_the_count() {
+    let err = Cluster::try_llama3(12).expect_err("12 GPUs is not a whole node count");
+    let msg = err.to_string();
+    assert!(msg.contains("12"), "message does not name the count: {msg}");
+    assert!(
+        msg.contains("multiple of 8"),
+        "message does not state the constraint: {msg}"
+    );
+    let msg = Cluster::try_llama3(0).expect_err("empty cluster").to_string();
+    assert!(msg.contains('0'), "message does not name the count: {msg}");
+}
+
+#[test]
+fn jitter_rejects_bad_amplitudes_naming_the_value() {
+    for (amplitude, needle) in [(-0.5, "-0.5"), (f64::NAN, "NaN"), (f64::INFINITY, "inf")] {
+        let err = JitterModel::try_new(JitterKind::Static, amplitude, 7)
+            .expect_err("non-physical amplitude must be rejected");
+        let msg = err.to_string();
+        assert!(msg.contains(needle), "message does not name {amplitude}: {msg}");
+    }
+    // The happy path still holds.
+    assert!(JitterModel::try_new(JitterKind::Static, 0.05, 7).is_ok());
+}
+
+#[test]
+fn valid_inputs_still_construct() {
+    assert!(Mesh4D::try_new(8, 1, 4, 2).is_ok());
+    assert!(Cluster::try_llama3(64).is_ok());
+}

@@ -5,11 +5,14 @@
 //! `proptest` cannot be fetched. This crate keeps the property tests
 //! source-compatible: the [`proptest!`] macro, numeric-range and tuple
 //! strategies, `prop::collection::vec`, `prop::sample::Index`,
-//! `any::<T>()` and the `prop_assert*` macros. Unlike upstream there is
-//! no shrinking — a failing case reports its inputs (via `Debug` in the
-//! panic payload where available) but is not minimized. Each test runs
-//! a fixed number of deterministic, seed-derived cases, so failures
-//! reproduce exactly across runs.
+//! `any::<T>()` and the `prop_assert*` macros. Shrinking is greedy
+//! rather than upstream's simplification tree: a failing case is
+//! repeatedly replaced by its first still-failing
+//! [`strategy::Strategy::shrink`] candidate (dimension halving toward
+//! the range start, vector truncation toward the minimum length) until
+//! none fails, and the panic payload reports the minimized inputs via
+//! `Debug`. Each test runs a fixed number of deterministic,
+//! seed-derived cases, so failures reproduce exactly across runs.
 
 /// Runner plumbing used by the macro expansions.
 pub mod test_runner {
@@ -87,6 +90,37 @@ pub mod test_runner {
         }
         h
     }
+
+    /// Driver behind the [`crate::proptest!`] macro: runs [`CASES`]
+    /// seed-derived cases, and on the first failure greedily minimizes
+    /// the inputs via [`crate::strategy::minimize`] before panicking
+    /// with the minimal input tuple in the payload.
+    ///
+    /// # Panics
+    /// Panics on the first (minimized) failing case.
+    pub fn run_property<S, F>(seed: u64, strategy: S, run_case: F)
+    where
+        S: crate::strategy::Strategy,
+        S::Value: std::fmt::Debug,
+        F: Fn(&S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::new(seed);
+        for case in 0..CASES {
+            let vals = strategy.generate(&mut rng);
+            if let Err(e) = run_case(&vals) {
+                let (min_vals, steps) =
+                    crate::strategy::minimize(&strategy, vals, |v| run_case(v).is_err());
+                let min_err = match run_case(&min_vals) {
+                    Err(me) => me,
+                    Ok(()) => e,
+                };
+                panic!(
+                    "property case {case} failed: {min_err}\n\
+                     minimal input (after {steps} shrink steps): {min_vals:?}"
+                );
+            }
+        }
+    }
 }
 
 /// Value-generation strategies.
@@ -99,6 +133,57 @@ pub mod strategy {
         type Value;
         /// Draws one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+        /// Strictly-simpler candidates for `value`, simplest first.
+        /// The default is no candidates (no shrinking).
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
+    }
+
+    /// Greedily minimizes a failing value: repeatedly replaces it with
+    /// the first [`Strategy::shrink`] candidate for which `fails`
+    /// still returns `true`, until no candidate fails. Returns the
+    /// minimized value and the number of accepted shrink steps. The
+    /// input itself is assumed to fail.
+    pub fn minimize<S: Strategy>(
+        strategy: &S,
+        mut value: S::Value,
+        mut fails: impl FnMut(&S::Value) -> bool,
+    ) -> (S::Value, u32) {
+        let mut steps = 0u32;
+        // Candidates are strictly simpler, so this terminates; the
+        // bound is a backstop against a misbehaving shrink impl.
+        'outer: for _ in 0..10_000 {
+            for cand in strategy.shrink(&value) {
+                if fails(&cand) {
+                    value = cand;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (value, steps)
+    }
+
+    /// Shared by the `Range`/`RangeInclusive` int impls: candidates
+    /// are the range start, the midpoint between start and `v`, and
+    /// `v − 1` — deduplicated, in `[start, v)`.
+    macro_rules! int_shrink {
+        ($t:ty, $start:expr, $v:expr) => {{
+            let (start, v) = ($start, $v);
+            let mut out: Vec<$t> = Vec::new();
+            if v > start {
+                let mid = ((start as i128 + v as i128) / 2) as $t;
+                for c in [start, mid, v - 1] {
+                    if c >= start && c < v && !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+            }
+            out
+        }};
     }
 
     macro_rules! int_strategy {
@@ -111,6 +196,9 @@ pub mod strategy {
                     let v = (rng.next_u64() as u128) % span;
                     (self.start as i128 + v as i128) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink!($t, self.start, *value)
+                }
             }
             impl Strategy for core::ops::RangeInclusive<$t> {
                 type Value = $t;
@@ -120,6 +208,9 @@ pub mod strategy {
                     let span = (end as i128 - start as i128) as u128 + 1;
                     let v = (rng.next_u64() as u128) % span;
                     (start as i128 + v as i128) as $t
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink!($t, *self.start(), *value)
                 }
             }
         )*};
@@ -135,6 +226,16 @@ pub mod strategy {
                     assert!(self.start < self.end, "empty strategy range");
                     self.start + (self.end - self.start) * (rng.unit_f64() as $t)
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let v = *value;
+                    let mut out = Vec::new();
+                    for c in [self.start, (self.start + v) / 2.0] {
+                        if c.is_finite() && c >= self.start && c < v && !out.contains(&c) {
+                            out.push(c);
+                        }
+                    }
+                    out
+                }
             }
         )*};
     }
@@ -143,10 +244,24 @@ pub mod strategy {
 
     macro_rules! tuple_strategy {
         ($(($($n:tt $s:ident),+))+) => {$(
-            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+)
+            where
+                $($s::Value: Clone),+
+            {
                 type Value = ($($s::Value,)+);
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$n.generate(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$n.shrink(&value.$n) {
+                            let mut v = value.clone();
+                            v.$n = cand;
+                            out.push(v);
+                        }
+                    )+
+                    out
                 }
             }
         )+};
@@ -242,13 +357,36 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             assert!(self.len.start < self.len.end, "empty length range");
             let span = (self.len.end - self.len.start) as u64;
             let n = self.len.start + rng.below(span.max(1)) as usize;
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min_len = self.len.start;
+            if value.len() > min_len {
+                // Halve the excess length, then try dropping just one.
+                let target = min_len + (value.len() - min_len) / 2;
+                out.push(value[..target].to_vec());
+                if value.len() - 1 != target {
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+            }
+            for (i, item) in value.iter().enumerate() {
+                if let Some(cand) = self.element.shrink(item).into_iter().next() {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 }
@@ -305,25 +443,22 @@ pub mod prelude {
 
 /// Defines property tests: each `fn name(arg in strategy, ...) { body }`
 /// becomes a `#[test]` running [`crate::test_runner::CASES`]
-/// deterministic cases.
+/// deterministic cases. A failing case is greedily minimized via
+/// [`strategy::minimize`] before the panic, which reports both the
+/// (minimized) failure and the minimal input tuple.
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)+) => {$(
         $(#[$meta])*
         fn $name() {
             let seed = $crate::test_runner::name_seed(concat!(module_path!(), "::", stringify!($name)));
-            let mut rng = $crate::test_runner::TestRng::new(seed);
-            for case in 0..$crate::test_runner::CASES {
-                let ($($arg,)+) = ($($crate::strategy::Strategy::generate(&($strat), &mut rng),)+);
-                let result = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
-                    $body
-                    #[allow(unreachable_code)]
-                    Ok(())
-                })();
-                if let ::std::result::Result::Err(e) = result {
-                    panic!("property case {case} failed: {e}");
-                }
-            }
+            let strategy = ($(($strat),)+);
+            $crate::test_runner::run_property(seed, strategy, |vals| {
+                let ($($arg,)+) = ::std::clone::Clone::clone(vals);
+                $body
+                #[allow(unreachable_code)]
+                ::std::result::Result::Ok(())
+            });
         }
     )+};
 }
@@ -422,6 +557,54 @@ mod tests {
             v.push(7);
             prop_assert_eq!(*v.last().unwrap(), 7);
         }
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic(expected = "(10,)")]
+        fn failing_case_shrinks_to_the_boundary(x in 0u32..1000) {
+            // Fails for every x ≥ 10; the greedy shrinker must land
+            // exactly on the smallest failing value, 10.
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn minimize_halves_toward_the_range_start() {
+        use crate::strategy::minimize;
+        let (min, steps) = minimize(&(0u32..1000), 700, |&x| x >= 10);
+        assert_eq!(min, 10);
+        // 700 → 350 → 175 → 87 → 43 → 21 → 10.
+        assert_eq!(steps, 6);
+    }
+
+    #[test]
+    fn minimize_respects_inclusive_range_starts() {
+        use crate::strategy::minimize;
+        let (min, _) = minimize(&(5u32..=100), 77, |&x| x >= 5);
+        assert_eq!(min, 5, "nothing below the range start may be offered");
+    }
+
+    #[test]
+    fn vectors_shrink_to_minimum_length_of_starts() {
+        use crate::strategy::minimize;
+        let strat = prop::collection::vec(0u32..10, 3..6);
+        let (min, _) = minimize(&strat, vec![7, 3, 9, 4], |_| true);
+        assert_eq!(min, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn shrink_offers_nothing_at_the_minimum() {
+        use crate::strategy::Strategy;
+        assert!((0u32..100).shrink(&0).is_empty());
+        assert!((0.0f64..1.0).shrink(&0.0).is_empty());
+        assert!(prop::collection::vec(0u32..10, 2..4)
+            .shrink(&vec![0, 0])
+            .is_empty());
+        // Tuples shrink component-wise.
+        let cands = (0u32..10, 0u64..10).shrink(&(4, 0));
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|&(_, b)| b == 0));
     }
 
     #[test]
