@@ -63,11 +63,9 @@ pub fn rank_by_cluster_throughput(
         .into_iter()
         .map(|g| PowerSizedCluster::size(g, datacenter_watts))
         .collect();
-    sized.sort_by(|a, b| {
-        b.cluster_flops
-            .partial_cmp(&a.cluster_flops)
-            .expect("finite throughputs")
-    });
+    // total_cmp keeps the sort panic-free even if a candidate's
+    // throughput degenerates to NaN (it sorts last).
+    sized.sort_by(|a, b| b.cluster_flops.total_cmp(&a.cluster_flops));
     sized
 }
 

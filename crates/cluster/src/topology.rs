@@ -278,6 +278,7 @@ impl Cluster {
     /// # Panics
     /// Panics if `num_gpus` is not a positive multiple of 8.
     pub fn llama3(num_gpus: u32) -> Cluster {
+        // lint: allow(unwrap) — the panic is this constructor's documented contract
         Cluster::try_llama3(num_gpus).expect("need a multiple of 8 GPUs")
     }
 

@@ -22,4 +22,4 @@ pub mod cost;
 pub mod group;
 
 pub use cost::{Algorithm, CommCostModel};
-pub use group::ProcessGroup;
+pub use group::{GroupShape, ProcessGroup};

@@ -12,7 +12,10 @@
 //! cross-field constraints (the Llama 3 cluster wants a multiple of 8
 //! GPUs, interleaved schedules want `bs % pp == 0`, `nc ≤ bs`, CP wants
 //! `seq % (2·cp) == 0`) rather than rejection-sampling them, so no draw
-//! is wasted.
+//! is wasted. A final memory-repair ladder shrinks the footprint of
+//! specs whose static peak-memory bound over-subscribes the
+//! accelerator, so every normalized spec also passes the pre-flight
+//! analyzer with zero errors — which [`CaseSpec::check`] asserts.
 
 use crate::invariants::{
     check_executed_graph, check_fsdp_conservation, check_memory_model, check_phase_counts,
@@ -151,6 +154,15 @@ impl CaseSpec {
     /// positive dimensions, a multiple-of-8 GPU count (TP doubles until
     /// it fits), `seq` divisible by `2·cp`, and a schedule kind valid
     /// for `(bs, pp)`.
+    ///
+    /// A memory-repair ladder then shrinks over-subscribed specs until
+    /// the static peak-memory bound ([`fits_hbm`](CaseSpec::fits_hbm))
+    /// fits the accelerator, in a fixed order from cheapest to most
+    /// invasive: enable recomputation, drop to one layer per stage,
+    /// drop to one virtual stage, shard everything (ZeRO-3), then
+    /// double TP up to 8. The ladder is idempotent — a fitting spec is
+    /// returned untouched — so normal forms stay stable under
+    /// re-normalization.
     pub fn normalized(mut self) -> CaseSpec {
         for d in [
             &mut self.layers_per_stage,
@@ -176,7 +188,38 @@ impl CaseSpec {
             },
             k => k,
         };
+        if !self.fits_hbm() {
+            self.recompute = true;
+        }
+        if !self.fits_hbm() {
+            self.layers_per_stage = 1;
+        }
+        if !self.fits_hbm() {
+            self.v = 1;
+        }
+        if !self.fits_hbm() {
+            self.zero = ZeroMode::Zero3;
+        }
+        while !self.fits_hbm() && self.tp < 8 {
+            self.tp *= 2;
+        }
         self
+    }
+
+    /// `true` when every pipeline rank's static peak-memory bound (the
+    /// pre-flight analyzer's `MEM001` quantity) fits the accelerator's
+    /// HBM capacity.
+    pub fn fits_hbm(&self) -> bool {
+        let m = self.build();
+        let Ok(sched) = m.schedule() else {
+            // Structural defects are repaired by the caller; memory is
+            // not the blocker here.
+            return true;
+        };
+        let capacity = m.cluster.gpu.hbm_capacity;
+        parallelism_core::analyze::memory::rank_bounds(&m, &sched)
+            .iter()
+            .all(|b| b.total() <= capacity)
     }
 
     /// Materializes the spec as a [`StepModel`]. Infallible for
@@ -203,20 +246,26 @@ impl CaseSpec {
         }
     }
 
-    /// Runs the full conformance battery on this spec: schedule
-    /// invariants, no-deadlock execution, executed-graph causality,
-    /// memory recomposition, step-report sanity, trace monotonicity,
-    /// ring/FSDP byte conservation, and the cheap differential oracles
-    /// (folding, deprecated wrappers, fluid fast path). The goodput and
-    /// memoization oracles run in the grid tests instead — they price a
-    /// whole training day and a shared thread-local cache, which would
-    /// dominate a multi-thousand-case sweep.
+    /// Runs the full conformance battery on this spec: the pre-flight
+    /// static analyzer (which must report zero errors on a normalized
+    /// spec), schedule invariants, no-deadlock execution,
+    /// executed-graph causality, memory recomposition, step-report
+    /// sanity, trace monotonicity, ring/FSDP byte conservation, and the
+    /// cheap differential oracles (folding, deprecated wrappers, fluid
+    /// fast path). The goodput and memoization oracles run in the grid
+    /// tests instead — they price a whole training day and a shared
+    /// thread-local cache, which would dominate a multi-thousand-case
+    /// sweep.
     pub fn check(&self) -> Result<(), String> {
         let ctx = |label: &'static str| {
             let spec = *self;
             move |e: String| format!("[{spec}] {label}: {e}")
         };
         let m = self.build();
+        let report = parallelism_core::analyze::analyze_step(&m);
+        if report.has_errors() {
+            return Err(ctx("pre-flight analysis")(report.error_summary()));
+        }
         let sched = m.schedule().map_err(|e| ctx("schedule build")(e.to_string()))?;
         check_schedule_completeness(&sched).map_err(ctx("completeness"))?;
         check_phase_counts(&sched).map_err(ctx("phase counts"))?;
@@ -415,6 +464,31 @@ mod tests {
             let spec = CaseSpec::sample(&mut rng);
             spec.check().unwrap_or_else(|e| panic!("{e}"));
         }
+    }
+
+    #[test]
+    fn normalization_repairs_memory_oversubscription() {
+        // tp = 1 with Zero1 leaves 6 × 3.2B-parameter layers' state
+        // unsharded on every pipeline rank — far past 80 GiB. The
+        // ladder must repair it without breaking normal form.
+        let over = CaseSpec {
+            gpu: GpuChoice::A100,
+            layers_per_stage: 2,
+            tp: 1,
+            cp: 1,
+            pp: 8,
+            dp: 1,
+            v: 3,
+            bs: 8,
+            seq: 8192,
+            kind: ScheduleKind::AllFwdAllBwd,
+            zero: ZeroMode::Zero1,
+            recompute: false,
+        };
+        assert!(!over.fits_hbm(), "test premise: the raw spec must not fit");
+        let repaired = over.normalized();
+        assert!(repaired.fits_hbm(), "ladder failed to repair: {repaired}");
+        assert_eq!(repaired, repaired.normalized(), "normal form unstable");
     }
 
     #[test]

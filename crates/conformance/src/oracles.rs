@@ -311,6 +311,7 @@ pub fn oracle_fluid_fast_path(link_bps: &[f64], transfer_bytes: &[f64]) -> Check
 
 /// Oracle 4 — the deprecated `simulate*` wrappers are thin shims over
 /// [`StepModel::run`] and must stay bit-identical to it until removed.
+// lint: allow(deprecated-sim) — this oracle exists to test the deprecated wrappers
 #[allow(deprecated)]
 pub fn oracle_run_vs_deprecated(m: &StepModel) -> CheckResult {
     let run_default = m
@@ -325,6 +326,7 @@ pub fn oracle_run_vs_deprecated(m: &StepModel) -> CheckResult {
             .report;
         assert_equivalent(
             &format!("simulate_at({fidelity:?}) vs run"),
+            // lint: allow(deprecated-sim)
             &m.simulate_at(fidelity),
             &via_run,
             0.0,
@@ -341,10 +343,12 @@ pub fn oracle_run_vs_deprecated(m: &StepModel) -> CheckResult {
         .report;
     assert_equivalent(
         "simulate_jittered vs run",
+        // lint: allow(deprecated-sim)
         &m.simulate_jittered(&jitter, 3),
         &via_run,
         0.0,
     )?;
+    // lint: allow(deprecated-sim)
     let (report, trace) = m.simulate_with_trace();
     let outcome = m
         .run(&SimOptions::new().trace(true))

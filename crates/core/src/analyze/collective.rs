@@ -1,0 +1,436 @@
+//! Collective-ordering consistency (`COLL001`).
+//!
+//! NCCL-style collectives hang when the members of one process group
+//! disagree on the sequence of calls they issue — one rank enqueues an
+//! extra all-gather, or two ranks call with different byte counts, and
+//! every member blocks forever. This analysis extracts, for each
+//! process group the step uses, the **collective stream** each member
+//! rank would issue — derived independently from that rank's own mesh
+//! coordinates, exactly as real launcher code derives it — and checks
+//! the streams are identical in kind, byte count and group shape.
+//!
+//! The extraction covers the three collective families of the step
+//! model (§5.2):
+//!
+//! * **TP** — four exposed collectives (AG/RS around attention and
+//!   FFN) per TP-communicating layer per schedule-op visit;
+//! * **CP** — the KV all-gather per self-attention layer forward, with
+//!   the mirrored reduce-scatter on backward (§4);
+//! * **FSDP** — the parameter all-gather and gradient reduce-scatter
+//!   of the ZeRO mode, per-stage under ZeRO-3 (§2.1).
+//!
+//! The IR ([`CollectivePlan`]) is public so mutation tests can inject a
+//! divergent stream and watch [`check_plan`] catch it.
+
+use super::{Diagnostic, RuleId};
+use crate::fsdp::ZeroMode;
+use crate::mesh::Dim;
+use crate::pp::schedule::PpSchedule;
+use crate::step::StepModel;
+use crate::tp::{TpPlan, COLLECTIVES_PER_LAYER};
+use cluster_model::topology::GlobalRank;
+use collectives::{GroupShape, ProcessGroup};
+use llm_model::layers::LayerKind;
+use llm_model::PrecisionPolicy;
+use std::fmt;
+
+/// The collective primitive a stream entry launches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollKind {
+    /// Ring all-gather.
+    AllGather,
+    /// Ring reduce-scatter.
+    ReduceScatter,
+}
+
+impl fmt::Display for CollKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollKind::AllGather => write!(f, "all-gather"),
+            CollKind::ReduceScatter => write!(f, "reduce-scatter"),
+        }
+    }
+}
+
+/// One collective launch as a member rank sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollOp {
+    /// The primitive.
+    pub kind: CollKind,
+    /// Per-rank payload bytes.
+    pub bytes: u64,
+    /// Translation-invariant shape of the group the rank believes it is
+    /// calling into.
+    pub shape: GroupShape,
+}
+
+impl fmt::Display for CollOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}B {:?}", self.kind, self.bytes, self.shape)
+    }
+}
+
+/// One process group plus the collective stream each member would
+/// issue.
+#[derive(Debug, Clone)]
+pub struct GroupStream {
+    /// Human-readable group identity (dimension + anchor coordinates).
+    pub label: String,
+    /// The group itself.
+    pub group: ProcessGroup,
+    /// `(member, its stream)`, one entry per member rank.
+    pub streams: Vec<(GlobalRank, Vec<CollOp>)>,
+}
+
+/// Every process group the step uses, with per-member streams.
+#[derive(Debug, Clone, Default)]
+pub struct CollectivePlan {
+    /// All multi-member groups (singletons issue no collectives).
+    pub groups: Vec<GroupStream>,
+}
+
+/// Extracts the collective plan of `m`: for each multi-member TP, CP
+/// and FSDP group, every member's stream derived from its own
+/// coordinates.
+pub fn extract_plan(m: &StepModel, sched: &PpSchedule) -> CollectivePlan {
+    let mesh = m.mesh;
+    let leaf = m.cluster.topology.gpus_per_node;
+    let mut plan = CollectivePlan::default();
+
+    // One group per pipeline rank for each dimension: members of a TP,
+    // CP or FSDP group always share their PP coordinate, and groups at
+    // different CP/DP coordinates are exact translates issuing
+    // identical streams — checking the dp=0/cp=0 representatives covers
+    // every group without scanning the full cluster.
+    for ppr in 0..mesh.pp() {
+        let anchor = GlobalRank(ppr * mesh.stride(Dim::Pp));
+        if mesh.tp() > 1 {
+            let group = mesh.group_of(anchor, Dim::Tp);
+            plan.groups.push(GroupStream {
+                label: format!("tp group at pp={ppr}"),
+                streams: member_streams(&group, |r| tp_stream(m, sched, r, &group, leaf)),
+                group,
+            });
+        }
+        if mesh.cp() > 1 {
+            let group = mesh.group_of(anchor, Dim::Cp);
+            plan.groups.push(GroupStream {
+                label: format!("cp group at pp={ppr}"),
+                streams: member_streams(&group, |r| cp_stream(m, sched, r, &group, leaf)),
+                group,
+            });
+        }
+        let fsdp = mesh.fsdp_group_of(anchor);
+        if !fsdp.is_singleton() {
+            plan.groups.push(GroupStream {
+                label: format!("fsdp group at pp={ppr}"),
+                streams: member_streams(&fsdp, |r| fsdp_stream(m, sched, r, &fsdp, leaf)),
+                group: fsdp,
+            });
+        }
+    }
+    plan
+}
+
+fn member_streams(
+    group: &ProcessGroup,
+    mut stream: impl FnMut(GlobalRank) -> Vec<CollOp>,
+) -> Vec<(GlobalRank, Vec<CollOp>)> {
+    group.ranks().iter().map(|&r| (r, stream(r))).collect()
+}
+
+/// `true` for layers that issue the four exposed TP+SP collectives
+/// (mirrors the stage-time accounting in `StepModel::stage_times`).
+fn layer_uses_tp(layer: &LayerKind) -> bool {
+    matches!(
+        layer,
+        LayerKind::SelfAttention { .. } | LayerKind::CrossAttention { .. } | LayerKind::OutputHead
+    )
+}
+
+/// The TP collective stream rank `r` issues over one step.
+fn tp_stream(
+    m: &StepModel,
+    sched: &PpSchedule,
+    r: GlobalRank,
+    group: &ProcessGroup,
+    leaf: u32,
+) -> Vec<CollOp> {
+    let coords = m.mesh.coords_of(r);
+    let tp = TpPlan::new(m.mesh.tp(), true);
+    let tokens = m.seq / m.mesh.cp() as u64;
+    let bytes = tp.collective_bytes_per_rank(&m.layout.cfg, tokens);
+    let shape = group.shape(leaf);
+    let mut out = Vec::new();
+    for op in &sched.ranks[coords.pp as usize] {
+        let stage = sched.stage_of(coords.pp, op.chunk());
+        for layer in &m.assignment.stages[stage as usize] {
+            if !layer_uses_tp(layer) {
+                continue;
+            }
+            // AG before and RS after each of the attention and FFN
+            // blocks; the backward mirrors the pattern with the same
+            // payload.
+            for _ in 0..COLLECTIVES_PER_LAYER / 2 {
+                out.push(CollOp {
+                    kind: CollKind::AllGather,
+                    bytes,
+                    shape: shape.clone(),
+                });
+                out.push(CollOp {
+                    kind: CollKind::ReduceScatter,
+                    bytes,
+                    shape: shape.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The CP collective stream rank `r` issues over one step: the KV
+/// all-gather per self-attention forward, the mirrored reduce-scatter
+/// per backward (§4).
+fn cp_stream(
+    m: &StepModel,
+    sched: &PpSchedule,
+    r: GlobalRank,
+    group: &ProcessGroup,
+    leaf: u32,
+) -> Vec<CollOp> {
+    let coords = m.mesh.coords_of(r);
+    let agcp = crate::cp::AllGatherCp::new(m.mesh.cp());
+    let bytes = agcp.kv_bytes_per_rank(&m.layout.cfg, m.seq) / m.mesh.tp() as u64;
+    let shape = group.shape(leaf);
+    let mut out = Vec::new();
+    for op in &sched.ranks[coords.pp as usize] {
+        let stage = sched.stage_of(coords.pp, op.chunk());
+        for layer in &m.assignment.stages[stage as usize] {
+            if !matches!(layer, LayerKind::SelfAttention { .. }) {
+                continue;
+            }
+            out.push(CollOp {
+                kind: if op.is_forward() {
+                    CollKind::AllGather
+                } else {
+                    CollKind::ReduceScatter
+                },
+                bytes,
+                shape: shape.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// The FSDP collective stream rank `r` issues over one step, by ZeRO
+/// mode: ZeRO-1/2 all-gather parameters once and reduce-scatter
+/// gradients per virtual stage; ZeRO-3 all-gathers each stage's
+/// parameters before every forward and backward visit (§2.1).
+fn fsdp_stream(
+    m: &StepModel,
+    sched: &PpSchedule,
+    r: GlobalRank,
+    group: &ProcessGroup,
+    leaf: u32,
+) -> Vec<CollOp> {
+    let coords = m.mesh.coords_of(r);
+    let policy = PrecisionPolicy::llama3();
+    let shape = group.shape(leaf);
+    let chunk_params = |chunk: u32| -> u64 {
+        let stage = sched.stage_of(coords.pp, chunk);
+        m.assignment.stages[stage as usize]
+            .iter()
+            .map(|l| l.params(&m.layout.cfg))
+            .sum::<u64>()
+            / m.mesh.tp() as u64
+    };
+    let rank_params: u64 = (0..sched.v).map(chunk_params).sum();
+    let mut out = Vec::new();
+    match m.zero {
+        ZeroMode::Zero1 | ZeroMode::Zero2 => {
+            out.push(CollOp {
+                kind: CollKind::AllGather,
+                bytes: rank_params * policy.param_bytes,
+                shape: shape.clone(),
+            });
+            // ZeRO-2 reduce-scatters after each virtual stage's last
+            // micro-batch; ZeRO-1 issues one step-end reduce-scatter.
+            let rs_chunks: u32 = if m.zero == ZeroMode::Zero2 { sched.v } else { 1 };
+            for c in 0..rs_chunks {
+                let params = if rs_chunks == 1 { rank_params } else { chunk_params(c) };
+                out.push(CollOp {
+                    kind: CollKind::ReduceScatter,
+                    bytes: params * policy.grad_bytes,
+                    shape: shape.clone(),
+                });
+            }
+        }
+        ZeroMode::Zero3 => {
+            for op in &sched.ranks[coords.pp as usize] {
+                out.push(CollOp {
+                    kind: CollKind::AllGather,
+                    bytes: chunk_params(op.chunk()) * policy.param_bytes,
+                    shape: shape.clone(),
+                });
+            }
+            for c in 0..sched.v {
+                out.push(CollOp {
+                    kind: CollKind::ReduceScatter,
+                    bytes: chunk_params(c) * policy.grad_bytes,
+                    shape: shape.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Checks every group's member streams for divergence. The first
+/// mismatching op per divergent group becomes one `COLL001` error
+/// naming the group, both ranks and both ops — the static image of the
+/// NCCL hang the divergence would cause.
+pub fn check_plan(plan: &CollectivePlan) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for gs in &plan.groups {
+        let Some((ref_rank, ref_stream)) = gs.streams.first() else {
+            continue;
+        };
+        for (rank, stream) in &gs.streams[1..] {
+            let n = ref_stream.len().min(stream.len());
+            let mismatch = (0..n)
+                .find(|&i| ref_stream[i] != stream[i])
+                .or_else(|| (ref_stream.len() != stream.len()).then_some(n));
+            let Some(i) = mismatch else { continue };
+            let show = |s: &[CollOp], r: GlobalRank| match s.get(i) {
+                Some(op) => format!("rank {}: op[{i}] = {op}", r.0),
+                None => format!("rank {}: stream ends after {} ops", r.0, s.len()),
+            };
+            let op = stream
+                .get(i)
+                .map(|o| o.to_string())
+                .unwrap_or_else(|| "<end of stream>".to_string());
+            diags.push(
+                Diagnostic::error(
+                    RuleId::Coll001,
+                    format!(
+                        "collective streams diverge on {} at op {i}: rank {} and rank {} would \
+                         hang in a mismatched collective",
+                        gs.label, ref_rank.0, rank.0
+                    ),
+                )
+                .at_rank(rank.0)
+                .at_op(op)
+                .with_witness(vec![show(ref_stream, *ref_rank), show(stream, *rank)]),
+            );
+            break; // one finding per group names the defect
+        }
+    }
+    diags
+}
+
+/// Extracts and checks in one call.
+pub fn check_step(m: &StepModel, sched: &PpSchedule) -> Vec<Diagnostic> {
+    check_plan(&extract_plan(m, sched))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::Mesh4D;
+    use crate::pp::balance::{BalancePolicy, StageAssignment};
+    use crate::pp::schedule::ScheduleKind;
+    use cluster_model::topology::Cluster;
+    use llm_model::masks::MaskSpec;
+    use llm_model::{ModelLayout, TransformerConfig};
+
+    fn step(zero: ZeroMode) -> StepModel {
+        let cfg = TransformerConfig::llama3_405b_scaled(28);
+        let layout = ModelLayout::text(cfg);
+        let mesh = Mesh4D::new(4, 2, 2, 2);
+        let assignment = StageAssignment::build(&layout, 2, 7, BalancePolicy::Uniform);
+        StepModel {
+            cluster: Cluster::llama3(mesh.num_gpus()),
+            mesh,
+            layout,
+            assignment,
+            schedule: ScheduleKind::Flexible { nc: 2 },
+            zero,
+            bs: 4,
+            seq: 8192,
+            mask: MaskSpec::Causal,
+            recompute: false,
+        }
+    }
+
+    #[test]
+    fn real_plans_have_consistent_streams() {
+        for zero in [ZeroMode::Zero1, ZeroMode::Zero2, ZeroMode::Zero3] {
+            let m = step(zero);
+            let sched = m.schedule().unwrap();
+            let plan = extract_plan(&m, &sched);
+            // tp + cp + fsdp groups per pipeline rank.
+            assert_eq!(plan.groups.len(), 3 * 2);
+            assert!(plan.groups.iter().all(|g| g.streams.len() >= 2));
+            assert!(plan
+                .groups
+                .iter()
+                .all(|g| g.streams.iter().all(|(_, s)| !s.is_empty())));
+            assert!(check_plan(&plan).is_empty(), "{zero:?}");
+        }
+    }
+
+    #[test]
+    fn extra_all_gather_on_one_rank_is_flagged() {
+        let m = step(ZeroMode::Zero1);
+        let sched = m.schedule().unwrap();
+        let mut plan = extract_plan(&m, &sched);
+        let gs = &mut plan.groups[0];
+        let (victim, stream) = &mut gs.streams[1];
+        let extra = stream[0].clone();
+        let victim = victim.0;
+        stream.insert(0, CollOp {
+            kind: CollKind::AllGather,
+            ..extra
+        });
+        let diags = check_plan(&plan);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RuleId::Coll001);
+        assert_eq!(diags[0].rank, Some(victim));
+    }
+
+    #[test]
+    fn byte_count_divergence_is_flagged() {
+        let m = step(ZeroMode::Zero2);
+        let sched = m.schedule().unwrap();
+        let mut plan = extract_plan(&m, &sched);
+        let gs = plan.groups.last_mut().unwrap();
+        let last = gs.streams.len() - 1;
+        gs.streams[last].1.last_mut().unwrap().bytes += 1;
+        let diags = check_plan(&plan);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("fsdp group"));
+    }
+
+    #[test]
+    fn singleton_dimensions_produce_no_groups() {
+        let cfg = TransformerConfig::llama3_405b_scaled(8);
+        let layout = ModelLayout::text(cfg);
+        let mesh = Mesh4D::new(1, 1, 8, 1);
+        let assignment = StageAssignment::build(&layout, 8, 1, BalancePolicy::Uniform);
+        let m = StepModel {
+            cluster: Cluster::llama3(mesh.num_gpus()),
+            mesh,
+            layout,
+            assignment,
+            schedule: ScheduleKind::AllFwdAllBwd,
+            zero: ZeroMode::Zero1,
+            bs: 2,
+            seq: 8192,
+            mask: MaskSpec::Causal,
+            recompute: false,
+        };
+        let sched = m.schedule().unwrap();
+        assert!(extract_plan(&m, &sched).groups.is_empty());
+    }
+}

@@ -1,0 +1,296 @@
+//! Static pipeline-deadlock detection (`DEAD001`/`DEAD002`).
+//!
+//! Builds the cross-rank wait-for graph a [`PpSchedule`] implies and
+//! looks for cycles — with no simulation. The graph mirrors exactly the
+//! dependencies `lower_pp` wires when the schedule executes:
+//!
+//! * **program order** — each rank's ops run in list order on one
+//!   compute stream, so every op waits for its predecessor;
+//! * **activation receive** — `F(stage, mb)` with `stage > 0` waits for
+//!   `F(stage−1, mb)` on rank `(stage−1) mod pp` (the p2p send/recv
+//!   pair);
+//! * **gradient receive** — `B(stage, mb)` with `stage < last` waits
+//!   for `B(stage+1, mb)`;
+//! * **loss turn-around** — `B(last, mb)` waits for the local
+//!   `F(last, mb)`.
+//!
+//! The step-end collective join point (the DP gradient sync every rank
+//! enters after its final op) is modelled as one virtual node waiting
+//! on each rank's last op; it has no successors, so it can stall but
+//! never close a cycle — every schedule deadlock is a cycle among the
+//! compute ops above, reported as an op-path witness.
+
+use super::{Diagnostic, RuleId};
+use crate::pp::schedule::{PpOp, PpSchedule};
+use std::collections::HashMap;
+
+/// Cap on reported dangling-wait diagnostics (one broken schedule can
+/// dangle hundreds of waits; the first few identify the defect).
+const MAX_DANGLING: usize = 8;
+
+/// One node of the wait-for graph: `(pipeline rank, op index)` plus the
+/// virtual step-end join node.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    rank: u32,
+    op: PpOp,
+}
+
+/// Checks `sched` for wait-for cycles and dangling waits.
+///
+/// Returns one `DEAD001` error (with the full cycle as witness) for the
+/// first cycle found, plus up to [`MAX_DANGLING`] `DEAD002` errors for
+/// waits on producers no rank schedules. A schedule produced by
+/// [`PpSchedule::build`] yields no diagnostics.
+pub fn check_schedule(sched: &PpSchedule) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let last_stage = sched.num_stages() - 1;
+
+    // Node ids: per-rank ops flattened, then one virtual join node.
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut rank_offsets: Vec<usize> = Vec::with_capacity(sched.ranks.len());
+    for (ppr, ops) in sched.ranks.iter().enumerate() {
+        rank_offsets.push(nodes.len());
+        for &op in ops {
+            nodes.push(Node {
+                rank: ppr as u32,
+                op,
+            });
+        }
+    }
+    let join = nodes.len();
+    let num_nodes = nodes.len() + 1;
+
+    // First occurrence of each (is_forward, stage, mb) across all
+    // ranks, for cross-rank producer lookup.
+    let mut producers: HashMap<(bool, u32, u32), usize> = HashMap::new();
+    for (id, n) in nodes.iter().enumerate() {
+        let stage = sched.stage_of(n.rank, n.op.chunk());
+        producers
+            .entry((n.op.is_forward(), stage, n.op.mb()))
+            .or_insert(id);
+    }
+
+    // waits[x] = nodes x waits for.
+    let mut waits: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
+    let mut dangling = 0usize;
+    let dangle = |diags: &mut Vec<Diagnostic>,
+                      dangling: &mut usize,
+                      n: &Node,
+                      wanted: String| {
+        if *dangling < MAX_DANGLING {
+            diags.push(
+                Diagnostic::error(
+                    RuleId::Dead002,
+                    format!(
+                        "{} waits for {wanted}, which no rank schedules — the wait never completes",
+                        n.op
+                    ),
+                )
+                .at_rank(n.rank)
+                .at_op(n.op.to_string()),
+            );
+        }
+        *dangling += 1;
+    };
+
+    for (ppr, ops) in sched.ranks.iter().enumerate() {
+        let base = rank_offsets[ppr];
+        for (i, &op) in ops.iter().enumerate() {
+            let id = base + i;
+            if i > 0 {
+                waits[id].push(id - 1);
+            }
+            let stage = sched.stage_of(ppr as u32, op.chunk());
+            let n = nodes[id];
+            match op {
+                PpOp::Forward { mb, .. } if stage > 0 => {
+                    match producers.get(&(true, stage - 1, mb)) {
+                        Some(&p) => waits[id].push(p),
+                        None => dangle(
+                            &mut diags,
+                            &mut dangling,
+                            &n,
+                            format!("the forward of stage {} mb {mb}", stage - 1),
+                        ),
+                    }
+                }
+                PpOp::Backward { mb, .. } if stage < last_stage => {
+                    match producers.get(&(false, stage + 1, mb)) {
+                        Some(&p) => waits[id].push(p),
+                        None => dangle(
+                            &mut diags,
+                            &mut dangling,
+                            &n,
+                            format!("the backward of stage {} mb {mb}", stage + 1),
+                        ),
+                    }
+                }
+                PpOp::Backward { mb, .. } => match producers.get(&(true, stage, mb)) {
+                    Some(&p) => waits[id].push(p),
+                    None => dangle(
+                        &mut diags,
+                        &mut dangling,
+                        &n,
+                        format!("the local forward of stage {stage} mb {mb}"),
+                    ),
+                },
+                PpOp::Forward { .. } => {}
+            }
+        }
+        // The step-end collective join point waits on every rank's last
+        // op (acyclic by construction — it has no successors).
+        if let Some(last) = ops.len().checked_sub(1) {
+            waits[join].push(base + last);
+        }
+    }
+    if dangling > MAX_DANGLING {
+        diags.push(Diagnostic::error(
+            RuleId::Dead002,
+            format!("{} more dangling waits suppressed", dangling - MAX_DANGLING),
+        ));
+    }
+
+    if let Some(cycle) = find_cycle(&waits) {
+        let witness: Vec<String> = cycle
+            .iter()
+            .map(|&id| {
+                if id == join {
+                    "step-end collective join".to_string()
+                } else {
+                    let n = nodes[id];
+                    format!("rank {}: {}", n.rank, n.op)
+                }
+            })
+            .collect();
+        let first = nodes[cycle[0]];
+        diags.push(
+            Diagnostic::error(
+                RuleId::Dead001,
+                format!(
+                    "cross-rank wait-for cycle of {} ops — the pipeline deadlocks at the first \
+                     op of the cycle",
+                    cycle.len()
+                ),
+            )
+            .at_rank(first.rank)
+            .at_op(first.op.to_string())
+            .with_witness(witness),
+        );
+    }
+    diags
+}
+
+/// Iterative three-colour DFS over the wait-for graph; returns the
+/// first cycle found as a node path (each node waits for the next, and
+/// the last waits for the first).
+fn find_cycle(waits: &[Vec<usize>]) -> Option<Vec<usize>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let mut colour = vec![Colour::White; waits.len()];
+    // Stack frames: (node, next child index). `path` mirrors the grey
+    // chain so a back-edge can be unwound into a cycle witness.
+    for root in 0..waits.len() {
+        if colour[root] != Colour::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        colour[root] = Colour::Grey;
+        while let Some(top) = stack.last_mut() {
+            let node = top.0;
+            if top.1 < waits[node].len() {
+                let next = waits[node][top.1];
+                top.1 += 1;
+                match colour[next] {
+                    Colour::White => {
+                        colour[next] = Colour::Grey;
+                        stack.push((next, 0));
+                    }
+                    Colour::Grey => {
+                        // Back edge: the grey chain from `next` to the
+                        // top of the stack is the cycle.
+                        let start = stack
+                            .iter()
+                            .position(|&(n, _)| n == next)
+                            // lint: allow(unwrap) — grey nodes are on the stack by the DFS invariant
+                            .expect("grey nodes are on the stack");
+                        // Stack order already reads "each node waits
+                        // for the next, and the last waits for the
+                        // first".
+                        return Some(stack[start..].iter().map(|&(n, _)| n).collect());
+                    }
+                    Colour::Black => {}
+                }
+            } else {
+                colour[node] = Colour::Black;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pp::schedule::ScheduleKind;
+
+    #[test]
+    fn built_schedules_are_clean_across_families() {
+        for kind in [
+            ScheduleKind::AllFwdAllBwd,
+            ScheduleKind::Interleaved1F1B,
+            ScheduleKind::Flexible { nc: 3 },
+            ScheduleKind::Flexible { nc: 6 },
+        ] {
+            let s = PpSchedule::build(kind, 4, 2, 8).unwrap();
+            let diags = check_schedule(&s);
+            assert!(diags.is_empty(), "{kind:?}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn b_before_f_swap_creates_p2p_cycle() {
+        // pp = 2, v = 1: stage 0 on rank 0, stage 1 on rank 1. Moving
+        // rank 0's first backward before its forward closes the loop
+        //   F(s0) →(program) B(s0) →(grad recv) B(s1)
+        //        →(local) F(s1) →(act recv) F(s0).
+        let mut s = PpSchedule::build(ScheduleKind::AllFwdAllBwd, 2, 1, 2).unwrap();
+        let r0 = &mut s.ranks[0];
+        let fpos = r0
+            .iter()
+            .position(|o| *o == PpOp::Forward { chunk: 0, mb: 0 })
+            .unwrap();
+        let bpos = r0
+            .iter()
+            .position(|o| *o == PpOp::Backward { chunk: 0, mb: 0 })
+            .unwrap();
+        r0.swap(fpos, bpos);
+        let diags = check_schedule(&s);
+        let cycle = diags
+            .iter()
+            .find(|d| d.rule == RuleId::Dead001)
+            .expect("cycle detected");
+        assert!(cycle.witness.iter().any(|w| w.contains("rank 0: B0.0")));
+        assert!(cycle.witness.iter().any(|w| w.contains("rank 1: F0.0")));
+    }
+
+    #[test]
+    fn missing_producer_is_a_dangling_wait() {
+        let mut s = PpSchedule::build(ScheduleKind::AllFwdAllBwd, 2, 1, 2).unwrap();
+        // Drop rank 0's forward of mb 1: rank 1's F(stage 1, mb 1)
+        // waits forever.
+        s.ranks[0].retain(|o| *o != PpOp::Forward { chunk: 0, mb: 1 });
+        let diags = check_schedule(&s);
+        let d = diags
+            .iter()
+            .find(|d| d.rule == RuleId::Dead002)
+            .expect("dangling wait");
+        assert_eq!(d.rank, Some(1));
+        assert!(d.message.contains("stage 0 mb 1"), "{}", d.message);
+    }
+}

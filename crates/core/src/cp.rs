@@ -82,6 +82,7 @@ impl CpSharding {
     /// relative HFU for block causal" and Fig 14's slow ranks).
     pub fn imbalance(&self, seq: u64, mask: &MaskSpec) -> f64 {
         let pairs = self.all_rank_pairs(seq, mask);
+        // lint: allow(unwrap) — all_rank_pairs returns one entry per CP rank, cp ≥ 1
         let max = *pairs.iter().max().expect("cp > 0") as f64;
         let mean = pairs.iter().sum::<u128>() as f64 / pairs.len() as f64;
         if mean == 0.0 {

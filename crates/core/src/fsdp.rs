@@ -59,15 +59,58 @@ pub fn state_bytes_per_rank(
     mode: ZeroMode,
     fsdp_n: u64,
 ) -> u64 {
+    state_breakdown_per_rank(params, policy, mode, fsdp_n).total()
+}
+
+/// Per-component view of [`state_bytes_per_rank`], used by the static
+/// memory analyzer to attribute an over-subscribed rank's bytes to
+/// parameters, gradients and optimizer state separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateBreakdown {
+    /// Resident parameter bytes (sharded under ZeRO-3).
+    pub param_bytes: u64,
+    /// Resident gradient bytes (sharded under ZeRO-2/3).
+    pub grad_bytes: u64,
+    /// Resident optimizer-state bytes (always sharded).
+    pub optim_bytes: u64,
+}
+
+impl StateBreakdown {
+    /// Sum of the components — equal to [`state_bytes_per_rank`].
+    pub fn total(&self) -> u64 {
+        self.param_bytes + self.grad_bytes + self.optim_bytes
+    }
+}
+
+/// The component breakdown behind [`state_bytes_per_rank`]; the sum of
+/// the returned fields is exactly that function's value.
+pub fn state_breakdown_per_rank(
+    params: u64,
+    policy: PrecisionPolicy,
+    mode: ZeroMode,
+    fsdp_n: u64,
+) -> StateBreakdown {
     assert!(fsdp_n > 0, "FSDP group cannot be empty");
     let shard = |b: u64| b.div_ceil(fsdp_n);
     let param_bytes = params * policy.param_bytes;
     let grad_bytes = params * policy.grad_bytes;
     let optim_bytes = params * policy.optim_bytes;
     match mode {
-        ZeroMode::Zero1 => param_bytes + grad_bytes + shard(optim_bytes),
-        ZeroMode::Zero2 => param_bytes + shard(grad_bytes) + shard(optim_bytes),
-        ZeroMode::Zero3 => shard(param_bytes) + shard(grad_bytes) + shard(optim_bytes),
+        ZeroMode::Zero1 => StateBreakdown {
+            param_bytes,
+            grad_bytes,
+            optim_bytes: shard(optim_bytes),
+        },
+        ZeroMode::Zero2 => StateBreakdown {
+            param_bytes,
+            grad_bytes: shard(grad_bytes),
+            optim_bytes: shard(optim_bytes),
+        },
+        ZeroMode::Zero3 => StateBreakdown {
+            param_bytes: shard(param_bytes),
+            grad_bytes: shard(grad_bytes),
+            optim_bytes: shard(optim_bytes),
+        },
     }
 }
 
@@ -172,6 +215,23 @@ mod tests {
         assert_eq!(ag1, params * 2);
         assert_eq!(ag3, params * 2 * 2 * 32);
         assert_eq!(rs1, rs3);
+    }
+
+    #[test]
+    fn breakdown_recomposes_state_bytes() {
+        let p = PrecisionPolicy::llama3();
+        for params in [1, 1_000_003, 10 * MB] {
+            for mode in [ZeroMode::Zero1, ZeroMode::Zero2, ZeroMode::Zero3] {
+                for n in [1, 2, 64] {
+                    let b = state_breakdown_per_rank(params, p, mode, n);
+                    assert_eq!(b.total(), state_bytes_per_rank(params, p, mode, n));
+                }
+            }
+        }
+        // ZeRO-2 shards grads but not params.
+        let b = state_breakdown_per_rank(8 * MB, p, ZeroMode::Zero2, 8);
+        assert_eq!(b.param_bytes, 8 * MB * 2);
+        assert_eq!(b.grad_bytes, MB * 4);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 pub mod cp;
 pub mod multimodal;
 pub mod planner;
@@ -22,6 +23,7 @@ pub mod mesh;
 pub mod pp;
 pub mod tp;
 
+pub use analyze::{analyze_step, Diagnostic, Report, RuleId, Severity};
 pub use cp::{AllGatherCp, CpSharding, RingCp};
 pub use fsdp::ZeroMode;
 pub use memory_opt::{policy_tradeoff, ActivationPolicy};

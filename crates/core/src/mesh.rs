@@ -90,6 +90,7 @@ impl Mesh4D {
     /// # Panics
     /// Panics if any size is zero.
     pub fn new(tp: u32, cp: u32, pp: u32, dp: u32) -> Mesh4D {
+        // lint: allow(unwrap) — the panic is this constructor's documented contract
         Mesh4D::try_new(tp, cp, pp, dp).expect("mesh sizes must be positive")
     }
 

@@ -193,6 +193,7 @@ impl MultimodalStep {
             bwd,
             p2p: step.stage_p2p_time(),
         };
+        // lint: allow(unwrap) — the schedule was built by PpSchedule::build above
         let sim = simulate_pp(&sched, &costs).expect("valid schedule");
         let step_time = pre + sim.makespan + post;
 

@@ -303,6 +303,7 @@ pub fn plan(input: &PlannerInput) -> Result<Plan, PlanError> {
                     .collect();
                 handles
                     .into_iter()
+                    // lint: allow(unwrap) — propagating a worker panic is the intended behaviour
                     .map(|h| h.join().expect("planner scoring thread panicked"))
                     .collect()
             });
@@ -385,6 +386,19 @@ pub fn plan(input: &PlannerInput) -> Result<Plan, PlanError> {
     })
 }
 
+/// Re-materializes the planned step and runs the static pre-flight
+/// analysis over it. The §5.1 admission loop already bounds memory, so
+/// a planner-produced plan reports no errors — this surfaces warnings
+/// (e.g. budget-fraction proximity) and is the hook plans from
+/// external sources go through before simulation.
+///
+/// Returns `None` if the plan's mesh is inadmissible for `input`
+/// (i.e. the plan did not come from [`plan`] on the same input).
+pub fn preflight(input: &PlannerInput, p: &Plan) -> Option<crate::analyze::Report> {
+    let (step, _bs) = candidate_step(input, p.mesh.tp(), p.mesh.cp(), p.mesh.pp())?;
+    Some(crate::analyze::analyze_step(&step))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,6 +424,18 @@ mod tests {
         assert_eq!(plan.mesh.pp(), 16, "{:#?}", plan.reasoning);
         assert_eq!(plan.mesh.dp(), 8, "{:#?}", plan.reasoning);
         assert_eq!(plan.bs, 16);
+    }
+
+    #[test]
+    fn planned_configurations_pass_preflight() {
+        let input = PlannerInput::llama3_405b(16_384, 8_192);
+        let p = plan(&input).unwrap();
+        let report = preflight(&input, &p).expect("planned mesh is admissible");
+        assert!(!report.has_errors(), "{}", report.render_human());
+        // A plan whose mesh cannot come from this input is rejected.
+        let mut bogus = p.clone();
+        bogus.mesh = crate::mesh::Mesh4D::new(3, 1, 1, 1);
+        assert!(preflight(&input, &bogus).is_none());
     }
 
     #[test]

@@ -258,12 +258,15 @@ pub fn lower_pp<M>(
     // Second pass: wire data dependencies through P2P transfer ops.
     for stage in 0..schedule.num_stages() {
         for mb in 0..schedule.nmb {
+            // lint: allow(unwrap) — assert_well_formed guarantees every (stage, mb) op exists
             let f = fwd_ids[stage as usize][mb as usize].expect("forward scheduled");
+            // lint: allow(unwrap)
             let b = bwd_ids[stage as usize][mb as usize].expect("backward scheduled");
             if stage > 0 {
                 // Activation from stage−1: transfer on its own link
                 // stream (async send), consumer waits for it.
                 let producer =
+                    // lint: allow(unwrap) — assert_well_formed guarantees the producer exists
                     fwd_ids[(stage - 1) as usize][mb as usize].expect("forward scheduled");
                 let dur = costs.p2p(stage - 1);
                 if dur.is_zero() {
@@ -279,6 +282,7 @@ pub fn lower_pp<M>(
                 g.add_dep(b, f);
             } else {
                 let producer =
+                    // lint: allow(unwrap) — assert_well_formed guarantees the producer exists
                     bwd_ids[(stage + 1) as usize][mb as usize].expect("backward scheduled");
                 let dur = costs.p2p(stage);
                 if dur.is_zero() {

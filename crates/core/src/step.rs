@@ -121,6 +121,13 @@ pub struct SimOptions {
     /// stage-micro-batch per rank). The trace shows the representative
     /// healthy replica's schedule.
     pub trace: bool,
+    /// Run the static pre-flight analysis
+    /// ([`crate::analyze::analyze_step`]) before simulating; any
+    /// error-severity diagnostic aborts the run with
+    /// [`SimError::Rejected`]. Opt-in because healthy built
+    /// configurations cannot fail it — it exists to vet hand-assembled
+    /// or externally supplied plans.
+    pub preflight: bool,
 }
 
 impl SimOptions {
@@ -158,6 +165,13 @@ impl SimOptions {
     /// Requests a pipeline execution trace alongside the report.
     pub fn trace(mut self, trace: bool) -> SimOptions {
         self.trace = trace;
+        self
+    }
+
+    /// Enables the static pre-flight gate: the run is rejected with
+    /// [`SimError::Rejected`] if any analysis rule reports an error.
+    pub fn preflight(mut self, preflight: bool) -> SimOptions {
+        self.preflight = preflight;
         self
     }
 
@@ -258,6 +272,7 @@ impl StepModel {
     /// validated at construction in practice). Prefer
     /// [`StepModel::schedule`] in fallible contexts.
     pub fn build_schedule(&self) -> PpSchedule {
+        // lint: allow(unwrap) — the panic is this deprecated wrapper's documented contract
         self.schedule().expect("valid schedule parameters")
     }
 
@@ -289,7 +304,9 @@ impl StepModel {
         // (§7.3.2); the fastest rank's idle time at the next collective
         // is the "waiting for the slowest rank" share a trace shows.
         let pairs_all = sharding.all_rank_pairs(self.seq, &self.mask);
+        // lint: allow(unwrap) — all_rank_pairs returns one entry per CP rank, cp ≥ 1
         let max_pairs = *pairs_all.iter().max().expect("cp ≥ 1");
+        // lint: allow(unwrap)
         let min_pairs = *pairs_all.iter().min().expect("cp ≥ 1");
 
         // K/V are already TP-sharded (each TP rank holds its slice of
@@ -498,13 +515,21 @@ impl StepModel {
     ///
     /// # Errors
     /// [`SimError::InvalidSchedule`] for bad schedule parameters,
-    /// [`SimError::Deadlock`] if the lowered graph cannot run.
+    /// [`SimError::Deadlock`] if the lowered graph cannot run, and
+    /// [`SimError::Rejected`] when [`SimOptions::preflight`] is set and
+    /// the static analysis reports an error-severity diagnostic.
     pub fn run(&self, opts: &SimOptions) -> Result<StepOutcome, SimError> {
         let stretch = opts.comm_stretch();
         if !(stretch.is_finite() && stretch >= 1.0) {
             return Err(SimError::InvalidValue(format!(
                 "link capacity scales must be in (0, 1], implied stretch {stretch}"
             )));
+        }
+        if opts.preflight {
+            let report = crate::analyze::analyze_step(self);
+            if report.has_errors() {
+                return Err(SimError::Rejected(report.error_summary()));
+            }
         }
         let report = if opts.wants_full() {
             self.full_report(opts.jitter.as_ref().map(|j| (j, opts.step)), &opts.health)?
@@ -528,6 +553,7 @@ impl StepModel {
     /// produced by [`PpSchedule::build`].
     #[deprecated(note = "use StepModel::run(&SimOptions::default())")]
     pub fn simulate(&self) -> StepReport {
+        // lint: allow(unwrap) — the panic is this deprecated wrapper's documented contract
         self.folded_report(1.0).expect("built schedules cannot deadlock")
     }
 
@@ -543,6 +569,7 @@ impl StepModel {
             SimFidelity::Folded => self.folded_report(1.0),
             SimFidelity::Full => self.full_report(None, &ClusterHealth::healthy()),
         }
+        // lint: allow(unwrap) — the panic is this deprecated wrapper's documented contract
         .expect("built schedules cannot deadlock")
     }
 
@@ -558,6 +585,7 @@ impl StepModel {
     #[deprecated(note = "use StepModel::run with SimOptions::new().jitter(..).step(..)")]
     pub fn simulate_jittered(&self, jitter: &JitterModel, step: u64) -> StepReport {
         self.full_report(Some((jitter, step)), &ClusterHealth::healthy())
+            // lint: allow(unwrap) — the panic is this deprecated wrapper's documented contract
             .expect("built schedules cannot deadlock")
     }
 
@@ -673,7 +701,9 @@ impl StepModel {
     /// schedules).
     #[deprecated(note = "use StepModel::run with SimOptions::new().trace(true)")]
     pub fn simulate_with_trace(&self) -> (StepReport, trace_analysis::Trace) {
+        // lint: allow(unwrap) — the panic is this deprecated wrapper's documented contract
         let report = self.folded_report(1.0).expect("built schedules cannot deadlock");
+        // lint: allow(unwrap)
         let trace = self.build_trace().expect("built schedules cannot deadlock");
         (report, trace)
     }
@@ -1167,6 +1197,31 @@ mod tests {
         let out = m.run(&SimOptions::new().trace(true)).unwrap();
         assert_eq!(rep, out.report);
         assert_eq!(trace.events.len(), out.trace.unwrap().events.len());
+    }
+
+    #[test]
+    fn preflight_gate_rejects_oversized_plans_and_passes_healthy_ones() {
+        let mut m = scaled_step(
+            ScheduleKind::Flexible { nc: 4 },
+            BalancePolicy::Uniform,
+            false,
+        );
+        // A healthy built configuration passes the gate unchanged.
+        let gated = m.run(&SimOptions::new().preflight(true)).unwrap().report;
+        assert_eq!(gated, m.pipe_sim());
+        // Shrinking HBM makes the memory rule fire and the gate reject
+        // before any simulation.
+        m.cluster.gpu = m.cluster.gpu.with_hbm_capacity(1 << 30);
+        match m.run(&SimOptions::new().preflight(true)) {
+            Err(SimError::Rejected(msg)) => {
+                assert!(msg.contains("MEM001"), "{msg}");
+                assert!(msg.contains("rank"), "{msg}");
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        // Without the gate the same plan still simulates (the dynamic
+        // path does not model OOM).
+        assert!(m.run(&SimOptions::default()).is_ok());
     }
 
     #[test]

@@ -125,6 +125,7 @@ pub fn gemm_matched_chunks(
     parts
         .into_iter()
         .reduce(|acc, p| acc.add(&p))
+        // lint: allow(unwrap) — chunking a non-empty GEMM always yields ≥ 1 partial
         .expect("at least one chunk")
 }
 

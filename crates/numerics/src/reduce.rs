@@ -56,6 +56,7 @@ pub fn reduce(parts: &[Matrix], order: ReduceOrder, precision: ReducePrecision) 
                 }
                 layer = next;
             }
+            // lint: allow(unwrap) — the tree-reduce loop exits with exactly one element left
             layer.pop().expect("non-empty")
         }
     }

@@ -36,6 +36,7 @@ impl TrainingRun {
     /// # Panics
     /// Panics if the run recorded no steps.
     pub fn final_loss(&self) -> f64 {
+        // lint: allow(unwrap) — the panic is this accessor's documented contract
         *self.losses.last().expect("at least one step")
     }
 

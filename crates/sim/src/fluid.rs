@@ -101,6 +101,7 @@ impl FluidNet {
 
     /// Adds a link with `bytes_per_sec` capacity and returns its id.
     pub fn add_link(&mut self, bytes_per_sec: f64) -> LinkId {
+        // lint: allow(unwrap) — a u32 id-space overflow is unrecoverable by the caller
         let id = LinkId(u32::try_from(self.capacities.len()).expect("too many links"));
         self.capacities.push(bytes_per_sec);
         id
@@ -181,7 +182,7 @@ impl FluidNet {
                 .enumerate()
                 .filter(|&(_, &u)| u > 0)
                 .map(|(l, &u)| (l, residual[l] / u as f64))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fair shares"));
+                .min_by(|a, b| a.1.total_cmp(&b.1));
             let Some((bl, share)) = bottleneck else {
                 break; // no link has unfrozen users
             };
@@ -333,6 +334,7 @@ impl FluidNet {
             .iter()
             .enumerate()
             .map(|(i, t)| {
+                // lint: allow(unwrap) — the progress loop above terminates only when every transfer finished
                 let fin = finish[i].expect("all transfers complete");
                 let dt = fin.saturating_since(t.start).as_secs_f64();
                 let avg = if dt > 0.0 { t.bytes / dt } else { 0.0 };

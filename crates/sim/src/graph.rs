@@ -144,6 +144,7 @@ impl<M> TaskGraph<M> {
 
     /// Adds a new FIFO stream and returns its id.
     pub fn add_stream(&mut self) -> StreamId {
+        // lint: allow(unwrap) — a u32 id-space overflow is unrecoverable by the caller
         let id = StreamId(u32::try_from(self.stream_programs.len()).expect("too many streams"));
         self.stream_programs.push(Vec::new());
         id
@@ -182,6 +183,7 @@ impl<M> TaskGraph<M> {
         streams: impl IntoIterator<Item = StreamId>,
         deps: impl IntoIterator<Item = OpId>,
     ) -> OpId {
+        // lint: allow(unwrap) — a u32 id-space overflow is unrecoverable by the caller
         let id = OpId(u32::try_from(self.ops.len()).expect("too many ops"));
         let streams: Vec<StreamId> = streams.into_iter().collect();
         assert!(!streams.is_empty(), "{id} has no streams");
@@ -206,6 +208,49 @@ impl<M> TaskGraph<M> {
             deps,
         });
         id
+    }
+
+    /// The metadata of `op`.
+    ///
+    /// # Panics
+    /// Panics if the id is invalid.
+    pub fn op_meta(&self, op: OpId) -> &M {
+        &self.ops[op.index()].meta
+    }
+
+    /// The streams `op` occupies, in the order they were given to
+    /// [`TaskGraph::add_op`].
+    ///
+    /// # Panics
+    /// Panics if the id is invalid.
+    pub fn op_streams(&self, op: OpId) -> &[StreamId] {
+        &self.ops[op.index()].streams
+    }
+
+    /// Every dependency of `op` wired so far — constructor deps followed
+    /// by [`TaskGraph::add_dep`] edges, in insertion order. Static
+    /// analyses (write-race detection) walk these edges without
+    /// executing the graph.
+    ///
+    /// # Panics
+    /// Panics if the id is invalid.
+    pub fn op_deps(&self, op: OpId) -> &[OpId] {
+        &self.ops[op.index()].deps
+    }
+
+    /// The FIFO program of one stream: its ops in program (execution)
+    /// order. Two ops sharing a stream are totally ordered by their
+    /// positions here.
+    ///
+    /// # Panics
+    /// Panics if the id is invalid.
+    pub fn stream_program(&self, stream: StreamId) -> &[OpId] {
+        &self.stream_programs[stream.index()]
+    }
+
+    /// Iterates every op id in creation order.
+    pub fn op_ids(&self) -> impl Iterator<Item = OpId> {
+        (0..self.ops.len() as u32).map(OpId)
     }
 
     /// Makes `op` wait for `dep`. Unlike constructor deps, `dep` may have
@@ -306,6 +351,7 @@ impl<M> TaskGraph<M> {
                 .map(|s| stream_free[s.index()])
                 .chain(std::iter::once(dep_ready))
                 .max()
+                // lint: allow(unwrap) — the chained once() makes the iterator non-empty
                 .expect("op has at least one stream");
             let end = start + node.duration;
             let mut sync_wait = Vec::with_capacity(node.streams.len());
@@ -666,6 +712,23 @@ mod tests {
         }
         let run = g.execute().unwrap();
         assert_eq!(run.makespan(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn introspection_reflects_structure_before_execution() {
+        let mut g: TaskGraph<&str> = TaskGraph::new();
+        let a = g.add_stream();
+        let b = g.add_stream();
+        let recv = g.add_op("recv", us(1), [b], []);
+        let send = g.add_op("send", us(2), [a], []);
+        g.add_dep(recv, send);
+        assert_eq!(*g.op_meta(recv), "recv");
+        assert_eq!(g.op_streams(recv), &[b]);
+        assert_eq!(g.op_deps(recv), &[send]);
+        assert!(g.op_deps(send).is_empty());
+        assert_eq!(g.stream_program(a), &[send]);
+        assert_eq!(g.stream_program(b), &[recv]);
+        assert_eq!(g.op_ids().collect::<Vec<_>>(), vec![recv, send]);
     }
 
     #[test]

@@ -38,7 +38,7 @@ impl Summary {
         let mean = values.iter().sum::<f64>() / count as f64;
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        sorted.sort_by(f64::total_cmp);
         Some(Summary {
             count,
             min: sorted[0],

@@ -160,6 +160,7 @@ impl Sub<SimTime> for SimTime {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
+                // lint: allow(unwrap) — panicking on time underflow is the Sub impl's documented contract
                 .expect("SimTime subtraction underflow"),
         )
     }
@@ -186,6 +187,7 @@ impl Sub for SimDuration {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
+                // lint: allow(unwrap) — panicking on duration underflow is the Sub impl's documented contract
                 .expect("SimDuration subtraction underflow"),
         )
     }

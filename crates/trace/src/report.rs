@@ -129,6 +129,7 @@ pub fn auto_report(trace: &Trace, structure: &GroupStructure) -> AutoReport {
         .iter()
         .find(|(r, _, _)| *r == suspect)
         .cloned()
+        // lint: allow(unwrap) — the suspect was selected from this same trace two lines up
         .expect("suspect present in trace");
     AutoReport {
         slow_rank,

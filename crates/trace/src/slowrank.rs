@@ -167,6 +167,7 @@ pub fn locate_slow_rank(trace: &Trace, structure: &GroupStructure) -> SlowRankRe
                     .cmp(&trace.rank_total(a, EventCategory::Compute))
             })
         })
+        // lint: allow(unwrap) — callers guarantee at least one candidate rank
         .expect("non-empty candidates");
 
     // True-negative detection: a real straggler waits far less than

@@ -16,6 +16,12 @@ cargo test -q --workspace
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> repo_lint (no unwrap/expect or deprecated simulate* in library code)"
+cargo run --release -q --bin repo_lint
+
+echo "==> pre-flight analysis across the conformance grid (zero errors expected)"
+cargo run --release -q -p analyzer --bin analyze -- --grid
+
 echo "==> conformance fuzz smoke (200 cases)"
 cargo run --release -q -p conformance --bin conformance_fuzz -- --cases 200 --seed 0xC0FFEE
 

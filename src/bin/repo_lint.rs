@@ -1,0 +1,280 @@
+//! `repo_lint` — repo-local source hygiene checks, plain text scan, no
+//! third-party dependencies.
+//!
+//! Two rules over non-test library code under `crates/*/src`:
+//!
+//! 1. **no-unwrap** — `.unwrap()` / `.expect(` are forbidden. A panic
+//!    in library code takes down a whole sweep worker; fallible paths
+//!    return `SimError` instead. Sites where a panic is provably
+//!    unreachable (or is itself the contract, e.g. poisoned-lock
+//!    propagation) carry a `// lint: allow(unwrap)` marker with a
+//!    reason.
+//! 2. **no-deprecated-sim** — internal callers must not use the
+//!    deprecated `simulate_at` / `simulate_jittered` /
+//!    `simulate_with_trace` wrappers (or blanket `#[allow(deprecated)]`)
+//!    outside sites marked `// lint: allow(deprecated-sim)` — the
+//!    differential oracles that exist to test those wrappers.
+//!
+//! Skipped entirely: `#[cfg(test)]` regions, binary targets
+//! (`src/bin/`), and the experiment scripts under
+//! `crates/bench/src/experiments/`, which are figure-generation code
+//! where aborting on bad data is the desired behaviour.
+//!
+//! Exit code 0 when clean, 1 with one `path:line: message` per finding.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Source sub-trees exempt from both rules (relative to the repo root).
+const ALLOWED_PATHS: [&str; 1] = ["crates/bench/src/experiments"];
+
+const UNWRAP_MARKER: &str = "lint: allow(unwrap)";
+const DEPRECATED_MARKER: &str = "lint: allow(deprecated-sim)";
+
+/// Unambiguous method names of the deprecated simulation wrappers.
+/// (`.simulate(` alone is ambiguous — `RunSimulator::simulate` and
+/// `MultimodalStep::simulate` are current API; blanket
+/// `#[allow(deprecated)]` is what would hide a deprecated call to
+/// them, and that is flagged here too. `cargo clippy -D warnings`
+/// catches unsuppressed deprecated calls.)
+const DEPRECATED_CALLS: [&str; 3] = [".simulate_at(", ".simulate_jittered(", ".simulate_with_trace("];
+
+fn main() -> ExitCode {
+    let root = repo_root();
+    let mut files = Vec::new();
+    collect_lib_sources(&root.join("crates"), &root, &mut files);
+    files.sort();
+
+    let mut violations = Vec::new();
+    for file in &files {
+        let Ok(text) = fs::read_to_string(root.join(file)) else {
+            violations.push(format!("{}: unreadable source file", file.display()));
+            continue;
+        };
+        lint_file(file, &text, &mut violations);
+    }
+
+    if violations.is_empty() {
+        println!("repo_lint: {} library sources clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!("repo_lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The repository root: the nearest ancestor of the current directory
+/// holding a `crates/` directory (so the bin works from any subdir).
+fn repo_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `crates/*/src`, skipping
+/// `bin/` directories and the allow-listed sub-trees. Paths are stored
+/// relative to the repo root.
+fn collect_lib_sources(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            if ALLOWED_PATHS.contains(&rel_str.as_str()) {
+                continue;
+            }
+            // Under crates/<name>/, only descend into src/ (skip
+            // tests/, benches/, examples/, target/).
+            let depth = rel.components().count();
+            if depth == 3 && path.file_name().is_some_and(|n| n != "src") {
+                continue;
+            }
+            collect_lib_sources(&path, root, out);
+        } else if rel_str.ends_with(".rs") && rel_str.contains("/src/") {
+            out.push(rel);
+        }
+    }
+}
+
+/// Lints one file: walks lines, tracking `#[cfg(test)]` regions by
+/// brace depth (string-literal braces ignored) and checking each
+/// non-test, non-comment line against both rules. A marker on the
+/// offending line or the line directly above suppresses the finding.
+fn lint_file(path: &Path, text: &str, violations: &mut Vec<String>) {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut test_depth: Option<i32> = None; // Some(d): inside a test region
+    let mut pending_cfg_test = false;
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let line = raw.trim();
+        let code = strip_comment(raw);
+
+        if let Some(depth) = test_depth.as_mut() {
+            *depth += brace_delta(code);
+            if *depth <= 0 {
+                test_depth = None;
+            }
+            continue;
+        }
+
+        if line.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+            continue;
+        }
+        if pending_cfg_test {
+            let delta = brace_delta(code);
+            if delta > 0 {
+                // The test item's body opens here; skip until it closes.
+                test_depth = Some(delta);
+                pending_cfg_test = false;
+            } else if code.contains(';') {
+                // `#[cfg(test)] use ...;` — a bodyless item.
+                pending_cfg_test = false;
+            }
+            continue;
+        }
+
+        if line.starts_with("//") {
+            continue; // comments and docs (including doc examples)
+        }
+
+        let marked = |marker: &str| {
+            raw.contains(marker) || (idx > 0 && lines[idx - 1].contains(marker))
+        };
+
+        if (code.contains(".unwrap()") || code.contains(".expect(")) && !marked(UNWRAP_MARKER) {
+            violations.push(format!(
+                "{}:{}: unwrap/expect in library code (return SimError or add \
+                 `// lint: allow(unwrap)` with a reason): {}",
+                path.display(),
+                idx + 1,
+                line
+            ));
+        }
+
+        let deprecated_use = code.contains("#[allow(deprecated)]")
+            || DEPRECATED_CALLS.iter().any(|c| code.contains(c));
+        if deprecated_use && !marked(DEPRECATED_MARKER) {
+            violations.push(format!(
+                "{}:{}: internal caller of a deprecated simulate* wrapper (use \
+                 `StepModel::run`, or add `// lint: allow(deprecated-sim)` in oracle code): {}",
+                path.display(),
+                idx + 1,
+                line
+            ));
+        }
+    }
+}
+
+/// Drops a trailing `//` line comment (string literals respected).
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1, // skip the escaped char
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Net brace depth change of one line, ignoring braces inside string
+/// literals (format strings are full of them).
+fn brace_delta(code: &str) -> i32 {
+    let bytes = code.as_bytes();
+    let mut in_str = false;
+    let mut delta = 0i32;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'{' if !in_str => delta += 1,
+            b'}' if !in_str => delta -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(text: &str) -> Vec<String> {
+        let mut v = Vec::new();
+        lint_file(Path::new("x.rs"), text, &mut v);
+        v
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect_in_lib_code() {
+        let v = lint_str("fn f() {\n    let x = y.unwrap();\n    let z = w.expect(\"m\");\n}\n");
+        assert_eq!(v.len(), 2);
+        assert!(v[0].contains("x.rs:2"));
+    }
+
+    #[test]
+    fn marker_on_same_or_previous_line_suppresses() {
+        let v = lint_str(
+            "fn f() {\n    // lint: allow(unwrap) — reason\n    let x = y.unwrap();\n    let z = w.unwrap(); // lint: allow(unwrap)\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cfg_test_regions_and_comments_are_skipped() {
+        let v = lint_str(
+            "/// doc: calling `.unwrap()` panics\nfn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { y.unwrap(); }\n}\nfn h() { format!(\"{{{}}}\", 1); }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cfg_test_on_bodyless_item_does_not_swallow_the_file() {
+        let v = lint_str("#[cfg(test)]\nuse foo::bar;\nfn f() { y.unwrap(); }\n");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn flags_deprecated_wrapper_calls_without_marker() {
+        let v = lint_str("fn f(m: &M) {\n    m.simulate_at(SimFidelity::Full);\n}\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("deprecated"));
+        let ok = lint_str(
+            "fn f(m: &M) {\n    // lint: allow(deprecated-sim)\n    m.simulate_at(SimFidelity::Full);\n}\n",
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn string_literals_do_not_confuse_comment_or_brace_tracking() {
+        assert_eq!(strip_comment("let s = \"a // b\"; // tail"), "let s = \"a // b\"; ");
+        assert_eq!(brace_delta("format!(\"{{x}}\")"), 0);
+        assert_eq!(brace_delta("fn f() {"), 1);
+    }
+}
