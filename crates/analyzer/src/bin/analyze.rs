@@ -1,97 +1,20 @@
-//! `analyze` — pre-flight static analysis of parallelism plans.
-//!
-//! Runs the four rule families (collective-ordering consistency,
-//! pipeline deadlock, static peak-memory bound, write races) over a
-//! named configuration or the whole conformance grid, with **no
-//! simulation**. Exit code 0 means no error-severity findings; 1 means
-//! at least one plan would hang, deadlock or OOM; 2 is a usage error.
-//!
-//! ```text
-//! analyze --config llama3_405b_16k          # human-readable report
-//! analyze --config llama3_405b_16k --json   # one JSON object per line
-//! analyze --grid                            # sweep the 64-config grid
-//! analyze --list                            # enumerate named configs
-//! ```
+//! Deprecated shim: pre-flight analysis now lives in the `llama3sim`
+//! multi-command CLI as `llama3sim analyze`. This bin keeps the old
+//! invocation working by delegating to the same library entry point
+//! ([`analyzer::cli::run`]).
 
-use analyzer::{analyze_grid, analyze_step, named_step, NAMED_CONFIGS};
-use std::process::ExitCode;
+use analyzer::cli::{print_usage, run, AnalyzeArgs};
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: analyze --config NAME [--json]\n       analyze --grid [--json]\n       analyze --list"
-    );
-    eprintln!("\nnamed configs:");
-    for (name, desc) in NAMED_CONFIGS {
-        eprintln!("  {name:<22} {desc}");
-    }
-    ExitCode::from(2)
-}
-
-fn main() -> ExitCode {
+fn main() {
+    eprintln!("note: `analyze` is deprecated; use `llama3sim analyze` instead");
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let positional: Vec<&str> = args
-        .iter()
-        .map(String::as_str)
-        .filter(|a| *a != "--json")
-        .collect();
-
-    match positional.as_slice() {
-        ["--list"] => {
-            for (name, desc) in NAMED_CONFIGS {
-                println!("{name:<22} {desc}");
-            }
-            ExitCode::SUCCESS
+    let parsed = match AnalyzeArgs::parse(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage("analyze");
+            std::process::exit(2);
         }
-        ["--config", name] => {
-            let Some(step) = named_step(name) else {
-                eprintln!("unknown config `{name}`");
-                return usage();
-            };
-            let report = analyze_step(&step);
-            if json {
-                let jsonl = report.render_jsonl();
-                if !jsonl.is_empty() {
-                    println!("{jsonl}");
-                }
-            } else {
-                println!("{name}: {}", report.render_human());
-            }
-            if report.has_errors() {
-                ExitCode::FAILURE
-            } else {
-                ExitCode::SUCCESS
-            }
-        }
-        ["--grid"] => {
-            let results = analyze_grid();
-            let mut failed = 0usize;
-            for (spec, report) in &results {
-                if json {
-                    let jsonl = report.render_jsonl();
-                    if !jsonl.is_empty() {
-                        println!("{jsonl}");
-                    }
-                } else if !report.is_clean() {
-                    println!("[{spec}]\n{}", report.render_human());
-                }
-                if report.has_errors() {
-                    failed += 1;
-                }
-            }
-            if !json {
-                println!(
-                    "analyzed {} grid configs: {} with errors",
-                    results.len(),
-                    failed
-                );
-            }
-            if failed > 0 {
-                ExitCode::FAILURE
-            } else {
-                ExitCode::SUCCESS
-            }
-        }
-        _ => usage(),
-    }
+    };
+    std::process::exit(run(&parsed));
 }

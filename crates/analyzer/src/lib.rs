@@ -18,6 +18,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cli;
+
 pub use parallelism_core::analyze::{self, analyze_step, Diagnostic, Report, RuleId, Severity};
 
 use conformance::fuzz::CaseSpec;

@@ -1,73 +1,19 @@
-//! One-shot goodput snapshot: a seeded 24-hour 16 K-GPU 405B run under
-//! production fault rates, emitted as `BENCH_goodput.json` (in the
-//! current directory).
-//!
-//! Like `perf_snapshot`, this runs in seconds and produces a
-//! machine-readable file that can be diffed across commits — the fault
-//! timeline is seeded, so every field is deterministic.
-//!
-//! ```text
-//! cargo run --release -p bench-harness --bin goodput_snapshot
-//! ```
+//! Deprecated shim: the goodput snapshot now lives in the `llama3sim`
+//! multi-command CLI as `llama3sim goodput`. This bin keeps the old
+//! invocation working by delegating to the same library entry point
+//! ([`bench_harness::snapshot::goodput`]).
 
-use bench_harness::experiments::goodput;
-use std::fmt::Write as _;
-use std::time::Instant;
-
-fn push_field(out: &mut String, key: &str, value: impl std::fmt::Display) {
-    let _ = write!(out, "  \"{key}\": {value},\n");
-}
+use bench_harness::snapshot::{goodput, SnapshotArgs};
 
 fn main() {
-    let t0 = Instant::now();
-    let run = goodput::production_run(900.0).expect("production run must build");
-    let report = run.simulate().expect("production run must simulate");
-    let sim_ms = t0.elapsed().as_secs_f64() * 1e3;
-
-    // The acceptance bar: a full simulated day at 16 K GPUs must be
-    // interactive, not an overnight job.
-    assert!(
-        sim_ms < 60_000.0,
-        "24 h goodput sim took {sim_ms:.0} ms (budget 60 s)"
-    );
-
-    println!("24 h, 16K GPUs, 405B, seed {:#x}", goodput::SEED);
-    println!("simulated in                {sim_ms:9.2} ms");
-    println!("goodput                     {:9.4}", report.goodput);
-    println!("effective training time     {:9.4}", report.effective_training_time_ratio());
-    println!("steps completed             {:9}", report.steps_completed);
-    println!("restarts                    {:9}", report.restarts);
-    println!("lost to checkpoints         {:9.0} s", report.loss.checkpoint_s);
-    println!("lost to rework              {:9.0} s", report.loss.rework_s);
-    println!("lost to detect+restart      {:9.0} s", report.loss.detect_s + report.loss.restart_s);
-    println!("lost to degradation         {:9.0} s", report.loss.degraded_s);
-    println!("Young/Daly interval         {:9.0} s (simulated: {:.0} s)",
-        report.young_daly_interval_s, report.checkpoint_interval_s);
-
-    let mut json = String::from("{\n");
-    push_field(&mut json, "sim_wall_ms", format!("{sim_ms:.3}"));
-    push_field(&mut json, "goodput", format!("{:.6}", report.goodput));
-    push_field(
-        &mut json,
-        "effective_training_time_ratio",
-        format!("{:.6}", report.effective_training_time_ratio()),
-    );
-    push_field(&mut json, "steps_completed", report.steps_completed);
-    push_field(&mut json, "restarts", report.restarts);
-    push_field(&mut json, "healthy_step_s", format!("{:.6}", report.healthy_step_s));
-    push_field(&mut json, "loss_checkpoint_s", format!("{:.3}", report.loss.checkpoint_s));
-    push_field(&mut json, "loss_detect_s", format!("{:.3}", report.loss.detect_s));
-    push_field(&mut json, "loss_restart_s", format!("{:.3}", report.loss.restart_s));
-    push_field(&mut json, "loss_rework_s", format!("{:.3}", report.loss.rework_s));
-    push_field(&mut json, "loss_degraded_s", format!("{:.3}", report.loss.degraded_s));
-    push_field(&mut json, "checkpoint_bytes_per_rank", report.checkpoint_bytes_per_rank);
-    push_field(&mut json, "checkpoint_write_s", format!("{:.3}", report.checkpoint_write_s));
-    push_field(&mut json, "checkpoint_interval_s", format!("{:.1}", report.checkpoint_interval_s));
-    push_field(&mut json, "young_daly_interval_s", format!("{:.1}", report.young_daly_interval_s));
-    push_field(&mut json, "mtbf_s", format!("{:.1}", report.mtbf_s));
-    // Last field without the trailing comma.
-    let _ = write!(json, "  \"horizon_s\": {:.1}\n}}\n", report.wall_time_s);
-
-    std::fs::write("BENCH_goodput.json", &json).expect("write BENCH_goodput.json");
-    println!("\nwrote BENCH_goodput.json");
+    eprintln!("note: `goodput_snapshot` is deprecated; use `llama3sim goodput` instead");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match SnapshotArgs::parse(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    std::process::exit(goodput(&parsed));
 }

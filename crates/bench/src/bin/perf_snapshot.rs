@@ -1,91 +1,19 @@
-//! One-shot performance snapshot of the simulator's hot paths.
-//!
-//! Emits `BENCH_step_sim.json` (in the current directory) with
-//! wall-clock timings for:
-//!
-//! * planning the 405B configuration on 16 K GPUs,
-//! * one 8 K-GPU 405B step simulated at `Folded` vs `Full` fidelity
-//!   (and whether their reports are identical — they must be), and
-//! * the fluid solver on 1 024 disjoint single-link transfers.
-//!
-//! Unlike the Criterion benches this runs in seconds and produces a
-//! machine-readable file, so it can be diffed across commits.
-//!
-//! ```text
-//! cargo run --release -p bench-harness --bin perf_snapshot
-//! ```
+//! Deprecated shim: the performance snapshot now lives in the
+//! `llama3sim` multi-command CLI as `llama3sim bench`. This bin keeps
+//! the old invocation working by delegating to the same library entry
+//! point ([`bench_harness::snapshot::perf`]).
 
-use bench_harness::configs::production_8k_gpu_step;
-use parallelism_core::planner::{plan, PlannerInput};
-use parallelism_core::step::{SimFidelity, SimOptions};
-use sim_engine::fluid::{FluidNet, Transfer};
-use sim_engine::time::SimTime;
-use std::fmt::Write as _;
-use std::time::Instant;
-
-/// Median wall-clock milliseconds of `iters` runs of `f`.
-fn time_ms<T>(iters: u32, mut f: impl FnMut() -> T) -> (f64, T) {
-    let mut samples = Vec::with_capacity(iters as usize);
-    let mut last = None;
-    for _ in 0..iters {
-        let t0 = Instant::now();
-        let out = std::hint::black_box(f());
-        samples.push(t0.elapsed().as_secs_f64() * 1e3);
-        last = Some(out);
-    }
-    samples.sort_by(f64::total_cmp);
-    (samples[samples.len() / 2], last.unwrap())
-}
-
-fn push_field(out: &mut String, key: &str, value: impl std::fmt::Display) {
-    let _ = write!(out, "  \"{key}\": {value},\n");
-}
+use bench_harness::snapshot::{perf, SnapshotArgs};
 
 fn main() {
-    let mut json = String::from("{\n");
-
-    // 1. Planning throughput: the full §5.1 sweep at production scale.
-    let (plan_ms, p) = time_ms(5, || {
-        plan(&PlannerInput::llama3_405b(16_384, 8_192)).expect("405B@16K must be plannable")
-    });
-    println!("plan 405B @ 16K GPUs        {plan_ms:9.2} ms   ({})", p.mesh);
-    push_field(&mut json, "plan_405b_16k_gpus_ms", format!("{plan_ms:.3}"));
-
-    // 2. Folded vs full step simulation on the 8 K-GPU 405B step.
-    let step = production_8k_gpu_step(16);
-    let folded_opts = SimOptions::new().fidelity(SimFidelity::Folded);
-    let full_opts = SimOptions::new().fidelity(SimFidelity::Full);
-    let (folded_ms, folded) =
-        time_ms(5, || step.run(&folded_opts).expect("valid step").report);
-    let (full_ms, full) = time_ms(3, || step.run(&full_opts).expect("valid step").report);
-    let identical = folded == full;
-    let speedup = full_ms / folded_ms;
-    println!("folded 8K-GPU 405B step     {folded_ms:9.2} ms");
-    println!("full   8K-GPU 405B step     {full_ms:9.2} ms   ({speedup:.1}x, identical: {identical})");
-    push_field(&mut json, "folded_8k_gpu_step_ms", format!("{folded_ms:.3}"));
-    push_field(&mut json, "full_8k_gpu_step_ms", format!("{full_ms:.3}"));
-    push_field(&mut json, "folded_speedup", format!("{speedup:.2}"));
-    push_field(&mut json, "folded_report_identical", identical);
-
-    // 3. Fluid solver on 1 024 transfers, one per link (the disjoint
-    //    single-link fast path).
-    let mut net = FluidNet::new();
-    let links: Vec<_> = (0..1024).map(|_| net.add_link(50e9)).collect();
-    let transfers: Vec<Transfer> = links
-        .iter()
-        .enumerate()
-        .map(|(i, &l)| Transfer {
-            route: vec![l],
-            bytes: (1 + i as u64 % 64) as f64 * (1 << 20) as f64,
-            start: SimTime::from_nanos(i as u64 * 100),
-        })
-        .collect();
-    let (fluid_ms, outcomes) = time_ms(9, || net.run(transfers.clone()).expect("valid transfers"));
-    println!("fluid solve 1K transfers    {fluid_ms:9.2} ms   ({} outcomes)", outcomes.len());
-    push_field(&mut json, "fluid_1k_transfers_ms", format!("{fluid_ms:.3}"));
-
-    json.push_str("  \"schema\": 1\n}\n");
-    std::fs::write("BENCH_step_sim.json", &json).expect("write BENCH_step_sim.json");
-    println!("wrote BENCH_step_sim.json");
-    assert!(identical, "folded and full reports diverged");
+    eprintln!("note: `perf_snapshot` is deprecated; use `llama3sim bench` instead");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match SnapshotArgs::parse(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    std::process::exit(perf(&parsed));
 }

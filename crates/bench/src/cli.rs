@@ -1,0 +1,109 @@
+//! Minimal shared flag parsing for the `llama3sim` subcommands and the
+//! deprecated single-purpose shims.
+//!
+//! One deliberate shape: every subcommand consumes its flags through a
+//! [`Flags`] cursor (`--name` switches, `--name VALUE` options) and
+//! finishes with [`Flags::finish`], so unknown or leftover arguments
+//! fail the same way everywhere instead of being silently ignored by
+//! one bin and rejected by another.
+
+/// A cursor over raw CLI arguments. Flags may appear in any order;
+/// each accessor removes what it consumed, and [`Flags::finish`]
+/// rejects anything left over.
+#[derive(Debug, Clone)]
+pub struct Flags {
+    args: Vec<String>,
+}
+
+impl Flags {
+    /// Wraps the argument list (program name and subcommand already
+    /// stripped).
+    pub fn new(args: &[String]) -> Flags {
+        Flags {
+            args: args.to_vec(),
+        }
+    }
+
+    /// Consumes `--name` if present; `true` when it was.
+    pub fn switch(&mut self, name: &str) -> bool {
+        let flag = format!("--{name}");
+        match self.args.iter().position(|a| *a == flag) {
+            Some(i) => {
+                self.args.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Consumes `--name VALUE` if present. `Err` when the flag is
+    /// present but its value is missing.
+    pub fn opt(&mut self, name: &str) -> Result<Option<String>, String> {
+        let flag = format!("--{name}");
+        let Some(i) = self.args.iter().position(|a| *a == flag) else {
+            return Ok(None);
+        };
+        if i + 1 >= self.args.len() {
+            return Err(format!("{flag} requires a value"));
+        }
+        self.args.remove(i);
+        Ok(Some(self.args.remove(i)))
+    }
+
+    /// Consumes `--name VALUE` and parses it as `u64`, accepting `0x`
+    /// hex (seeds are conventionally written in hex).
+    pub fn opt_u64(&mut self, name: &str) -> Result<Option<u64>, String> {
+        let Some(v) = self.opt(name)? else {
+            return Ok(None);
+        };
+        parse_u64(&v)
+            .map(Some)
+            .ok_or_else(|| format!("--{name}: expected an integer, got {v:?}"))
+    }
+
+    /// Errors on any argument not consumed by the accessors above.
+    pub fn finish(self) -> Result<(), String> {
+        match self.args.first() {
+            None => Ok(()),
+            Some(a) => Err(format!("unrecognized argument {a:?}")),
+        }
+    }
+}
+
+/// Parses a decimal or `0x`-prefixed hex integer.
+pub fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn switches_and_options_consume_in_any_order() {
+        let mut f = Flags::new(&args(&["--seed", "0xC0FFEE", "--json", "--cases", "9"]));
+        assert!(f.switch("json"));
+        assert!(!f.switch("json"), "consumed switches do not repeat");
+        assert_eq!(f.opt_u64("cases").unwrap(), Some(9));
+        assert_eq!(f.opt_u64("seed").unwrap(), Some(0xC0FFEE));
+        f.finish().unwrap();
+    }
+
+    #[test]
+    fn leftovers_and_missing_values_error() {
+        let f = Flags::new(&args(&["--what"]));
+        assert!(f.finish().unwrap_err().contains("--what"));
+        let mut f = Flags::new(&args(&["--cases"]));
+        assert!(f.opt("cases").unwrap_err().contains("requires a value"));
+        let mut f = Flags::new(&args(&["--cases", "many"]));
+        assert!(f.opt_u64("cases").unwrap_err().contains("expected an integer"));
+    }
+}

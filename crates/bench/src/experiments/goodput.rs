@@ -19,7 +19,7 @@ pub const HORIZON_S: f64 = 24.0 * 3600.0;
 
 /// Fixed seed so the experiment (and its JSON snapshot) is
 /// reproducible byte-for-byte.
-pub const SEED: u64 = 0x6001_D9;
+pub const SEED: u64 = 0x0060_01D9;
 
 /// Builds the 24-hour 16 K-GPU 405B goodput simulation with the given
 /// checkpoint interval.

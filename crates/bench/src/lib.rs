@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cli;
 pub mod configs;
 pub mod experiments;
 pub mod report;
+pub mod snapshot;

@@ -1,0 +1,413 @@
+//! Library entry points for the snapshot subcommands (`llama3sim
+//! bench|goodput|search`) and the deprecated single-purpose shims.
+//!
+//! Each runner prints its human-readable summary to stdout, writes the
+//! machine-readable [`Report`](crate::report::Report) envelope next to
+//! the working directory (`BENCH_step_sim.json`, `BENCH_goodput.json`,
+//! `BENCH_search.json`), and returns a process exit code. With
+//! `--json` the envelope is also printed to stdout, after the human
+//! text, so scripted callers need not re-read the file.
+
+use crate::cli::Flags;
+use crate::configs::production_8k_gpu_step;
+use crate::experiments::goodput as goodput_exp;
+use crate::report::Report;
+use parallelism_core::planner::{plan, PlannerInput};
+use parallelism_core::search::{search, SearchSpec};
+use parallelism_core::step::{SimFidelity, SimOptions};
+use parallelism_core::ZeroMode;
+use sim_engine::fluid::{FluidNet, Transfer};
+use sim_engine::time::SimTime;
+use std::time::Instant;
+
+/// Options shared by the `bench` and `goodput` snapshot subcommands.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SnapshotArgs {
+    /// Also print the JSON envelope to stdout.
+    pub json: bool,
+}
+
+impl SnapshotArgs {
+    /// Parses `[--json]`.
+    pub fn parse(args: &[String]) -> Result<SnapshotArgs, String> {
+        let mut f = Flags::new(args);
+        // lint: allow(cli-args) — the canonical constructor
+        let parsed = SnapshotArgs {
+            json: f.switch("json"),
+        };
+        f.finish()?;
+        Ok(parsed)
+    }
+}
+
+/// Median wall-clock milliseconds of `iters` runs of `f`.
+fn time_ms<T>(iters: u32, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut samples = Vec::with_capacity(iters as usize);
+    let mut last = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = std::hint::black_box(f());
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(out);
+    }
+    samples.sort_by(f64::total_cmp);
+    (samples[samples.len() / 2], last.unwrap())
+}
+
+fn emit(report: &Report, path: &str, json: bool) -> i32 {
+    if let Err(e) = report.write(path) {
+        eprintln!("error: writing {path}: {e}");
+        return 1;
+    }
+    println!("wrote {path}");
+    if json {
+        print!("{}", report.render_json());
+    }
+    0
+}
+
+/// The `bench` snapshot: wall-clock timings of the simulator's hot
+/// paths, written to `BENCH_step_sim.json`.
+pub fn perf(args: &SnapshotArgs) -> i32 {
+    // 1. Planning throughput: the full §5.1 sweep at production scale.
+    let (plan_ms, p) = time_ms(5, || {
+        plan(&PlannerInput::llama3_405b(16_384, 8_192)).expect("405B@16K must be plannable")
+    });
+    println!("plan 405B @ 16K GPUs        {plan_ms:9.2} ms   ({})", p.mesh);
+
+    // 2. Folded vs full step simulation on the 8 K-GPU 405B step.
+    let step = production_8k_gpu_step(16);
+    let folded_opts = SimOptions::new().fidelity(SimFidelity::Folded);
+    let full_opts = SimOptions::new().fidelity(SimFidelity::Full);
+    let (folded_ms, folded) = time_ms(5, || step.run(&folded_opts).expect("valid step").report);
+    let (full_ms, full) = time_ms(3, || step.run(&full_opts).expect("valid step").report);
+    let identical = folded == full;
+    let speedup = full_ms / folded_ms;
+    println!("folded 8K-GPU 405B step     {folded_ms:9.2} ms");
+    println!(
+        "full   8K-GPU 405B step     {full_ms:9.2} ms   ({speedup:.1}x, identical: {identical})"
+    );
+
+    // 3. Fluid solver on 1 024 transfers, one per link (the disjoint
+    //    single-link fast path).
+    let mut net = FluidNet::new();
+    let links: Vec<_> = (0..1024).map(|_| net.add_link(50e9)).collect();
+    let transfers: Vec<Transfer> = links
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| Transfer {
+            route: vec![l],
+            bytes: (1 + i as u64 % 64) as f64 * (1 << 20) as f64,
+            start: SimTime::from_nanos(i as u64 * 100),
+        })
+        .collect();
+    let (fluid_ms, outcomes) = time_ms(9, || net.run(transfers.clone()).expect("valid transfers"));
+    println!(
+        "fluid solve 1K transfers    {fluid_ms:9.2} ms   ({} outcomes)",
+        outcomes.len()
+    );
+
+    let report = Report::new("bench")
+        .config_str("plan_config", "llama3-405b @ 16384 GPUs, seq 8192")
+        .config_str("step_config", "llama3-405b @ 8192 GPUs, 16 micro-batches")
+        .metric("plan_405b_16k_gpus_ms", format!("{plan_ms:.3}"))
+        .metric("folded_8k_gpu_step_ms", format!("{folded_ms:.3}"))
+        .metric("full_8k_gpu_step_ms", format!("{full_ms:.3}"))
+        .metric("folded_speedup", format!("{speedup:.2}"))
+        .metric("folded_report_identical", identical)
+        .metric("fluid_1k_transfers_ms", format!("{fluid_ms:.3}"));
+    let code = emit(&report, "BENCH_step_sim.json", args.json);
+    assert!(identical, "folded and full reports diverged");
+    code
+}
+
+/// The `goodput` snapshot: a seeded 24-hour 16 K-GPU 405B run under
+/// production fault rates, written to `BENCH_goodput.json`.
+pub fn goodput(args: &SnapshotArgs) -> i32 {
+    let t0 = Instant::now();
+    let run = goodput_exp::production_run(900.0).expect("production run must build");
+    let report = run.simulate().expect("production run must simulate");
+    let sim_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // The acceptance bar: a full simulated day at 16 K GPUs must be
+    // interactive, not an overnight job.
+    assert!(
+        sim_ms < 60_000.0,
+        "24 h goodput sim took {sim_ms:.0} ms (budget 60 s)"
+    );
+
+    println!("24 h, 16K GPUs, 405B, seed {:#x}", goodput_exp::SEED);
+    println!("simulated in                {sim_ms:9.2} ms");
+    println!("goodput                     {:9.4}", report.goodput);
+    println!(
+        "effective training time     {:9.4}",
+        report.effective_training_time_ratio()
+    );
+    println!("steps completed             {:9}", report.steps_completed);
+    println!("restarts                    {:9}", report.restarts);
+    println!("lost to checkpoints         {:9.0} s", report.loss.checkpoint_s);
+    println!("lost to rework              {:9.0} s", report.loss.rework_s);
+    println!(
+        "lost to detect+restart      {:9.0} s",
+        report.loss.detect_s + report.loss.restart_s
+    );
+    println!("lost to degradation         {:9.0} s", report.loss.degraded_s);
+    println!(
+        "Young/Daly interval         {:9.0} s (simulated: {:.0} s)",
+        report.young_daly_interval_s, report.checkpoint_interval_s
+    );
+
+    let envelope = Report::new("goodput")
+        .config_str("run_config", "llama3-405b @ 16384 GPUs, production fault rates")
+        .config("seed", format!("{}", goodput_exp::SEED))
+        .config("horizon_s", format!("{:.1}", report.wall_time_s))
+        .metric("sim_wall_ms", format!("{sim_ms:.3}"))
+        .metric("goodput", format!("{:.6}", report.goodput))
+        .metric(
+            "effective_training_time_ratio",
+            format!("{:.6}", report.effective_training_time_ratio()),
+        )
+        .metric("steps_completed", report.steps_completed)
+        .metric("restarts", report.restarts)
+        .metric("healthy_step_s", format!("{:.6}", report.healthy_step_s))
+        .metric("loss_checkpoint_s", format!("{:.3}", report.loss.checkpoint_s))
+        .metric("loss_detect_s", format!("{:.3}", report.loss.detect_s))
+        .metric("loss_restart_s", format!("{:.3}", report.loss.restart_s))
+        .metric("loss_rework_s", format!("{:.3}", report.loss.rework_s))
+        .metric("loss_degraded_s", format!("{:.3}", report.loss.degraded_s))
+        .metric("checkpoint_bytes_per_rank", report.checkpoint_bytes_per_rank)
+        .metric("checkpoint_write_s", format!("{:.3}", report.checkpoint_write_s))
+        .metric(
+            "checkpoint_interval_s",
+            format!("{:.1}", report.checkpoint_interval_s),
+        )
+        .metric(
+            "young_daly_interval_s",
+            format!("{:.1}", report.young_daly_interval_s),
+        )
+        .metric("mtbf_s", format!("{:.1}", report.mtbf_s));
+    println!();
+    emit(&envelope, "BENCH_goodput.json", args.json)
+}
+
+/// Options for the `search` subcommand.
+#[derive(Debug, Clone)]
+pub struct SearchArgs {
+    /// Model name: `405b`, `70b` or `8b`.
+    pub model: String,
+    /// Cluster size in GPUs.
+    pub gpus: u32,
+    /// Sequence length.
+    pub seq: u64,
+    /// Goodput-refine the best `head` frontier points (0 = off).
+    pub goodput_head: usize,
+    /// Scoring threads (0 = all available).
+    pub threads: usize,
+    /// Largest CP degree to enumerate (0 = the spec default, 64).
+    pub max_cp: u32,
+    /// ZeRO modes to enumerate (empty = all three).
+    pub zero_modes: Vec<ZeroMode>,
+    /// Fail (exit 1) unless this `tp,cp,pp,dp` mesh is on the frontier.
+    pub expect: Option<(u32, u32, u32, u32)>,
+    /// Also print the JSON envelope to stdout.
+    pub json: bool,
+}
+
+impl Default for SearchArgs {
+    fn default() -> SearchArgs {
+        // lint: allow(cli-args) — the canonical defaults
+        SearchArgs {
+            model: "405b".to_string(),
+            gpus: 16_384,
+            seq: 8_192,
+            goodput_head: 0,
+            threads: 0,
+            max_cp: 0,
+            zero_modes: Vec::new(),
+            expect: None,
+            json: false,
+        }
+    }
+}
+
+impl SearchArgs {
+    /// Parses `[--model M] [--gpus N] [--seq N] [--goodput-head N]
+    /// [--threads N] [--max-cp N] [--zero M1[,M2...]]
+    /// [--expect tp,cp,pp,dp] [--json]`.
+    pub fn parse(args: &[String]) -> Result<SearchArgs, String> {
+        let mut f = Flags::new(args);
+        let mut parsed = SearchArgs::default();
+        if let Some(m) = f.opt("model")? {
+            parsed.model = m;
+        }
+        if let Some(g) = f.opt_u64("gpus")? {
+            parsed.gpus = u32::try_from(g).map_err(|_| format!("--gpus {g} out of range"))?;
+        }
+        if let Some(s) = f.opt_u64("seq")? {
+            parsed.seq = s;
+        }
+        if let Some(h) = f.opt_u64("goodput-head")? {
+            parsed.goodput_head = h as usize;
+        }
+        if let Some(t) = f.opt_u64("threads")? {
+            parsed.threads = t as usize;
+        }
+        if let Some(c) = f.opt_u64("max-cp")? {
+            parsed.max_cp = u32::try_from(c).map_err(|_| format!("--max-cp {c} out of range"))?;
+        }
+        if let Some(z) = f.opt("zero")? {
+            parsed.zero_modes = z
+                .split(',')
+                .map(|m| match m.trim() {
+                    "zero1" | "1" => Ok(ZeroMode::Zero1),
+                    "zero2" | "2" => Ok(ZeroMode::Zero2),
+                    "zero3" | "3" => Ok(ZeroMode::Zero3),
+                    other => Err(format!("--zero: unknown mode {other:?} (want zero1|zero2|zero3)")),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+        }
+        if let Some(e) = f.opt("expect")? {
+            let parts: Vec<u32> = e.split(',').filter_map(|p| p.trim().parse().ok()).collect();
+            let [tp, cp, pp, dp] = parts[..] else {
+                return Err(format!("--expect: want tp,cp,pp,dp, got {e:?}"));
+            };
+            parsed.expect = Some((tp, cp, pp, dp));
+        }
+        parsed.json = f.switch("json");
+        f.finish()?;
+        Ok(parsed)
+    }
+
+    fn spec(&self) -> Result<SearchSpec, String> {
+        let mut spec = match self.model.as_str() {
+            "405b" => SearchSpec::llama3_405b(self.gpus, self.seq),
+            "70b" => SearchSpec::llama3_70b(self.gpus, self.seq),
+            "8b" => SearchSpec::llama3_8b(self.gpus, self.seq),
+            other => return Err(format!("--model: unknown model {other:?} (want 405b|70b|8b)")),
+        };
+        if self.max_cp > 0 {
+            spec = spec.max_cp(self.max_cp);
+        }
+        if !self.zero_modes.is_empty() {
+            spec.zero_modes = self.zero_modes.clone();
+        }
+        Ok(spec.threads(self.threads).goodput_head(self.goodput_head))
+    }
+}
+
+/// The `search` subcommand: runs the Pareto sweep and writes
+/// `BENCH_search.json`.
+pub fn run_search(args: &SearchArgs) -> i32 {
+    let spec = match args.spec() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let t0 = Instant::now();
+    let report = match search(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: search failed: {e}");
+            return 1;
+        }
+    };
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("{}", report.render_human());
+    println!("searched in {wall_ms:.0} ms");
+
+    let mut envelope = Report::new("search")
+        .config_str("model", format!("llama3-{}", args.model))
+        .config("gpus", args.gpus)
+        .config("seq", args.seq)
+        .config("goodput_head", args.goodput_head)
+        .config("seed", spec.seed)
+        .config("max_cp", spec.max_cp)
+        .config("zero_modes", spec.zero_modes.len())
+        .metric("search_wall_ms", format!("{wall_ms:.3}"))
+        .metric("meshes_enumerated", report.counts.meshes_enumerated)
+        .metric("meshes_admitted", report.counts.meshes_admitted)
+        .metric("candidates", report.counts.candidates)
+        .metric("rejected_preflight", report.counts.rejected_preflight)
+        .metric("scored", report.counts.scored)
+        .metric("refined", report.counts.refined)
+        .metric("frontier_len", report.frontier.len());
+    if let Some(best) = &report.best_step_time {
+        envelope = envelope
+            .metric_str("best_config", best.config.to_string())
+            .metric("best_step_time_ms", format!("{:.3}", best.step_time.as_millis_f64()))
+            .metric("best_tflops_per_gpu", format!("{:.1}", best.tflops_per_gpu));
+    }
+    if let Some(lean) = &report.best_memory {
+        envelope = envelope
+            .metric_str("leanest_config", lean.config.to_string())
+            .metric("leanest_peak_gib", format!("{:.2}", lean.peak_memory as f64 / (1u64 << 30) as f64));
+    }
+    if let Some(g) = &report.best_goodput {
+        envelope = envelope
+            .metric_str("best_goodput_config", g.config.to_string())
+            .metric("best_goodput", format!("{:.6}", g.goodput.unwrap_or(0.0)));
+    }
+    let mut code = 0;
+    if let Some((tp, cp, pp, dp)) = args.expect {
+        let hit = report.frontier_contains_mesh(tp, cp, pp, dp);
+        envelope = envelope.metric("expected_mesh_on_frontier", hit);
+        if hit {
+            println!("expected mesh tp{tp}·cp{cp}·pp{pp}·dp{dp} is on the frontier");
+        } else {
+            eprintln!("error: expected mesh tp{tp}·cp{cp}·pp{pp}·dp{dp} is NOT on the frontier");
+            code = 1;
+        }
+    }
+    emit(&envelope, "BENCH_search.json", args.json).max(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn search_args_parse_the_full_surface() {
+        let a = SearchArgs::parse(&args(&[
+            "--model", "8b", "--gpus", "16", "--seq", "4096", "--expect", "2,1,2,4",
+            "--goodput-head", "3", "--threads", "2", "--max-cp", "2", "--zero",
+            "zero1,zero3", "--json",
+        ]))
+        .unwrap();
+        assert_eq!(a.model, "8b");
+        assert_eq!(a.gpus, 16);
+        assert_eq!(a.seq, 4096);
+        assert_eq!(a.expect, Some((2, 1, 2, 4)));
+        assert_eq!(a.goodput_head, 3);
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.max_cp, 2);
+        assert_eq!(a.zero_modes, vec![ZeroMode::Zero1, ZeroMode::Zero3]);
+        assert!(a.json);
+        let spec = a.spec().unwrap();
+        assert_eq!(spec.input.ngpu, 16);
+        assert_eq!(spec.goodput_head, 3);
+        assert_eq!(spec.max_cp, 2);
+        assert_eq!(spec.zero_modes, vec![ZeroMode::Zero1, ZeroMode::Zero3]);
+    }
+
+    #[test]
+    fn bad_search_args_are_rejected() {
+        assert!(SearchArgs::parse(&args(&["--expect", "8,1,16"])).is_err());
+        assert!(SearchArgs::parse(&args(&["--frontier"])).is_err());
+        assert!(SearchArgs::parse(&args(&["--zero", "zero4"])).is_err());
+        let a = SearchArgs::parse(&args(&["--model", "1t"])).unwrap();
+        assert!(a.spec().is_err());
+    }
+
+    #[test]
+    fn snapshot_args_share_the_json_switch() {
+        assert!(SnapshotArgs::parse(&args(&["--json"])).unwrap().json);
+        assert!(!SnapshotArgs::parse(&args(&[])).unwrap().json);
+        assert!(SnapshotArgs::parse(&args(&["--cases", "5"])).is_err());
+    }
+}

@@ -138,7 +138,9 @@ impl ProcessGroup {
             };
         }
         // Ascending arithmetic progressions (the contiguous/strided
-        // constructors) get a compact signature; anything else keeps the
+        // constructors) get a compact signature; two-level lattices (an
+        // inner run repeated at an outer stride — the dp-major ×
+        // cp-minor FSDP groups) get one too; anything else keeps the
         // exact offset list.
         if self.ranks[1].0 > start {
             let stride = self.ranks[1].0 - start;
@@ -153,6 +155,9 @@ impl ProcessGroup {
                     n,
                 };
             }
+            if let Some(shape) = self.lattice_shape(start_mod, stride) {
+                return shape;
+            }
         }
         GroupShape::Irregular {
             start_mod,
@@ -162,6 +167,52 @@ impl ProcessGroup {
                 .map(|r| i64::from(r.0) - i64::from(start))
                 .collect(),
         }
+    }
+
+    /// Recognizes a two-level lattice in group order: `inner_n` ranks at
+    /// `inner_stride`, repeated `outer_n` times at `outer_stride`. The
+    /// five parameters reproduce every offset exactly, so the compact
+    /// signature aliases precisely the rank lists an
+    /// [`GroupShape::Irregular`] offset list would — no cost-cache
+    /// collisions are possible. Returns `None` unless the whole list
+    /// matches (callers fall back to the exact offset list).
+    fn lattice_shape(&self, start_mod: u32, inner_stride: u32) -> Option<GroupShape> {
+        let start = self.ranks[0].0;
+        let n = self.ranks.len();
+        let mut inner_n = 1usize;
+        while inner_n < n
+            && self.ranks[inner_n].0 > self.ranks[inner_n - 1].0
+            && self.ranks[inner_n].0 - self.ranks[inner_n - 1].0 == inner_stride
+        {
+            inner_n += 1;
+        }
+        if inner_n < 2 || inner_n >= n || !n.is_multiple_of(inner_n) {
+            return None;
+        }
+        if self.ranks[inner_n].0 <= start {
+            return None;
+        }
+        let outer_stride = self.ranks[inner_n].0 - start;
+        let expect = |k: usize| -> u64 {
+            u64::from(start)
+                + (k / inner_n) as u64 * u64::from(outer_stride)
+                + (k % inner_n) as u64 * u64::from(inner_stride)
+        };
+        if self
+            .ranks
+            .iter()
+            .enumerate()
+            .any(|(k, r)| u64::from(r.0) != expect(k))
+        {
+            return None;
+        }
+        Some(GroupShape::Lattice {
+            start_mod,
+            inner_stride,
+            inner_n: inner_n as u32,
+            outer_stride,
+            outer_n: (n / inner_n) as u32,
+        })
     }
 }
 
@@ -177,6 +228,24 @@ pub enum GroupShape {
         stride: u32,
         /// Participant count.
         n: u32,
+    },
+    /// Two-level lattice in group order: `ranks[j·inner_n + i] =
+    /// ranks[0] + j·outer_stride + i·inner_stride`. This is the shape of
+    /// FSDP's dp-major × cp-minor groups when `pp > 1` separates the two
+    /// strides; keeping it compact (five scalars instead of a dp·cp-long
+    /// offset list) is what makes large-cluster collective checking and
+    /// cost caching O(1) per group instead of O(members).
+    Lattice {
+        /// First rank modulo the leaf size.
+        start_mod: u32,
+        /// Step within an inner run.
+        inner_stride: u32,
+        /// Length of each inner run (≥ 2).
+        inner_n: u32,
+        /// Step between the starts of consecutive inner runs.
+        outer_stride: u32,
+        /// Number of inner runs (≥ 2).
+        outer_n: u32,
     },
     /// Any other ordering; `offsets[i]` is `ranks[i] − ranks[0]`.
     Irregular {
@@ -263,6 +332,56 @@ mod tests {
         let g = ProcessGroup::strided(2, 4, 2);
         assert_eq!(g.position(GlobalRank(6)), Some(2));
         assert_eq!(g.position(GlobalRank(5)), None);
+    }
+
+    #[test]
+    fn shape_recognizes_two_level_lattices() {
+        // An FSDP dp-major × cp-minor group on a tp2·cp2·pp4·dp4 mesh:
+        // inner runs of 2 at stride 2, outer stride tp·cp·pp = 16.
+        let ranks: Vec<GlobalRank> = (0..4)
+            .flat_map(|dp| (0..2).map(move |cp| GlobalRank(dp * 16 + cp * 2)))
+            .collect();
+        let g = ProcessGroup::new(ranks);
+        assert_eq!(
+            g.shape(8),
+            GroupShape::Lattice {
+                start_mod: 0,
+                inner_stride: 2,
+                inner_n: 2,
+                outer_stride: 16,
+                outer_n: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn lattice_shape_is_exact_not_a_heuristic() {
+        // Perturbing one rank of a lattice must fall back to the exact
+        // offset list, never alias the compact signature.
+        let mut ranks: Vec<GlobalRank> = (0..3)
+            .flat_map(|j| (0..2).map(move |i| GlobalRank(j * 16 + i * 2)))
+            .collect();
+        ranks[5] = GlobalRank(35); // was 34
+        let g = ProcessGroup::new(ranks);
+        assert!(matches!(g.shape(8), GroupShape::Irregular { .. }), "{:?}", g.shape(8));
+        // A full arithmetic progression stays Strided, not Lattice: the
+        // inner run covers the whole list.
+        let ap = ProcessGroup::strided(0, 8, 2);
+        assert!(matches!(ap.shape(8), GroupShape::Strided { .. }));
+    }
+
+    #[test]
+    fn lattice_shape_is_translation_invariant_per_leaf() {
+        let lat = |base: u32| {
+            ProcessGroup::new(
+                (0..4)
+                    .flat_map(|j| (0..2).map(move |i| GlobalRank(base + j * 16 + i * 2)))
+                    .collect(),
+            )
+        };
+        let leaf = 64;
+        assert_eq!(lat(1).shape(leaf), lat(1 + leaf).shape(leaf));
+        assert_ne!(lat(1).shape(leaf), lat(2).shape(leaf));
     }
 
     #[test]

@@ -1,21 +1,9 @@
-//! Seeded conformance fuzz sweep.
-//!
-//! Samples random `(model, mesh, schedule, options)` configurations,
-//! runs the full invariant + oracle battery on each, and on the first
-//! violation greedily shrinks the failing spec and prints a
-//! ready-to-paste `#[test]` reproducing it.
-//!
-//! ```text
-//! conformance_fuzz [--cases N] [--seed S]
-//! ```
-//!
-//! `--seed` accepts decimal or `0x`-prefixed hex. The sweep is fully
-//! deterministic: the same `(cases, seed)` pair replays the same specs.
-//! Exit status is 0 on a clean sweep, 1 on a counterexample, 2 on a
-//! usage error.
+//! Deprecated shim: the seeded fuzz sweep now lives in the `llama3sim`
+//! multi-command CLI as `llama3sim fuzz`. This bin keeps the old
+//! invocation working by delegating to the same library entry point
+//! ([`conformance::fuzz::sweep`]).
 
-use conformance::fuzz::{minimize, CaseSpec};
-use proptest::test_runner::TestRng;
+use conformance::fuzz::{sweep, FuzzArgs};
 
 fn parse_u64(s: &str) -> Result<u64, String> {
     let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
@@ -26,9 +14,8 @@ fn parse_u64(s: &str) -> Result<u64, String> {
     parsed.map_err(|_| format!("not a number: {s}"))
 }
 
-fn parse_args() -> Result<(u64, u64), String> {
-    let mut cases = 500u64;
-    let mut seed = 1u64;
+fn parse_args() -> Result<FuzzArgs, String> {
+    let mut parsed = FuzzArgs::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| {
@@ -37,8 +24,8 @@ fn parse_args() -> Result<(u64, u64), String> {
                 .and_then(|v| parse_u64(&v))
         };
         match arg.as_str() {
-            "--cases" => cases = take("--cases")?,
-            "--seed" => seed = take("--seed")?,
+            "--cases" => parsed.cases = take("--cases")?,
+            "--seed" => parsed.seed = take("--seed")?,
             "--help" | "-h" => {
                 println!("usage: conformance_fuzz [--cases N] [--seed S]");
                 std::process::exit(0);
@@ -46,33 +33,14 @@ fn parse_args() -> Result<(u64, u64), String> {
             other => return Err(format!("unknown argument: {other}")),
         }
     }
-    Ok((cases, seed))
+    Ok(parsed)
 }
 
 fn main() {
-    let (cases, seed) = parse_args().unwrap_or_else(|e| {
+    eprintln!("note: `conformance_fuzz` is deprecated; use `llama3sim fuzz` instead");
+    let parsed = parse_args().unwrap_or_else(|e| {
         eprintln!("conformance_fuzz: {e}");
         std::process::exit(2);
     });
-    let mut rng = TestRng::new(seed);
-    for case in 0..cases {
-        let spec = CaseSpec::sample(&mut rng);
-        if let Err(msg) = spec.check() {
-            eprintln!("counterexample at case {case}/{cases} (seed {seed:#x}):");
-            eprintln!("  {msg}");
-            let (min_spec, steps) = minimize(spec);
-            let min_msg = min_spec
-                .check()
-                .expect_err("minimize must preserve the failure");
-            eprintln!("shrunk in {steps} steps to: {min_spec}");
-            eprintln!("  {min_msg}");
-            eprintln!("\npaste this test to pin the regression:\n");
-            println!("{}", min_spec.as_test_snippet(seed, case, steps));
-            std::process::exit(1);
-        }
-        if (case + 1) % 500 == 0 {
-            eprintln!("conformance_fuzz: {}/{cases} cases clean", case + 1);
-        }
-    }
-    println!("conformance_fuzz: {cases} cases, seed {seed:#x}: no counterexamples");
+    std::process::exit(sweep(&parsed));
 }

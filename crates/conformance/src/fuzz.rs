@@ -434,6 +434,57 @@ pub fn minimize(mut spec: CaseSpec) -> (CaseSpec, u32) {
     (spec, steps)
 }
 
+/// Options for the seeded fuzz sweep (`llama3sim fuzz` and the
+/// deprecated `conformance_fuzz` shim).
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzArgs {
+    /// Number of sampled cases.
+    pub cases: u64,
+    /// RNG seed; the same `(cases, seed)` pair replays the same specs.
+    pub seed: u64,
+}
+
+impl Default for FuzzArgs {
+    fn default() -> FuzzArgs {
+        // lint: allow(cli-args) — the canonical defaults
+        FuzzArgs {
+            cases: 500,
+            seed: 1,
+        }
+    }
+}
+
+/// Runs the seeded sweep: samples `cases` random specs, runs the full
+/// invariant + oracle battery on each, and on the first violation
+/// greedily shrinks it and prints a ready-to-paste `#[test]`
+/// reproducing it. Returns the process exit code: 0 on a clean sweep,
+/// 1 on a counterexample.
+pub fn sweep(args: &FuzzArgs) -> i32 {
+    let FuzzArgs { cases, seed } = *args;
+    let mut rng = TestRng::new(seed);
+    for case in 0..cases {
+        let spec = CaseSpec::sample(&mut rng);
+        if let Err(msg) = spec.check() {
+            eprintln!("counterexample at case {case}/{cases} (seed {seed:#x}):");
+            eprintln!("  {msg}");
+            let (min_spec, steps) = minimize(spec);
+            let min_msg = min_spec
+                .check()
+                .expect_err("minimize must preserve the failure");
+            eprintln!("shrunk in {steps} steps to: {min_spec}");
+            eprintln!("  {min_msg}");
+            eprintln!("\npaste this test to pin the regression:\n");
+            println!("{}", min_spec.as_test_snippet(seed, case, steps));
+            return 1;
+        }
+        if (case + 1) % 500 == 0 {
+            eprintln!("conformance fuzz: {}/{cases} cases clean", case + 1);
+        }
+    }
+    println!("conformance fuzz: {cases} cases, seed {seed:#x}: no counterexamples");
+    0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,7 +1,7 @@
 //! Differential oracles: run the fast path and the reference path on
 //! the same input and demand equivalence.
 //!
-//! The generic entry point is [`assert_equivalent`]; the five concrete
+//! The generic entry point is [`assert_equivalent`]; the six concrete
 //! oracles cover every fast path added so far:
 //!
 //! 1. [`oracle_folded_vs_full`] — DP-symmetry folding vs lowering every
@@ -14,10 +14,14 @@
 //!    deprecated `simulate*` wrappers.
 //! 5. [`oracle_goodput_recomposition`] — `RunSimulator::simulate` vs an
 //!    independent step-by-step walk of the same fault timeline.
+//! 6. [`oracle_search_frontier`] — the pruned auto-parallelism search
+//!    funnel vs exhaustive scoring plus quadratic-dominance frontier
+//!    recovery.
 
 use crate::invariants::CheckResult;
 use collectives::cost::{clear_cost_cache, CommCostModel};
 use parallelism_core::run::{GoodputLoss, GoodputReport, RunSimulator};
+use parallelism_core::search::{enumerate_configs, search, SearchSpec};
 use parallelism_core::step::{ExposedComm, SimFidelity, SimOptions, StepModel, StepReport};
 use sim_engine::fluid::{FluidNet, Transfer, TransferOutcome};
 use sim_engine::time::{SimDuration, SimTime};
@@ -373,6 +377,106 @@ pub fn oracle_goodput_recomposition(sim: &RunSimulator) -> CheckResult {
         .map_err(|e| format!("RunSimulator::simulate failed: {e}"))?;
     let naive = naive_goodput(sim).map_err(|e| format!("naive recomposition failed: {e}"))?;
     assert_equivalent("goodput vs naive recomposition", &reference, &naive, 1e-9)
+}
+
+/// Oracle 6 — the staged search funnel vs exhaustive enumeration. The
+/// pruned [`search`] pipeline takes two shortcuts the reference here
+/// refuses: candidates are rejected at the *first* pre-flight error
+/// (the remaining rule families never run), and the Pareto frontier is
+/// recovered by one incremental sweep of the sorted objectives. The
+/// reference instead scores **every** admitted candidate — running the
+/// full analyzer and treating any error as rejection — and recomputes
+/// the frontier by quadratic pairwise dominance. The funnel must agree
+/// exactly: same rejected/scored split, and the same frontier as a
+/// multiset of `(config, step time, peak memory)`. Pruning may never
+/// drop a frontier point. Meant for small grids; refuses above 1024
+/// candidates.
+pub fn oracle_search_frontier(spec: &SearchSpec) -> CheckResult {
+    let report = search(spec).map_err(|e| format!("search failed: {e}"))?;
+
+    let (admitted, _) = enumerate_configs(spec);
+    if admitted.len() > 1024 {
+        return Err(format!(
+            "the exhaustive reference is quadratic; {} candidates is too many",
+            admitted.len()
+        ));
+    }
+    let mut rejected = 0usize;
+    let mut scored: Vec<(String, u64, u64)> = Vec::new();
+    for cfg in &admitted {
+        let Some(step) = spec.build_step(cfg) else {
+            rejected += 1;
+            continue;
+        };
+        if parallelism_core::analyze::analyze_step(&step).has_errors() {
+            rejected += 1;
+            continue;
+        }
+        let Ok(outcome) = step.run(&SimOptions::default()) else {
+            rejected += 1;
+            continue;
+        };
+        scored.push((
+            cfg.to_string(),
+            outcome.report.step_time.as_nanos(),
+            outcome.report.max_peak_memory(),
+        ));
+    }
+
+    let c = &report.counts;
+    if c.candidates != admitted.len() {
+        return Err(format!(
+            "funnel saw {} candidates, enumeration yields {}",
+            c.candidates,
+            admitted.len()
+        ));
+    }
+    if c.rejected_preflight != rejected || c.scored != scored.len() {
+        return Err(format!(
+            "funnel split {} rejected / {} scored, full analyzer says {rejected} / {}",
+            c.rejected_preflight,
+            c.scored,
+            scored.len()
+        ));
+    }
+
+    // A point survives iff nothing is ≤ in both objectives and < in at
+    // least one; exact-objective duplicates are mutually non-dominating
+    // and all survive, matching the funnel's tie handling.
+    let dominated = |p: &(String, u64, u64)| {
+        scored
+            .iter()
+            .any(|q| q.1 <= p.1 && q.2 <= p.2 && (q.1 < p.1 || q.2 < p.2))
+    };
+    let mut reference: Vec<(String, u64, u64)> =
+        scored.iter().filter(|p| !dominated(p)).cloned().collect();
+    let mut funnel: Vec<(String, u64, u64)> = report
+        .frontier
+        .iter()
+        .map(|p| (p.config.to_string(), p.step_time.as_nanos(), p.peak_memory))
+        .collect();
+    let key = |p: &(String, u64, u64)| (p.1, p.2, p.0.clone());
+    reference.sort_by_key(key);
+    funnel.sort_by_key(key);
+    if reference != funnel {
+        let missing: Vec<&String> = reference
+            .iter()
+            .filter(|p| !funnel.contains(p))
+            .map(|p| &p.0)
+            .collect();
+        let spurious: Vec<&String> = funnel
+            .iter()
+            .filter(|p| !reference.contains(p))
+            .map(|p| &p.0)
+            .collect();
+        return Err(format!(
+            "frontier mismatch: exhaustive reference has {} points, funnel has {}; \
+             dropped by pruning: {missing:?}; not on the true frontier: {spurious:?}",
+            reference.len(),
+            funnel.len()
+        ));
+    }
+    Ok(())
 }
 
 /// Independent step-by-step recomposition used by

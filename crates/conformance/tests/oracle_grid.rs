@@ -1,14 +1,17 @@
-//! Runs the five differential oracles over the deterministic
-//! ≥ 50-configuration grid from `conformance::grid`.
+//! Runs the six differential oracles over the deterministic
+//! ≥ 50-configuration grid from `conformance::grid` (the search-funnel
+//! oracle over small exhaustive search spaces instead — its reference
+//! is quadratic).
 
 use cluster_model::{FaultRates, FaultTimeline};
 use collectives::CommCostModel;
 use conformance::grid::config_grid;
 use conformance::oracles::{
     oracle_fluid_fast_path, oracle_folded_vs_full, oracle_goodput_recomposition,
-    oracle_memoized_costs, oracle_run_vs_deprecated,
+    oracle_memoized_costs, oracle_run_vs_deprecated, oracle_search_frontier,
 };
-use parallelism_core::{CheckpointPolicy, Dim, RunSimulator};
+use parallelism_core::search::{enumerate_configs, SearchSpec};
+use parallelism_core::{CheckpointPolicy, Dim, RunSimulator, ZeroMode};
 
 #[test]
 fn folded_matches_full_across_grid() {
@@ -58,6 +61,29 @@ fn fluid_fast_path_matches_general_across_grid() {
         ];
         oracle_fluid_fast_path(&links, &bytes)
             .unwrap_or_else(|e| panic!("net {i} (base {base} B/s): {e}"));
+    }
+}
+
+#[test]
+fn search_funnel_matches_exhaustive_reference() {
+    // Small 8B search spaces whose exhaustive reference stays ≤ 256
+    // candidates: every (cluster size, sequence, thread count) combo
+    // must produce the same rejected/scored split and the same Pareto
+    // frontier as full-analyzer scoring plus quadratic dominance.
+    for (ngpu, gbs, threads) in [(8u32, 16u64, 1usize), (8, 16, 3), (16, 32, 2)] {
+        let mut spec = SearchSpec::llama3_8b(ngpu, 8_192);
+        spec.input.model = spec.input.model.with_layers(4);
+        spec.input.token_budget = gbs * 8_192;
+        spec.zero_modes = vec![ZeroMode::Zero1, ZeroMode::Zero3];
+        let spec = spec.max_cp(2).threads(threads);
+        let (admitted, _) = enumerate_configs(&spec);
+        assert!(
+            !admitted.is_empty() && admitted.len() <= 256,
+            "want a small but non-trivial grid, got {} candidates",
+            admitted.len()
+        );
+        oracle_search_frontier(&spec)
+            .unwrap_or_else(|e| panic!("{ngpu} GPUs, gbs {gbs}, {threads} threads: {e}"));
     }
 }
 

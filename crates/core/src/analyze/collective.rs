@@ -89,47 +89,76 @@ pub struct CollectivePlan {
     pub groups: Vec<GroupStream>,
 }
 
-/// Extracts the collective plan of `m`: for each multi-member TP, CP
-/// and FSDP group, every member's stream derived from its own
-/// coordinates.
-pub fn extract_plan(m: &StepModel, sched: &PpSchedule) -> CollectivePlan {
-    let mesh = m.mesh;
-    let leaf = m.cluster.topology.gpus_per_node;
-    let mut plan = CollectivePlan::default();
+/// The collective family a group belongs to, selecting which stream
+/// derivation its members run.
+#[derive(Debug, Clone, Copy)]
+enum Family {
+    Tp,
+    Cp,
+    Fsdp,
+}
 
-    // One group per pipeline rank for each dimension: members of a TP,
-    // CP or FSDP group always share their PP coordinate, and groups at
-    // different CP/DP coordinates are exact translates issuing
-    // identical streams — checking the dp=0/cp=0 representatives covers
-    // every group without scanning the full cluster.
+/// The multi-member groups the step uses, one per pipeline rank and
+/// dimension: members of a TP, CP or FSDP group always share their PP
+/// coordinate, and groups at different CP/DP coordinates are exact
+/// translates issuing identical streams — checking the dp=0/cp=0
+/// representatives covers every group without scanning the full
+/// cluster.
+fn step_groups(m: &StepModel) -> Vec<(String, ProcessGroup, Family)> {
+    let mesh = m.mesh;
+    let mut out = Vec::new();
     for ppr in 0..mesh.pp() {
         let anchor = GlobalRank(ppr * mesh.stride(Dim::Pp));
         if mesh.tp() > 1 {
             let group = mesh.group_of(anchor, Dim::Tp);
-            plan.groups.push(GroupStream {
-                label: format!("tp group at pp={ppr}"),
-                streams: member_streams(&group, |r| tp_stream(m, sched, r, &group, leaf)),
-                group,
-            });
+            out.push((format!("tp group at pp={ppr}"), group, Family::Tp));
         }
         if mesh.cp() > 1 {
             let group = mesh.group_of(anchor, Dim::Cp);
-            plan.groups.push(GroupStream {
-                label: format!("cp group at pp={ppr}"),
-                streams: member_streams(&group, |r| cp_stream(m, sched, r, &group, leaf)),
-                group,
-            });
+            out.push((format!("cp group at pp={ppr}"), group, Family::Cp));
         }
         let fsdp = mesh.fsdp_group_of(anchor);
         if !fsdp.is_singleton() {
-            plan.groups.push(GroupStream {
-                label: format!("fsdp group at pp={ppr}"),
-                streams: member_streams(&fsdp, |r| fsdp_stream(m, sched, r, &fsdp, leaf)),
-                group: fsdp,
-            });
+            out.push((format!("fsdp group at pp={ppr}"), fsdp, Family::Fsdp));
         }
     }
-    plan
+    out
+}
+
+/// The stream member `r` of `group` issues, derived from `r`'s own
+/// coordinates.
+fn member_stream(
+    m: &StepModel,
+    sched: &PpSchedule,
+    family: Family,
+    r: GlobalRank,
+    group: &ProcessGroup,
+    leaf: u32,
+) -> Vec<CollOp> {
+    match family {
+        Family::Tp => tp_stream(m, sched, r, group, leaf),
+        Family::Cp => cp_stream(m, sched, r, group, leaf),
+        Family::Fsdp => fsdp_stream(m, sched, r, group, leaf),
+    }
+}
+
+/// Extracts the collective plan of `m`: for each multi-member TP, CP
+/// and FSDP group, every member's stream derived from its own
+/// coordinates.
+pub fn extract_plan(m: &StepModel, sched: &PpSchedule) -> CollectivePlan {
+    let leaf = m.cluster.topology.gpus_per_node;
+    CollectivePlan {
+        groups: step_groups(m)
+            .into_iter()
+            .map(|(label, group, family)| GroupStream {
+                label,
+                streams: member_streams(&group, |r| {
+                    member_stream(m, sched, family, r, &group, leaf)
+                }),
+                group,
+            })
+            .collect(),
+    }
 }
 
 fn member_streams(
@@ -149,6 +178,10 @@ fn layer_uses_tp(layer: &LayerKind) -> bool {
 }
 
 /// The TP collective stream rank `r` issues over one step.
+///
+/// Contract relied on by [`check_step_tp_cp`]'s memoized use in the
+/// search funnel: this derivation (and [`cp_stream`]) reads the mesh,
+/// schedule, assignment and model — never `m.zero` or `m.recompute`.
 fn tp_stream(
     m: &StepModel,
     sched: &PpSchedule,
@@ -227,6 +260,9 @@ fn cp_stream(
 /// mode: ZeRO-1/2 all-gather parameters once and reduce-scatter
 /// gradients per virtual stage; ZeRO-3 all-gathers each stage's
 /// parameters before every forward and backward visit (§2.1).
+///
+/// Contract relied on by [`check_step_fsdp`]'s memoized use in the
+/// search funnel: reads `m.zero` but never `m.recompute`.
 fn fsdp_stream(
     m: &StepModel,
     sched: &PpSchedule,
@@ -237,14 +273,21 @@ fn fsdp_stream(
     let coords = m.mesh.coords_of(r);
     let policy = PrecisionPolicy::llama3();
     let shape = group.shape(leaf);
-    let chunk_params = |chunk: u32| -> u64 {
-        let stage = sched.stage_of(coords.pp, chunk);
-        m.assignment.stages[stage as usize]
-            .iter()
-            .map(|l| l.params(&m.layout.cfg))
-            .sum::<u64>()
-            / m.mesh.tp() as u64
-    };
+    // One table lookup per schedule op: the per-chunk parameter count
+    // depends only on (pp, chunk), not on the op, and recomputing it
+    // inside the ZeRO-3 loop would walk the stage's layer list once per
+    // micro-batch visit.
+    let chunk_params: Vec<u64> = (0..sched.v)
+        .map(|chunk| {
+            let stage = sched.stage_of(coords.pp, chunk);
+            m.assignment.stages[stage as usize]
+                .iter()
+                .map(|l| l.params(&m.layout.cfg))
+                .sum::<u64>()
+                / m.mesh.tp() as u64
+        })
+        .collect();
+    let chunk_params = |chunk: u32| chunk_params[chunk as usize];
     let rank_params: u64 = (0..sched.v).map(chunk_params).sum();
     let mut out = Vec::new();
     match m.zero {
@@ -286,6 +329,43 @@ fn fsdp_stream(
     out
 }
 
+/// Compares one member's stream against the group's reference stream
+/// and renders the first divergence as the `COLL001` error both
+/// [`check_plan`] and [`check_step`] report.
+fn diff_streams(
+    label: &str,
+    ref_rank: GlobalRank,
+    ref_stream: &[CollOp],
+    rank: GlobalRank,
+    stream: &[CollOp],
+) -> Option<Diagnostic> {
+    let n = ref_stream.len().min(stream.len());
+    let i = (0..n)
+        .find(|&i| ref_stream[i] != stream[i])
+        .or_else(|| (ref_stream.len() != stream.len()).then_some(n))?;
+    let show = |s: &[CollOp], r: GlobalRank| match s.get(i) {
+        Some(op) => format!("rank {}: op[{i}] = {op}", r.0),
+        None => format!("rank {}: stream ends after {} ops", r.0, s.len()),
+    };
+    let op = stream
+        .get(i)
+        .map(|o| o.to_string())
+        .unwrap_or_else(|| "<end of stream>".to_string());
+    Some(
+        Diagnostic::error(
+            RuleId::Coll001,
+            format!(
+                "collective streams diverge on {label} at op {i}: rank {} and rank {} would \
+                 hang in a mismatched collective",
+                ref_rank.0, rank.0
+            ),
+        )
+        .at_rank(rank.0)
+        .at_op(op)
+        .with_witness(vec![show(ref_stream, ref_rank), show(stream, rank)]),
+    )
+}
+
 /// Checks every group's member streams for divergence. The first
 /// mismatching op per divergent group becomes one `COLL001` error
 /// naming the group, both ranks and both ops — the static image of the
@@ -297,41 +377,61 @@ pub fn check_plan(plan: &CollectivePlan) -> Vec<Diagnostic> {
             continue;
         };
         for (rank, stream) in &gs.streams[1..] {
-            let n = ref_stream.len().min(stream.len());
-            let mismatch = (0..n)
-                .find(|&i| ref_stream[i] != stream[i])
-                .or_else(|| (ref_stream.len() != stream.len()).then_some(n));
-            let Some(i) = mismatch else { continue };
-            let show = |s: &[CollOp], r: GlobalRank| match s.get(i) {
-                Some(op) => format!("rank {}: op[{i}] = {op}", r.0),
-                None => format!("rank {}: stream ends after {} ops", r.0, s.len()),
-            };
-            let op = stream
-                .get(i)
-                .map(|o| o.to_string())
-                .unwrap_or_else(|| "<end of stream>".to_string());
-            diags.push(
-                Diagnostic::error(
-                    RuleId::Coll001,
-                    format!(
-                        "collective streams diverge on {} at op {i}: rank {} and rank {} would \
-                         hang in a mismatched collective",
-                        gs.label, ref_rank.0, rank.0
-                    ),
-                )
-                .at_rank(rank.0)
-                .at_op(op)
-                .with_witness(vec![show(ref_stream, *ref_rank), show(stream, *rank)]),
-            );
-            break; // one finding per group names the defect
+            if let Some(d) = diff_streams(&gs.label, *ref_rank, ref_stream, *rank, stream) {
+                diags.push(d);
+                break; // one finding per group names the defect
+            }
         }
     }
     diags
 }
 
-/// Extracts and checks in one call.
+/// Extracts and checks in one call. Reports exactly what
+/// `check_plan(&extract_plan(m, sched))` would, but streams the
+/// comparison — each member's stream is derived, compared against the
+/// group's first member and dropped, so at most two streams are live
+/// at a time instead of one per member of every group.
 pub fn check_step(m: &StepModel, sched: &PpSchedule) -> Vec<Diagnostic> {
-    check_plan(&extract_plan(m, sched))
+    check_groups(m, sched, |_| true)
+}
+
+/// The TP + CP subset of [`check_step`]. Their stream derivations read
+/// neither the ZeRO mode nor the recompute flag, so the search funnel
+/// memoizes this verdict across those axes.
+pub(crate) fn check_step_tp_cp(m: &StepModel, sched: &PpSchedule) -> Vec<Diagnostic> {
+    check_groups(m, sched, |f| !matches!(f, Family::Fsdp))
+}
+
+/// The FSDP subset of [`check_step`]: depends on the ZeRO mode but not
+/// on the recompute flag.
+pub(crate) fn check_step_fsdp(m: &StepModel, sched: &PpSchedule) -> Vec<Diagnostic> {
+    check_groups(m, sched, |f| matches!(f, Family::Fsdp))
+}
+
+fn check_groups(
+    m: &StepModel,
+    sched: &PpSchedule,
+    keep: impl Fn(Family) -> bool,
+) -> Vec<Diagnostic> {
+    let leaf = m.cluster.topology.gpus_per_node;
+    let mut diags = Vec::new();
+    for (label, group, family) in step_groups(m) {
+        if !keep(family) {
+            continue;
+        }
+        let Some((&first, rest)) = group.ranks().split_first() else {
+            continue;
+        };
+        let ref_stream = member_stream(m, sched, family, first, &group, leaf);
+        for &r in rest {
+            let stream = member_stream(m, sched, family, r, &group, leaf);
+            if let Some(d) = diff_streams(&label, first, &ref_stream, r, &stream) {
+                diags.push(d);
+                break;
+            }
+        }
+    }
+    diags
 }
 
 #[cfg(test)]

@@ -358,6 +358,33 @@ pub fn analyze_step(m: &StepModel) -> Report {
     report
 }
 
+/// Staged pre-flight rejector: the same rule families as
+/// [`analyze_step`], run cheapest-first with an early exit at the first
+/// error-severity diagnostic.
+///
+/// `None` means `analyze_step(m).has_errors()` would be `false` — the
+/// rule set is identical, only the traversal order and the early exit
+/// differ. Search funnels use this so a plan that already fails the
+/// O(pp·v) memory bound never pays for the collective-stream or
+/// race-reachability analyses, whose cost grows with group membership
+/// and schedule length.
+pub fn first_error(m: &StepModel) -> Option<Diagnostic> {
+    let sched = match m.schedule() {
+        Ok(s) => s,
+        Err(e) => return Some(Diagnostic::error(RuleId::Plan001, e.to_string())),
+    };
+    let stages: [Box<dyn Fn() -> Vec<Diagnostic>>; 4] = [
+        Box::new(|| memory::check_step(m, &sched)),
+        Box::new(|| deadlock::check_schedule(&sched)),
+        Box::new(|| collective::check_step(m, &sched)),
+        Box::new(|| race::check_step(m, &sched)),
+    ];
+    stages
+        .iter()
+        .flat_map(|stage| stage())
+        .find(|d| d.severity == Severity::Error)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,15 +19,16 @@ use crate::pp::sim::{lower_pp, lowering_capacity, PpSimOp, UniformCosts};
 use crate::step::StepModel;
 use sim_engine::graph::{OpId, TaskGraph};
 use sim_engine::time::SimDuration;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Cap on reported races (one systematic lowering bug would otherwise
 /// emit thousands of identical findings).
 const MAX_RACES: usize = 8;
 
-/// One logical buffer in the pipeline's memory plan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// One logical buffer in the pipeline's memory plan. The derived
+/// order (activations before gradients, then stage, then micro-batch)
+/// fixes the report order of [`check_graph`] deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Lane {
     /// The activation buffer of `(stage, mb)`.
     Act {
@@ -112,65 +113,98 @@ pub fn check_graph<M>(
 ) -> Vec<Diagnostic> {
     let num_ops = g.op_ids().count();
     // Predecessors in the ordering relation: dependency edges plus the
-    // immediate FIFO predecessor on each of the op's streams.
+    // immediate FIFO predecessor on each of the op's streams. Program
+    // order on every stream is `add_op` call order, so one pass over
+    // the ops in creation order recovers each FIFO predecessor.
     let mut preds: Vec<Vec<OpId>> = vec![Vec::new(); num_ops];
+    let mut last_on_stream: Vec<Option<OpId>> = vec![None; g.stream_count()];
     for op in g.op_ids() {
-        // Stream predecessors first, dependency edges last: the DFS
+        // Stream predecessors first, dependency edges last: the search
         // below pops dependency edges first, resolving the common
         // producer-via-transfer pairs in two hops instead of walking a
         // whole compute stream's history.
         for &s in g.op_streams(op) {
-            let prog = g.stream_program(s);
-            if let Some(pos) = prog.iter().position(|&o| o == op) {
-                if pos > 0 {
-                    preds[op.index()].push(prog[pos - 1]);
-                }
+            if let Some(prev) = last_on_stream[s.index()] {
+                preds[op.index()].push(prev);
             }
+            last_on_stream[s.index()] = Some(op);
         }
         preds[op.index()].extend_from_slice(g.op_deps(op));
     }
 
-    let mut lanes: HashMap<Lane, Vec<(OpId, bool)>> = HashMap::new();
+    // Lane membership, grouped by sorting rather than hashing: one
+    // flat `(lane, op, write)` table ordered by (lane, creation order)
+    // is cheaper than a hash map at half a million entries and gives
+    // the deterministic lane order for free.
+    let mut touches: Vec<(Lane, OpId, bool)> = Vec::new();
     for op in g.op_ids() {
         for a in accesses(g.op_meta(op)) {
-            lanes.entry(a.lane).or_default().push((op, a.write));
+            touches.push((a.lane, op, a.write));
         }
     }
+    touches.sort_unstable_by_key(|&(lane, op, _)| (lane, op.index()));
 
-    // `a` happens-before `b` iff `a` is reachable from `b` through the
-    // predecessor relation. Shared-stream pairs short-circuit via FIFO
-    // positions.
-    let ordered = |a: OpId, b: OpId| -> bool {
+    // `a` and `b` are ordered iff one is reachable from the other
+    // through the predecessor relation. Shared-stream pairs
+    // short-circuit via FIFO positions. The two directions are searched
+    // *simultaneously*, alternating one expansion each: in a valid
+    // lowering the connecting path is a couple of hops long but its
+    // direction is not known up front, and probing the wrong direction
+    // first would pay a full failed traversal of the graph for every
+    // pair. The `seen` stamps are reused across pairs (epoch per call)
+    // so no per-pair allocation happens.
+    let mut seen: Vec<(u32, u32)> = vec![(0, 0); num_ops];
+    let mut epoch = 0u32;
+    // The two search stacks live across pairs — `ordered` runs once per
+    // conflicting pair (millions on a production-size lowering), so a
+    // per-call allocation would dominate the whole check.
+    let mut towards_a: Vec<OpId> = Vec::new(); // walks preds from b, looking for a
+    let mut towards_b: Vec<OpId> = Vec::new(); // walks preds from a, looking for b
+    let mut ordered = |a: OpId, b: OpId| -> bool {
         for &s in g.op_streams(a) {
             if g.op_streams(b).contains(&s) {
                 return true; // FIFO streams totally order their ops
             }
         }
-        let reaches = |from: OpId, to: OpId| -> bool {
-            let mut seen = vec![false; num_ops];
-            let mut stack = vec![from];
-            while let Some(x) = stack.pop() {
-                if x == to {
+        epoch += 1;
+        towards_a.clear();
+        towards_a.push(b);
+        towards_b.clear();
+        towards_b.push(a);
+        loop {
+            let mut progressed = false;
+            if let Some(x) = towards_a.pop() {
+                progressed = true;
+                if x == a {
                     return true;
                 }
-                if std::mem::replace(&mut seen[x.index()], true) {
-                    continue;
+                if seen[x.index()].0 != epoch {
+                    seen[x.index()].0 = epoch;
+                    towards_a.extend_from_slice(&preds[x.index()]);
                 }
-                stack.extend_from_slice(&preds[x.index()]);
             }
-            false
-        };
-        reaches(b, a) || reaches(a, b)
+            if let Some(x) = towards_b.pop() {
+                progressed = true;
+                if x == b {
+                    return true;
+                }
+                if seen[x.index()].1 != epoch {
+                    seen[x.index()].1 = epoch;
+                    towards_b.extend_from_slice(&preds[x.index()]);
+                }
+            }
+            if !progressed {
+                return false;
+            }
+        }
     };
 
     let mut diags = Vec::new();
     let mut races = 0usize;
-    let mut lane_list: Vec<(&Lane, &Vec<(OpId, bool)>)> = lanes.iter().collect();
-    // Deterministic report order regardless of hash iteration.
-    lane_list.sort_by_key(|(lane, _)| format!("{lane}"));
-    for (lane, members) in lane_list {
-        for (i, &(a, wa)) in members.iter().enumerate() {
-            for &(b, wb) in &members[i + 1..] {
+    for members in touches.chunk_by(|x, y| x.0 == y.0) {
+        let lane = &members[0].0;
+        for (i, &(_, a, wa)) in members.iter().enumerate() {
+            for &(_, b, wb) in &members[i + 1..] {
                 if !(wa || wb) || ordered(a, b) {
                     continue;
                 }

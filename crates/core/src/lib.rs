@@ -16,6 +16,7 @@ pub mod cp;
 pub mod multimodal;
 pub mod planner;
 pub mod run;
+pub mod search;
 pub mod step;
 pub mod fsdp;
 pub mod memory_opt;
@@ -32,6 +33,7 @@ pub use pp::{BalancePolicy, PpSchedule, ScheduleKind, StageAssignment};
 pub use multimodal::{EncoderSharding, MultimodalReport, MultimodalStep};
 pub use planner::{plan, Plan, PlanError, PlannerInput};
 pub use run::{CheckpointPolicy, GoodputLoss, GoodputReport, RunSimulator};
+pub use search::{search, ConfigPoint, FunnelCounts, SearchPoint, SearchReport, SearchSpec};
 pub use sim_engine::error::SimError;
 pub use step::{
     ExposedComm, SimFidelity, SimOptions, StepModel, StepOutcome, StepReport,

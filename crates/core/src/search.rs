@@ -1,0 +1,936 @@
+//! Auto-parallelism search: the Pareto planner over the 4D config
+//! space.
+//!
+//! Where [`crate::planner`] reproduces the paper's §5.1 *reasoning*
+//! (greedy, rule-guided: smallest PP per TP, CP only when the batch is
+//! exhausted), this module searches the whole configuration space —
+//! `tp × cp × pp × dp × nmb × ZeRO mode × recompute × schedule` — and
+//! reports the full Pareto frontier over (step time, peak HBM), with
+//! the head of the frontier optionally refined by the
+//! [`crate::run::RunSimulator`] goodput model. The paper's production
+//! configurations must fall out as frontier points; the planner's
+//! single answer is one of them.
+//!
+//! The search is a staged funnel:
+//!
+//! 1. **Admission** — pure arithmetic: divisibility of the mesh into
+//!    the cluster, `gbs % dp == 0`, `pp ≤ layers`,
+//!    `seq % 2·cp == 0`. No model is built.
+//! 2. **Pre-flight rejection** — the static analyzer
+//!    ([`crate::analyze::analyze_step`]'s rule families) runs over
+//!    each admitted candidate with **no timing-graph execution**; any
+//!    error-severity diagnostic (unbuildable schedule, deadlock,
+//!    collective mismatch, OOM by the sound static memory bound)
+//!    rejects the candidate. Only the memory bound is evaluated fresh
+//!    per candidate (it is µs-cheap and depends on every axis); the
+//!    graph-shaped rules are **memoized by their true inputs** —
+//!    deadlock and race verdicts by the lowered schedule shape
+//!    `(kind, pp, v, nmb)`, TP/CP collective verdicts by mesh +
+//!    schedule (their stream derivations read neither ZeRO nor
+//!    recompute), FSDP collective verdicts by mesh + schedule + ZeRO —
+//!    so the up-to-18 ZeRO/recompute/schedule variants of one mesh
+//!    share the expensive analyses. `score_one` is the unmemoized
+//!    per-candidate specification of stages 2–3; the conformance
+//!    oracle `oracle_search_frontier` pins [`search`] against it.
+//! 3. **Scoring** — survivors run the folded fast simulation
+//!    ([`crate::step::StepModel::run`] at
+//!    [`crate::step::SimFidelity::Folded`]), in parallel on scoped
+//!    threads. Results are folded back in enumeration order, so the
+//!    report is bit-identical for any thread count.
+//! 4. **Goodput refinement** (optional) — the first
+//!    [`SearchSpec::goodput_head`] frontier points are re-run through
+//!    the seeded fault-timeline goodput simulation.
+//!
+//! Determinism: enumeration order is fixed, scoring is pure, the fault
+//! timeline is seeded, and no wall-clock or hash-map iteration enters
+//! the report — two runs of [`search`] on the same [`SearchSpec`]
+//! produce bit-identical [`SearchReport`]s.
+
+use crate::analyze;
+use crate::fsdp::ZeroMode;
+use crate::mesh::Mesh4D;
+use crate::planner::{PlanError, PlannerInput};
+use crate::pp::balance::{BalancePolicy, StageAssignment};
+use crate::pp::schedule::ScheduleKind;
+use crate::run::{CheckpointPolicy, RunSimulator};
+use crate::step::{SimOptions, StepModel};
+use cluster_model::faults::{FaultRates, FaultTimeline};
+use cluster_model::gpu::GpuSpec;
+use cluster_model::topology::{Cluster, TopologySpec};
+use llm_model::masks::MaskSpec;
+use llm_model::{ModelLayout, TransformerConfig};
+use sim_engine::time::SimDuration;
+use std::fmt;
+
+/// What to search: the planning problem plus the bounds of the
+/// configuration space and the funnel options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpec {
+    /// The planning problem (cluster, model, token budget, sequence
+    /// length) — same shape the §5.1 planner takes.
+    pub input: PlannerInput,
+    /// Largest TP degree to enumerate. `0` means "the node size"
+    /// (§5.1: TP never leaves NVLink).
+    pub max_tp: u32,
+    /// Largest CP degree to enumerate (power-of-two sweep).
+    pub max_cp: u32,
+    /// Largest PP degree to enumerate. `0` means "up to the layer
+    /// count".
+    pub max_pp: u32,
+    /// ZeRO modes to enumerate per mesh, in report order.
+    pub zero_modes: Vec<ZeroMode>,
+    /// Activation-recompute choices to enumerate per mesh.
+    pub recompute: Vec<bool>,
+    /// Number of leading frontier points to refine with the goodput
+    /// simulation. `0` disables refinement.
+    pub goodput_head: usize,
+    /// Horizon of the goodput fault timeline, seconds.
+    pub goodput_horizon_s: f64,
+    /// Seed of the goodput fault timeline.
+    pub seed: u64,
+    /// Scoring threads. `0` means "available parallelism". The report
+    /// is bit-identical for any value.
+    pub threads: usize,
+}
+
+impl SearchSpec {
+    /// A spec with default space bounds and funnel options for a
+    /// planning problem.
+    pub fn new(input: PlannerInput) -> SearchSpec {
+        SearchSpec {
+            input,
+            max_tp: 0,
+            max_cp: 64,
+            max_pp: 0,
+            zero_modes: vec![ZeroMode::Zero1, ZeroMode::Zero2, ZeroMode::Zero3],
+            recompute: vec![false, true],
+            goodput_head: 0,
+            goodput_horizon_s: 24.0 * 3600.0,
+            seed: 0x0060_01D9,
+            threads: 0,
+        }
+    }
+
+    /// The Llama 3 405B production search problem (16 M-token budget,
+    /// H100 cluster).
+    pub fn llama3_405b(ngpu: u32, seq: u64) -> SearchSpec {
+        SearchSpec::new(PlannerInput::llama3_405b(ngpu, seq))
+    }
+
+    /// The Llama 3 70B search problem on the same cluster recipe.
+    pub fn llama3_70b(ngpu: u32, seq: u64) -> SearchSpec {
+        SearchSpec::new(PlannerInput {
+            ngpu,
+            gpus_per_node: 8,
+            token_budget: 16 * 1024 * 1024,
+            seq,
+            model: TransformerConfig::llama3_70b(),
+            gpu: GpuSpec::h100_sxm_hbm3(),
+        })
+    }
+
+    /// The Llama 3 8B search problem on the same cluster recipe.
+    pub fn llama3_8b(ngpu: u32, seq: u64) -> SearchSpec {
+        SearchSpec::new(PlannerInput {
+            ngpu,
+            gpus_per_node: 8,
+            token_budget: 16 * 1024 * 1024,
+            seq,
+            model: TransformerConfig::llama3_8b(),
+            gpu: GpuSpec::h100_sxm_hbm3(),
+        })
+    }
+
+    /// Sets the CP bound.
+    pub fn max_cp(mut self, max_cp: u32) -> SearchSpec {
+        self.max_cp = max_cp;
+        self
+    }
+
+    /// Sets the scoring thread count (`0` = available parallelism).
+    pub fn threads(mut self, threads: usize) -> SearchSpec {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables goodput refinement of the first `head` frontier points.
+    pub fn goodput_head(mut self, head: usize) -> SearchSpec {
+        self.goodput_head = head;
+        self
+    }
+
+    /// Effective TP bound.
+    fn tp_bound(&self) -> u32 {
+        let b = if self.max_tp == 0 {
+            self.input.gpus_per_node
+        } else {
+            self.max_tp
+        };
+        b.min(self.input.ngpu)
+    }
+
+    /// Effective PP bound.
+    fn pp_bound(&self) -> u32 {
+        let layers = u32::try_from(self.input.model.num_layers).unwrap_or(u32::MAX);
+        if self.max_pp == 0 {
+            layers
+        } else {
+            self.max_pp.min(layers)
+        }
+    }
+
+    /// Builds the [`StepModel`] for one enumerated configuration.
+    /// Returns `None` when the configuration is not admissible for
+    /// this spec (it did not come from [`enumerate_configs`]).
+    pub fn build_step(&self, cfg: &ConfigPoint) -> Option<StepModel> {
+        let model_parallel = cfg.tp as u64 * cfg.cp as u64 * cfg.pp as u64;
+        let total = model_parallel.checked_mul(cfg.dp as u64)?;
+        if total != u64::from(self.input.ngpu) {
+            return None;
+        }
+        let layout = ModelLayout::text(self.input.model.clone());
+        let v = u32::try_from(self.input.model.num_layers.div_ceil(cfg.pp as u64)).ok()?;
+        let assignment = StageAssignment::build(&layout, cfg.pp, v, BalancePolicy::Uniform);
+        Some(StepModel {
+            cluster: Cluster {
+                gpu: self.input.gpu.clone(),
+                topology: TopologySpec::llama3_production(
+                    self.input.ngpu.div_ceil(self.input.gpus_per_node),
+                ),
+            },
+            mesh: Mesh4D::new(cfg.tp, cfg.cp, cfg.pp, cfg.dp),
+            layout,
+            assignment,
+            schedule: cfg.schedule,
+            zero: cfg.zero,
+            bs: u32::try_from(cfg.nmb).ok()?,
+            seq: self.input.seq,
+            mask: MaskSpec::Causal,
+            recompute: cfg.recompute,
+        })
+    }
+}
+
+/// One enumerated configuration: the 4D mesh plus the per-mesh
+/// choices. `nmb` is the micro-batch count per replica per step
+/// (micro-batch size 1, as in the paper's production recipe), fully
+/// determined by the token budget once `dp` is fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConfigPoint {
+    /// Tensor parallelism.
+    pub tp: u32,
+    /// Context parallelism.
+    pub cp: u32,
+    /// Pipeline parallelism.
+    pub pp: u32,
+    /// Data parallelism (derived: `ngpu / (tp·cp·pp)`).
+    pub dp: u32,
+    /// Micro-batches per replica per step (= `gbs / dp`).
+    pub nmb: u64,
+    /// ZeRO sharding mode.
+    pub zero: ZeroMode,
+    /// Pipeline schedule family.
+    pub schedule: ScheduleKind,
+    /// Activation recompute on the backward pass.
+    pub recompute: bool,
+}
+
+impl ConfigPoint {
+    /// The configuration's 4D mesh.
+    pub fn mesh(&self) -> Mesh4D {
+        Mesh4D::new(self.tp, self.cp, self.pp, self.dp)
+    }
+}
+
+impl fmt::Display for ConfigPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sched = match self.schedule {
+            ScheduleKind::AllFwdAllBwd => "afab".to_string(),
+            ScheduleKind::Interleaved1F1B => "1f1b".to_string(),
+            ScheduleKind::Flexible { nc } => format!("flex{nc}"),
+        };
+        let zero = match self.zero {
+            ZeroMode::Zero1 => "zero1",
+            ZeroMode::Zero2 => "zero2",
+            ZeroMode::Zero3 => "zero3",
+        };
+        write!(
+            f,
+            "tp{}·cp{}·pp{}·dp{} nmb{} {zero} {sched}{}",
+            self.tp,
+            self.cp,
+            self.pp,
+            self.dp,
+            self.nmb,
+            if self.recompute { " +rc" } else { "" }
+        )
+    }
+}
+
+/// One scored configuration: the objectives the frontier is built
+/// over, plus secondary metrics for the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchPoint {
+    /// The configuration.
+    pub config: ConfigPoint,
+    /// End-to-end step time (objective 1, minimized).
+    pub step_time: SimDuration,
+    /// Worst per-rank peak HBM in bytes (objective 2, minimized).
+    pub peak_memory: u64,
+    /// Model TFLOPs per GPU.
+    pub tflops_per_gpu: f64,
+    /// Worst per-PP-rank bubble ratio.
+    pub bubble_ratio: f64,
+    /// Goodput (objective 3, maximized), present iff this point was
+    /// refined through the fault-timeline run simulation.
+    pub goodput: Option<f64>,
+}
+
+/// How many candidates each funnel stage saw and passed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FunnelCounts {
+    /// `(tp, cp, pp)` tuples visited by the enumerator.
+    pub meshes_enumerated: usize,
+    /// Tuples that passed the arithmetic admission stage.
+    pub meshes_admitted: usize,
+    /// Admitted meshes × ZeRO × recompute × schedule variants.
+    pub candidates: usize,
+    /// Candidates rejected by the static pre-flight analyzer.
+    pub rejected_preflight: usize,
+    /// Candidates scored by the folded simulation.
+    pub scored: usize,
+    /// Frontier points refined with the goodput simulation.
+    pub refined: usize,
+}
+
+/// What [`search`] returns: funnel statistics, the Pareto frontier in
+/// (step time ↑, peak memory ↑) order, and the argmax points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchReport {
+    /// Funnel statistics.
+    pub counts: FunnelCounts,
+    /// The Pareto frontier over (step time, peak HBM), sorted by step
+    /// time ascending (ties: memory, then enumeration order).
+    pub frontier: Vec<SearchPoint>,
+    /// The fastest configuration (first frontier point).
+    pub best_step_time: Option<SearchPoint>,
+    /// The leanest configuration (lowest peak HBM on the frontier).
+    pub best_memory: Option<SearchPoint>,
+    /// The highest-goodput refined configuration, if refinement ran.
+    pub best_goodput: Option<SearchPoint>,
+}
+
+impl SearchReport {
+    /// `true` when some frontier point runs on the given 4D mesh
+    /// (any ZeRO/schedule/recompute variant).
+    pub fn frontier_contains_mesh(&self, tp: u32, cp: u32, pp: u32, dp: u32) -> bool {
+        self.frontier.iter().any(|p| {
+            p.config.tp == tp && p.config.cp == cp && p.config.pp == pp && p.config.dp == dp
+        })
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render_human(&self) -> String {
+        let c = &self.counts;
+        let mut out = format!(
+            "funnel: {} meshes → {} admitted → {} candidates → {} scored \
+             ({} preflight-rejected, {} goodput-refined)\n",
+            c.meshes_enumerated,
+            c.meshes_admitted,
+            c.candidates,
+            c.scored,
+            c.rejected_preflight,
+            c.refined
+        );
+        out.push_str(&format!("frontier ({} points, step time ↑):\n", self.frontier.len()));
+        for p in &self.frontier {
+            out.push_str(&format!(
+                "  {:<44} step {:>9.3} ms  mem {:>6.1} GiB  {:>5.0} TFLOPs{}\n",
+                p.config.to_string(),
+                p.step_time.as_millis_f64(),
+                p.peak_memory as f64 / (1u64 << 30) as f64,
+                p.tflops_per_gpu,
+                match p.goodput {
+                    Some(g) => format!("  goodput {:.3}", g),
+                    None => String::new(),
+                }
+            ));
+        }
+        for (label, p) in [
+            ("fastest", &self.best_step_time),
+            ("leanest", &self.best_memory),
+            ("best-goodput", &self.best_goodput),
+        ] {
+            if let Some(p) = p {
+                out.push_str(&format!("argmax {label}: {}\n", p.config));
+            }
+        }
+        out
+    }
+}
+
+/// Enumerates the admissible configuration space of a spec in the
+/// fixed deterministic order: `tp ↑, cp ↑, pp ↑` (powers of two), then
+/// ZeRO modes and recompute choices in spec order, then schedule
+/// variants. Returns the configurations plus the count of `(tp, cp,
+/// pp)` tuples visited.
+pub fn enumerate_configs(spec: &SearchSpec) -> (Vec<ConfigPoint>, usize) {
+    let input = &spec.input;
+    let gbs = input.token_budget.checked_div(input.seq).unwrap_or(0);
+    let mut out = Vec::new();
+    let mut visited = 0usize;
+    for tp in powers_of_two_up_to(spec.tp_bound()) {
+        for cp in powers_of_two_up_to(spec.max_cp) {
+            for pp in powers_of_two_up_to(spec.pp_bound()) {
+                visited += 1;
+                let model_parallel = tp as u64 * cp as u64 * pp as u64;
+                if model_parallel > u64::from(input.ngpu)
+                    || !u64::from(input.ngpu).is_multiple_of(model_parallel)
+                {
+                    continue;
+                }
+                let dp = (u64::from(input.ngpu) / model_parallel) as u32;
+                if gbs == 0 || !gbs.is_multiple_of(u64::from(dp)) {
+                    continue;
+                }
+                let nmb = gbs / u64::from(dp);
+                if nmb == 0
+                    || nmb > u64::from(u32::MAX)
+                    || !input.seq.is_multiple_of(2 * u64::from(cp))
+                {
+                    continue;
+                }
+                for &zero in &spec.zero_modes {
+                    for &recompute in &spec.recompute {
+                        for schedule in schedule_variants(pp, nmb) {
+                            out.push(ConfigPoint {
+                                tp,
+                                cp,
+                                pp,
+                                dp,
+                                nmb,
+                                zero,
+                                schedule,
+                                recompute,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (out, visited)
+}
+
+/// The schedule families enumerated for a `(pp, nmb)` shape: the
+/// all-forward-all-backward baseline, and — when the pipeline is deep
+/// enough to interleave — the paper's flexible schedule at `nc = pp`
+/// and the deeper `nc = 2·pp` variant (§3.1.3's tunable knob).
+fn schedule_variants(pp: u32, nmb: u64) -> Vec<ScheduleKind> {
+    let mut v = vec![ScheduleKind::AllFwdAllBwd];
+    if pp > 1 && u64::from(pp) <= nmb {
+        v.push(ScheduleKind::Flexible { nc: pp });
+        if u64::from(2 * pp) <= nmb {
+            v.push(ScheduleKind::Flexible { nc: 2 * pp });
+        }
+    }
+    v
+}
+
+fn powers_of_two_up_to(max: u32) -> impl Iterator<Item = u32> {
+    (0..31u32).map(|s| 1u32 << s).take_while(move |&p| p <= max)
+}
+
+/// Outcome of the per-candidate funnel stages 2–3.
+enum Outcome {
+    Rejected,
+    Scored(SearchPoint),
+}
+
+/// Runs stages 2 (pre-flight rejection) and 3 (folded scoring) over
+/// one candidate. Pure: depends only on `spec` and `cfg`.
+///
+/// This is the *specification* of the per-candidate funnel — one full
+/// [`analyze::first_error`] pass, then the folded run. [`search`]
+/// computes the same verdicts through the memoized [`AnalysisCache`];
+/// the conformance search-frontier oracle checks the two agree.
+#[cfg(test)]
+fn score_one(spec: &SearchSpec, cfg: &ConfigPoint) -> Outcome {
+    let Some(step) = spec.build_step(cfg) else {
+        return Outcome::Rejected;
+    };
+    if analyze::first_error(&step).is_some() {
+        return Outcome::Rejected;
+    }
+    score_survivor(spec, cfg)
+}
+
+/// Stage 3 alone: the folded run of a candidate that passed (or is
+/// assumed to pass) the pre-flight stage.
+fn score_survivor(spec: &SearchSpec, cfg: &ConfigPoint) -> Outcome {
+    let Some(step) = spec.build_step(cfg) else {
+        return Outcome::Rejected;
+    };
+    let Ok(outcome) = step.run(&SimOptions::default()) else {
+        return Outcome::Rejected;
+    };
+    let report = outcome.report;
+    Outcome::Scored(SearchPoint {
+        config: *cfg,
+        step_time: report.step_time,
+        peak_memory: report.max_peak_memory(),
+        tflops_per_gpu: report.tflops_per_gpu,
+        bubble_ratio: report.max_bubble_ratio(),
+        goodput: None,
+    })
+}
+
+/// `(schedule-kind tag, nc)` — a totally ordered stand-in for
+/// [`ScheduleKind`] usable inside memo keys.
+fn kind_tag(k: ScheduleKind) -> (u8, u32) {
+    match k {
+        ScheduleKind::AllFwdAllBwd => (0, 0),
+        ScheduleKind::Interleaved1F1B => (1, 0),
+        ScheduleKind::Flexible { nc } => (2, nc),
+    }
+}
+
+/// Memo key of the schedule-shaped rules (deadlock, race): the lowered
+/// task graph is fully determined by `(kind, pp, v, nmb)` — ZeRO and
+/// recompute never enter the lowering.
+type SchedKey = ((u8, u32), u32, u32, u64);
+
+/// Memo key of the TP/CP collective verdict: mesh + schedule shape
+/// (`dp` and `nmb` follow from `(tp, cp, pp)` under a fixed spec; the
+/// stream derivations read neither ZeRO nor recompute).
+type TpCpKey = (u32, u32, u32, (u8, u32));
+
+/// Memo key of the FSDP collective verdict: [`TpCpKey`] plus the ZeRO
+/// mode (the stream derivation reads `m.zero` but not `m.recompute`).
+type FsdpKey = (u32, u32, u32, u8, (u8, u32));
+
+fn sched_key(spec: &SearchSpec, c: &ConfigPoint) -> SchedKey {
+    let v = u32::try_from(spec.input.model.num_layers.div_ceil(c.pp as u64)).unwrap_or(u32::MAX);
+    (kind_tag(c.schedule), c.pp, v, c.nmb)
+}
+
+fn tp_cp_key(c: &ConfigPoint) -> TpCpKey {
+    (c.tp, c.cp, c.pp, kind_tag(c.schedule))
+}
+
+fn fsdp_key(c: &ConfigPoint) -> FsdpKey {
+    let zero = match c.zero {
+        ZeroMode::Zero1 => 1u8,
+        ZeroMode::Zero2 => 2,
+        ZeroMode::Zero3 => 3,
+    };
+    (c.tp, c.cp, c.pp, zero, kind_tag(c.schedule))
+}
+
+/// `true` when no diagnostic is error-severity — the same predicate
+/// [`analyze::first_error`] rejects on.
+fn clean(diags: &[analyze::Diagnostic]) -> bool {
+    !diags.iter().any(|d| d.severity == analyze::Severity::Error)
+}
+
+/// Pre-flight verdicts shared across the ZeRO/recompute/schedule
+/// variants of each mesh. Each map holds `key → passed` for every key
+/// reachable from a memory-passing candidate.
+struct AnalysisCache {
+    sched: std::collections::HashMap<SchedKey, bool>,
+    tp_cp: std::collections::HashMap<TpCpKey, bool>,
+    fsdp: std::collections::HashMap<FsdpKey, bool>,
+}
+
+/// Evaluates the distinct memo keys in sorted order, chunked across
+/// `threads` scoped threads. `eval` must be pure, so the resulting map
+/// is independent of the chunking.
+fn eval_keys<K: Copy + Ord + std::hash::Hash + Send + Sync>(
+    spec: &SearchSpec,
+    keys: std::collections::BTreeMap<K, ConfigPoint>,
+    threads: usize,
+    eval: impl Fn(&StepModel, &crate::pp::schedule::PpSchedule) -> bool + Sync,
+) -> std::collections::HashMap<K, bool> {
+    let list: Vec<(K, ConfigPoint)> = keys.into_iter().collect();
+    let chunk_len = list.len().div_ceil(threads.max(1)).max(1);
+    let verdicts: Vec<bool> = std::thread::scope(|s| {
+        let handles: Vec<_> = list
+            .chunks(chunk_len)
+            .map(|chunk| {
+                s.spawn(|| {
+                    chunk
+                        .iter()
+                        .map(|(_, c)| {
+                            let Some(step) = spec.build_step(c) else {
+                                return false;
+                            };
+                            let Ok(sched) = step.schedule() else {
+                                return false;
+                            };
+                            eval(&step, &sched)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            // lint: allow(unwrap) — propagating a worker panic is the intended behaviour
+            .flat_map(|h| h.join().expect("search analysis thread panicked"))
+            .collect()
+    });
+    list.iter().map(|&(k, _)| k).zip(verdicts).collect()
+}
+
+/// The Pareto frontier over (step time, peak memory), both minimized.
+/// Input order is the enumeration order; output is sorted by step time
+/// ascending (ties: memory, then input order). Points with exactly
+/// equal objectives are all kept — neither dominates the other.
+fn pareto_frontier(points: &[SearchPoint]) -> Vec<SearchPoint> {
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by_key(|&i| (points[i].step_time.as_nanos(), points[i].peak_memory, i));
+    let mut frontier = Vec::new();
+    let mut best_mem = u64::MAX;
+    let mut best_key: Option<(u64, u64)> = None;
+    for i in idx {
+        let key = (points[i].step_time.as_nanos(), points[i].peak_memory);
+        if key.1 < best_mem {
+            best_mem = key.1;
+            best_key = Some(key);
+            frontier.push(points[i].clone());
+        } else if best_key == Some(key) {
+            // Exact objective tie with the frontier point that set
+            // `best_mem` — mutually non-dominating, keep both.
+            frontier.push(points[i].clone());
+        }
+    }
+    frontier
+}
+
+/// Runs the staged search funnel and returns the deterministic
+/// [`SearchReport`].
+///
+/// # Errors
+/// Returns [`PlanError::BadInput`] for a malformed spec (zero
+/// sequence, token budget not a multiple of the sequence length, empty
+/// ZeRO/recompute axes).
+pub fn search(spec: &SearchSpec) -> Result<SearchReport, PlanError> {
+    let input = &spec.input;
+    if input.ngpu == 0 || input.gpus_per_node == 0 {
+        return Err(PlanError::BadInput("cluster must have GPUs and a node size".into()));
+    }
+    if input.seq == 0 || !input.token_budget.is_multiple_of(input.seq) {
+        return Err(PlanError::BadInput(format!(
+            "sequence length {} must divide the token budget {}",
+            input.seq, input.token_budget
+        )));
+    }
+    if spec.zero_modes.is_empty() || spec.recompute.is_empty() {
+        return Err(PlanError::BadInput(
+            "ZeRO-mode and recompute axes must be non-empty".into(),
+        ));
+    }
+
+    // Stage 1: enumeration + admission (pure arithmetic).
+    let (admitted, meshes_enumerated) = enumerate_configs(spec);
+    let meshes_admitted = {
+        let mut meshes: Vec<(u32, u32, u32)> = admitted.iter().map(|c| (c.tp, c.cp, c.pp)).collect();
+        meshes.dedup();
+        meshes.len()
+    };
+
+    // Stages 2–3: pre-flight rejection and folded scoring. The memory
+    // bound runs fresh per candidate (µs); the graph-shaped analyses
+    // are evaluated once per distinct memo key and shared across each
+    // mesh's ZeRO/recompute/schedule variants; survivors then run the
+    // folded simulation in parallel over contiguous chunks of the
+    // enumeration order. Every pass re-joins results in chunk order,
+    // so the outcome is identical to the sequential sweep for any
+    // thread count.
+    let threads = if spec.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        spec.threads
+    }
+    .clamp(1, admitted.len().max(1));
+    let chunk_len = admitted.len().div_ceil(threads).max(1);
+
+    // Pass 1 (serial): memory verdict per candidate; collect the
+    // distinct analysis keys of the memory survivors.
+    let mut mem_ok: Vec<bool> = Vec::with_capacity(admitted.len());
+    let mut sched_keys: std::collections::BTreeMap<SchedKey, ConfigPoint> = Default::default();
+    let mut tp_cp_keys: std::collections::BTreeMap<TpCpKey, ConfigPoint> = Default::default();
+    let mut fsdp_keys: std::collections::BTreeMap<FsdpKey, ConfigPoint> = Default::default();
+    for c in &admitted {
+        let ok = spec.build_step(c).is_some_and(|step| {
+            step.schedule()
+                .map(|sched| clean(&analyze::memory::check_step(&step, &sched)))
+                .unwrap_or(false)
+        });
+        mem_ok.push(ok);
+        if ok {
+            sched_keys.entry(sched_key(spec, c)).or_insert(*c);
+            tp_cp_keys.entry(tp_cp_key(c)).or_insert(*c);
+            fsdp_keys.entry(fsdp_key(c)).or_insert(*c);
+        }
+    }
+
+    // Pass 2 (parallel over keys): the expensive graph analyses, each
+    // distinct shape exactly once.
+    let cache = AnalysisCache {
+        sched: eval_keys(spec, sched_keys, threads, |step, sched| {
+            clean(&analyze::deadlock::check_schedule(sched))
+                && clean(&analyze::race::check_step(step, sched))
+        }),
+        tp_cp: eval_keys(spec, tp_cp_keys, threads, |step, sched| {
+            clean(&analyze::collective::check_step_tp_cp(step, sched))
+        }),
+        fsdp: eval_keys(spec, fsdp_keys, threads, |step, sched| {
+            clean(&analyze::collective::check_step_fsdp(step, sched))
+        }),
+    };
+
+    // Pass 3 (parallel over candidates): combine verdicts by lookup,
+    // run the folded simulation for full survivors.
+    let outcomes: Vec<Outcome> = std::thread::scope(|s| {
+        let cache = &cache;
+        let handles: Vec<_> = admitted
+            .chunks(chunk_len)
+            .zip(mem_ok.chunks(chunk_len))
+            .map(|(chunk, mem)| {
+                s.spawn(move || {
+                    chunk
+                        .iter()
+                        .zip(mem)
+                        .map(|(c, &mem_ok)| {
+                            let passed = mem_ok
+                                && cache.sched.get(&sched_key(spec, c)).copied().unwrap_or(false)
+                                && cache.tp_cp.get(&tp_cp_key(c)).copied().unwrap_or(false)
+                                && cache.fsdp.get(&fsdp_key(c)).copied().unwrap_or(false);
+                            if passed {
+                                score_survivor(spec, c)
+                            } else {
+                                Outcome::Rejected
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            // lint: allow(unwrap) — propagating a worker panic is the intended behaviour
+            .flat_map(|h| h.join().expect("search scoring thread panicked"))
+            .collect()
+    });
+
+    let mut rejected_preflight = 0usize;
+    let mut scored = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Outcome::Rejected => rejected_preflight += 1,
+            Outcome::Scored(p) => scored.push(p),
+        }
+    }
+
+    let mut frontier = pareto_frontier(&scored);
+
+    // Stage 4: goodput refinement of the frontier head. The fault
+    // timeline is generated once (seeded) and shared by every refined
+    // point; refinement only annotates — frontier membership and order
+    // are fixed by stage 3.
+    let head = spec.goodput_head.min(frontier.len());
+    let mut refined = 0usize;
+    if head > 0 {
+        let timeline = FaultTimeline::generate(
+            FaultRates::llama3_production(),
+            input.ngpu,
+            input.gpus_per_node,
+            spec.goodput_horizon_s,
+            spec.seed,
+        )
+        .map_err(|e| PlanError::BadInput(format!("goodput timeline: {e}")))?;
+        for p in frontier.iter_mut().take(head) {
+            let Some(step) = spec.build_step(&p.config) else {
+                continue;
+            };
+            let Ok(sim) = RunSimulator::new(step, timeline.clone(), CheckpointPolicy::llama3_production())
+            else {
+                continue;
+            };
+            if let Ok(report) = sim.simulate() {
+                p.goodput = Some(report.goodput);
+                refined += 1;
+            }
+        }
+    }
+
+    let best_step_time = frontier.first().cloned();
+    let best_memory = frontier
+        .iter()
+        .min_by_key(|p| p.peak_memory)
+        .cloned();
+    let best_goodput = frontier
+        .iter()
+        .filter(|p| p.goodput.is_some())
+        .max_by(|a, b| {
+            a.goodput
+                .partial_cmp(&b.goodput)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .cloned();
+
+    Ok(SearchReport {
+        counts: FunnelCounts {
+            meshes_enumerated,
+            meshes_admitted,
+            candidates: admitted.len(),
+            rejected_preflight,
+            scored: scored.len(),
+            refined,
+        },
+        frontier,
+        best_step_time,
+        best_memory,
+        best_goodput,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::plan;
+
+    /// A small search problem (4-layer 8B variant, 8 GPUs) that runs
+    /// quickly in debug builds.
+    fn small_spec() -> SearchSpec {
+        let mut spec = SearchSpec::llama3_8b(8, 8_192);
+        spec.input.model = spec.input.model.with_layers(4);
+        spec.input.token_budget = 16 * 8_192; // gbs = 16
+        spec.max_cp = 2;
+        spec
+    }
+
+    #[test]
+    fn small_search_produces_a_consistent_funnel() {
+        let report = search(&small_spec()).unwrap();
+        let c = report.counts;
+        assert!(c.meshes_enumerated >= c.meshes_admitted);
+        assert!(c.candidates >= c.scored + c.rejected_preflight);
+        assert_eq!(c.candidates, c.scored + c.rejected_preflight);
+        assert!(!report.frontier.is_empty());
+        // Frontier is sorted by step time and strictly improves memory
+        // except at exact objective ties.
+        for w in report.frontier.windows(2) {
+            assert!(w[0].step_time <= w[1].step_time);
+            let tie = w[0].step_time == w[1].step_time && w[0].peak_memory == w[1].peak_memory;
+            assert!(w[1].peak_memory < w[0].peak_memory || tie, "{w:?}");
+        }
+        assert_eq!(report.best_step_time.as_ref(), report.frontier.first());
+        let human = report.render_human();
+        assert!(human.contains("frontier"), "{human}");
+    }
+
+    #[test]
+    fn report_is_bit_identical_across_runs_and_thread_counts() {
+        let base = search(&small_spec()).unwrap();
+        let again = search(&small_spec()).unwrap();
+        assert_eq!(base, again);
+        for threads in [1, 2, 5] {
+            let t = search(&small_spec().threads(threads)).unwrap();
+            assert_eq!(base, t, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn search_is_at_least_as_good_as_the_planner() {
+        // The §5.1 planner's answer is one point of the search space
+        // (it selects by the closed-form estimate, so it need not be
+        // Pareto-optimal under full simulation) — but the search's
+        // fastest frontier point can never be slower than it.
+        let spec = small_spec();
+        let p = plan(&spec.input).unwrap();
+        let (configs, _) = enumerate_configs(&spec);
+        let planned = configs
+            .iter()
+            .find(|c| {
+                // At pp = 1 every schedule family degenerates to the
+                // same (pipeline-free) order; the enumerator keeps only
+                // the canonical AllFwdAllBwd.
+                c.mesh() == p.mesh
+                    && c.zero == p.zero
+                    && !c.recompute
+                    && (c.schedule == p.schedule || c.pp == 1)
+            })
+            .copied()
+            .unwrap_or_else(|| panic!("planner choice {} not enumerated", p.mesh));
+        let Outcome::Scored(point) = score_one(&spec, &planned) else {
+            panic!("planner choice rejected by the funnel");
+        };
+        let report = search(&spec).unwrap();
+        let fastest = report.best_step_time.as_ref().map(|b| b.step_time);
+        assert!(
+            fastest.is_some_and(|t| t <= point.step_time),
+            "frontier head {fastest:?} slower than planner choice {:?}",
+            point.step_time
+        );
+    }
+
+    #[test]
+    #[ignore = "release-scale acceptance run; exercised by `llama3sim search` in scripts/check.sh"]
+    fn recovers_llama3_405b_table2_mesh() {
+        // Table 2 short-context row: 405B on 16K GPUs at seq 8192 uses
+        // tp8·cp1·pp16·dp128. With cp pinned to 1 — as the §5.1 planner
+        // pins it whenever the sequence fits without context parallelism
+        // — the frontier must contain that mesh. (Unrestricted, cp ≥ 4
+        // points dominate it: halving DP doubles the micro-batch count
+        // and shrinks the pipeline bubble faster than the extra CP
+        // all-gathers cost.)
+        let spec = SearchSpec::llama3_405b(16_384, 8_192).max_cp(1);
+        let report = search(&spec).unwrap();
+        assert!(
+            report.frontier_contains_mesh(8, 1, 16, 128),
+            "{}",
+            report.render_human()
+        );
+    }
+
+    #[test]
+    fn goodput_refinement_annotates_the_head() {
+        let mut spec = small_spec();
+        spec.goodput_head = 2;
+        spec.goodput_horizon_s = 3_600.0;
+        let report = search(&spec).unwrap();
+        let head = report.counts.refined;
+        assert!(head >= 1, "{:?}", report.counts);
+        assert!(report.frontier[0].goodput.is_some());
+        assert!(report.best_goodput.is_some());
+        // Refinement never reorders the frontier.
+        let mut plain = spec.clone();
+        plain.goodput_head = 0;
+        let unrefined = search(&plain).unwrap();
+        let meshes: Vec<_> = report.frontier.iter().map(|p| p.config).collect();
+        let plain_meshes: Vec<_> = unrefined.frontier.iter().map(|p| p.config).collect();
+        assert_eq!(meshes, plain_meshes);
+    }
+
+    #[test]
+    fn bad_input_is_rejected() {
+        let mut spec = small_spec();
+        spec.input.seq = 1_000_000;
+        assert!(matches!(search(&spec), Err(PlanError::BadInput(_))));
+        let mut empty = small_spec();
+        empty.zero_modes.clear();
+        assert!(matches!(search(&empty), Err(PlanError::BadInput(_))));
+    }
+
+    #[test]
+    fn build_step_rejects_foreign_configs() {
+        let spec = small_spec();
+        let (configs, _) = enumerate_configs(&spec);
+        let mut bogus = configs[0];
+        bogus.dp += 1;
+        assert!(spec.build_step(&bogus).is_none());
+        assert!(spec.build_step(&configs[0]).is_some());
+    }
+}

@@ -7,9 +7,6 @@
 //! ```
 
 use llama3_parallelism::prelude::*;
-use llama3_parallelism::trace::chrome::to_chrome_json;
-use llama3_parallelism::trace::slowrank::locate_slow_rank;
-use llama3_parallelism::trace::synth::{synth_trace, SynthSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small 4D mesh: tp 4 × cp 2 × pp 2 × dp 2 = 32 ranks.

@@ -6,12 +6,7 @@
 //! cargo run --release --example long_context
 //! ```
 
-use llama3_parallelism::cluster::gpu::GpuSpec;
-use llama3_parallelism::cluster::topology::TopologySpec;
-use llama3_parallelism::collectives::{CommCostModel, ProcessGroup};
-use llama3_parallelism::core::cp::{relative_hfu, AllGatherCp, CpSharding};
 use llama3_parallelism::prelude::*;
-use llama3_parallelism::workload::{DocLengthDist, DocumentSampler};
 
 fn main() {
     let cfg = TransformerConfig::llama3_405b();

@@ -6,8 +6,7 @@
 //! cargo run --release --example multimodal_sharding
 //! ```
 
-use llama3_parallelism::core::multimodal::{production_multimodal, EncoderSharding};
-use llama3_parallelism::model::VitConfig;
+use llama3_parallelism::prelude::*;
 
 fn main() {
     for (label, vit) in [

@@ -6,13 +6,9 @@
 //! cargo run --release --example schedule_timeline
 //! ```
 
-use llama3_parallelism::core::pp::schedule::PpSchedule;
 use llama3_parallelism::prelude::*;
-use llama3_parallelism::core::pp::sim::{simulate_pp, UniformCosts};
-use llama3_parallelism::sim::time::SimDuration;
-use llama3_parallelism::trace::chrome::to_chrome_json;
 
-fn render_ascii(sched: &PpSchedule, result: &llama3_parallelism::core::pp::sim::PpSimResult) {
+fn render_ascii(sched: &PpSchedule, result: &PpSimResult) {
     let span = result.makespan.as_nanos().max(1);
     let width = 96usize;
     for (rank, (ops, times)) in sched.ranks.iter().zip(&result.op_times).enumerate() {
@@ -67,13 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     mod bench_support {
         // A local copy of the production config to keep the example
         // self-contained with the facade crate only.
-        use llama3_parallelism::cluster::Cluster;
-        use llama3_parallelism::core::fsdp::ZeroMode;
-        use llama3_parallelism::core::mesh::Mesh4D;
-        use llama3_parallelism::core::pp::balance::{BalancePolicy, StageAssignment};
-        use llama3_parallelism::core::pp::schedule::ScheduleKind;
-        use llama3_parallelism::core::step::StepModel;
-        use llama3_parallelism::model::{MaskSpec, ModelLayout, TransformerConfig};
+        use llama3_parallelism::prelude::*;
 
         pub fn production_short_context() -> StepModel {
             let cfg = TransformerConfig::llama3_405b().with_layers(128);

@@ -16,16 +16,19 @@ cargo test -q --workspace
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> repo_lint (no unwrap/expect or deprecated simulate* in library code)"
+echo "==> repo_lint (no unwrap/expect, deprecated simulate*, or stray CLI arg structs in library code)"
 cargo run --release -q --bin repo_lint
 
 echo "==> pre-flight analysis across the conformance grid (zero errors expected)"
-cargo run --release -q -p analyzer --bin analyze -- --grid
+cargo run --release -q --bin llama3sim -- analyze --grid
 
 echo "==> conformance fuzz smoke (200 cases)"
-cargo run --release -q -p conformance --bin conformance_fuzz -- --cases 200 --seed 0xC0FFEE
+cargo run --release -q --bin llama3sim -- fuzz --cases 200 --seed 0xC0FFEE
 
 echo "==> goodput perf snapshot (writes BENCH_goodput.json)"
-cargo run --release -p bench-harness --bin goodput_snapshot
+cargo run --release -q --bin llama3sim -- goodput
+
+echo "==> auto-parallelism search smoke: Table 2's 405B/16K mesh must be on the cp=1 frontier (writes BENCH_search.json)"
+cargo run --release -q --bin llama3sim -- search --max-cp 1 --expect 8,1,16,128
 
 echo "==> all checks passed"

@@ -1,0 +1,90 @@
+//! `llama3sim` — the consolidated multi-command CLI.
+//!
+//! One entry point for every tool the repo grew as separate bins, with
+//! shared flag parsing ([`bench_harness::cli::Flags`]) and one `--json`
+//! convention (machine-readable output on stdout in addition to the
+//! `BENCH_*.json` envelope files the snapshot commands write):
+//!
+//! ```text
+//! llama3sim analyze  --list | --config NAME [--json] | --grid [--json]
+//! llama3sim fuzz     [--cases N] [--seed S]
+//! llama3sim bench    [--json]
+//! llama3sim goodput  [--json]
+//! llama3sim search   [--model 405b|70b|8b] [--gpus N] [--seq N]
+//!                    [--goodput-head N] [--threads N] [--max-cp N]
+//!                    [--zero M1[,M2...]] [--expect tp,cp,pp,dp] [--json]
+//! ```
+//!
+//! The old single-purpose bins (`analyze`, `conformance_fuzz`,
+//! `perf_snapshot`, `goodput_snapshot`) remain as deprecated shims
+//! that print a pointer here and delegate to the same library entry
+//! points.
+
+use analyzer::cli::{self as analyze_cli, AnalyzeArgs};
+use bench_harness::cli::Flags;
+use bench_harness::snapshot::{goodput, perf, run_search, SearchArgs, SnapshotArgs};
+use conformance::fuzz::{sweep, FuzzArgs};
+
+fn usage() -> i32 {
+    eprintln!("usage: llama3sim <command> [flags]");
+    eprintln!();
+    eprintln!("commands:");
+    eprintln!("  analyze   pre-flight static analysis (no simulation)");
+    eprintln!("            --list | --config NAME [--json] | --grid [--json]");
+    eprintln!("  fuzz      seeded conformance fuzz sweep");
+    eprintln!("            [--cases N] [--seed S]");
+    eprintln!("  bench     performance snapshot -> BENCH_step_sim.json");
+    eprintln!("            [--json]");
+    eprintln!("  goodput   seeded 24 h goodput snapshot -> BENCH_goodput.json");
+    eprintln!("            [--json]");
+    eprintln!("  search    Pareto auto-parallelism search -> BENCH_search.json");
+    eprintln!("            [--model 405b|70b|8b] [--gpus N] [--seq N]");
+    eprintln!("            [--goodput-head N] [--threads N] [--max-cp N] [--zero M1[,M2...]]");
+    eprintln!("            [--expect tp,cp,pp,dp] [--json]");
+    2
+}
+
+fn parse_fuzz(args: &[String]) -> Result<FuzzArgs, String> {
+    let mut f = Flags::new(args);
+    let mut parsed = FuzzArgs::default();
+    if let Some(c) = f.opt_u64("cases")? {
+        parsed.cases = c;
+    }
+    if let Some(s) = f.opt_u64("seed")? {
+        parsed.seed = s;
+    }
+    f.finish()?;
+    Ok(parsed)
+}
+
+fn dispatch(cmd: &str, rest: &[String]) -> Result<i32, String> {
+    match cmd {
+        "analyze" => Ok(analyze_cli::run(&AnalyzeArgs::parse(rest)?)),
+        "fuzz" => Ok(sweep(&parse_fuzz(rest)?)),
+        "bench" => Ok(perf(&SnapshotArgs::parse(rest)?)),
+        "goodput" => Ok(goodput(&SnapshotArgs::parse(rest)?)),
+        "search" => Ok(run_search(&SearchArgs::parse(rest)?)),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.split_first() {
+        None => usage(),
+        Some((cmd, _)) if cmd == "--help" || cmd == "-h" || cmd == "help" => {
+            usage();
+            0
+        }
+        Some((cmd, rest)) => dispatch(cmd, rest).unwrap_or_else(|e| {
+            eprintln!("llama3sim {cmd}: {e}");
+            if cmd == "analyze" {
+                analyze_cli::print_usage("llama3sim analyze");
+                2
+            } else {
+                usage()
+            }
+        }),
+    };
+    std::process::exit(code);
+}

@@ -50,9 +50,17 @@ pub use numerics;
 /// Traces, Chrome-trace export and slow-rank localization.
 pub use trace_analysis as trace;
 
-/// The one-stop import for simulator users: the step/run entrypoints,
-/// their option builders, and the configuration types every example
-/// needs.
+/// The one-stop import for simulator users: the step/run/search
+/// entrypoints, their option builders, the pre-flight analyzer, and
+/// the configuration types every example needs.
+///
+/// Prefer these re-exports over deep module paths
+/// (`llama3_parallelism::core::planner::...`): the deep paths are kept
+/// for backward compatibility but are considered deprecated import
+/// surface — `rustc` ignores `#[deprecated]` on `pub use` items, so
+/// the steering lives here, in the module docs, and in `repo_lint`
+/// rather than in compiler warnings. `examples/` imports everything
+/// simulation-related from this prelude.
 ///
 /// ```
 /// use llama3_parallelism::prelude::*;
@@ -63,16 +71,34 @@ pub use trace_analysis as trace;
 /// ```
 pub mod prelude {
     pub use cluster_model::faults::{ClusterHealth, FaultEvent, FaultKind, FaultRates, FaultTimeline};
+    pub use cluster_model::gpu::GpuSpec;
     pub use cluster_model::jitter::{JitterKind, JitterModel};
-    pub use cluster_model::topology::Cluster;
+    pub use cluster_model::topology::{Cluster, TopologySpec};
+    pub use collectives::{CommCostModel, ProcessGroup};
     pub use llm_model::masks::MaskSpec;
-    pub use llm_model::{ModelLayout, TransformerConfig};
+    pub use llm_model::{ModelLayout, TransformerConfig, VitConfig};
+    pub use parallelism_core::analyze::{
+        analyze_step, first_error, Diagnostic, Report as AnalyzeReport, RuleId, Severity,
+    };
+    pub use parallelism_core::cp::{relative_hfu, AllGatherCp, CpSharding};
+    pub use parallelism_core::multimodal::{
+        production_multimodal, EncoderSharding, MultimodalReport, MultimodalStep,
+    };
     pub use parallelism_core::planner::{plan, Plan, PlanError, PlannerInput};
     pub use parallelism_core::pp::balance::{BalancePolicy, StageAssignment};
-    pub use parallelism_core::pp::schedule::ScheduleKind;
+    pub use parallelism_core::pp::schedule::{PpSchedule, ScheduleKind};
+    pub use parallelism_core::pp::sim::{simulate_pp, PpSimResult, UniformCosts};
     pub use parallelism_core::run::{CheckpointPolicy, GoodputLoss, GoodputReport, RunSimulator};
+    pub use parallelism_core::search::{
+        search, ConfigPoint, FunnelCounts, SearchPoint, SearchReport, SearchSpec,
+    };
     pub use parallelism_core::step::{
         ExposedComm, SimFidelity, SimOptions, StepModel, StepOutcome, StepReport,
     };
     pub use parallelism_core::{Mesh4D, SimError, ZeroMode};
+    pub use sim_engine::time::{SimDuration, SimTime};
+    pub use trace_analysis::chrome::to_chrome_json;
+    pub use trace_analysis::slowrank::locate_slow_rank;
+    pub use trace_analysis::synth::{synth_trace, SynthSpec};
+    pub use workload::{DocLengthDist, DocumentSampler};
 }
