@@ -7,8 +7,12 @@ use std::fmt::Write as _;
 /// Version of the snapshot JSON envelope. Bumped whenever the envelope
 /// layout (not the tool-specific metric keys) changes shape; diff
 /// tooling keys on it. Version 1 was the pre-envelope flat object
-/// written by the original `perf_snapshot`/`goodput_snapshot` bins.
-pub const SCHEMA_VERSION: u32 = 2;
+/// written by the original `perf_snapshot`/`goodput_snapshot` bins;
+/// version 2 introduced the `{schema_version, tool, config, metrics}`
+/// envelope; version 3 adds the guided-search metrics (`strategy`,
+/// `descent_steps`, `candidates_verified`, `evals_saved_pct`) to the
+/// `search` tool's snapshot.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One JSON value: either a raw literal (number, bool — already
 /// formatted by the caller, so formatting precision is part of the
@@ -250,7 +254,7 @@ mod tests {
         let j = r.render_json();
         // The four envelope fields, in order, with schema_version first.
         let pos = |needle: &str| j.find(needle).unwrap_or_else(|| panic!("missing {needle} in {j}"));
-        assert!(pos("\"schema_version\": 2") < pos("\"tool\": \"search\""));
+        assert!(pos("\"schema_version\": 3") < pos("\"tool\": \"search\""));
         assert!(pos("\"tool\"") < pos("\"config\": {"));
         assert!(pos("\"config\"") < pos("\"metrics\": {"));
         assert!(j.contains("\"model\": \"llama3-405b\""));

@@ -13,7 +13,7 @@ use crate::configs::production_8k_gpu_step;
 use crate::experiments::goodput as goodput_exp;
 use crate::report::Report;
 use parallelism_core::planner::{plan, PlannerInput};
-use parallelism_core::search::{search, SearchSpec};
+use parallelism_core::search::{search, SearchSpec, SearchStrategy};
 use parallelism_core::step::{SimFidelity, SimOptions};
 use parallelism_core::ZeroMode;
 use sim_engine::fluid::{FluidNet, Transfer};
@@ -209,6 +209,9 @@ pub struct SearchArgs {
     pub zero_modes: Vec<ZeroMode>,
     /// Fail (exit 1) unless this `tp,cp,pp,dp` mesh is on the frontier.
     pub expect: Option<(u32, u32, u32, u32)>,
+    /// Use the gradient-guided candidate strategy; also times the
+    /// exhaustive baseline so the snapshot pins the measured speedup.
+    pub guided: bool,
     /// Also print the JSON envelope to stdout.
     pub json: bool,
 }
@@ -225,6 +228,7 @@ impl Default for SearchArgs {
             max_cp: 0,
             zero_modes: Vec::new(),
             expect: None,
+            guided: false,
             json: false,
         }
     }
@@ -233,7 +237,7 @@ impl Default for SearchArgs {
 impl SearchArgs {
     /// Parses `[--model M] [--gpus N] [--seq N] [--goodput-head N]
     /// [--threads N] [--max-cp N] [--zero M1[,M2...]]
-    /// [--expect tp,cp,pp,dp] [--json]`.
+    /// [--expect tp,cp,pp,dp] [--guided] [--json]`.
     pub fn parse(args: &[String]) -> Result<SearchArgs, String> {
         let mut f = Flags::new(args);
         let mut parsed = SearchArgs::default();
@@ -273,6 +277,7 @@ impl SearchArgs {
             };
             parsed.expect = Some((tp, cp, pp, dp));
         }
+        parsed.guided = f.switch("guided");
         parsed.json = f.switch("json");
         f.finish()?;
         Ok(parsed)
@@ -290,6 +295,9 @@ impl SearchArgs {
         }
         if !self.zero_modes.is_empty() {
             spec.zero_modes = self.zero_modes.clone();
+        }
+        if self.guided {
+            spec.strategy = SearchStrategy::Guided;
         }
         Ok(spec.threads(self.threads).goodput_head(self.goodput_head))
     }
@@ -317,6 +325,35 @@ pub fn run_search(args: &SearchArgs) -> i32 {
     println!("{}", report.render_human());
     println!("searched in {wall_ms:.0} ms");
 
+    // With --guided, also time the exhaustive baseline so the snapshot
+    // pins the measured speedup and whether the frontiers agree.
+    let baseline = if args.guided {
+        let mut ex_spec = spec.clone();
+        ex_spec.strategy = SearchStrategy::Exhaustive;
+        let t1 = Instant::now();
+        match search(&ex_spec) {
+            Ok(r) => {
+                let ex_ms = t1.elapsed().as_secs_f64() * 1e3;
+                let matches = r.frontier.len() == report.frontier.len()
+                    && r.frontier
+                        .iter()
+                        .zip(&report.frontier)
+                        .all(|(a, b)| a.config == b.config && a.step_time == b.step_time);
+                println!(
+                    "exhaustive baseline in {ex_ms:.0} ms ({:.1}x speedup, frontier match: {matches})",
+                    ex_ms / wall_ms.max(1e-9)
+                );
+                Some((ex_ms, matches))
+            }
+            Err(e) => {
+                eprintln!("error: exhaustive baseline failed: {e}");
+                return 1;
+            }
+        }
+    } else {
+        None
+    };
+
     let mut envelope = Report::new("search")
         .config_str("model", format!("llama3-{}", args.model))
         .config("gpus", args.gpus)
@@ -325,7 +362,22 @@ pub fn run_search(args: &SearchArgs) -> i32 {
         .config("seed", spec.seed)
         .config("max_cp", spec.max_cp)
         .config("zero_modes", spec.zero_modes.len())
+        .metric_str("strategy", if args.guided { "guided" } else { "exhaustive" })
         .metric("search_wall_ms", format!("{wall_ms:.3}"))
+        .metric(
+            "descent_steps",
+            report.guided.map_or(0, |g| g.descent_steps),
+        )
+        .metric(
+            "candidates_verified",
+            report
+                .guided
+                .map_or(report.counts.candidates, |g| g.candidates_verified),
+        )
+        .metric(
+            "evals_saved_pct",
+            format!("{:.2}", report.guided.map_or(0.0, |g| g.evals_saved_pct)),
+        )
         .metric("meshes_enumerated", report.counts.meshes_enumerated)
         .metric("meshes_admitted", report.counts.meshes_admitted)
         .metric("candidates", report.counts.candidates)
@@ -333,6 +385,12 @@ pub fn run_search(args: &SearchArgs) -> i32 {
         .metric("scored", report.counts.scored)
         .metric("refined", report.counts.refined)
         .metric("frontier_len", report.frontier.len());
+    if let Some((ex_ms, matches)) = baseline {
+        envelope = envelope
+            .metric("exhaustive_wall_ms", format!("{ex_ms:.3}"))
+            .metric("speedup_vs_exhaustive", format!("{:.2}", ex_ms / wall_ms.max(1e-9)))
+            .metric("frontier_matches_exhaustive", matches);
+    }
     if let Some(best) = &report.best_step_time {
         envelope = envelope
             .metric_str("best_config", best.config.to_string())
@@ -376,7 +434,7 @@ mod tests {
         let a = SearchArgs::parse(&args(&[
             "--model", "8b", "--gpus", "16", "--seq", "4096", "--expect", "2,1,2,4",
             "--goodput-head", "3", "--threads", "2", "--max-cp", "2", "--zero",
-            "zero1,zero3", "--json",
+            "zero1,zero3", "--guided", "--json",
         ]))
         .unwrap();
         assert_eq!(a.model, "8b");
@@ -387,12 +445,17 @@ mod tests {
         assert_eq!(a.threads, 2);
         assert_eq!(a.max_cp, 2);
         assert_eq!(a.zero_modes, vec![ZeroMode::Zero1, ZeroMode::Zero3]);
+        assert!(a.guided);
         assert!(a.json);
         let spec = a.spec().unwrap();
         assert_eq!(spec.input.ngpu, 16);
         assert_eq!(spec.goodput_head, 3);
         assert_eq!(spec.max_cp, 2);
         assert_eq!(spec.zero_modes, vec![ZeroMode::Zero1, ZeroMode::Zero3]);
+        assert_eq!(spec.strategy, SearchStrategy::Guided);
+        let plain = SearchArgs::parse(&args(&[])).unwrap();
+        assert!(!plain.guided);
+        assert_eq!(plain.spec().unwrap().strategy, SearchStrategy::Exhaustive);
     }
 
     #[test]

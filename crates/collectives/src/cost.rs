@@ -13,6 +13,7 @@
 
 use crate::group::{GroupShape, ProcessGroup};
 use cluster_model::topology::{GlobalRank, TopologySpec};
+use numerics::costs::{ring_transfer_s, transfer_s};
 use sim_engine::time::SimDuration;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -185,7 +186,7 @@ impl CommCostModel {
         let Some((bw, lat)) = self.ring_bottleneck(group) else {
             return SimDuration::ZERO;
         };
-        let per_step = lat + SimDuration::from_secs_f64(chunk_bytes / bw);
+        let per_step = lat + SimDuration::from_secs_f64(transfer_s(chunk_bytes, bw));
         self.launch_overhead + per_step * steps
     }
 
@@ -223,12 +224,16 @@ impl CommCostModel {
                 // m× larger per-rank data over NVLink.
                 let nic = self.topo.nic_bandwidth * self.bandwidth_efficiency;
                 let nv = self.topo.nvlink_bandwidth * self.bandwidth_efficiency;
-                let inter = SimDuration::from_secs_f64(
-                    (m - 1) as f64 * bytes_per_rank as f64 / nic,
-                ) + self.topo.net_latency * (m - 1) * 2;
-                let intra = SimDuration::from_secs_f64(
-                    (k - 1) as f64 * (bytes_per_rank * m) as f64 / nv,
-                ) + self.topo.nvlink_latency * (k - 1);
+                let inter = SimDuration::from_secs_f64(ring_transfer_s(
+                    (m - 1) as f64,
+                    bytes_per_rank as f64,
+                    nic,
+                )) + self.topo.net_latency * (m - 1) * 2;
+                let intra = SimDuration::from_secs_f64(ring_transfer_s(
+                    (k - 1) as f64,
+                    (bytes_per_rank * m) as f64,
+                    nv,
+                )) + self.topo.nvlink_latency * (k - 1);
                 self.launch_overhead + inter + intra
             }
             _ => self.ring_time(group, bytes_per_rank as f64, n - 1),
@@ -268,7 +273,7 @@ impl CommCostModel {
             };
             self.launch_overhead
                 + lat * (n - 1)
-                + SimDuration::from_secs_f64(bytes as f64 / bw)
+                + SimDuration::from_secs_f64(transfer_s(bytes as f64, bw))
         })
     }
 
@@ -278,7 +283,7 @@ impl CommCostModel {
             return SimDuration::ZERO;
         }
         let bw = self.topo.p2p_bandwidth(src, dst) * self.bandwidth_efficiency;
-        self.topo.p2p_latency(src, dst) + SimDuration::from_secs_f64(bytes as f64 / bw)
+        self.topo.p2p_latency(src, dst) + SimDuration::from_secs_f64(transfer_s(bytes as f64, bw))
     }
 
     /// Achieved all-gather *algorithm bandwidth* in bytes/s: output bytes

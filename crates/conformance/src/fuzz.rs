@@ -498,7 +498,7 @@ mod tests {
             let sb = CaseSpec::sample(&mut b);
             assert_eq!(sa, sb);
             assert_eq!((sa.tp * sa.cp * sa.pp * sa.dp) % 8, 0);
-            assert!(sa.seq % u64::from(2 * sa.cp) == 0);
+            assert!(sa.seq.is_multiple_of(u64::from(2 * sa.cp)));
             if let ScheduleKind::Flexible { nc } = sa.kind {
                 assert!(nc >= 1 && nc <= sa.bs);
             }

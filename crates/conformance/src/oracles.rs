@@ -1,7 +1,7 @@
 //! Differential oracles: run the fast path and the reference path on
 //! the same input and demand equivalence.
 //!
-//! The generic entry point is [`assert_equivalent`]; the six concrete
+//! The generic entry point is [`assert_equivalent`]; the seven concrete
 //! oracles cover every fast path added so far:
 //!
 //! 1. [`oracle_folded_vs_full`] — DP-symmetry folding vs lowering every
@@ -17,11 +17,14 @@
 //! 6. [`oracle_search_frontier`] — the pruned auto-parallelism search
 //!    funnel vs exhaustive scoring plus quadratic-dominance frontier
 //!    recovery.
+//! 7. [`oracle_guided_frontier`] — the gradient-guided candidate
+//!    strategy vs the exhaustive one on the same spec: identical
+//!    frontier, bit-identical objectives, consistent savings stats.
 
 use crate::invariants::CheckResult;
 use collectives::cost::{clear_cost_cache, CommCostModel};
 use parallelism_core::run::{GoodputLoss, GoodputReport, RunSimulator};
-use parallelism_core::search::{enumerate_configs, search, SearchSpec};
+use parallelism_core::search::{enumerate_configs, search, SearchSpec, SearchStrategy};
 use parallelism_core::step::{ExposedComm, SimFidelity, SimOptions, StepModel, StepReport};
 use sim_engine::fluid::{FluidNet, Transfer, TransferOutcome};
 use sim_engine::time::{SimDuration, SimTime};
@@ -475,6 +478,76 @@ pub fn oracle_search_frontier(spec: &SearchSpec) -> CheckResult {
             reference.len(),
             funnel.len()
         ));
+    }
+    Ok(())
+}
+
+/// Oracle 7 — the gradient-guided search strategy vs the exhaustive
+/// one. Guided search may only change *which* candidates are verified,
+/// never what a verified candidate scores or which points win: on the
+/// same spec the two strategies must produce the same frontier configs
+/// with bit-identical step times and peak memory, and the guided stats
+/// must account exactly for the candidate split. Meant for small grids
+/// (where the guided strategy verifies everything by design); refuses
+/// above 256 candidates.
+pub fn oracle_guided_frontier(spec: &SearchSpec) -> CheckResult {
+    let (admitted, _) = enumerate_configs(spec);
+    if admitted.len() > 256 {
+        return Err(format!(
+            "guided-vs-exhaustive reference wants a small grid; {} candidates is too many",
+            admitted.len()
+        ));
+    }
+    let mut exhaustive_spec = spec.clone();
+    exhaustive_spec.strategy = SearchStrategy::Exhaustive;
+    let mut guided_spec = spec.clone();
+    guided_spec.strategy = SearchStrategy::Guided;
+    let exhaustive = search(&exhaustive_spec).map_err(|e| format!("exhaustive search failed: {e}"))?;
+    let guided = search(&guided_spec).map_err(|e| format!("guided search failed: {e}"))?;
+
+    if exhaustive.guided.is_some() {
+        return Err("exhaustive run carries guided stats".into());
+    }
+    let stats = guided.guided.ok_or("guided run reported no stats")?;
+    if stats.exhaustive_candidates != exhaustive.counts.candidates {
+        return Err(format!(
+            "guided stats claim {} exhaustive candidates, exhaustive run saw {}",
+            stats.exhaustive_candidates, exhaustive.counts.candidates
+        ));
+    }
+    if stats.candidates_verified != guided.counts.candidates {
+        return Err(format!(
+            "guided stats claim {} verified candidates, funnel saw {}",
+            stats.candidates_verified, guided.counts.candidates
+        ));
+    }
+    if !(0.0..=100.0).contains(&stats.evals_saved_pct) {
+        return Err(format!("evals_saved_pct out of range: {}", stats.evals_saved_pct));
+    }
+
+    if exhaustive.frontier.len() != guided.frontier.len() {
+        return Err(format!(
+            "frontier size: exhaustive {} vs guided {}",
+            exhaustive.frontier.len(),
+            guided.frontier.len()
+        ));
+    }
+    for (e, g) in exhaustive.frontier.iter().zip(&guided.frontier) {
+        if e.config != g.config {
+            return Err(format!("frontier config: {} vs {}", e.config, g.config));
+        }
+        assert_equivalent(
+            &format!("frontier point {}", e.config),
+            &e.step_time,
+            &g.step_time,
+            0.0,
+        )?;
+        assert_equivalent(
+            &format!("frontier point {} memory", e.config),
+            &e.peak_memory,
+            &g.peak_memory,
+            0.0,
+        )?;
     }
     Ok(())
 }

@@ -1,14 +1,15 @@
-//! Runs the six differential oracles over the deterministic
+//! Runs the seven differential oracles over the deterministic
 //! ≥ 50-configuration grid from `conformance::grid` (the search-funnel
-//! oracle over small exhaustive search spaces instead — its reference
-//! is quadratic).
+//! and guided-search oracles over small exhaustive search spaces
+//! instead — their references are quadratic).
 
 use cluster_model::{FaultRates, FaultTimeline};
 use collectives::CommCostModel;
 use conformance::grid::config_grid;
 use conformance::oracles::{
     oracle_fluid_fast_path, oracle_folded_vs_full, oracle_goodput_recomposition,
-    oracle_memoized_costs, oracle_run_vs_deprecated, oracle_search_frontier,
+    oracle_guided_frontier, oracle_memoized_costs, oracle_run_vs_deprecated,
+    oracle_search_frontier,
 };
 use parallelism_core::search::{enumerate_configs, SearchSpec};
 use parallelism_core::{CheckpointPolicy, Dim, RunSimulator, ZeroMode};
@@ -83,6 +84,29 @@ fn search_funnel_matches_exhaustive_reference() {
             admitted.len()
         );
         oracle_search_frontier(&spec)
+            .unwrap_or_else(|e| panic!("{ngpu} GPUs, gbs {gbs}, {threads} threads: {e}"));
+    }
+}
+
+#[test]
+fn guided_search_matches_exhaustive_reference() {
+    // On grids small enough that the guided strategy verifies every
+    // candidate, guided and exhaustive searches must agree exactly:
+    // same frontier configs, bit-identical step times and memory, and
+    // savings stats that account for the full candidate split.
+    for (ngpu, gbs, threads) in [(8u32, 16u64, 1usize), (8, 16, 3), (16, 32, 2)] {
+        let mut spec = SearchSpec::llama3_8b(ngpu, 8_192);
+        spec.input.model = spec.input.model.with_layers(4);
+        spec.input.token_budget = gbs * 8_192;
+        spec.zero_modes = vec![ZeroMode::Zero1, ZeroMode::Zero3];
+        let spec = spec.max_cp(2).threads(threads);
+        let (admitted, _) = enumerate_configs(&spec);
+        assert!(
+            !admitted.is_empty() && admitted.len() <= 256,
+            "want a small but non-trivial grid, got {} candidates",
+            admitted.len()
+        );
+        oracle_guided_frontier(&spec)
             .unwrap_or_else(|e| panic!("{ngpu} GPUs, gbs {gbs}, {threads} threads: {e}"));
     }
 }

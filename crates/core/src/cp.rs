@@ -271,10 +271,12 @@ impl RingCp {
         let pairs_per_rank = total_pairs / cp as u128;
         let pairs_per_step = pairs_per_rank / cp as u128;
         let step_cost = KernelCost {
-            flops: flops::FLOPS_PER_PAIR_PER_HEADDIM
-                * cfg.head_dim as f64
-                * cfg.num_heads as f64
-                * pairs_per_step as f64,
+            flops: crate::costs::attention_pair_flops(
+                flops::FLOPS_PER_PAIR_PER_HEADDIM,
+                cfg.head_dim as f64,
+                cfg.num_heads as f64,
+                pairs_per_step as f64,
+            ),
             bytes: (local * cfg.q_dim() * 2 + (seq / cp) * cfg.kv_dim() * 2) as f64
                 * Dtype::Bf16.bytes() as f64,
             // Two kernels per step (the rank's two zig-zag chunks).

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analyze;
+pub mod costs;
 pub mod cp;
 pub mod multimodal;
 pub mod planner;
@@ -33,7 +34,10 @@ pub use pp::{BalancePolicy, PpSchedule, ScheduleKind, StageAssignment};
 pub use multimodal::{EncoderSharding, MultimodalReport, MultimodalStep};
 pub use planner::{plan, Plan, PlanError, PlannerInput};
 pub use run::{CheckpointPolicy, GoodputLoss, GoodputReport, RunSimulator};
-pub use search::{search, ConfigPoint, FunnelCounts, SearchPoint, SearchReport, SearchSpec};
+pub use search::{
+    search, ConfigPoint, FunnelCounts, GuidedStats, SearchPoint, SearchReport, SearchSpec,
+    SearchStrategy,
+};
 pub use sim_engine::error::SimError;
 pub use step::{
     ExposedComm, SimFidelity, SimOptions, StepModel, StepOutcome, StepReport,

@@ -381,7 +381,7 @@ impl PpSchedule {
     /// `(pp − 1) / nmb / v` (§3.1.1). The simulator measures the real
     /// value; this is the analytical reference.
     pub fn analytic_bubble_ratio(&self) -> f64 {
-        (self.pp as f64 - 1.0) / self.nmb as f64 / self.v as f64
+        crate::costs::bubble_ratio(self.pp as f64, self.nmb as f64, self.v as f64)
     }
 }
 

@@ -46,6 +46,10 @@
 //! the report — two runs of [`search`] on the same [`SearchSpec`]
 //! produce bit-identical [`SearchReport`]s.
 
+pub mod guided;
+
+pub use guided::GuidedStats;
+
 use crate::analyze;
 use crate::fsdp::ZeroMode;
 use crate::mesh::Mesh4D;
@@ -61,6 +65,23 @@ use llm_model::masks::MaskSpec;
 use llm_model::{ModelLayout, TransformerConfig};
 use sim_engine::time::SimDuration;
 use std::fmt;
+
+/// How candidates reach the verification funnel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchStrategy {
+    /// Enumerate and verify every admissible configuration — the
+    /// conformance oracle against which [`Guided`](Self::Guided) is
+    /// pinned.
+    #[default]
+    Exhaustive,
+    /// Differentiate the analytic cost model ([`crate::costs`] at
+    /// [`numerics::Dual`]), descend a continuous relaxation of
+    /// `(tp, cp, pp, dp, nmb)` in log2-space, and verify only the
+    /// lattice-rounded neighbourhood of the descent trajectories —
+    /// same frontier, a fraction of the folded evaluations. See
+    /// [`guided`].
+    Guided,
+}
 
 /// What to search: the planning problem plus the bounds of the
 /// configuration space and the funnel options.
@@ -91,6 +112,8 @@ pub struct SearchSpec {
     /// Scoring threads. `0` means "available parallelism". The report
     /// is bit-identical for any value.
     pub threads: usize,
+    /// Candidate-generation strategy (default exhaustive).
+    pub strategy: SearchStrategy,
 }
 
 impl SearchSpec {
@@ -108,6 +131,7 @@ impl SearchSpec {
             goodput_horizon_s: 24.0 * 3600.0,
             seed: 0x0060_01D9,
             threads: 0,
+            strategy: SearchStrategy::default(),
         }
     }
 
@@ -156,6 +180,12 @@ impl SearchSpec {
     /// Enables goodput refinement of the first `head` frontier points.
     pub fn goodput_head(mut self, head: usize) -> SearchSpec {
         self.goodput_head = head;
+        self
+    }
+
+    /// Selects the gradient-guided candidate strategy.
+    pub fn guided(mut self) -> SearchSpec {
+        self.strategy = SearchStrategy::Guided;
         self
     }
 
@@ -318,6 +348,9 @@ pub struct SearchReport {
     pub best_memory: Option<SearchPoint>,
     /// The highest-goodput refined configuration, if refinement ran.
     pub best_goodput: Option<SearchPoint>,
+    /// Guided-strategy statistics, present iff
+    /// [`SearchStrategy::Guided`] generated the candidates.
+    pub guided: Option<GuidedStats>,
 }
 
 impl SearchReport {
@@ -342,6 +375,18 @@ impl SearchReport {
             c.rejected_preflight,
             c.refined
         );
+        if let Some(g) = &self.guided {
+            out.push_str(&format!(
+                "guided: {} trajectories · {} descent steps → {} meshes, \
+                 {}/{} candidates verified ({:.1}% of evals saved)\n",
+                g.starts,
+                g.descent_steps,
+                g.meshes_selected,
+                g.candidates_verified,
+                g.exhaustive_candidates,
+                g.evals_saved_pct
+            ));
+        }
         out.push_str(&format!("frontier ({} points, step time ↑):\n", self.frontier.len()));
         for p in &self.frontier {
             out.push_str(&format!(
@@ -632,11 +677,30 @@ pub fn search(spec: &SearchSpec) -> Result<SearchReport, PlanError> {
     }
 
     // Stage 1: enumeration + admission (pure arithmetic).
-    let (admitted, meshes_enumerated) = enumerate_configs(spec);
+    let (enumerated, meshes_enumerated) = enumerate_configs(spec);
     let meshes_admitted = {
-        let mut meshes: Vec<(u32, u32, u32)> = admitted.iter().map(|c| (c.tp, c.cp, c.pp)).collect();
+        let mut meshes: Vec<(u32, u32, u32)> =
+            enumerated.iter().map(|c| (c.tp, c.cp, c.pp)).collect();
         meshes.dedup();
         meshes.len()
+    };
+
+    // Stage 1½ (guided only): descend the differentiable surrogate and
+    // keep the lattice-rounded neighbourhood of the trajectories. The
+    // selection is an order-preserving subset of the enumeration, so
+    // the stages below run unchanged.
+    let (admitted, guided_stats, prescored) = match spec.strategy {
+        SearchStrategy::Exhaustive => (enumerated, None, Default::default()),
+        SearchStrategy::Guided => {
+            let sel = guided::select_candidates(spec, enumerated);
+            // The anchors were already scored once during selection;
+            // `score_survivor` is pure, so pass 3 replays the stored
+            // result instead of running the same folded simulation
+            // twice. Pre-flight still gates them like any candidate.
+            let pre: std::collections::HashMap<ConfigPoint, SearchPoint> =
+                sel.prescored.into_iter().collect();
+            (sel.candidates, Some(sel.stats), pre)
+        }
     };
 
     // Stages 2–3: pre-flight rejection and folded scoring. The memory
@@ -694,6 +758,7 @@ pub fn search(spec: &SearchSpec) -> Result<SearchReport, PlanError> {
     // run the folded simulation for full survivors.
     let outcomes: Vec<Outcome> = std::thread::scope(|s| {
         let cache = &cache;
+        let prescored = &prescored;
         let handles: Vec<_> = admitted
             .chunks(chunk_len)
             .zip(mem_ok.chunks(chunk_len))
@@ -708,7 +773,10 @@ pub fn search(spec: &SearchSpec) -> Result<SearchReport, PlanError> {
                                 && cache.tp_cp.get(&tp_cp_key(c)).copied().unwrap_or(false)
                                 && cache.fsdp.get(&fsdp_key(c)).copied().unwrap_or(false);
                             if passed {
-                                score_survivor(spec, c)
+                                prescored.get(c).map_or_else(
+                                    || score_survivor(spec, c),
+                                    |p| Outcome::Scored(p.clone()),
+                                )
                             } else {
                                 Outcome::Rejected
                             }
@@ -793,6 +861,7 @@ pub fn search(spec: &SearchSpec) -> Result<SearchReport, PlanError> {
         best_step_time,
         best_memory,
         best_goodput,
+        guided: guided_stats,
     })
 }
 

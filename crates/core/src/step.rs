@@ -336,8 +336,8 @@ impl StepModel {
             // Heads split across TP.
             gpu.attention_time(
                 KernelCost {
-                    flops: cost.flops / self.mesh.tp() as f64,
-                    bytes: cost.bytes / self.mesh.tp() as f64,
+                    flops: crate::costs::linear_shard(cost.flops, self.mesh.tp() as f64),
+                    bytes: crate::costs::linear_shard(cost.bytes, self.mesh.tp() as f64),
                     launches: cost.launches,
                 },
                 Dtype::Bf16,
@@ -745,10 +745,11 @@ impl StepModel {
         };
         let tokens = self.seq * self.bs as u64 * self.mesh.dp() as u64;
         let flops = self.model_flops_per_step();
-        let tflops_per_gpu = flops
-            / step_time.as_secs_f64().max(1e-12)
-            / self.cluster.num_gpus() as f64
-            / 1e12;
+        let tflops_per_gpu = crate::costs::tflops_per_gpu(
+            flops,
+            step_time.as_secs_f64().max(1e-12),
+            self.cluster.num_gpus() as f64,
+        );
         StepReport {
             step_time,
             tflops_per_gpu,

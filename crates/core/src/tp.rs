@@ -46,8 +46,8 @@ impl TpPlan {
     /// concern gets *worse* with TP, not better).
     pub fn shard_cost(&self, full: KernelCost) -> KernelCost {
         KernelCost {
-            flops: full.flops / self.tp as f64,
-            bytes: full.bytes / self.tp as f64,
+            flops: crate::costs::linear_shard(full.flops, self.tp as f64),
+            bytes: crate::costs::linear_shard(full.bytes, self.tp as f64),
             launches: full.launches,
         }
     }

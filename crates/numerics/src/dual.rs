@@ -1,0 +1,227 @@
+//! Forward-mode automatic differentiation: dual numbers with `N`
+//! simultaneous partial derivatives.
+//!
+//! A [`Dual<N>`] carries a primal value and the gradient of that value
+//! with respect to `N` independent inputs. Arithmetic propagates both
+//! through the chain rule, so evaluating a closed-form cost expression
+//! on duals yields the expression's exact gradient in one pass — no
+//! finite differencing, no tape. `N` is a compile-time constant (the
+//! guided search uses `N = 5` for `(tp, cp, pp, dp, nmb)`), so the
+//! partials live inline in a fixed array and the whole number is
+//! `Copy`.
+//!
+//! Comparisons (`PartialEq`/`PartialOrd`) look at the primal value
+//! only: two duals with equal values but different derivatives compare
+//! equal, which is what branch selection (`max`, `min`, feasibility
+//! tests) needs.
+
+use crate::scalar::Scalar;
+
+/// A dual number: primal value plus `N` partial derivatives.
+#[derive(Debug, Clone, Copy)]
+pub struct Dual<const N: usize> {
+    /// The primal value.
+    pub v: f64,
+    /// Partial derivatives of `v` with respect to the `N` inputs.
+    pub d: [f64; N],
+}
+
+impl<const N: usize> Dual<N> {
+    /// A constant: value `v`, zero gradient.
+    pub fn constant(v: f64) -> Dual<N> {
+        Dual { v, d: [0.0; N] }
+    }
+
+    /// The `i`-th independent variable: value `v`, `∂/∂x_i = 1`.
+    ///
+    /// # Panics
+    /// Panics if `i ≥ N`.
+    pub fn var(v: f64, i: usize) -> Dual<N> {
+        assert!(i < N, "variable index {i} out of range for Dual<{N}>");
+        let mut d = [0.0; N];
+        d[i] = 1.0;
+        Dual { v, d }
+    }
+
+    /// The gradient as a plain array.
+    pub fn grad(&self) -> [f64; N] {
+        self.d
+    }
+
+    /// Maps both value and partials through `f` and its derivative
+    /// `df` evaluated at the value — the chain rule for a univariate
+    /// function.
+    fn chain(self, f: f64, df: f64) -> Dual<N> {
+        Dual { v: f, d: core::array::from_fn(|i| df * self.d[i]) }
+    }
+}
+
+impl<const N: usize> PartialEq for Dual<N> {
+    fn eq(&self, other: &Dual<N>) -> bool {
+        self.v == other.v
+    }
+}
+
+impl<const N: usize> PartialOrd for Dual<N> {
+    fn partial_cmp(&self, other: &Dual<N>) -> Option<core::cmp::Ordering> {
+        self.v.partial_cmp(&other.v)
+    }
+}
+
+impl<const N: usize> core::ops::Add for Dual<N> {
+    type Output = Dual<N>;
+    fn add(self, o: Dual<N>) -> Dual<N> {
+        Dual { v: self.v + o.v, d: core::array::from_fn(|i| self.d[i] + o.d[i]) }
+    }
+}
+
+impl<const N: usize> core::ops::Sub for Dual<N> {
+    type Output = Dual<N>;
+    fn sub(self, o: Dual<N>) -> Dual<N> {
+        Dual { v: self.v - o.v, d: core::array::from_fn(|i| self.d[i] - o.d[i]) }
+    }
+}
+
+impl<const N: usize> core::ops::Mul for Dual<N> {
+    type Output = Dual<N>;
+    // The product rule (a·b)' = a'·b + a·b' genuinely needs `+`.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn mul(self, o: Dual<N>) -> Dual<N> {
+        Dual { v: self.v * o.v, d: core::array::from_fn(|i| self.d[i] * o.v + self.v * o.d[i]) }
+    }
+}
+
+impl<const N: usize> core::ops::Div for Dual<N> {
+    type Output = Dual<N>;
+    fn div(self, o: Dual<N>) -> Dual<N> {
+        let inv = 1.0 / o.v;
+        let v = self.v * inv;
+        // (a/b)' = (a' − (a/b)·b') / b
+        Dual { v, d: core::array::from_fn(|i| (self.d[i] - v * o.d[i]) * inv) }
+    }
+}
+
+impl<const N: usize> core::ops::Neg for Dual<N> {
+    type Output = Dual<N>;
+    fn neg(self) -> Dual<N> {
+        Dual { v: -self.v, d: core::array::from_fn(|i| -self.d[i]) }
+    }
+}
+
+impl<const N: usize> Scalar for Dual<N> {
+    fn lit(v: f64) -> Dual<N> {
+        Dual::constant(v)
+    }
+
+    fn value(self) -> f64 {
+        self.v
+    }
+
+    fn ln(self) -> Dual<N> {
+        self.chain(self.v.ln(), 1.0 / self.v)
+    }
+
+    fn exp(self) -> Dual<N> {
+        let e = self.v.exp();
+        self.chain(e, e)
+    }
+
+    fn powf(self, e: f64) -> Dual<N> {
+        self.chain(self.v.powf(e), e * self.v.powf(e - 1.0))
+    }
+
+    fn sqrt(self) -> Dual<N> {
+        let s = self.v.sqrt();
+        self.chain(s, 0.5 / s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type D2 = Dual<2>;
+
+    fn x(v: f64) -> D2 {
+        D2::var(v, 0)
+    }
+
+    fn y(v: f64) -> D2 {
+        D2::var(v, 1)
+    }
+
+    #[test]
+    fn arithmetic_propagates_partials() {
+        // f(x, y) = x·y + x² at (3, 5): ∂x = y + 2x = 11, ∂y = x = 3.
+        let f = x(3.0) * y(5.0) + x(3.0) * x(3.0);
+        assert_eq!(f.v, 24.0);
+        assert_eq!(f.grad(), [11.0, 3.0]);
+    }
+
+    #[test]
+    fn division_quotient_rule() {
+        // f = x/y at (6, 2): ∂x = 1/y = 0.5, ∂y = −x/y² = −1.5.
+        let f = x(6.0) / y(2.0);
+        assert_eq!(f.v, 3.0);
+        assert!((f.d[0] - 0.5).abs() < 1e-15);
+        assert!((f.d[1] + 1.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn transcendentals_chain() {
+        // f = ln(exp(x)) must have unit derivative everywhere.
+        let f = Scalar::ln(Scalar::exp(x(1.7)));
+        assert!((f.v - 1.7).abs() < 1e-14);
+        assert!((f.d[0] - 1.0).abs() < 1e-12);
+        // powf: d/dx x^3 = 3x² at x = 2 → 12.
+        let p = Scalar::powf(x(2.0), 3.0);
+        assert_eq!(p.v, 8.0);
+        assert!((p.d[0] - 12.0).abs() < 1e-12);
+        // sqrt: d/dx √x = 1/(2√x) at 9 → 1/6.
+        let s = Scalar::sqrt(x(9.0));
+        assert_eq!(s.v, 3.0);
+        assert!((s.d[0] - 1.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hard_max_follows_the_winning_branch() {
+        let f = Scalar::max(x(3.0), y(2.0));
+        assert_eq!(f.grad(), [1.0, 0.0]);
+        let g = Scalar::max(x(1.0), y(2.0));
+        assert_eq!(g.grad(), [0.0, 1.0]);
+    }
+
+    #[test]
+    fn smooth_max_gradient_is_a_sigmoid() {
+        // ∂a smooth_max(a,b;β) = σ(β(a−b)); at a = b it is exactly ½
+        // for each operand.
+        let f = x(2.0).smooth_max(y(2.0), 4.0);
+        assert!((f.d[0] - 0.5).abs() < 1e-12);
+        assert!((f.d[1] - 0.5).abs() < 1e-12);
+        let g = x(3.0).smooth_max(y(2.0), 4.0);
+        let sig = 1.0 / (1.0 + (-4.0f64).exp());
+        assert!((g.d[0] - sig).abs() < 1e-12, "{:?}", g.d);
+        assert!((g.d[1] - (1.0 - sig)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparisons_ignore_partials() {
+        assert_eq!(x(1.0), y(1.0));
+        assert!(x(1.0) < y(2.0));
+    }
+
+    #[test]
+    fn exp2_matches_f64_definition() {
+        let d = Scalar::exp2(x(3.0));
+        let f = Scalar::exp2(3.0f64);
+        assert_eq!(d.v, f);
+        // d/dl 2^l = ln2 · 2^l.
+        assert!((d.d[0] - core::f64::consts::LN_2 * f).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn var_index_is_checked() {
+        let _ = D2::var(1.0, 2);
+    }
+}

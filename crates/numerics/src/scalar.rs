@@ -1,0 +1,199 @@
+//! The [`Scalar`] abstraction: one set of cost expressions, two
+//! number types.
+//!
+//! The analytic α–β/roofline/bubble cost model is closed-form real
+//! arithmetic. Writing it once, generic over `Scalar`, lets the same
+//! code price a configuration in plain `f64` (the exhaustive search
+//! path — bit-identical to hand-written float arithmetic, since every
+//! trait method on `f64` forwards to the corresponding intrinsic) and
+//! in [`crate::dual::Dual`] forward-mode dual numbers (the guided
+//! search path, which descends the model's gradient).
+//!
+//! Design constraints:
+//!
+//! * `f64` must incur **zero** abstraction cost: every operation maps
+//!   1:1 onto the primitive, so refactoring an existing expression
+//!   through `Scalar` cannot change its bits.
+//! * Non-smooth points are explicit: [`Scalar::max`]/[`Scalar::min`]
+//!   are the hard kinks of the roofline model (derivatives follow the
+//!   active branch), while [`Scalar::smooth_max`]/[`Scalar::smooth_min`]
+//!   are the log-sum-exp relaxations gradient descent needs.
+
+/// A real-number type the cost expressions are generic over.
+///
+/// Implemented by `f64` (values only) and [`crate::dual::Dual`]
+/// (values plus partial derivatives).
+pub trait Scalar:
+    Copy
+    + core::fmt::Debug
+    + PartialEq
+    + PartialOrd
+    + core::ops::Add<Output = Self>
+    + core::ops::Sub<Output = Self>
+    + core::ops::Mul<Output = Self>
+    + core::ops::Div<Output = Self>
+    + core::ops::Neg<Output = Self>
+{
+    /// Lifts a literal constant (zero derivative) into the type.
+    fn lit(v: f64) -> Self;
+
+    /// The primal value (derivatives, if any, are dropped).
+    fn value(self) -> f64;
+
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+
+    /// Natural exponential.
+    fn exp(self) -> Self;
+
+    /// Raises to a *constant* power.
+    fn powf(self, e: f64) -> Self;
+
+    /// Square root.
+    fn sqrt(self) -> Self;
+
+    /// Base-2 exponential, `2^self`. One shared definition
+    /// (`exp(self·ln 2)`) so `f64` and dual evaluations agree exactly
+    /// on the primal value.
+    fn exp2(self) -> Self {
+        (self * Self::lit(core::f64::consts::LN_2)).exp()
+    }
+
+    /// Base-2 logarithm, defined as `ln(self)/ln 2` for the same
+    /// cross-type agreement as [`Scalar::exp2`].
+    fn log2(self) -> Self {
+        self.ln() / Self::lit(core::f64::consts::LN_2)
+    }
+
+    /// Hard maximum by primal value. The derivative (when present)
+    /// follows the winning branch — the roofline kink.
+    fn max(self, o: Self) -> Self {
+        if self.value() >= o.value() {
+            self
+        } else {
+            o
+        }
+    }
+
+    /// Hard minimum by primal value.
+    fn min(self, o: Self) -> Self {
+        if self.value() <= o.value() {
+            self
+        } else {
+            o
+        }
+    }
+
+    /// Log-sum-exp smooth maximum with sharpness `beta > 0`:
+    /// `max(a,b) + ln(e^{β(a−max)} + e^{β(b−max)})/β`. Pivoting on the
+    /// hard max keeps the exponentials ≤ 1 (no overflow) and still
+    /// yields the exact smooth gradient `σ(β(a−b))`. Approaches the
+    /// hard max from above as `beta → ∞`.
+    fn smooth_max(self, o: Self, beta: f64) -> Self {
+        let b = Self::lit(beta);
+        let m = self.max(o);
+        m + ((b * (self - m)).exp() + (b * (o - m)).exp()).ln() / b
+    }
+
+    /// Log-sum-exp smooth minimum (the negated dual of
+    /// [`Scalar::smooth_max`]); approaches the hard min from below.
+    fn smooth_min(self, o: Self, beta: f64) -> Self {
+        -((-self).smooth_max(-o, beta))
+    }
+}
+
+impl Scalar for f64 {
+    #[inline(always)]
+    fn lit(v: f64) -> f64 {
+        v
+    }
+
+    #[inline(always)]
+    fn value(self) -> f64 {
+        self
+    }
+
+    #[inline(always)]
+    fn ln(self) -> f64 {
+        f64::ln(self)
+    }
+
+    #[inline(always)]
+    fn exp(self) -> f64 {
+        f64::exp(self)
+    }
+
+    #[inline(always)]
+    fn powf(self, e: f64) -> f64 {
+        f64::powf(self, e)
+    }
+
+    #[inline(always)]
+    fn sqrt(self) -> f64 {
+        f64::sqrt(self)
+    }
+
+    // `f64::max`/`min` agree with the trait defaults on every non-NaN
+    // input; forwarding to the intrinsics keeps rerouted call sites
+    // bit-identical to the code they replaced.
+    #[inline(always)]
+    fn max(self, o: f64) -> f64 {
+        f64::max(self, o)
+    }
+
+    #[inline(always)]
+    fn min(self, o: f64) -> f64 {
+        f64::min(self, o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_forwards_to_intrinsics() {
+        assert_eq!(<f64 as Scalar>::lit(2.5), 2.5);
+        assert_eq!(Scalar::value(3.0f64), 3.0);
+        assert_eq!(Scalar::ln(2.0f64), f64::ln(2.0));
+        assert_eq!(Scalar::exp(1.5f64), f64::exp(1.5));
+        assert_eq!(Scalar::powf(3.0f64, 2.5), f64::powf(3.0, 2.5));
+        assert_eq!(Scalar::sqrt(7.0f64), f64::sqrt(7.0));
+        assert_eq!(Scalar::max(1.0f64, 2.0), 2.0);
+        assert_eq!(Scalar::min(1.0f64, 2.0), 1.0);
+    }
+
+    #[test]
+    fn exp2_log2_round_trip() {
+        for x in [0.0f64, 1.0, 3.5, 10.25] {
+            let y = Scalar::exp2(x);
+            assert!((Scalar::log2(y) - x).abs() < 1e-12, "{x}");
+        }
+    }
+
+    #[test]
+    fn smooth_max_brackets_the_hard_max() {
+        for (a, b) in [(1.0f64, 2.0), (5.0, 4.9), (-3.0, -3.0)] {
+            for beta in [1.0, 8.0, 64.0] {
+                let s = a.smooth_max(b, beta);
+                let h = f64::max(a, b);
+                assert!(s >= h, "smooth {s} < hard {h}");
+                assert!(s - h <= core::f64::consts::LN_2 / beta + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_min_brackets_the_hard_min() {
+        let s = 3.0f64.smooth_min(3.2, 16.0);
+        assert!(s <= 3.0 && 3.0 - s <= core::f64::consts::LN_2 / 16.0 + 1e-12);
+    }
+
+    #[test]
+    fn smooth_extrema_converge_with_sharpness() {
+        let loose = 1.0f64.smooth_max(1.1, 2.0) - 1.1;
+        let tight = 1.0f64.smooth_max(1.1, 200.0) - 1.1;
+        assert!(tight < loose);
+        assert!(tight < 1e-9);
+    }
+}

@@ -16,7 +16,7 @@ cargo test -q --workspace
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> repo_lint (no unwrap/expect, deprecated simulate*, or stray CLI arg structs in library code)"
+echo "==> repo_lint (no unwrap/expect, deprecated simulate*, stray CLI arg structs, or concrete f64 in Scalar cost modules)"
 cargo run --release -q --bin repo_lint
 
 echo "==> pre-flight analysis across the conformance grid (zero errors expected)"
@@ -30,5 +30,8 @@ cargo run --release -q --bin llama3sim -- goodput
 
 echo "==> auto-parallelism search smoke: Table 2's 405B/16K mesh must be on the cp=1 frontier (writes BENCH_search.json)"
 cargo run --release -q --bin llama3sim -- search --max-cp 1 --expect 8,1,16,128
+
+echo "==> guided search smoke: gradient-guided strategy must recover the same cp=1 frontier point"
+cargo run --release -q --bin llama3sim -- search --guided --max-cp 1 --expect 8,1,16,128
 
 echo "==> all checks passed"

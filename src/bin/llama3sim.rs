@@ -12,7 +12,8 @@
 //! llama3sim goodput  [--json]
 //! llama3sim search   [--model 405b|70b|8b] [--gpus N] [--seq N]
 //!                    [--goodput-head N] [--threads N] [--max-cp N]
-//!                    [--zero M1[,M2...]] [--expect tp,cp,pp,dp] [--json]
+//!                    [--zero M1[,M2...]] [--expect tp,cp,pp,dp]
+//!                    [--guided] [--json]
 //! ```
 //!
 //! The old single-purpose bins (`analyze`, `conformance_fuzz`,
@@ -40,7 +41,10 @@ fn usage() -> i32 {
     eprintln!("  search    Pareto auto-parallelism search -> BENCH_search.json");
     eprintln!("            [--model 405b|70b|8b] [--gpus N] [--seq N]");
     eprintln!("            [--goodput-head N] [--threads N] [--max-cp N] [--zero M1[,M2...]]");
-    eprintln!("            [--expect tp,cp,pp,dp] [--json]");
+    eprintln!("            [--expect tp,cp,pp,dp] [--guided] [--json]");
+    eprintln!("            --guided: gradient-guided candidate selection (autodiff");
+    eprintln!("            surrogate + projected descent), verified vs the exhaustive");
+    eprintln!("            baseline and reported with the measured speedup");
     2
 }
 

@@ -1,7 +1,7 @@
 //! `repo_lint` — repo-local source hygiene checks, plain text scan, no
 //! third-party dependencies.
 //!
-//! Three rules over non-test library code under `crates/*/src`:
+//! Four rules over non-test library code under `crates/*/src`:
 //!
 //! 1. **no-unwrap** — `.unwrap()` / `.expect(` are forbidden. A panic
 //!    in library code takes down a whole sweep worker; fallible paths
@@ -21,6 +21,14 @@
 //!    goes through those, so flag parsing cannot fork per bin. The
 //!    deprecated bin shims live under `bin/` and are exempt like all
 //!    binary targets.
+//! 4. **scalar-costs** — the analytic cost-model modules
+//!    (`crates/core/src/costs.rs`, `crates/numerics/src/costs.rs`) must
+//!    stay generic over the `Scalar` trait: the token `f64` is forbidden there,
+//!    so every expression prices dual numbers as well as plain floats
+//!    and the guided search's gradients can never silently diverge from
+//!    the exhaustive scorer. Deliberate concrete-float sites (test
+//!    fixtures outside `#[cfg(test)]`, doc machinery) carry a
+//!    `// lint: allow(f64)` marker with a reason.
 //!
 //! Skipped entirely: `#[cfg(test)]` regions, binary targets
 //! (`src/bin/`), and the experiment scripts under
@@ -56,6 +64,12 @@ const CLI_ARGS_MARKER: &str = "lint: allow(cli-args)";
 /// Declarations (`struct`/`impl`/`fn` headers) and type positions don't
 /// match — only `<Name> {` literal construction does.
 const CLI_ARGS_STRUCTS: [&str; 4] = ["AnalyzeArgs {", "FuzzArgs {", "SnapshotArgs {", "SearchArgs {"];
+
+const SCALAR_MARKER: &str = "lint: allow(f64)";
+
+/// Modules whose cost expressions must stay generic over `Scalar` —
+/// the rule-4 target set.
+const SCALAR_COST_PATHS: [&str; 2] = ["crates/core/src/costs.rs", "crates/numerics/src/costs.rs"];
 
 fn main() -> ExitCode {
     let root = repo_root();
@@ -137,6 +151,8 @@ fn collect_lib_sources(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) {
 /// non-test, non-comment line against both rules. A marker on the
 /// offending line or the line directly above suppresses the finding.
 fn lint_file(path: &Path, text: &str, violations: &mut Vec<String>) {
+    let path_str = path.to_string_lossy().replace('\\', "/");
+    let scalar_costs_module = SCALAR_COST_PATHS.iter().any(|p| path_str.ends_with(p));
     let lines: Vec<&str> = text.lines().collect();
     let mut test_depth: Option<i32> = None; // Some(d): inside a test region
     let mut pending_cfg_test = false;
@@ -217,7 +233,41 @@ fn lint_file(path: &Path, text: &str, violations: &mut Vec<String>) {
                 line
             ));
         }
+
+        if scalar_costs_module && contains_f64_token(code) && !marked(SCALAR_MARKER) {
+            violations.push(format!(
+                "{}:{}: concrete `f64` arithmetic in a Scalar-generic cost module (write \
+                 the expression over `S: Scalar` so duals price it too, or mark a deliberate \
+                 site `// lint: allow(f64)` with a reason): {}",
+                path.display(),
+                idx + 1,
+                line
+            ));
+        }
     }
+}
+
+/// Whether `code` contains `f64` as a standalone token (not as part of
+/// a longer identifier such as `as_secs_f64`).
+fn contains_f64_token(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("f64") {
+        let start = from + pos;
+        let end = start + 3;
+        let before_ok = start == 0
+            || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let after_ok = end == bytes.len()
+            || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        // `1e15f64` style literal suffixes count: the char before is a
+        // digit, but the token is still concrete-float arithmetic.
+        let literal_suffix = start > 0 && bytes[start - 1].is_ascii_digit();
+        if (before_ok || literal_suffix) && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
 }
 
 /// Drops a trailing `//` line comment (string literals respected).
@@ -326,6 +376,36 @@ mod tests {
             "pub struct SearchArgs {\n    pub json: bool,\n}\nimpl Default for SearchArgs {\n    fn default() -> SearchArgs {\n        // lint: allow(cli-args) — canonical\n        SearchArgs { json: false }\n    }\n}\n",
         );
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn flags_f64_in_scalar_cost_modules_only() {
+        let src = "pub fn f(x: f64) -> f64 {\n    x * 2.0\n}\n";
+        let mut v = Vec::new();
+        lint_file(Path::new("crates/core/src/costs.rs"), src, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("Scalar-generic cost module"), "{v:?}");
+        let mut elsewhere = Vec::new();
+        lint_file(Path::new("crates/core/src/step.rs"), src, &mut elsewhere);
+        assert!(elsewhere.is_empty(), "{elsewhere:?}");
+    }
+
+    #[test]
+    fn f64_marker_tests_and_comments_are_exempt() {
+        let src = "// doc mentioning f64 freely\npub fn g<S: Scalar>(x: S) -> S {\n    x\n}\n// lint: allow(f64) — fixture\nfn fixture() -> f64 { 1.0 }\n#[cfg(test)]\nmod tests {\n    fn t() { let _: f64 = 1e15f64; }\n}\n";
+        let mut v = Vec::new();
+        lint_file(Path::new("crates/numerics/src/costs.rs"), src, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn f64_token_matching_is_word_boundary_aware() {
+        assert!(contains_f64_token("let x: f64 = 1.0;"));
+        assert!(contains_f64_token("(1e15f64 / 2.0)"));
+        assert!(contains_f64_token("y as f64"));
+        assert!(!contains_f64_token("t.as_secs_f64()"));
+        assert!(!contains_f64_token("let f64x = 3;"));
+        assert!(!contains_f64_token("nothing here"));
     }
 
     #[test]
