@@ -3,6 +3,9 @@
 //! invocation working by delegating to the same library entry point
 //! ([`analyzer::cli::run`]).
 
+// The shim exists precisely to keep the old path alive.
+#![allow(deprecated)]
+
 use analyzer::cli::{print_usage, run, AnalyzeArgs};
 
 fn main() {

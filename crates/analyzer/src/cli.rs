@@ -55,6 +55,11 @@ pub fn print_usage(invocation: &str) {
 }
 
 /// Runs the subcommand; returns the process exit code.
+#[deprecated(
+    since = "0.8.0",
+    note = "dispatch a `parallelism_core::query::Query::Analyze` and render \
+            the response; this shim only keeps the old `analyze` bin alive"
+)]
 pub fn run(args: &AnalyzeArgs) -> i32 {
     if args.list {
         for (name, desc) in NAMED_CONFIGS {
@@ -119,6 +124,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the shim's behavior until it is removed
     fn list_and_clean_config_exit_zero() {
         let list = AnalyzeArgs::parse(&args(&["--list"])).unwrap();
         assert_eq!(run(&list), 0);

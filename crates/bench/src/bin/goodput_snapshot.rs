@@ -3,6 +3,9 @@
 //! invocation working by delegating to the same library entry point
 //! ([`bench_harness::snapshot::goodput`]).
 
+// The shim exists precisely to keep the old path alive.
+#![allow(deprecated)]
+
 use bench_harness::snapshot::{goodput, SnapshotArgs};
 
 fn main() {

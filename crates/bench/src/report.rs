@@ -11,8 +11,10 @@ use std::fmt::Write as _;
 /// version 2 introduced the `{schema_version, tool, config, metrics}`
 /// envelope; version 3 adds the guided-search metrics (`strategy`,
 /// `descent_steps`, `candidates_verified`, `evals_saved_pct`) to the
-/// `search` tool's snapshot.
-pub const SCHEMA_VERSION: u32 = 3;
+/// `search` tool's snapshot; version 4 adds the `serve` tool
+/// (`BENCH_serve.json`: queries/sec, p50/p99 latency, memo hit rates
+/// under the concurrent mixed grid workload).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// One JSON value: either a raw literal (number, bool — already
 /// formatted by the caller, so formatting precision is part of the
@@ -254,7 +256,7 @@ mod tests {
         let j = r.render_json();
         // The four envelope fields, in order, with schema_version first.
         let pos = |needle: &str| j.find(needle).unwrap_or_else(|| panic!("missing {needle} in {j}"));
-        assert!(pos("\"schema_version\": 3") < pos("\"tool\": \"search\""));
+        assert!(pos("\"schema_version\": 4") < pos("\"tool\": \"search\""));
         assert!(pos("\"tool\"") < pos("\"config\": {"));
         assert!(pos("\"config\"") < pos("\"metrics\": {"));
         assert!(j.contains("\"model\": \"llama3-405b\""));

@@ -13,7 +13,8 @@ use crate::configs::production_8k_gpu_step;
 use crate::experiments::goodput as goodput_exp;
 use crate::report::Report;
 use parallelism_core::planner::{plan, PlannerInput};
-use parallelism_core::search::{search, SearchSpec, SearchStrategy};
+use parallelism_core::query::{BenchResponse, GoodputResponse, Response, SearchQuery};
+use parallelism_core::search::{search, SearchReport, SearchSpec, SearchStrategy};
 use parallelism_core::step::{SimFidelity, SimOptions};
 use parallelism_core::ZeroMode;
 use sim_engine::fluid::{FluidNet, Transfer};
@@ -54,7 +55,9 @@ fn time_ms<T>(iters: u32, mut f: impl FnMut() -> T) -> (f64, T) {
     (samples[samples.len() / 2], last.unwrap())
 }
 
-fn emit(report: &Report, path: &str, json: bool) -> i32 {
+/// Writes `report` to `path`, prints the `wrote {path}` confirmation
+/// line and, with `json`, the envelope itself. Returns the exit code.
+pub fn emit(report: &Report, path: &str, json: bool) -> i32 {
     if let Err(e) = report.write(path) {
         eprintln!("error: writing {path}: {e}");
         return 1;
@@ -66,14 +69,15 @@ fn emit(report: &Report, path: &str, json: bool) -> i32 {
     0
 }
 
-/// The `bench` snapshot: wall-clock timings of the simulator's hot
-/// paths, written to `BENCH_step_sim.json`.
-pub fn perf(args: &SnapshotArgs) -> i32 {
+/// Measures the `bench` numbers: wall-clock timings of the simulator's
+/// hot paths. This is the computation behind `Query::Bench`; the
+/// payload is inherently wall-clock, so the serve dispatcher computes
+/// it fresh on every dispatch.
+pub fn measure_perf() -> BenchResponse {
     // 1. Planning throughput: the full §5.1 sweep at production scale.
     let (plan_ms, p) = time_ms(5, || {
         plan(&PlannerInput::llama3_405b(16_384, 8_192)).expect("405B@16K must be plannable")
     });
-    println!("plan 405B @ 16K GPUs        {plan_ms:9.2} ms   ({})", p.mesh);
 
     // 2. Folded vs full step simulation on the 8 K-GPU 405B step.
     let step = production_8k_gpu_step(16);
@@ -81,12 +85,6 @@ pub fn perf(args: &SnapshotArgs) -> i32 {
     let full_opts = SimOptions::new().fidelity(SimFidelity::Full);
     let (folded_ms, folded) = time_ms(5, || step.run(&folded_opts).expect("valid step").report);
     let (full_ms, full) = time_ms(3, || step.run(&full_opts).expect("valid step").report);
-    let identical = folded == full;
-    let speedup = full_ms / folded_ms;
-    println!("folded 8K-GPU 405B step     {folded_ms:9.2} ms");
-    println!(
-        "full   8K-GPU 405B step     {full_ms:9.2} ms   ({speedup:.1}x, identical: {identical})"
-    );
 
     // 3. Fluid solver on 1 024 transfers, one per link (the disjoint
     //    single-link fast path).
@@ -102,28 +100,54 @@ pub fn perf(args: &SnapshotArgs) -> i32 {
         })
         .collect();
     let (fluid_ms, outcomes) = time_ms(9, || net.run(transfers.clone()).expect("valid transfers"));
-    println!(
-        "fluid solve 1K transfers    {fluid_ms:9.2} ms   ({} outcomes)",
-        outcomes.len()
-    );
 
-    let report = Report::new("bench")
+    BenchResponse {
+        plan_ms,
+        plan_mesh: p.mesh.to_string(),
+        folded_ms,
+        full_ms,
+        identical: folded == full,
+        fluid_ms,
+        fluid_outcomes: outcomes.len(),
+    }
+}
+
+/// Builds the `BENCH_step_sim.json` envelope from measured numbers.
+pub fn perf_envelope(r: &BenchResponse) -> Report {
+    Report::new("bench")
         .config_str("plan_config", "llama3-405b @ 16384 GPUs, seq 8192")
         .config_str("step_config", "llama3-405b @ 8192 GPUs, 16 micro-batches")
-        .metric("plan_405b_16k_gpus_ms", format!("{plan_ms:.3}"))
-        .metric("folded_8k_gpu_step_ms", format!("{folded_ms:.3}"))
-        .metric("full_8k_gpu_step_ms", format!("{full_ms:.3}"))
-        .metric("folded_speedup", format!("{speedup:.2}"))
-        .metric("folded_report_identical", identical)
-        .metric("fluid_1k_transfers_ms", format!("{fluid_ms:.3}"));
-    let code = emit(&report, "BENCH_step_sim.json", args.json);
-    assert!(identical, "folded and full reports diverged");
+        .metric("plan_405b_16k_gpus_ms", format!("{:.3}", r.plan_ms))
+        .metric("folded_8k_gpu_step_ms", format!("{:.3}", r.folded_ms))
+        .metric("full_8k_gpu_step_ms", format!("{:.3}", r.full_ms))
+        .metric("folded_speedup", format!("{:.2}", r.speedup()))
+        .metric("folded_report_identical", r.identical)
+        .metric("fluid_1k_transfers_ms", format!("{:.3}", r.fluid_ms))
+}
+
+/// The `bench` snapshot: wall-clock timings of the simulator's hot
+/// paths, written to `BENCH_step_sim.json`.
+#[deprecated(
+    since = "0.8.0",
+    note = "dispatch a `Query::Bench` and render the response; this shim \
+            wraps `measure_perf` + `perf_envelope`"
+)]
+pub fn perf(args: &SnapshotArgs) -> i32 {
+    let r = measure_perf();
+    println!("{}", Response::Bench(r.clone()).render_human());
+    let code = emit(&perf_envelope(&r), "BENCH_step_sim.json", args.json);
+    assert!(r.identical, "folded and full reports diverged");
     code
 }
 
-/// The `goodput` snapshot: a seeded 24-hour 16 K-GPU 405B run under
-/// production fault rates, written to `BENCH_goodput.json`.
-pub fn goodput(args: &SnapshotArgs) -> i32 {
+/// Runs the seeded 24-hour 16 K-GPU 405B goodput simulation under
+/// production fault rates and flattens the report into the query
+/// response. This is the computation behind `Query::Goodput`.
+///
+/// # Panics
+/// Panics if the simulated day exceeds the 60 s interactivity budget —
+/// the snapshot's acceptance bar.
+pub fn measure_goodput() -> GoodputResponse {
     let t0 = Instant::now();
     let run = goodput_exp::production_run(900.0).expect("production run must build");
     let report = run.simulate().expect("production run must simulate");
@@ -136,58 +160,69 @@ pub fn goodput(args: &SnapshotArgs) -> i32 {
         "24 h goodput sim took {sim_ms:.0} ms (budget 60 s)"
     );
 
-    println!("24 h, 16K GPUs, 405B, seed {:#x}", goodput_exp::SEED);
-    println!("simulated in                {sim_ms:9.2} ms");
-    println!("goodput                     {:9.4}", report.goodput);
-    println!(
-        "effective training time     {:9.4}",
-        report.effective_training_time_ratio()
-    );
-    println!("steps completed             {:9}", report.steps_completed);
-    println!("restarts                    {:9}", report.restarts);
-    println!("lost to checkpoints         {:9.0} s", report.loss.checkpoint_s);
-    println!("lost to rework              {:9.0} s", report.loss.rework_s);
-    println!(
-        "lost to detect+restart      {:9.0} s",
-        report.loss.detect_s + report.loss.restart_s
-    );
-    println!("lost to degradation         {:9.0} s", report.loss.degraded_s);
-    println!(
-        "Young/Daly interval         {:9.0} s (simulated: {:.0} s)",
-        report.young_daly_interval_s, report.checkpoint_interval_s
-    );
+    GoodputResponse {
+        sim_wall_ms: sim_ms,
+        seed: goodput_exp::SEED,
+        wall_time_s: report.wall_time_s,
+        goodput: report.goodput,
+        steps_completed: report.steps_completed,
+        restarts: report.restarts,
+        healthy_step_s: report.healthy_step_s,
+        loss_checkpoint_s: report.loss.checkpoint_s,
+        loss_detect_s: report.loss.detect_s,
+        loss_restart_s: report.loss.restart_s,
+        loss_rework_s: report.loss.rework_s,
+        loss_degraded_s: report.loss.degraded_s,
+        checkpoint_bytes_per_rank: report.checkpoint_bytes_per_rank,
+        checkpoint_write_s: report.checkpoint_write_s,
+        checkpoint_interval_s: report.checkpoint_interval_s,
+        young_daly_interval_s: report.young_daly_interval_s,
+        mtbf_s: report.mtbf_s,
+    }
+}
 
-    let envelope = Report::new("goodput")
+/// Builds the `BENCH_goodput.json` envelope from a measured run.
+pub fn goodput_envelope(r: &GoodputResponse) -> Report {
+    Report::new("goodput")
         .config_str("run_config", "llama3-405b @ 16384 GPUs, production fault rates")
-        .config("seed", format!("{}", goodput_exp::SEED))
-        .config("horizon_s", format!("{:.1}", report.wall_time_s))
-        .metric("sim_wall_ms", format!("{sim_ms:.3}"))
-        .metric("goodput", format!("{:.6}", report.goodput))
-        .metric(
-            "effective_training_time_ratio",
-            format!("{:.6}", report.effective_training_time_ratio()),
-        )
-        .metric("steps_completed", report.steps_completed)
-        .metric("restarts", report.restarts)
-        .metric("healthy_step_s", format!("{:.6}", report.healthy_step_s))
-        .metric("loss_checkpoint_s", format!("{:.3}", report.loss.checkpoint_s))
-        .metric("loss_detect_s", format!("{:.3}", report.loss.detect_s))
-        .metric("loss_restart_s", format!("{:.3}", report.loss.restart_s))
-        .metric("loss_rework_s", format!("{:.3}", report.loss.rework_s))
-        .metric("loss_degraded_s", format!("{:.3}", report.loss.degraded_s))
-        .metric("checkpoint_bytes_per_rank", report.checkpoint_bytes_per_rank)
-        .metric("checkpoint_write_s", format!("{:.3}", report.checkpoint_write_s))
+        .config("seed", format!("{}", r.seed))
+        .config("horizon_s", format!("{:.1}", r.wall_time_s))
+        .metric("sim_wall_ms", format!("{:.3}", r.sim_wall_ms))
+        .metric("goodput", format!("{:.6}", r.goodput))
+        .metric("effective_training_time_ratio", format!("{:.6}", r.goodput))
+        .metric("steps_completed", r.steps_completed)
+        .metric("restarts", r.restarts)
+        .metric("healthy_step_s", format!("{:.6}", r.healthy_step_s))
+        .metric("loss_checkpoint_s", format!("{:.3}", r.loss_checkpoint_s))
+        .metric("loss_detect_s", format!("{:.3}", r.loss_detect_s))
+        .metric("loss_restart_s", format!("{:.3}", r.loss_restart_s))
+        .metric("loss_rework_s", format!("{:.3}", r.loss_rework_s))
+        .metric("loss_degraded_s", format!("{:.3}", r.loss_degraded_s))
+        .metric("checkpoint_bytes_per_rank", r.checkpoint_bytes_per_rank)
+        .metric("checkpoint_write_s", format!("{:.3}", r.checkpoint_write_s))
         .metric(
             "checkpoint_interval_s",
-            format!("{:.1}", report.checkpoint_interval_s),
+            format!("{:.1}", r.checkpoint_interval_s),
         )
         .metric(
             "young_daly_interval_s",
-            format!("{:.1}", report.young_daly_interval_s),
+            format!("{:.1}", r.young_daly_interval_s),
         )
-        .metric("mtbf_s", format!("{:.1}", report.mtbf_s));
+        .metric("mtbf_s", format!("{:.1}", r.mtbf_s))
+}
+
+/// The `goodput` snapshot: a seeded 24-hour 16 K-GPU 405B run under
+/// production fault rates, written to `BENCH_goodput.json`.
+#[deprecated(
+    since = "0.8.0",
+    note = "dispatch a `Query::Goodput` and render the response; this shim \
+            wraps `measure_goodput` + `goodput_envelope`"
+)]
+pub fn goodput(args: &SnapshotArgs) -> i32 {
+    let r = measure_goodput();
+    println!("{}", Response::Goodput(r.clone()).render_human());
     println!();
-    emit(&envelope, "BENCH_goodput.json", args.json)
+    emit(&goodput_envelope(&r), "BENCH_goodput.json", args.json)
 }
 
 /// Options for the `search` subcommand.
@@ -199,6 +234,10 @@ pub struct SearchArgs {
     pub gpus: u32,
     /// Sequence length.
     pub seq: u64,
+    /// Override the model's layer count (`0` = the model default).
+    pub layers: u64,
+    /// Override the token budget (`0` = the 16 M-token default).
+    pub budget: u64,
     /// Goodput-refine the best `head` frontier points (0 = off).
     pub goodput_head: usize,
     /// Scoring threads (0 = all available).
@@ -223,6 +262,8 @@ impl Default for SearchArgs {
             model: "405b".to_string(),
             gpus: 16_384,
             seq: 8_192,
+            layers: 0,
+            budget: 0,
             goodput_head: 0,
             threads: 0,
             max_cp: 0,
@@ -235,9 +276,9 @@ impl Default for SearchArgs {
 }
 
 impl SearchArgs {
-    /// Parses `[--model M] [--gpus N] [--seq N] [--goodput-head N]
-    /// [--threads N] [--max-cp N] [--zero M1[,M2...]]
-    /// [--expect tp,cp,pp,dp] [--guided] [--json]`.
+    /// Parses `[--model M] [--gpus N] [--seq N] [--layers N]
+    /// [--budget N] [--goodput-head N] [--threads N] [--max-cp N]
+    /// [--zero M1[,M2...]] [--expect tp,cp,pp,dp] [--guided] [--json]`.
     pub fn parse(args: &[String]) -> Result<SearchArgs, String> {
         let mut f = Flags::new(args);
         let mut parsed = SearchArgs::default();
@@ -249,6 +290,12 @@ impl SearchArgs {
         }
         if let Some(s) = f.opt_u64("seq")? {
             parsed.seq = s;
+        }
+        if let Some(l) = f.opt_u64("layers")? {
+            parsed.layers = l;
+        }
+        if let Some(b) = f.opt_u64("budget")? {
+            parsed.budget = b;
         }
         if let Some(h) = f.opt_u64("goodput-head")? {
             parsed.goodput_head = h as usize;
@@ -283,28 +330,110 @@ impl SearchArgs {
         Ok(parsed)
     }
 
-    fn spec(&self) -> Result<SearchSpec, String> {
-        let mut spec = match self.model.as_str() {
-            "405b" => SearchSpec::llama3_405b(self.gpus, self.seq),
-            "70b" => SearchSpec::llama3_70b(self.gpus, self.seq),
-            "8b" => SearchSpec::llama3_8b(self.gpus, self.seq),
-            other => return Err(format!("--model: unknown model {other:?} (want 405b|70b|8b)")),
-        };
-        if self.max_cp > 0 {
-            spec = spec.max_cp(self.max_cp);
+    /// The query-API form of these flags (the `expect` knob travels in
+    /// the query; the `json` switch stays CLI-side).
+    pub fn to_query(&self) -> SearchQuery {
+        SearchQuery {
+            model: self.model.clone(),
+            gpus: self.gpus,
+            seq: self.seq,
+            layers: self.layers,
+            budget: self.budget,
+            goodput_head: self.goodput_head,
+            threads: self.threads,
+            max_cp: self.max_cp,
+            zero: self.zero_modes.clone(),
+            expect: self.expect,
+            guided: self.guided,
         }
-        if !self.zero_modes.is_empty() {
-            spec.zero_modes = self.zero_modes.clone();
-        }
-        if self.guided {
-            spec.strategy = SearchStrategy::Guided;
-        }
-        Ok(spec.threads(self.threads).goodput_head(self.goodput_head))
     }
+
+    fn spec(&self) -> Result<SearchSpec, String> {
+        self.to_query().to_spec().map_err(|e| e.message)
+    }
+}
+
+/// Builds the `BENCH_search.json` envelope from a finished search.
+/// `baseline` is the `(exhaustive wall ms, frontier matches)` pair the
+/// `--guided` run measures; the caller appends the `expect` metric if
+/// one was asked.
+pub fn search_envelope(
+    q: &SearchQuery,
+    spec: &SearchSpec,
+    report: &SearchReport,
+    wall_ms: f64,
+    baseline: Option<(f64, bool)>,
+) -> Report {
+    let mut envelope = Report::new("search")
+        .config_str("model", format!("llama3-{}", q.model))
+        .config("gpus", q.gpus)
+        .config("seq", q.seq)
+        .config("goodput_head", q.goodput_head)
+        .config("seed", spec.seed)
+        .config("max_cp", spec.max_cp)
+        .config("zero_modes", spec.zero_modes.len());
+    if q.layers > 0 {
+        envelope = envelope.config("layers", q.layers);
+    }
+    if q.budget > 0 {
+        envelope = envelope.config("token_budget", q.budget);
+    }
+    envelope = envelope
+        .metric_str("strategy", if q.guided { "guided" } else { "exhaustive" })
+        .metric("search_wall_ms", format!("{wall_ms:.3}"))
+        .metric(
+            "descent_steps",
+            report.guided.map_or(0, |g| g.descent_steps),
+        )
+        .metric(
+            "candidates_verified",
+            report
+                .guided
+                .map_or(report.counts.candidates, |g| g.candidates_verified),
+        )
+        .metric(
+            "evals_saved_pct",
+            format!("{:.2}", report.guided.map_or(0.0, |g| g.evals_saved_pct)),
+        )
+        .metric("meshes_enumerated", report.counts.meshes_enumerated)
+        .metric("meshes_admitted", report.counts.meshes_admitted)
+        .metric("candidates", report.counts.candidates)
+        .metric("rejected_preflight", report.counts.rejected_preflight)
+        .metric("scored", report.counts.scored)
+        .metric("refined", report.counts.refined)
+        .metric("frontier_len", report.frontier.len());
+    if let Some((ex_ms, matches)) = baseline {
+        envelope = envelope
+            .metric("exhaustive_wall_ms", format!("{ex_ms:.3}"))
+            .metric("speedup_vs_exhaustive", format!("{:.2}", ex_ms / wall_ms.max(1e-9)))
+            .metric("frontier_matches_exhaustive", matches);
+    }
+    if let Some(best) = &report.best_step_time {
+        envelope = envelope
+            .metric_str("best_config", best.config.to_string())
+            .metric("best_step_time_ms", format!("{:.3}", best.step_time.as_millis_f64()))
+            .metric("best_tflops_per_gpu", format!("{:.1}", best.tflops_per_gpu));
+    }
+    if let Some(lean) = &report.best_memory {
+        envelope = envelope
+            .metric_str("leanest_config", lean.config.to_string())
+            .metric("leanest_peak_gib", format!("{:.2}", lean.peak_memory as f64 / (1u64 << 30) as f64));
+    }
+    if let Some(g) = &report.best_goodput {
+        envelope = envelope
+            .metric_str("best_goodput_config", g.config.to_string())
+            .metric("best_goodput", format!("{:.6}", g.goodput.unwrap_or(0.0)));
+    }
+    envelope
 }
 
 /// The `search` subcommand: runs the Pareto sweep and writes
 /// `BENCH_search.json`.
+#[deprecated(
+    since = "0.8.0",
+    note = "dispatch a `Query::Search` and render the response; this shim \
+            wraps `search` + `search_envelope`"
+)]
 pub fn run_search(args: &SearchArgs) -> i32 {
     let spec = match args.spec() {
         Ok(s) => s,
@@ -354,59 +483,7 @@ pub fn run_search(args: &SearchArgs) -> i32 {
         None
     };
 
-    let mut envelope = Report::new("search")
-        .config_str("model", format!("llama3-{}", args.model))
-        .config("gpus", args.gpus)
-        .config("seq", args.seq)
-        .config("goodput_head", args.goodput_head)
-        .config("seed", spec.seed)
-        .config("max_cp", spec.max_cp)
-        .config("zero_modes", spec.zero_modes.len())
-        .metric_str("strategy", if args.guided { "guided" } else { "exhaustive" })
-        .metric("search_wall_ms", format!("{wall_ms:.3}"))
-        .metric(
-            "descent_steps",
-            report.guided.map_or(0, |g| g.descent_steps),
-        )
-        .metric(
-            "candidates_verified",
-            report
-                .guided
-                .map_or(report.counts.candidates, |g| g.candidates_verified),
-        )
-        .metric(
-            "evals_saved_pct",
-            format!("{:.2}", report.guided.map_or(0.0, |g| g.evals_saved_pct)),
-        )
-        .metric("meshes_enumerated", report.counts.meshes_enumerated)
-        .metric("meshes_admitted", report.counts.meshes_admitted)
-        .metric("candidates", report.counts.candidates)
-        .metric("rejected_preflight", report.counts.rejected_preflight)
-        .metric("scored", report.counts.scored)
-        .metric("refined", report.counts.refined)
-        .metric("frontier_len", report.frontier.len());
-    if let Some((ex_ms, matches)) = baseline {
-        envelope = envelope
-            .metric("exhaustive_wall_ms", format!("{ex_ms:.3}"))
-            .metric("speedup_vs_exhaustive", format!("{:.2}", ex_ms / wall_ms.max(1e-9)))
-            .metric("frontier_matches_exhaustive", matches);
-    }
-    if let Some(best) = &report.best_step_time {
-        envelope = envelope
-            .metric_str("best_config", best.config.to_string())
-            .metric("best_step_time_ms", format!("{:.3}", best.step_time.as_millis_f64()))
-            .metric("best_tflops_per_gpu", format!("{:.1}", best.tflops_per_gpu));
-    }
-    if let Some(lean) = &report.best_memory {
-        envelope = envelope
-            .metric_str("leanest_config", lean.config.to_string())
-            .metric("leanest_peak_gib", format!("{:.2}", lean.peak_memory as f64 / (1u64 << 30) as f64));
-    }
-    if let Some(g) = &report.best_goodput {
-        envelope = envelope
-            .metric_str("best_goodput_config", g.config.to_string())
-            .metric("best_goodput", format!("{:.6}", g.goodput.unwrap_or(0.0)));
-    }
+    let mut envelope = search_envelope(&args.to_query(), &spec, &report, wall_ms, baseline);
     let mut code = 0;
     if let Some((tp, cp, pp, dp)) = args.expect {
         let hit = report.frontier_contains_mesh(tp, cp, pp, dp);

@@ -12,11 +12,11 @@
 //! group spans many nodes.
 
 use crate::group::{GroupShape, ProcessGroup};
+use crate::sharded::{CacheStats, ShardedCache};
 use cluster_model::topology::{GlobalRank, TopologySpec};
 use numerics::costs::{ring_transfer_s, transfer_s};
 use sim_engine::time::SimDuration;
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::sync::LazyLock;
 
 /// Which algorithm family prices a collective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -62,20 +62,29 @@ struct CacheKey {
     bytes: u64,
 }
 
-thread_local! {
-    /// Memoized collective costs. Thread-local so concurrent planner
-    /// sweeps never contend on a lock; each worker warms its own table.
-    static COST_CACHE: RefCell<HashMap<CacheKey, SimDuration>> = RefCell::new(HashMap::new());
-}
+/// Memoized collective costs, shared by every thread in the process.
+/// Originally thread-local (each sweep worker warmed a private table);
+/// promoted to a sharded concurrent cache so server connection threads
+/// and planner sweeps share one warm table. Pricing is pure per key
+/// (the key carries every model input, floats by bit pattern), so
+/// cross-thread sharing cannot change a single priced bit.
+static COST_CACHE: LazyLock<ShardedCache<CacheKey, SimDuration>> =
+    LazyLock::new(ShardedCache::new);
 
-/// Empties this thread's collective cost cache.
+/// Empties the process-wide collective cost cache.
 pub fn clear_cost_cache() {
-    COST_CACHE.with(|c| c.borrow_mut().clear());
+    COST_CACHE.clear();
 }
 
-/// Number of entries in this thread's collective cost cache.
+/// Number of entries in the process-wide collective cost cache.
 pub fn cost_cache_len() -> usize {
-    COST_CACHE.with(|c| c.borrow().len())
+    COST_CACHE.len()
+}
+
+/// Hit/miss counters and entry count of the process-wide collective
+/// cost cache.
+pub fn cost_cache_stats() -> CacheStats {
+    COST_CACHE.stats()
 }
 
 /// Prices collectives on a topology.
@@ -154,12 +163,7 @@ impl CommCostModel {
             group: group.shape(leaf_ranks),
             bytes,
         };
-        if let Some(hit) = COST_CACHE.with(|c| c.borrow().get(&key).copied()) {
-            return hit;
-        }
-        let v = compute();
-        COST_CACHE.with(|c| c.borrow_mut().insert(key, v));
-        v
+        COST_CACHE.get_or_insert_with(key, compute)
     }
 
     /// The underlying topology.
@@ -306,6 +310,14 @@ impl CommCostModel {
 mod tests {
     use super::*;
 
+    /// The cost cache is process-global now, so tests that assert on
+    /// entry counts (or clear the cache) must not interleave with other
+    /// tests priced through it. Every pricing test takes this lock.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn model() -> CommCostModel {
         CommCostModel::new(TopologySpec::llama3_production(64))
     }
@@ -321,6 +333,7 @@ mod tests {
 
     #[test]
     fn intra_node_all_gather_near_nvlink_speed() {
+        let _serial = serial();
         let m = model();
         let g = ProcessGroup::contiguous(0, 8); // one node
         let bytes = 512u64 << 20;
@@ -333,6 +346,7 @@ mod tests {
 
     #[test]
     fn cross_node_all_gather_is_nic_bound() {
+        let _serial = serial();
         let m = model().with_algorithm(Algorithm::Ring);
         let g = ProcessGroup::strided(0, 4, 8); // 4 nodes, one GPU each
         let bw = m.achieved_all_gather_bandwidth(&g, 256 << 20);
@@ -341,6 +355,7 @@ mod tests {
 
     #[test]
     fn hierarchical_beats_flat_ring_on_mixed_groups() {
+        let _serial = serial();
         let topo = TopologySpec::llama3_production(64);
         let flat = CommCostModel::new(topo.clone()).with_algorithm(Algorithm::Ring);
         let hier = CommCostModel::new(topo).with_algorithm(Algorithm::Hierarchical);
@@ -352,6 +367,7 @@ mod tests {
 
     #[test]
     fn all_reduce_is_roughly_twice_all_gather() {
+        let _serial = serial();
         let m = model().with_algorithm(Algorithm::Ring);
         let g = ProcessGroup::contiguous(0, 8);
         let bytes = 256u64 << 20;
@@ -372,6 +388,7 @@ mod tests {
 
     #[test]
     fn all_gather_latency_term_dominates_tiny_messages() {
+        let _serial = serial();
         let m = model();
         let g = ProcessGroup::contiguous(0, 8);
         let tiny = m.all_gather(&g, 16);
@@ -381,6 +398,7 @@ mod tests {
 
     #[test]
     fn broadcast_scales_with_bytes_not_much_with_ranks() {
+        let _serial = serial();
         let m = model();
         let g8 = ProcessGroup::contiguous(0, 8);
         let b1 = m.broadcast(&g8, 1 << 20);
@@ -390,6 +408,7 @@ mod tests {
 
     #[test]
     fn cached_costs_bit_identical_to_uncached() {
+        let _serial = serial();
         // Ring and hierarchical all-gather / reduce-scatter / all-reduce
         // on NVLink-local, leaf-local, and cross-leaf groups: caching
         // must never change a single bit of the priced duration.
@@ -445,6 +464,7 @@ mod tests {
 
     #[test]
     fn cache_hits_on_translated_groups() {
+        let _serial = serial();
         // Two DP-style groups offset by exactly one leaf (128 ranks on
         // the production topology) share a shape, so the second lookup
         // must not add a cache entry — and must price identically.
@@ -469,6 +489,7 @@ mod tests {
 
     #[test]
     fn communication_demand_ordering_matches_section_5_2() {
+        let _serial = serial();
         // TP (intra-node, per-layer, exposed) must be placed innermost:
         // verify the model prices an intra-node all-gather far cheaper
         // than the same bytes cross-node, which is the quantitative basis

@@ -20,6 +20,8 @@
 pub mod algorithms;
 pub mod cost;
 pub mod group;
+pub mod sharded;
 
-pub use cost::{Algorithm, CommCostModel};
+pub use cost::{cost_cache_stats, Algorithm, CommCostModel};
 pub use group::{GroupShape, ProcessGroup};
+pub use sharded::{CacheStats, ShardedCache};

@@ -3,6 +3,9 @@
 //! invocation working by delegating to the same library entry point
 //! ([`conformance::fuzz::sweep`]).
 
+// The shim exists precisely to keep the old path alive.
+#![allow(deprecated)]
+
 use conformance::fuzz::{sweep, FuzzArgs};
 
 fn parse_u64(s: &str) -> Result<u64, String> {

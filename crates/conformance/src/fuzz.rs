@@ -26,6 +26,7 @@ use crate::oracles::{oracle_fluid_fast_path, oracle_folded_vs_full, oracle_run_v
 use cluster_model::{Cluster, GlobalRank, GpuSpec};
 use llm_model::{MaskSpec, ModelLayout, PrecisionPolicy, TransformerConfig};
 use parallelism_core::pp::sim::{lower_pp, lowering_capacity, PpSimOp};
+use parallelism_core::query;
 use parallelism_core::pp::UniformCosts;
 use parallelism_core::step::{SimOptions, StepModel};
 use parallelism_core::{BalancePolicy, Dim, Mesh4D, ScheduleKind, StageAssignment, ZeroMode};
@@ -454,35 +455,126 @@ impl Default for FuzzArgs {
     }
 }
 
+/// A shrunk sweep counterexample, ready to render or re-check.
+#[derive(Debug, Clone)]
+pub struct SweepCounterexample {
+    /// Index of the failing case in the sweep.
+    pub case: u64,
+    /// The original (pre-shrink) violation message.
+    pub message: String,
+    /// The greedily minimized failing spec.
+    pub min_spec: CaseSpec,
+    /// The minimized spec's violation message.
+    pub min_message: String,
+    /// Accepted shrink steps.
+    pub shrink_steps: u32,
+    /// Ready-to-paste `#[test]` reproducing the failure.
+    pub snippet: String,
+}
+
+/// The structured result of a seeded sweep: what ran and the first
+/// (shrunk) violation, if any. This is the data the query API's fuzz
+/// response is built from; the CLI printer ([`sweep`]) is a thin
+/// renderer over it.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Cases swept (the full count on a clean sweep; sweeping stops at
+    /// the first violation).
+    pub cases: u64,
+    /// The sweep seed.
+    pub seed: u64,
+    /// The first violation, already minimized; `None` on a clean sweep.
+    pub counterexample: Option<SweepCounterexample>,
+}
+
+impl SweepOutcome {
+    /// Converts into the wire-level query response payload (shared by
+    /// the CLI and the serve dispatcher so both render identically).
+    pub fn into_response(self) -> query::FuzzResponse {
+        query::FuzzResponse {
+            cases: self.cases,
+            seed: self.seed,
+            counterexample: self.counterexample.map(|ce| query::Counterexample {
+                case: ce.case,
+                message: ce.message,
+                min_display: ce.min_spec.to_string(),
+                min_message: ce.min_message,
+                shrink_steps: ce.shrink_steps,
+                snippet: ce.snippet,
+            }),
+        }
+    }
+}
+
 /// Runs the seeded sweep: samples `cases` random specs, runs the full
 /// invariant + oracle battery on each, and on the first violation
-/// greedily shrinks it and prints a ready-to-paste `#[test]`
-/// reproducing it. Returns the process exit code: 0 on a clean sweep,
-/// 1 on a counterexample.
-pub fn sweep(args: &FuzzArgs) -> i32 {
+/// greedily shrinks it. `progress` is called with the clean-case count
+/// every 500 cases (the CLI prints a heartbeat; the server passes a
+/// no-op).
+pub fn run_sweep(args: &FuzzArgs, mut progress: impl FnMut(u64)) -> SweepOutcome {
     let FuzzArgs { cases, seed } = *args;
     let mut rng = TestRng::new(seed);
     for case in 0..cases {
         let spec = CaseSpec::sample(&mut rng);
-        if let Err(msg) = spec.check() {
-            eprintln!("counterexample at case {case}/{cases} (seed {seed:#x}):");
-            eprintln!("  {msg}");
-            let (min_spec, steps) = minimize(spec);
-            let min_msg = min_spec
+        if let Err(message) = spec.check() {
+            let (min_spec, shrink_steps) = minimize(spec);
+            let min_message = min_spec
                 .check()
                 .expect_err("minimize must preserve the failure");
-            eprintln!("shrunk in {steps} steps to: {min_spec}");
-            eprintln!("  {min_msg}");
-            eprintln!("\npaste this test to pin the regression:\n");
-            println!("{}", min_spec.as_test_snippet(seed, case, steps));
-            return 1;
+            let snippet = min_spec.as_test_snippet(seed, case, shrink_steps);
+            return SweepOutcome {
+                cases,
+                seed,
+                counterexample: Some(SweepCounterexample {
+                    case,
+                    message,
+                    min_spec,
+                    min_message,
+                    shrink_steps,
+                    snippet,
+                }),
+            };
         }
-        if (case + 1) % 500 == 0 {
-            eprintln!("conformance fuzz: {}/{cases} cases clean", case + 1);
+        if (case + 1).is_multiple_of(500) {
+            progress(case + 1);
         }
     }
-    println!("conformance fuzz: {cases} cases, seed {seed:#x}: no counterexamples");
-    0
+    SweepOutcome {
+        cases,
+        seed,
+        counterexample: None,
+    }
+}
+
+/// Runs the seeded sweep and prints the legacy CLI report: on the first
+/// violation, the diagnostics go to stderr and a ready-to-paste
+/// `#[test]` to stdout. Returns the process exit code: 0 on a clean
+/// sweep, 1 on a counterexample.
+#[deprecated(
+    since = "0.8.0",
+    note = "dispatch a `parallelism_core::query::Query::Fuzz` instead; \
+            this shim only renders `run_sweep`"
+)]
+pub fn sweep(args: &FuzzArgs) -> i32 {
+    let outcome = run_sweep(args, |clean| {
+        eprintln!("conformance fuzz: {clean}/{} cases clean", args.cases);
+    });
+    let SweepOutcome { cases, seed, .. } = outcome;
+    match outcome.counterexample {
+        Some(ce) => {
+            eprintln!("counterexample at case {}/{cases} (seed {seed:#x}):", ce.case);
+            eprintln!("  {}", ce.message);
+            eprintln!("shrunk in {} steps to: {}", ce.shrink_steps, ce.min_spec);
+            eprintln!("  {}", ce.min_message);
+            eprintln!("\npaste this test to pin the regression:\n");
+            println!("{}", ce.snippet);
+            1
+        }
+        None => {
+            println!("conformance fuzz: {cases} cases, seed {seed:#x}: no counterexamples");
+            0
+        }
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@ pub mod costs;
 pub mod cp;
 pub mod multimodal;
 pub mod planner;
+pub mod query;
 pub mod run;
 pub mod search;
 pub mod step;
@@ -33,9 +34,13 @@ pub use mesh::{Coord4, Dim, Mesh4D};
 pub use pp::{BalancePolicy, PpSchedule, ScheduleKind, StageAssignment};
 pub use multimodal::{EncoderSharding, MultimodalReport, MultimodalStep};
 pub use planner::{plan, Plan, PlanError, PlannerInput};
+pub use query::{
+    AnalyzeMode, Query, QueryError, Response, SearchQuery, StatsResponse, QUERY_API_VERSION,
+};
 pub use run::{CheckpointPolicy, GoodputLoss, GoodputReport, RunSimulator};
 pub use search::{
-    search, ConfigPoint, FunnelCounts, GuidedStats, SearchPoint, SearchReport, SearchSpec,
+    finish_search, restrict_max_cp, search, search_outcomes, verdict_cache_stats, ConfigPoint,
+    FunnelCounts, GuidedStats, SearchOutcomes, SearchPoint, SearchReport, SearchSpec,
     SearchStrategy,
 };
 pub use sim_engine::error::SimError;

@@ -1,0 +1,1008 @@
+//! The versioned query surface shared by the CLI and `llama3sim serve`.
+//!
+//! Every front end — the `llama3sim` subcommands and the HTTP daemon —
+//! speaks the same API: build a [`Query`], dispatch it (the dispatcher
+//! lives in the `serve` crate, above this one), and render the
+//! [`Response`]. The wire encoding is a single line of text,
+//!
+//! ```text
+//! llama3sim/1 <kind> key=value key=value ...
+//! ```
+//!
+//! with the protocol version first (see [`QUERY_API_VERSION`]), so a
+//! server can reject queries from a future client instead of
+//! misreading them. Keys at their default value are omitted; the
+//! encoder emits keys in one fixed order, which makes
+//! [`Query::canonical_wire`] a canonical form: two queries are the
+//! same computation iff their canonical lines are equal. The canonical
+//! form also normalizes out pure *execution hints* (today: the scoring
+//! `threads` knob), so a thundering herd that only disagrees about
+//! thread counts coalesces onto one computation.
+//!
+//! This module defines only data — no I/O, no dispatch — so it can sit
+//! in `parallelism_core` without dragging the analyzer, conformance or
+//! bench crates into the dependency graph. A `repo_lint` rule keeps
+//! these wire types out of the crates *below* core: the substrate
+//! must not grow knowledge of the network protocol.
+
+use crate::analyze;
+use crate::fsdp::ZeroMode;
+use crate::search::{SearchReport, SearchSpec, SearchStrategy};
+use collectives::CacheStats;
+use std::fmt;
+
+/// Wire-protocol version; bumped on any incompatible change to the
+/// query or response encodings.
+pub const QUERY_API_VERSION: u32 = 1;
+
+/// The magic token opening every wire line, `llama3sim/<version>`.
+pub const WIRE_MAGIC: &str = "llama3sim/1";
+
+/// A malformed or unanswerable query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryError {
+    /// What went wrong, suitable for the wire error line.
+    pub message: String,
+}
+
+impl QueryError {
+    /// A new error with the given message.
+    pub fn new(message: impl Into<String>) -> QueryError {
+        QueryError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// What the `analyze` query should look at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeMode {
+    /// Enumerate the named configurations.
+    List,
+    /// Analyze one named configuration.
+    Config(String),
+    /// Sweep the 64-config conformance grid.
+    Grid,
+    /// Analyze a single grid configuration by index (0-based). Used by
+    /// the serve benchmark and the conformance oracle to replay the
+    /// grid one query at a time.
+    GridIndex(usize),
+}
+
+/// The `fuzz` query: a seeded conformance sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzQuery {
+    /// Number of sampled cases.
+    pub cases: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FuzzQuery {
+    fn default() -> FuzzQuery {
+        FuzzQuery { cases: 500, seed: 1 }
+    }
+}
+
+/// The `search` query: the Pareto auto-parallelism sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchQuery {
+    /// Model name: `405b`, `70b` or `8b`.
+    pub model: String,
+    /// Cluster size in GPUs.
+    pub gpus: u32,
+    /// Sequence length.
+    pub seq: u64,
+    /// Override the model's layer count (`0` = the model default).
+    pub layers: u64,
+    /// Override the token budget (`0` = the 16 M-token default).
+    pub budget: u64,
+    /// Goodput-refine the best `head` frontier points (0 = off).
+    pub goodput_head: usize,
+    /// Scoring threads (0 = all available). An execution hint, not a
+    /// semantic input: the report is bit-identical for any value, so
+    /// the canonical form normalizes it to 0.
+    pub threads: usize,
+    /// Largest CP degree to enumerate (0 = the spec default, 64).
+    pub max_cp: u32,
+    /// ZeRO modes to enumerate (empty = all three).
+    pub zero: Vec<ZeroMode>,
+    /// Report whether this `tp,cp,pp,dp` mesh is on the frontier.
+    pub expect: Option<(u32, u32, u32, u32)>,
+    /// Use the gradient-guided candidate strategy.
+    pub guided: bool,
+}
+
+impl Default for SearchQuery {
+    fn default() -> SearchQuery {
+        SearchQuery {
+            model: "405b".to_string(),
+            gpus: 16_384,
+            seq: 8_192,
+            layers: 0,
+            budget: 0,
+            goodput_head: 0,
+            threads: 0,
+            max_cp: 0,
+            zero: Vec::new(),
+            expect: None,
+            guided: false,
+        }
+    }
+}
+
+impl SearchQuery {
+    /// Resolves the query to a [`SearchSpec`].
+    ///
+    /// # Errors
+    /// [`QueryError`] on an unknown model name.
+    pub fn to_spec(&self) -> Result<SearchSpec, QueryError> {
+        let mut spec = match self.model.as_str() {
+            "405b" => SearchSpec::llama3_405b(self.gpus, self.seq),
+            "70b" => SearchSpec::llama3_70b(self.gpus, self.seq),
+            "8b" => SearchSpec::llama3_8b(self.gpus, self.seq),
+            other => {
+                return Err(QueryError::new(format!(
+                    "unknown model {other:?} (want 405b|70b|8b)"
+                )))
+            }
+        };
+        if self.layers > 0 {
+            spec.input.model = spec.input.model.with_layers(self.layers);
+        }
+        if self.budget > 0 {
+            spec.input.token_budget = self.budget;
+        }
+        if self.max_cp > 0 {
+            spec = spec.max_cp(self.max_cp);
+        }
+        if !self.zero.is_empty() {
+            spec.zero_modes = self.zero.clone();
+        }
+        if self.guided {
+            spec.strategy = SearchStrategy::Guided;
+        }
+        Ok(spec.threads(self.threads).goodput_head(self.goodput_head))
+    }
+}
+
+/// One query: everything a client can ask of the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Pre-flight static analysis (no simulation).
+    Analyze(AnalyzeMode),
+    /// Seeded conformance fuzz sweep.
+    Fuzz(FuzzQuery),
+    /// Wall-clock performance snapshot of the simulator's hot paths.
+    Bench,
+    /// The seeded 24 h production goodput simulation.
+    Goodput,
+    /// The Pareto auto-parallelism search.
+    Search(SearchQuery),
+    /// Memo-layer and dispatcher statistics.
+    Stats,
+}
+
+fn zero_tag(z: ZeroMode) -> &'static str {
+    match z {
+        ZeroMode::Zero1 => "zero1",
+        ZeroMode::Zero2 => "zero2",
+        ZeroMode::Zero3 => "zero3",
+    }
+}
+
+fn parse_zero(s: &str) -> Result<Vec<ZeroMode>, QueryError> {
+    s.split(',')
+        .map(|m| match m.trim() {
+            "zero1" | "1" => Ok(ZeroMode::Zero1),
+            "zero2" | "2" => Ok(ZeroMode::Zero2),
+            "zero3" | "3" => Ok(ZeroMode::Zero3),
+            other => Err(QueryError::new(format!(
+                "zero: unknown mode {other:?} (want zero1|zero2|zero3)"
+            ))),
+        })
+        .collect()
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, QueryError> {
+    v.parse()
+        .map_err(|_| QueryError::new(format!("{key}: bad number {v:?}")))
+}
+
+impl Query {
+    /// The query kind tag used on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Query::Analyze(_) => "analyze",
+            Query::Fuzz(_) => "fuzz",
+            Query::Bench => "bench",
+            Query::Goodput => "goodput",
+            Query::Search(_) => "search",
+            Query::Stats => "stats",
+        }
+    }
+
+    /// Encodes the query as one wire line (no trailing newline). Keys
+    /// at their default value are omitted; key order is fixed, so the
+    /// encoding is injective over semantically distinct queries.
+    pub fn to_wire(&self) -> String {
+        let mut out = format!("{WIRE_MAGIC} {}", self.kind());
+        let mut kv = |k: &str, v: String| {
+            out.push(' ');
+            out.push_str(k);
+            out.push('=');
+            out.push_str(&v);
+        };
+        match self {
+            Query::Analyze(mode) => match mode {
+                AnalyzeMode::List => kv("mode", "list".into()),
+                AnalyzeMode::Config(name) => {
+                    kv("mode", "config".into());
+                    kv("config", name.clone());
+                }
+                AnalyzeMode::Grid => kv("mode", "grid".into()),
+                AnalyzeMode::GridIndex(i) => {
+                    kv("mode", "grid_index".into());
+                    kv("index", i.to_string());
+                }
+            },
+            Query::Fuzz(f) => {
+                let d = FuzzQuery::default();
+                if f.cases != d.cases {
+                    kv("cases", f.cases.to_string());
+                }
+                if f.seed != d.seed {
+                    kv("seed", f.seed.to_string());
+                }
+            }
+            Query::Bench | Query::Goodput | Query::Stats => {}
+            Query::Search(s) => {
+                let d = SearchQuery::default();
+                if s.model != d.model {
+                    kv("model", s.model.clone());
+                }
+                if s.gpus != d.gpus {
+                    kv("gpus", s.gpus.to_string());
+                }
+                if s.seq != d.seq {
+                    kv("seq", s.seq.to_string());
+                }
+                if s.layers != d.layers {
+                    kv("layers", s.layers.to_string());
+                }
+                if s.budget != d.budget {
+                    kv("budget", s.budget.to_string());
+                }
+                if s.goodput_head != d.goodput_head {
+                    kv("head", s.goodput_head.to_string());
+                }
+                if s.threads != d.threads {
+                    kv("threads", s.threads.to_string());
+                }
+                if s.max_cp != d.max_cp {
+                    kv("max_cp", s.max_cp.to_string());
+                }
+                if !s.zero.is_empty() {
+                    let list: Vec<&str> = s.zero.iter().map(|&z| zero_tag(z)).collect();
+                    kv("zero", list.join(","));
+                }
+                if let Some((tp, cp, pp, dp)) = s.expect {
+                    kv("expect", format!("{tp},{cp},{pp},{dp}"));
+                }
+                if s.guided {
+                    kv("guided", "true".into());
+                }
+            }
+        }
+        out
+    }
+
+    /// The canonical wire form: [`Query::to_wire`] with execution
+    /// hints (the `threads` knob) normalized out. Two queries describe
+    /// the same computation iff their canonical lines are equal.
+    pub fn canonical_wire(&self) -> String {
+        match self {
+            Query::Search(s) => {
+                let mut c = s.clone();
+                c.threads = 0;
+                Query::Search(c).to_wire()
+            }
+            q => q.to_wire(),
+        }
+    }
+
+    /// A stable 64-bit hash (FNV-1a) of the canonical wire form — the
+    /// coalescing key of the serve dispatcher.
+    pub fn canonical_hash(&self) -> u64 {
+        fnv1a(self.canonical_wire().as_bytes())
+    }
+
+    /// Decodes one wire line.
+    ///
+    /// # Errors
+    /// [`QueryError`] on a bad magic/version token, unknown kind,
+    /// unknown/duplicate/malformed key, or a missing required key.
+    pub fn parse_wire(line: &str) -> Result<Query, QueryError> {
+        let mut tokens = line.split_whitespace();
+        let magic = tokens
+            .next()
+            .ok_or_else(|| QueryError::new("empty query"))?;
+        if magic != WIRE_MAGIC {
+            return Err(QueryError::new(format!(
+                "bad protocol token {magic:?} (this server speaks {WIRE_MAGIC})"
+            )));
+        }
+        let kind = tokens
+            .next()
+            .ok_or_else(|| QueryError::new("missing query kind"))?;
+        let mut pairs: Vec<(&str, &str)> = Vec::new();
+        for t in tokens {
+            let Some((k, v)) = t.split_once('=') else {
+                return Err(QueryError::new(format!("bad token {t:?} (want key=value)")));
+            };
+            if pairs.iter().any(|&(seen, _)| seen == k) {
+                return Err(QueryError::new(format!("duplicate key {k:?}")));
+            }
+            pairs.push((k, v));
+        }
+        let get = |key: &str| pairs.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v);
+        let known = |allowed: &[&str]| -> Result<(), QueryError> {
+            for &(k, _) in &pairs {
+                if !allowed.contains(&k) {
+                    return Err(QueryError::new(format!("{kind}: unknown key {k:?}")));
+                }
+            }
+            Ok(())
+        };
+        match kind {
+            "analyze" => {
+                known(&["mode", "config", "index"])?;
+                let mode = get("mode").unwrap_or("grid");
+                let mode = match mode {
+                    "list" => AnalyzeMode::List,
+                    "grid" => AnalyzeMode::Grid,
+                    "config" => AnalyzeMode::Config(
+                        get("config")
+                            .ok_or_else(|| QueryError::new("analyze: mode=config wants config=NAME"))?
+                            .to_string(),
+                    ),
+                    "grid_index" => AnalyzeMode::GridIndex(parse_num(
+                        "index",
+                        get("index")
+                            .ok_or_else(|| QueryError::new("analyze: mode=grid_index wants index=N"))?,
+                    )?),
+                    other => {
+                        return Err(QueryError::new(format!(
+                            "analyze: unknown mode {other:?} (want list|config|grid|grid_index)"
+                        )))
+                    }
+                };
+                Ok(Query::Analyze(mode))
+            }
+            "fuzz" => {
+                known(&["cases", "seed"])?;
+                let mut f = FuzzQuery::default();
+                if let Some(v) = get("cases") {
+                    f.cases = parse_num("cases", v)?;
+                }
+                if let Some(v) = get("seed") {
+                    f.seed = parse_num("seed", v)?;
+                }
+                Ok(Query::Fuzz(f))
+            }
+            "bench" => {
+                known(&[])?;
+                Ok(Query::Bench)
+            }
+            "goodput" => {
+                known(&[])?;
+                Ok(Query::Goodput)
+            }
+            "stats" => {
+                known(&[])?;
+                Ok(Query::Stats)
+            }
+            "search" => {
+                known(&[
+                    "model", "gpus", "seq", "layers", "budget", "head", "threads", "max_cp",
+                    "zero", "expect", "guided",
+                ])?;
+                let mut s = SearchQuery::default();
+                if let Some(v) = get("model") {
+                    s.model = v.to_string();
+                }
+                if let Some(v) = get("gpus") {
+                    s.gpus = parse_num("gpus", v)?;
+                }
+                if let Some(v) = get("seq") {
+                    s.seq = parse_num("seq", v)?;
+                }
+                if let Some(v) = get("layers") {
+                    s.layers = parse_num("layers", v)?;
+                }
+                if let Some(v) = get("budget") {
+                    s.budget = parse_num("budget", v)?;
+                }
+                if let Some(v) = get("head") {
+                    s.goodput_head = parse_num("head", v)?;
+                }
+                if let Some(v) = get("threads") {
+                    s.threads = parse_num("threads", v)?;
+                }
+                if let Some(v) = get("max_cp") {
+                    s.max_cp = parse_num("max_cp", v)?;
+                }
+                if let Some(v) = get("zero") {
+                    s.zero = parse_zero(v)?;
+                }
+                if let Some(v) = get("expect") {
+                    let parts: Vec<u32> =
+                        v.split(',').filter_map(|p| p.trim().parse().ok()).collect();
+                    let [tp, cp, pp, dp] = parts[..] else {
+                        return Err(QueryError::new(format!(
+                            "expect: want tp,cp,pp,dp, got {v:?}"
+                        )));
+                    };
+                    s.expect = Some((tp, cp, pp, dp));
+                }
+                if let Some(v) = get("guided") {
+                    s.guided = match v {
+                        "true" => true,
+                        "false" => false,
+                        other => {
+                            return Err(QueryError::new(format!(
+                                "guided: want true|false, got {other:?}"
+                            )))
+                        }
+                    };
+                }
+                Ok(Query::Search(s))
+            }
+            other => Err(QueryError::new(format!(
+                "unknown query kind {other:?} (want analyze|fuzz|bench|goodput|search|stats)"
+            ))),
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The `analyze` response payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalyzeResponse {
+    /// The named-configuration catalog: `(name, description)` pairs.
+    List(Vec<(String, String)>),
+    /// One analyzed configuration (a named config or one grid index).
+    Config {
+        /// The config's name (or grid spec display).
+        name: String,
+        /// The analyzer's findings.
+        report: analyze::Report,
+    },
+    /// The full grid sweep: `(spec display, report)` per config.
+    Grid(Vec<(String, analyze::Report)>),
+}
+
+impl AnalyzeResponse {
+    /// `true` if any analyzed config has error-severity findings.
+    pub fn has_errors(&self) -> bool {
+        match self {
+            AnalyzeResponse::List(_) => false,
+            AnalyzeResponse::Config { report, .. } => report.has_errors(),
+            AnalyzeResponse::Grid(results) => results.iter().any(|(_, r)| r.has_errors()),
+        }
+    }
+
+    /// The legacy `--json` rendering: one JSON object per diagnostic
+    /// (empty for a clean sweep or a list query).
+    pub fn render_jsonl(&self) -> String {
+        match self {
+            AnalyzeResponse::List(_) => String::new(),
+            AnalyzeResponse::Config { report, .. } => report.render_jsonl(),
+            AnalyzeResponse::Grid(results) => results
+                .iter()
+                .map(|(_, r)| r.render_jsonl())
+                .filter(|s| !s.is_empty())
+                .collect::<Vec<_>>()
+                .join("\n"),
+        }
+    }
+
+    fn render_human(&self) -> String {
+        match self {
+            AnalyzeResponse::List(names) => names
+                .iter()
+                .map(|(name, desc)| format!("{name:<22} {desc}"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+            AnalyzeResponse::Config { name, report } => {
+                format!("{name}: {}", report.render_human())
+            }
+            AnalyzeResponse::Grid(results) => {
+                let mut out = String::new();
+                let mut failed = 0usize;
+                for (spec, report) in results {
+                    if !report.is_clean() {
+                        out.push_str(&format!("[{spec}]\n{}\n", report.render_human()));
+                    }
+                    if report.has_errors() {
+                        failed += 1;
+                    }
+                }
+                out.push_str(&format!(
+                    "analyzed {} grid configs: {} with errors",
+                    results.len(),
+                    failed
+                ));
+                out
+            }
+        }
+    }
+}
+
+/// A shrunk fuzz counterexample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Index of the failing case in the sweep.
+    pub case: u64,
+    /// The original violation message.
+    pub message: String,
+    /// Display form of the minimized spec.
+    pub min_display: String,
+    /// The minimized spec's violation message.
+    pub min_message: String,
+    /// Accepted shrink steps.
+    pub shrink_steps: u32,
+    /// Ready-to-paste `#[test]` reproducing the failure.
+    pub snippet: String,
+}
+
+/// The `fuzz` response payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzResponse {
+    /// Cases swept.
+    pub cases: u64,
+    /// The sweep seed.
+    pub seed: u64,
+    /// The first (shrunk) violation, `None` on a clean sweep.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl FuzzResponse {
+    fn render_human(&self) -> String {
+        match &self.counterexample {
+            None => format!(
+                "conformance fuzz: {} cases, seed {:#x}: no counterexamples",
+                self.cases, self.seed
+            ),
+            Some(ce) => ce.snippet.clone(),
+        }
+    }
+
+    /// The diagnostic lines the CLI prints to stderr on a violation.
+    pub fn render_diagnostics(&self) -> Option<String> {
+        self.counterexample.as_ref().map(|ce| {
+            format!(
+                "counterexample at case {}/{} (seed {:#x}):\n  {}\nshrunk in {} steps to: {}\n  {}\n\npaste this test to pin the regression:\n",
+                ce.case, self.cases, self.seed, ce.message, ce.shrink_steps, ce.min_display,
+                ce.min_message
+            )
+        })
+    }
+}
+
+/// The `bench` response payload: wall-clock timings of the simulator's
+/// hot paths. Inherently nondeterministic — the only response kind
+/// whose payload is wall-clock, which is why the serve dispatcher
+/// never caches it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResponse {
+    /// Median §5.1 planning sweep at 405B@16K, milliseconds.
+    pub plan_ms: f64,
+    /// The planner's chosen mesh, display form.
+    pub plan_mesh: String,
+    /// Median folded 8K-GPU step simulation, milliseconds.
+    pub folded_ms: f64,
+    /// Median full-fidelity step simulation, milliseconds.
+    pub full_ms: f64,
+    /// Whether folded and full reports were bit-identical.
+    pub identical: bool,
+    /// Median fluid solve of 1 024 transfers, milliseconds.
+    pub fluid_ms: f64,
+    /// Outcome count of the fluid solve.
+    pub fluid_outcomes: usize,
+}
+
+impl BenchResponse {
+    /// Full-over-folded speedup.
+    pub fn speedup(&self) -> f64 {
+        self.full_ms / self.folded_ms
+    }
+
+    fn render_human(&self) -> String {
+        format!(
+            "plan 405B @ 16K GPUs        {:9.2} ms   ({})\n\
+             folded 8K-GPU 405B step     {:9.2} ms\n\
+             full   8K-GPU 405B step     {:9.2} ms   ({:.1}x, identical: {})\n\
+             fluid solve 1K transfers    {:9.2} ms   ({} outcomes)",
+            self.plan_ms,
+            self.plan_mesh,
+            self.folded_ms,
+            self.full_ms,
+            self.speedup(),
+            self.identical,
+            self.fluid_ms,
+            self.fluid_outcomes
+        )
+    }
+}
+
+/// The `goodput` response payload: the seeded 24 h production run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoodputResponse {
+    /// Wall-clock of the simulation itself, milliseconds.
+    pub sim_wall_ms: f64,
+    /// The fault-timeline seed.
+    pub seed: u64,
+    /// Simulated wall time, seconds.
+    pub wall_time_s: f64,
+    /// Goodput (effective-training-time ratio).
+    pub goodput: f64,
+    /// Steps whose work survived to the end of the run.
+    pub steps_completed: u64,
+    /// Job restarts.
+    pub restarts: u32,
+    /// Healthy step time, seconds.
+    pub healthy_step_s: f64,
+    /// Checkpoint write stalls, seconds.
+    pub loss_checkpoint_s: f64,
+    /// Failure-detection lag, seconds.
+    pub loss_detect_s: f64,
+    /// Reschedule plus restore, seconds.
+    pub loss_restart_s: f64,
+    /// Re-executed steps, seconds.
+    pub loss_rework_s: f64,
+    /// Degraded-mode overhead, seconds.
+    pub loss_degraded_s: f64,
+    /// Checkpoint shard size per rank, bytes.
+    pub checkpoint_bytes_per_rank: u64,
+    /// One checkpoint write stall, seconds.
+    pub checkpoint_write_s: f64,
+    /// Configured checkpoint interval, seconds.
+    pub checkpoint_interval_s: f64,
+    /// Young/Daly optimal interval, seconds.
+    pub young_daly_interval_s: f64,
+    /// Mean time between fatal faults, seconds.
+    pub mtbf_s: f64,
+}
+
+impl GoodputResponse {
+    fn render_human(&self) -> String {
+        format!(
+            "24 h, 16K GPUs, 405B, seed {:#x}\n\
+             simulated in                {:9.2} ms\n\
+             goodput                     {:9.4}\n\
+             effective training time     {:9.4}\n\
+             steps completed             {:9}\n\
+             restarts                    {:9}\n\
+             lost to checkpoints         {:9.0} s\n\
+             lost to rework              {:9.0} s\n\
+             lost to detect+restart      {:9.0} s\n\
+             lost to degradation         {:9.0} s\n\
+             Young/Daly interval         {:9.0} s (simulated: {:.0} s)",
+            self.seed,
+            self.sim_wall_ms,
+            self.goodput,
+            self.goodput,
+            self.steps_completed,
+            self.restarts,
+            self.loss_checkpoint_s,
+            self.loss_rework_s,
+            self.loss_detect_s + self.loss_restart_s,
+            self.loss_degraded_s,
+            self.young_daly_interval_s,
+            self.checkpoint_interval_s
+        )
+    }
+}
+
+/// The `search` response payload. Carries no wall-clock — timings are
+/// measured by the caller around the dispatch, so two dispatches of
+/// one query are byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResponse {
+    /// The deterministic search report.
+    pub report: SearchReport,
+    /// The `expect` mesh of the query, if any.
+    pub expect: Option<(u32, u32, u32, u32)>,
+    /// Whether the expected mesh is on the frontier (`None` when no
+    /// expectation was asked).
+    pub expect_hit: Option<bool>,
+}
+
+/// One memo layer's stats line.
+fn stats_line(label: &str, s: &CacheStats) -> String {
+    format!(
+        "{label:<16} hits {:>8}  misses {:>8}  entries {:>7}  ({:5.1}% hits)",
+        s.hits,
+        s.misses,
+        s.entries,
+        s.hit_rate() * 100.0
+    )
+}
+
+/// The `stats` response payload: dispatcher counters plus every shared
+/// memo layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsResponse {
+    /// Queries dispatched (all kinds).
+    pub queries: u64,
+    /// Queries that joined an identical in-flight computation.
+    pub coalesced: u64,
+    /// Queries answered from the bounded response cache.
+    pub response_hits: u64,
+    /// Search computations actually run.
+    pub searches_computed: u64,
+    /// Searches derived from a cached wider-`max_cp` outcome set
+    /// instead of re-running the funnel.
+    pub frontier_reuses: u64,
+    /// The shared collective-cost memo.
+    pub cost: CacheStats,
+    /// The shared schedule-shape (deadlock/race) verdict memo.
+    pub sched: CacheStats,
+    /// The shared TP/CP collective verdict memo.
+    pub tp_cp: CacheStats,
+    /// The shared FSDP collective verdict memo.
+    pub fsdp: CacheStats,
+}
+
+impl StatsResponse {
+    fn render_human(&self) -> String {
+        format!(
+            "queries dispatched    {:>8}\n\
+             coalesced in-flight   {:>8}\n\
+             response-cache hits   {:>8}\n\
+             searches computed     {:>8}\n\
+             frontier reuses       {:>8}\n\
+             {}\n{}\n{}\n{}",
+            self.queries,
+            self.coalesced,
+            self.response_hits,
+            self.searches_computed,
+            self.frontier_reuses,
+            stats_line("cost cache", &self.cost),
+            stats_line("sched verdicts", &self.sched),
+            stats_line("tp/cp verdicts", &self.tp_cp),
+            stats_line("fsdp verdicts", &self.fsdp),
+        )
+    }
+}
+
+/// One response: the result of dispatching a [`Query`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Query::Analyze`].
+    Analyze(AnalyzeResponse),
+    /// Answer to [`Query::Fuzz`].
+    Fuzz(FuzzResponse),
+    /// Answer to [`Query::Bench`].
+    Bench(BenchResponse),
+    /// Answer to [`Query::Goodput`].
+    Goodput(GoodputResponse),
+    /// Answer to [`Query::Search`].
+    Search(Box<SearchResponse>),
+    /// Answer to [`Query::Stats`].
+    Stats(StatsResponse),
+}
+
+impl Response {
+    /// The response kind tag used on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Response::Analyze(_) => "analyze",
+            Response::Fuzz(_) => "fuzz",
+            Response::Bench(_) => "bench",
+            Response::Goodput(_) => "goodput",
+            Response::Search(_) => "search",
+            Response::Stats(_) => "stats",
+        }
+    }
+
+    /// The human rendering — for the deterministic kinds, byte-for-byte
+    /// what the pre-query CLI printed (minus wall-clock and envelope
+    /// lines, which stay with the caller). No trailing newline.
+    pub fn render_human(&self) -> String {
+        match self {
+            Response::Analyze(r) => r.render_human(),
+            Response::Fuzz(r) => r.render_human(),
+            Response::Bench(r) => r.render_human(),
+            Response::Goodput(r) => r.render_human(),
+            Response::Search(r) => r.report.render_human(),
+            Response::Stats(r) => r.render_human(),
+        }
+    }
+
+    /// The wire encoding: a status line, then the human rendering.
+    /// Both the server and direct dispatch serialize through here, so
+    /// the conformance oracle can compare the two byte-for-byte.
+    pub fn render_wire(&self) -> String {
+        format!("{WIRE_MAGIC} ok {}\n{}\n", self.kind(), self.render_human())
+    }
+
+    /// The wire encoding of an error.
+    pub fn render_wire_error(err: &QueryError) -> String {
+        format!("{WIRE_MAGIC} err {}\n", err.message)
+    }
+
+    /// The process exit code the CLI maps this response to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            Response::Analyze(r) => i32::from(r.has_errors()),
+            Response::Fuzz(r) => i32::from(r.counterexample.is_some()),
+            Response::Search(r) => i32::from(r.expect_hit == Some(false)),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trips_every_kind() {
+        let queries = [
+            Query::Analyze(AnalyzeMode::List),
+            Query::Analyze(AnalyzeMode::Grid),
+            Query::Analyze(AnalyzeMode::Config("scaled_405b".into())),
+            Query::Analyze(AnalyzeMode::GridIndex(17)),
+            Query::Fuzz(FuzzQuery { cases: 40, seed: 7 }),
+            Query::Fuzz(FuzzQuery::default()),
+            Query::Bench,
+            Query::Goodput,
+            Query::Stats,
+            Query::Search(SearchQuery::default()),
+            Query::Search(SearchQuery {
+                model: "8b".into(),
+                gpus: 8,
+                seq: 8192,
+                layers: 4,
+                budget: 131_072,
+                goodput_head: 2,
+                threads: 3,
+                max_cp: 2,
+                zero: vec![ZeroMode::Zero1, ZeroMode::Zero3],
+                expect: Some((2, 1, 2, 2)),
+                guided: true,
+            }),
+        ];
+        for q in queries {
+            let wire = q.to_wire();
+            let back = Query::parse_wire(&wire).unwrap_or_else(|e| panic!("{wire}: {e}"));
+            assert_eq!(back, q, "{wire}");
+        }
+    }
+
+    #[test]
+    fn canonical_hash_ignores_execution_hints() {
+        let a = Query::Search(SearchQuery {
+            threads: 1,
+            ..SearchQuery::default()
+        });
+        let b = Query::Search(SearchQuery {
+            threads: 16,
+            ..SearchQuery::default()
+        });
+        assert_eq!(a.canonical_wire(), b.canonical_wire());
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+        let c = Query::Search(SearchQuery {
+            max_cp: 2,
+            ..SearchQuery::default()
+        });
+        assert_ne!(a.canonical_hash(), c.canonical_hash());
+    }
+
+    #[test]
+    fn defaults_are_omitted_from_the_wire() {
+        assert_eq!(Query::Search(SearchQuery::default()).to_wire(), "llama3sim/1 search");
+        assert_eq!(Query::Fuzz(FuzzQuery::default()).to_wire(), "llama3sim/1 fuzz");
+        assert_eq!(
+            Query::parse_wire("llama3sim/1 search").unwrap(),
+            Query::Search(SearchQuery::default())
+        );
+    }
+
+    #[test]
+    fn malformed_wire_is_rejected() {
+        for bad in [
+            "",
+            "llama3sim/2 stats",
+            "llama3sim/1",
+            "llama3sim/1 frobnicate",
+            "llama3sim/1 search bogus=1",
+            "llama3sim/1 search gpus=x",
+            "llama3sim/1 search gpus=8 gpus=8",
+            "llama3sim/1 search expect=1,2",
+            "llama3sim/1 search zero=zero9",
+            "llama3sim/1 search guided=maybe",
+            "llama3sim/1 analyze mode=config",
+            "llama3sim/1 analyze mode=what",
+            "llama3sim/1 fuzz cases",
+            "llama3sim/1 bench cases=1",
+        ] {
+            assert!(Query::parse_wire(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn search_query_resolves_to_the_spec() {
+        let q = SearchQuery {
+            model: "8b".into(),
+            gpus: 8,
+            seq: 8192,
+            layers: 4,
+            budget: 16 * 8192,
+            max_cp: 2,
+            zero: vec![ZeroMode::Zero1],
+            threads: 2,
+            goodput_head: 1,
+            ..SearchQuery::default()
+        };
+        let spec = q.to_spec().unwrap();
+        assert_eq!(spec.input.ngpu, 8);
+        assert_eq!(spec.input.model.num_layers, 4);
+        assert_eq!(spec.input.token_budget, 16 * 8192);
+        assert_eq!(spec.max_cp, 2);
+        assert_eq!(spec.zero_modes, vec![ZeroMode::Zero1]);
+        assert_eq!(spec.threads, 2);
+        assert_eq!(spec.goodput_head, 1);
+        assert!(SearchQuery {
+            model: "1t".into(),
+            ..SearchQuery::default()
+        }
+        .to_spec()
+        .is_err());
+    }
+
+    #[test]
+    fn responses_render_and_map_exit_codes() {
+        let clean = Response::Fuzz(FuzzResponse {
+            cases: 3,
+            seed: 0xC0FFEE,
+            counterexample: None,
+        });
+        assert_eq!(clean.exit_code(), 0);
+        assert_eq!(
+            clean.render_human(),
+            "conformance fuzz: 3 cases, seed 0xc0ffee: no counterexamples"
+        );
+        assert!(clean.render_wire().starts_with("llama3sim/1 ok fuzz\n"));
+        let err = Response::render_wire_error(&QueryError::new("nope"));
+        assert_eq!(err, "llama3sim/1 err nope\n");
+
+        let list = Response::Analyze(AnalyzeResponse::List(vec![(
+            "a".into(),
+            "first config".into(),
+        )]));
+        assert_eq!(list.render_human(), format!("{:<22} first config", "a"));
+        assert_eq!(list.exit_code(), 0);
+
+        let stats = Response::Stats(StatsResponse::default());
+        assert!(stats.render_human().contains("cost cache"));
+    }
+}

@@ -61,10 +61,12 @@ use crate::step::{SimOptions, StepModel};
 use cluster_model::faults::{FaultRates, FaultTimeline};
 use cluster_model::gpu::GpuSpec;
 use cluster_model::topology::{Cluster, TopologySpec};
+use collectives::{CacheStats, ShardedCache};
 use llm_model::masks::MaskSpec;
 use llm_model::{ModelLayout, TransformerConfig};
 use sim_engine::time::SimDuration;
 use std::fmt;
+use std::sync::LazyLock;
 
 /// How candidates reach the verification funnel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -587,6 +589,78 @@ struct AnalysisCache {
     fsdp: std::collections::HashMap<FsdpKey, bool>,
 }
 
+/// The process-wide stage-2 verdict memos, shared by every search on
+/// every thread (CLI sweeps and serve clients alike). Keys are the
+/// per-spec fingerprint plus the same shape keys the per-call cache
+/// always used; verdicts are pure booleans, so cross-call sharing
+/// cannot change any report.
+static SCHED_VERDICTS: LazyLock<ShardedCache<(u64, SchedKey), bool>> =
+    LazyLock::new(ShardedCache::new);
+static TP_CP_VERDICTS: LazyLock<ShardedCache<(u64, TpCpKey), bool>> =
+    LazyLock::new(ShardedCache::new);
+static FSDP_VERDICTS: LazyLock<ShardedCache<(u64, FsdpKey), bool>> =
+    LazyLock::new(ShardedCache::new);
+
+/// Snapshot of the shared stage-2 verdict memos, in `(schedule-shape,
+/// TP/CP, FSDP)` order.
+pub fn verdict_cache_stats() -> [CacheStats; 3] {
+    [
+        SCHED_VERDICTS.stats(),
+        TP_CP_VERDICTS.stats(),
+        FSDP_VERDICTS.stats(),
+    ]
+}
+
+/// Empties the shared verdict memos (counters preserved). Verdicts are
+/// pure, so clearing only costs recomputation.
+pub fn clear_verdict_caches() {
+    SCHED_VERDICTS.clear();
+    TP_CP_VERDICTS.clear();
+    FSDP_VERDICTS.clear();
+}
+
+/// Fingerprint of every [`SearchSpec`] input the verdict shapes are
+/// conditioned on. `{:?}` of an `f64` is shortest-roundtrip, so
+/// distinct planning problems always produce distinct strings.
+fn spec_fingerprint(spec: &SearchSpec) -> u64 {
+    use std::hash::Hasher;
+    let mut h = std::hash::DefaultHasher::new();
+    h.write(format!("{:?}", spec.input).as_bytes());
+    h.finish()
+}
+
+/// Resolves one key family through its shared memo: looks every key up
+/// (counting hits/misses), evaluates only the misses — in sorted key
+/// order, chunked over `threads`, exactly as the un-memoized path —
+/// and publishes the fresh verdicts for later searches.
+fn memoized_verdicts<K: Copy + Ord + std::hash::Hash + Send + Sync>(
+    global: &ShardedCache<(u64, K), bool>,
+    sig: u64,
+    keys: std::collections::BTreeMap<K, ConfigPoint>,
+    spec: &SearchSpec,
+    threads: usize,
+    eval: impl Fn(&StepModel, &crate::pp::schedule::PpSchedule) -> bool + Sync,
+) -> std::collections::HashMap<K, bool> {
+    let mut local = std::collections::HashMap::with_capacity(keys.len());
+    let mut misses: std::collections::BTreeMap<K, ConfigPoint> = Default::default();
+    for (k, c) in keys {
+        match global.get(&(sig, k)) {
+            Some(v) => {
+                local.insert(k, v);
+            }
+            None => {
+                misses.insert(k, c);
+            }
+        }
+    }
+    let fresh = eval_keys(spec, misses, threads, eval);
+    for (&k, &v) in &fresh {
+        global.insert((sig, k), v);
+    }
+    local.extend(fresh);
+    local
+}
+
 /// Evaluates the distinct memo keys in sorted order, chunked across
 /// `threads` scoped threads. `eval` must be pure, so the resulting map
 /// is independent of the chunking.
@@ -652,14 +726,72 @@ fn pareto_frontier(points: &[SearchPoint]) -> Vec<SearchPoint> {
     frontier
 }
 
-/// Runs the staged search funnel and returns the deterministic
-/// [`SearchReport`].
+/// Everything funnel stages 1–3 produce for one spec: per admitted
+/// candidate, in enumeration order, the configuration and either its
+/// scored point or `None` for a pre-flight rejection.
+///
+/// Splitting the funnel here lets a caller finish the same outcome set
+/// under a *narrower* spec (see [`restrict_max_cp`]) without
+/// re-running enumeration, analysis or scoring — the serve
+/// dispatcher's frontier-reuse path across `max_cp` knob turns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcomes {
+    /// `(tp, cp, pp)` tuples visited by the enumerator.
+    pub meshes_enumerated: usize,
+    /// Tuples that passed the arithmetic admission stage.
+    pub meshes_admitted: usize,
+    /// Admitted candidates in enumeration order, each with its
+    /// stage-2/3 outcome (`Some` = scored, `None` = rejected).
+    pub outcomes: Vec<(ConfigPoint, Option<SearchPoint>)>,
+    /// Guided-strategy statistics, when that strategy generated the
+    /// candidates.
+    pub guided: Option<GuidedStats>,
+}
+
+/// Derives the stage-1–3 outcome set of a narrower-CP spec from a
+/// wider one: drops every candidate with `cp > narrow.max_cp` and
+/// recomputes the enumeration counts arithmetically (the enumerator
+/// visits exactly the product of the per-axis power-of-two counts).
+///
+/// Only sound when `wide` came from an [`SearchStrategy::Exhaustive`]
+/// run of a spec identical to `narrow` in every field except a
+/// greater-or-equal `max_cp` — the guided strategy's candidate
+/// selection depends on the whole space, so its outcome sets never
+/// restrict. [`finish_search`] on the result is bit-identical to a
+/// direct [`search`] of `narrow`.
+pub fn restrict_max_cp(wide: &SearchOutcomes, narrow: &SearchSpec) -> SearchOutcomes {
+    let outcomes: Vec<(ConfigPoint, Option<SearchPoint>)> = wide
+        .outcomes
+        .iter()
+        .filter(|(c, _)| c.cp <= narrow.max_cp)
+        .cloned()
+        .collect();
+    let meshes_enumerated = powers_of_two_up_to(narrow.tp_bound()).count()
+        * powers_of_two_up_to(narrow.max_cp).count()
+        * powers_of_two_up_to(narrow.pp_bound()).count();
+    let meshes_admitted = {
+        let mut meshes: Vec<(u32, u32, u32)> =
+            outcomes.iter().map(|(c, _)| (c.tp, c.cp, c.pp)).collect();
+        meshes.dedup();
+        meshes.len()
+    };
+    SearchOutcomes {
+        meshes_enumerated,
+        meshes_admitted,
+        outcomes,
+        guided: None,
+    }
+}
+
+/// Runs funnel stages 1–3 (enumeration, admission, memoized pre-flight
+/// rejection, folded scoring) and returns the deterministic outcome
+/// set. [`search`] is this plus [`finish_search`].
 ///
 /// # Errors
 /// Returns [`PlanError::BadInput`] for a malformed spec (zero
 /// sequence, token budget not a multiple of the sequence length, empty
 /// ZeRO/recompute axes).
-pub fn search(spec: &SearchSpec) -> Result<SearchReport, PlanError> {
+pub fn search_outcomes(spec: &SearchSpec) -> Result<SearchOutcomes, PlanError> {
     let input = &spec.input;
     if input.ngpu == 0 || input.gpus_per_node == 0 {
         return Err(PlanError::BadInput("cluster must have GPUs and a node size".into()));
@@ -740,16 +872,19 @@ pub fn search(spec: &SearchSpec) -> Result<SearchReport, PlanError> {
     }
 
     // Pass 2 (parallel over keys): the expensive graph analyses, each
-    // distinct shape exactly once.
+    // distinct shape exactly once per *process* — verdicts resolve
+    // through the shared memos first, and only the misses are
+    // evaluated here.
+    let sig = spec_fingerprint(spec);
     let cache = AnalysisCache {
-        sched: eval_keys(spec, sched_keys, threads, |step, sched| {
+        sched: memoized_verdicts(&SCHED_VERDICTS, sig, sched_keys, spec, threads, |step, sched| {
             clean(&analyze::deadlock::check_schedule(sched))
                 && clean(&analyze::race::check_step(step, sched))
         }),
-        tp_cp: eval_keys(spec, tp_cp_keys, threads, |step, sched| {
+        tp_cp: memoized_verdicts(&TP_CP_VERDICTS, sig, tp_cp_keys, spec, threads, |step, sched| {
             clean(&analyze::collective::check_step_tp_cp(step, sched))
         }),
-        fsdp: eval_keys(spec, fsdp_keys, threads, |step, sched| {
+        fsdp: memoized_verdicts(&FSDP_VERDICTS, sig, fsdp_keys, spec, threads, |step, sched| {
             clean(&analyze::collective::check_step_fsdp(step, sched))
         }),
     };
@@ -792,12 +927,40 @@ pub fn search(spec: &SearchSpec) -> Result<SearchReport, PlanError> {
             .collect()
     });
 
+    let outcomes = admitted
+        .into_iter()
+        .zip(outcomes)
+        .map(|(c, o)| match o {
+            Outcome::Rejected => (c, None),
+            Outcome::Scored(p) => (c, Some(p)),
+        })
+        .collect();
+
+    Ok(SearchOutcomes {
+        meshes_enumerated,
+        meshes_admitted,
+        outcomes,
+        guided: guided_stats,
+    })
+}
+
+/// Funnel stage 4 plus reporting: builds the Pareto frontier of an
+/// outcome set, optionally goodput-refines its head, and assembles the
+/// deterministic [`SearchReport`]. `spec` supplies the refinement
+/// knobs and must be the spec the outcomes describe (directly or via
+/// [`restrict_max_cp`]).
+///
+/// # Errors
+/// Returns [`PlanError::BadInput`] when the goodput fault timeline
+/// cannot be generated.
+pub fn finish_search(spec: &SearchSpec, out: &SearchOutcomes) -> Result<SearchReport, PlanError> {
+    let input = &spec.input;
     let mut rejected_preflight = 0usize;
     let mut scored = Vec::new();
-    for outcome in outcomes {
+    for (_, outcome) in &out.outcomes {
         match outcome {
-            Outcome::Rejected => rejected_preflight += 1,
-            Outcome::Scored(p) => scored.push(p),
+            None => rejected_preflight += 1,
+            Some(p) => scored.push(p.clone()),
         }
     }
 
@@ -850,9 +1013,9 @@ pub fn search(spec: &SearchSpec) -> Result<SearchReport, PlanError> {
 
     Ok(SearchReport {
         counts: FunnelCounts {
-            meshes_enumerated,
-            meshes_admitted,
-            candidates: admitted.len(),
+            meshes_enumerated: out.meshes_enumerated,
+            meshes_admitted: out.meshes_admitted,
+            candidates: out.outcomes.len(),
             rejected_preflight,
             scored: scored.len(),
             refined,
@@ -861,8 +1024,20 @@ pub fn search(spec: &SearchSpec) -> Result<SearchReport, PlanError> {
         best_step_time,
         best_memory,
         best_goodput,
-        guided: guided_stats,
+        guided: out.guided,
     })
+}
+
+/// Runs the staged search funnel and returns the deterministic
+/// [`SearchReport`] — [`search_outcomes`] followed by
+/// [`finish_search`].
+///
+/// # Errors
+/// Returns [`PlanError::BadInput`] for a malformed spec or an
+/// ungenerable goodput fault timeline.
+pub fn search(spec: &SearchSpec) -> Result<SearchReport, PlanError> {
+    let outcomes = search_outcomes(spec)?;
+    finish_search(spec, &outcomes)
 }
 
 #[cfg(test)]
@@ -981,6 +1156,47 @@ mod tests {
         let meshes: Vec<_> = report.frontier.iter().map(|p| p.config).collect();
         let plain_meshes: Vec<_> = unrefined.frontier.iter().map(|p| p.config).collect();
         assert_eq!(meshes, plain_meshes);
+    }
+
+    #[test]
+    fn restricting_max_cp_matches_a_direct_search() {
+        let mut wide_spec = small_spec();
+        wide_spec.max_cp = 4;
+        let wide = search_outcomes(&wide_spec).unwrap();
+        for max_cp in [1u32, 2, 4] {
+            let mut narrow_spec = wide_spec.clone();
+            narrow_spec.max_cp = max_cp;
+            let derived = restrict_max_cp(&wide, &narrow_spec);
+            let direct = search_outcomes(&narrow_spec).unwrap();
+            assert_eq!(derived, direct, "max_cp={max_cp}");
+            assert_eq!(
+                finish_search(&narrow_spec, &derived).unwrap(),
+                search(&narrow_spec).unwrap(),
+                "max_cp={max_cp}"
+            );
+        }
+    }
+
+    #[test]
+    fn verdict_memos_are_shared_across_searches() {
+        // A layer count no other test uses, so this spec's keys are
+        // fresh even when the whole suite runs in parallel.
+        let mut spec = small_spec();
+        spec.input.model = spec.input.model.with_layers(6);
+        let before = verdict_cache_stats();
+        let first = search(&spec).unwrap();
+        let warmed = verdict_cache_stats();
+        // First sweep of a fresh spec misses and populates.
+        assert!(warmed[0].misses > before[0].misses, "{warmed:?}");
+        assert!(warmed[0].entries > 0);
+        let second = search(&spec).unwrap();
+        let after = verdict_cache_stats();
+        // The identical re-run resolves from the shared memo...
+        for (w, a) in warmed.iter().zip(&after) {
+            assert!(a.hits > w.hits, "no sharing: {warmed:?} -> {after:?}");
+        }
+        // ...and sharing cannot change the report.
+        assert_eq!(first, second);
     }
 
     #[test]

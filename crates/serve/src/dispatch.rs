@@ -1,0 +1,425 @@
+//! The shared query dispatcher: one computation per distinct question.
+//!
+//! Every front end — the CLI subcommands, the HTTP daemon, the tests —
+//! answers a [`Query`] through [`Dispatcher::dispatch`], which layers
+//! three reuse mechanisms over the raw computations:
+//!
+//! 1. **Response cache.** Deterministic responses (`analyze`, `fuzz`,
+//!    `search`) are memoized by [`Query::canonical_hash`] in a bounded
+//!    FIFO map, so a repeated question is a lookup.
+//! 2. **In-flight coalescing.** Identical queries arriving while the
+//!    first is still computing block on one shared flight instead of
+//!    recomputing: a thundering herd of N clients costs one search.
+//!    The canonical hash normalizes execution hints (the `threads`
+//!    knob) away first.
+//! 3. **Frontier reuse.** Exhaustive searches that differ only in
+//!    `max_cp` (or in the finishing knobs `goodput_head` / `expect` /
+//!    `threads`) share funnel stages 1–3: the dispatcher keeps the
+//!    widest [`SearchOutcomes`] per search family and derives narrower
+//!    reports via [`restrict_max_cp`] + [`finish_search`].
+//!
+//! `bench` and `goodput` responses carry wall-clock measurements, so
+//! they are computed fresh on every dispatch and never cached or
+//! coalesced; `stats` reads counters and is likewise always fresh.
+//!
+//! Underneath all of this sit the process-global memo layers (the
+//! collective-cost cache and the three pre-flight verdict caches), so
+//! even a *cold* dispatcher warm-starts from whatever earlier queries
+//! priced.
+
+use analyzer::{analyze_grid, analyze_step, named_step, NAMED_CONFIGS};
+use bench_harness::snapshot::{measure_goodput, measure_perf};
+use collectives::cost_cache_stats;
+use conformance::fuzz::{run_sweep, FuzzArgs};
+use conformance::grid::config_grid;
+use parallelism_core::query::{
+    AnalyzeMode, AnalyzeResponse, Query, QueryError, Response, SearchQuery, SearchResponse,
+    StatsResponse,
+};
+use parallelism_core::search::{
+    finish_search, restrict_max_cp, search_outcomes, verdict_cache_stats, SearchOutcomes,
+    SearchSpec,
+};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Bounded response cache: newest-in wins, oldest-in evicted.
+const RESPONSE_CACHE_CAP: usize = 256;
+
+/// Retained search-outcome families for cross-`max_cp` reuse.
+const OUTCOME_CACHE_CAP: usize = 8;
+
+/// One in-flight computation; followers park on the condvar until the
+/// leader publishes.
+struct Flight {
+    done: Mutex<Option<Result<Response, QueryError>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, result: Result<Response, QueryError>) {
+        // lint: allow(unwrap) — poisoned only if a publisher panicked
+        *self.done.lock().unwrap() = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<Response, QueryError> {
+        // lint: allow(unwrap) — poisoned only if a publisher panicked
+        let mut done = self.done.lock().unwrap();
+        while done.is_none() {
+            // lint: allow(unwrap) — same poisoning caveat
+            done = self.cv.wait(done).unwrap();
+        }
+        // lint: allow(unwrap) — the loop above guarantees Some
+        done.clone().unwrap()
+    }
+}
+
+/// One cached search-outcome family: the widest exhaustive funnel run
+/// seen for a given `(model, gpus, seq, layers, budget, zero)` tuple.
+struct OutcomeEntry {
+    family: String,
+    max_cp: u32,
+    outcomes: Arc<SearchOutcomes>,
+}
+
+#[derive(Default)]
+struct Counters {
+    queries: AtomicU64,
+    coalesced: AtomicU64,
+    response_hits: AtomicU64,
+    searches_computed: AtomicU64,
+    frontier_reuses: AtomicU64,
+}
+
+/// The concurrent query dispatcher. Cheap to share behind an [`Arc`];
+/// all interior state is synchronized.
+pub struct Dispatcher {
+    flights: Mutex<HashMap<u64, Arc<Flight>>>,
+    responses: Mutex<(HashMap<u64, Response>, VecDeque<u64>)>,
+    outcomes: Mutex<VecDeque<OutcomeEntry>>,
+    counters: Counters,
+}
+
+impl Default for Dispatcher {
+    fn default() -> Dispatcher {
+        Dispatcher::new()
+    }
+}
+
+impl Dispatcher {
+    /// A fresh dispatcher with empty caches and zeroed counters. The
+    /// process-global memo layers underneath are shared regardless.
+    pub fn new() -> Dispatcher {
+        Dispatcher {
+            flights: Mutex::new(HashMap::new()),
+            responses: Mutex::new((HashMap::new(), VecDeque::new())),
+            outcomes: Mutex::new(VecDeque::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Answers one query. Deterministic kinds (`analyze`, `fuzz`,
+    /// `search`) are served from the response cache when possible,
+    /// coalesced onto an identical in-flight computation otherwise;
+    /// wall-clock kinds (`bench`, `goodput`) and `stats` always compute
+    /// fresh.
+    ///
+    /// # Errors
+    /// [`QueryError`] on an unanswerable query (unknown config name,
+    /// out-of-range grid index, unknown model, unplannable search).
+    pub fn dispatch(&self, query: &Query) -> Result<Response, QueryError> {
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        match query {
+            Query::Bench => Ok(Response::Bench(measure_perf())),
+            Query::Goodput => Ok(Response::Goodput(measure_goodput())),
+            Query::Stats => Ok(Response::Stats(self.stats())),
+            Query::Analyze(_) | Query::Fuzz(_) | Query::Search(_) => self.cached_dispatch(query),
+        }
+    }
+
+    /// The deterministic-kind path: response cache, then coalescing,
+    /// then computation.
+    fn cached_dispatch(&self, query: &Query) -> Result<Response, QueryError> {
+        let key = query.canonical_hash();
+        // lint: allow(unwrap) — poisoned only if a cache user panicked
+        if let Some(hit) = self.responses.lock().unwrap().0.get(&key) {
+            self.counters.response_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+
+        let (flight, leader) = {
+            // lint: allow(unwrap) — poisoned only if a leader panicked
+            let mut flights = self.flights.lock().unwrap();
+            match flights.get(&key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight::new());
+                    flights.insert(key, Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+        if !leader {
+            self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+            return flight.wait();
+        }
+
+        let result = self.compute(query);
+        if let Ok(response) = &result {
+            // lint: allow(unwrap) — same poisoning caveat
+            let mut cache = self.responses.lock().unwrap();
+            if cache.0.insert(key, response.clone()).is_none() {
+                cache.1.push_back(key);
+            }
+            while cache.1.len() > RESPONSE_CACHE_CAP {
+                if let Some(old) = cache.1.pop_front() {
+                    cache.0.remove(&old);
+                }
+            }
+        }
+        flight.publish(result.clone());
+        // lint: allow(unwrap) — same poisoning caveat
+        self.flights.lock().unwrap().remove(&key);
+        result
+    }
+
+    /// Runs the underlying computation for a deterministic query.
+    fn compute(&self, query: &Query) -> Result<Response, QueryError> {
+        match query {
+            Query::Analyze(mode) => Ok(Response::Analyze(compute_analyze(mode)?)),
+            Query::Fuzz(f) => {
+                let outcome = run_sweep(
+                    // lint: allow(cli-args) — built from the parsed query
+                    &FuzzArgs {
+                        cases: f.cases,
+                        seed: f.seed,
+                    },
+                    |_| {},
+                );
+                Ok(Response::Fuzz(outcome.into_response()))
+            }
+            Query::Search(s) => self.compute_search(s),
+            // The wall-clock and stats kinds never reach the cached path.
+            Query::Bench | Query::Goodput | Query::Stats => {
+                Err(QueryError::new("internal: non-cacheable kind in compute"))
+            }
+        }
+    }
+
+    /// The search path with cross-`max_cp` frontier reuse.
+    fn compute_search(&self, q: &SearchQuery) -> Result<Response, QueryError> {
+        let spec = q.to_spec()?;
+        let outcomes = self.search_family_outcomes(q, &spec)?;
+        let report = finish_search(&spec, &outcomes)
+            .map_err(|e| QueryError::new(format!("search failed: {e}")))?;
+        let expect_hit = q
+            .expect
+            .map(|(tp, cp, pp, dp)| report.frontier_contains_mesh(tp, cp, pp, dp));
+        Ok(Response::Search(Box::new(SearchResponse {
+            report,
+            expect: q.expect,
+            expect_hit,
+        })))
+    }
+
+    /// Returns funnel stage-1–3 outcomes for the query's search family,
+    /// reusing (and narrowing) a cached wider run when sound.
+    fn search_family_outcomes(
+        &self,
+        q: &SearchQuery,
+        spec: &SearchSpec,
+    ) -> Result<Arc<SearchOutcomes>, QueryError> {
+        // The guided strategy prunes candidates along its descent path,
+        // so its outcome set is not a function of the family alone:
+        // never reuse across (or into) guided runs.
+        if q.guided {
+            self.counters.searches_computed.fetch_add(1, Ordering::Relaxed);
+            return search_outcomes(spec)
+                .map(Arc::new)
+                .map_err(|e| QueryError::new(format!("search failed: {e}")));
+        }
+
+        let family = search_family_key(q);
+        {
+            // lint: allow(unwrap) — poisoned only if a cache user panicked
+            let cache = self.outcomes.lock().unwrap();
+            if let Some(entry) = cache
+                .iter()
+                .find(|e| e.family == family && e.max_cp >= spec.max_cp)
+            {
+                self.counters.frontier_reuses.fetch_add(1, Ordering::Relaxed);
+                return Ok(if entry.max_cp == spec.max_cp {
+                    Arc::clone(&entry.outcomes)
+                } else {
+                    Arc::new(restrict_max_cp(&entry.outcomes, spec))
+                });
+            }
+        }
+
+        self.counters.searches_computed.fetch_add(1, Ordering::Relaxed);
+        let outcomes = Arc::new(
+            search_outcomes(spec)
+                .map_err(|e| QueryError::new(format!("search failed: {e}")))?,
+        );
+        // lint: allow(unwrap) — same poisoning caveat
+        let mut cache = self.outcomes.lock().unwrap();
+        match cache.iter_mut().find(|e| e.family == family) {
+            // Keep only the widest run per family; a racing narrower
+            // insert is simply dropped.
+            Some(entry) => {
+                if spec.max_cp > entry.max_cp {
+                    entry.max_cp = spec.max_cp;
+                    entry.outcomes = Arc::clone(&outcomes);
+                }
+            }
+            None => {
+                cache.push_back(OutcomeEntry {
+                    family,
+                    max_cp: spec.max_cp,
+                    outcomes: Arc::clone(&outcomes),
+                });
+                while cache.len() > OUTCOME_CACHE_CAP {
+                    cache.pop_front();
+                }
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// A snapshot of the dispatcher counters plus every shared memo
+    /// layer underneath it.
+    pub fn stats(&self) -> StatsResponse {
+        let [sched, tp_cp, fsdp] = verdict_cache_stats();
+        StatsResponse {
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            response_hits: self.counters.response_hits.load(Ordering::Relaxed),
+            searches_computed: self.counters.searches_computed.load(Ordering::Relaxed),
+            frontier_reuses: self.counters.frontier_reuses.load(Ordering::Relaxed),
+            cost: cost_cache_stats(),
+            sched,
+            tp_cp,
+            fsdp,
+        }
+    }
+}
+
+/// The search family: the canonical wire line with every
+/// finishing-stage knob (`max_cp`, `head`, `expect`, and the `threads`
+/// hint) zeroed out. Two queries in one family share funnel stages
+/// 1–3 exactly.
+fn search_family_key(q: &SearchQuery) -> String {
+    let mut family = q.clone();
+    family.max_cp = 0;
+    family.goodput_head = 0;
+    family.expect = None;
+    family.threads = 0;
+    Query::Search(family).to_wire()
+}
+
+/// Computes an analyze query against the named catalog or the
+/// conformance grid.
+fn compute_analyze(mode: &AnalyzeMode) -> Result<AnalyzeResponse, QueryError> {
+    match mode {
+        AnalyzeMode::List => Ok(AnalyzeResponse::List(
+            NAMED_CONFIGS
+                .iter()
+                .map(|&(name, desc)| (name.to_string(), desc.to_string()))
+                .collect(),
+        )),
+        AnalyzeMode::Config(name) => {
+            let step = named_step(name)
+                .ok_or_else(|| QueryError::new(format!("unknown config `{name}`")))?;
+            Ok(AnalyzeResponse::Config {
+                name: name.clone(),
+                report: analyze_step(&step),
+            })
+        }
+        AnalyzeMode::Grid => Ok(AnalyzeResponse::Grid(
+            analyze_grid()
+                .into_iter()
+                .map(|(spec, report)| (spec.to_string(), report))
+                .collect(),
+        )),
+        AnalyzeMode::GridIndex(i) => {
+            let grid = config_grid();
+            let spec = grid.get(*i).ok_or_else(|| {
+                QueryError::new(format!(
+                    "grid index {i} out of range (the grid has {} configs)",
+                    grid.len()
+                ))
+            })?;
+            Ok(AnalyzeResponse::Config {
+                name: spec.to_string(),
+                report: analyze_step(&spec.build()),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_search(max_cp: u32) -> Query {
+        Query::Search(SearchQuery {
+            model: "8b".into(),
+            gpus: 8,
+            seq: 8192,
+            layers: 4,
+            budget: 131_072,
+            max_cp,
+            ..SearchQuery::default()
+        })
+    }
+
+    #[test]
+    fn response_cache_hits_on_repeat() {
+        let d = Dispatcher::new();
+        let q = Query::Analyze(AnalyzeMode::GridIndex(0));
+        let first = d.dispatch(&q).unwrap();
+        let second = d.dispatch(&q).unwrap();
+        assert_eq!(first.render_wire(), second.render_wire());
+        let s = d.stats();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.response_hits, 1);
+    }
+
+    #[test]
+    fn narrower_max_cp_reuses_the_wider_funnel() {
+        let d = Dispatcher::new();
+        let wide = d.dispatch(&small_search(4)).unwrap();
+        let narrow = d.dispatch(&small_search(2)).unwrap();
+        let s = d.stats();
+        assert_eq!(s.searches_computed, 1, "narrow run must not re-run the funnel");
+        assert_eq!(s.frontier_reuses, 1);
+        // The derived narrow report matches a cold direct search.
+        let cold = Dispatcher::new().dispatch(&small_search(2)).unwrap();
+        assert_eq!(narrow.render_wire(), cold.render_wire());
+        assert_ne!(wide.render_wire(), narrow.render_wire());
+    }
+
+    #[test]
+    fn errors_are_reported_not_cached() {
+        let d = Dispatcher::new();
+        let q = Query::Analyze(AnalyzeMode::Config("no_such_config".into()));
+        let err = d.dispatch(&q).unwrap_err();
+        assert_eq!(err.message, "unknown config `no_such_config`");
+        let err2 = d.dispatch(&q).unwrap_err();
+        assert_eq!(err, err2);
+        assert_eq!(d.stats().response_hits, 0);
+        let bad_index = d
+            .dispatch(&Query::Analyze(AnalyzeMode::GridIndex(64)))
+            .unwrap_err();
+        assert!(bad_index.message.contains("out of range"));
+    }
+}

@@ -1,0 +1,64 @@
+//! The concurrent-hammer test: N threads fire the *same* search query
+//! at one shared [`Dispatcher`] simultaneously. Request coalescing
+//! must collapse the herd onto exactly one computation, every thread
+//! must receive byte-identical responses, and the shared memo layer
+//! must have taken real hits.
+
+use parallelism_core::query::{Query, SearchQuery};
+use serve::Dispatcher;
+use std::sync::{Arc, Barrier};
+
+const THREADS: usize = 8;
+
+#[test]
+fn hammered_search_computes_once_and_answers_identically() {
+    let dispatcher = Arc::new(Dispatcher::new());
+    let query = Query::Search(SearchQuery {
+        model: "8b".into(),
+        gpus: 8,
+        seq: 8192,
+        layers: 4,
+        budget: 131_072,
+        max_cp: 2,
+        ..SearchQuery::default()
+    });
+
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let dispatcher = Arc::clone(&dispatcher);
+            let query = query.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                dispatcher.dispatch(&query).expect("dispatch").render_wire()
+            })
+        })
+        .collect();
+    let responses: Vec<String> = handles.into_iter().map(|h| h.join().expect("join")).collect();
+
+    // Exactly one computation; everyone else coalesced onto its flight
+    // or hit the response cache, depending on arrival time.
+    let s = dispatcher.stats();
+    assert_eq!(s.queries, THREADS as u64);
+    assert_eq!(s.searches_computed, 1, "the herd must collapse to one search");
+    assert_eq!(
+        s.coalesced + s.response_hits,
+        THREADS as u64 - 1,
+        "every non-leader must be served without recomputing"
+    );
+
+    // Byte-identical answers for every thread.
+    for r in &responses[1..] {
+        assert_eq!(r, &responses[0]);
+    }
+    assert!(responses[0].starts_with("llama3sim/1 ok search"));
+
+    // The shared memo layer underneath did real work: the one search
+    // that ran scored many candidates against the process-global
+    // collective-cost cache.
+    assert!(
+        s.cost.hits > 0,
+        "shared collective-cost cache took no hits during the search"
+    );
+}

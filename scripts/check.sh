@@ -16,8 +16,14 @@ cargo test -q --workspace
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> repo_lint (no unwrap/expect, deprecated simulate*, stray CLI arg structs, or concrete f64 in Scalar cost modules)"
+echo "==> repo_lint (no unwrap/expect, deprecated simulate*, stray CLI arg structs, concrete f64 in Scalar cost modules, or wire types below core)"
 cargo run --release -q --bin repo_lint
+
+echo "==> serve smoke: start, 3 queries over a socket, clean shutdown"
+cargo run --release -q --bin llama3sim -- serve --self-test
+
+echo "==> serve bench: 32 concurrent clients on the mixed grid+search workload (writes BENCH_serve.json)"
+cargo run --release -q --bin llama3sim -- serve --bench --clients 32
 
 echo "==> pre-flight analysis across the conformance grid (zero errors expected)"
 cargo run --release -q --bin llama3sim -- analyze --grid

@@ -1,8 +1,13 @@
 //! `llama3sim` — the consolidated multi-command CLI.
 //!
-//! One entry point for every tool the repo grew as separate bins, with
-//! shared flag parsing ([`bench_harness::cli::Flags`]) and one `--json`
-//! convention (machine-readable output on stdout in addition to the
+//! Every subcommand is a thin front end over the versioned query API
+//! ([`parallelism_core::query`]): flags parse into a [`Query`], a
+//! shared [`serve::Dispatcher`] executes it, and the payload prints
+//! through the same [`Response`] renderers the HTTP daemon serves —
+//! so `llama3sim search ...` and `POST /v1/query` are byte-identical
+//! by construction. Flag parsing stays on
+//! [`bench_harness::cli::Flags`] with one `--json` convention
+//! (machine-readable output on stdout in addition to the
 //! `BENCH_*.json` envelope files the snapshot commands write):
 //!
 //! ```text
@@ -11,9 +16,12 @@
 //! llama3sim bench    [--json]
 //! llama3sim goodput  [--json]
 //! llama3sim search   [--model 405b|70b|8b] [--gpus N] [--seq N]
+//!                    [--layers N] [--budget TOKENS]
 //!                    [--goodput-head N] [--threads N] [--max-cp N]
 //!                    [--zero M1[,M2...]] [--expect tp,cp,pp,dp]
 //!                    [--guided] [--json]
+//! llama3sim serve    [--addr HOST:PORT] [--self-test]
+//!                    [--bench [--clients N] [--json]]
 //! ```
 //!
 //! The old single-purpose bins (`analyze`, `conformance_fuzz`,
@@ -23,8 +31,14 @@
 
 use analyzer::cli::{self as analyze_cli, AnalyzeArgs};
 use bench_harness::cli::Flags;
-use bench_harness::snapshot::{goodput, perf, run_search, SearchArgs, SnapshotArgs};
-use conformance::fuzz::{sweep, FuzzArgs};
+use bench_harness::snapshot::{
+    emit, goodput_envelope, perf_envelope, search_envelope, SearchArgs, SnapshotArgs,
+};
+use conformance::fuzz::{run_sweep, FuzzArgs};
+use parallelism_core::query::{AnalyzeMode, Query, Response};
+use serve::cli::ServeArgs;
+use serve::Dispatcher;
+use std::time::Instant;
 
 fn usage() -> i32 {
     eprintln!("usage: llama3sim <command> [flags]");
@@ -40,11 +54,14 @@ fn usage() -> i32 {
     eprintln!("            [--json]");
     eprintln!("  search    Pareto auto-parallelism search -> BENCH_search.json");
     eprintln!("            [--model 405b|70b|8b] [--gpus N] [--seq N]");
+    eprintln!("            [--layers N] [--budget TOKENS]");
     eprintln!("            [--goodput-head N] [--threads N] [--max-cp N] [--zero M1[,M2...]]");
     eprintln!("            [--expect tp,cp,pp,dp] [--guided] [--json]");
     eprintln!("            --guided: gradient-guided candidate selection (autodiff");
     eprintln!("            surrogate + projected descent), verified vs the exhaustive");
     eprintln!("            baseline and reported with the measured speedup");
+    eprintln!("  serve     HTTP daemon exposing the query API -> POST /v1/query");
+    eprintln!("            [--addr HOST:PORT] [--self-test] [--bench [--clients N] [--json]]");
     2
 }
 
@@ -61,13 +78,157 @@ fn parse_fuzz(args: &[String]) -> Result<FuzzArgs, String> {
     Ok(parsed)
 }
 
+fn run_analyze(d: &Dispatcher, rest: &[String]) -> Result<i32, String> {
+    let args = AnalyzeArgs::parse(rest)?;
+    let mode = if args.list {
+        AnalyzeMode::List
+    } else if let Some(name) = &args.config {
+        AnalyzeMode::Config(name.clone())
+    } else {
+        AnalyzeMode::Grid
+    };
+    let response = match d.dispatch(&Query::Analyze(mode)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            analyze_cli::print_usage("analyze");
+            return Ok(2);
+        }
+    };
+    let Response::Analyze(payload) = &response else {
+        return Err("analyze dispatch returned a non-analyze response".to_string());
+    };
+    if args.json && !args.list {
+        let jsonl = payload.render_jsonl();
+        if !jsonl.is_empty() {
+            println!("{jsonl}");
+        }
+    } else {
+        println!("{}", response.render_human());
+    }
+    Ok(response.exit_code())
+}
+
+fn run_fuzz(rest: &[String]) -> Result<i32, String> {
+    let args = parse_fuzz(rest)?;
+    // The heartbeat streams to stderr mid-sweep, which a one-shot
+    // dispatch cannot carry, so the CLI drives the sweep itself and
+    // renders through the same response type the dispatcher returns.
+    let outcome = run_sweep(&args, |clean| {
+        eprintln!("conformance fuzz: {clean}/{} cases clean", args.cases);
+    });
+    let payload = outcome.into_response();
+    if let Some(diag) = payload.render_diagnostics() {
+        eprintln!("{diag}");
+    }
+    let response = Response::Fuzz(payload);
+    println!("{}", response.render_human());
+    Ok(response.exit_code())
+}
+
+fn run_bench(d: &Dispatcher, rest: &[String]) -> Result<i32, String> {
+    let args = SnapshotArgs::parse(rest)?;
+    let response = d.dispatch(&Query::Bench).map_err(|e| e.to_string())?;
+    let Response::Bench(r) = &response else {
+        return Err("bench dispatch returned a non-bench response".to_string());
+    };
+    println!("{}", response.render_human());
+    let code = emit(&perf_envelope(r), "BENCH_step_sim.json", args.json);
+    assert!(r.identical, "folded and full reports diverged");
+    Ok(code)
+}
+
+fn run_goodput(d: &Dispatcher, rest: &[String]) -> Result<i32, String> {
+    let args = SnapshotArgs::parse(rest)?;
+    let response = d.dispatch(&Query::Goodput).map_err(|e| e.to_string())?;
+    let Response::Goodput(r) = &response else {
+        return Err("goodput dispatch returned a non-goodput response".to_string());
+    };
+    println!("{}", response.render_human());
+    println!();
+    Ok(emit(&goodput_envelope(r), "BENCH_goodput.json", args.json))
+}
+
+fn run_search(d: &Dispatcher, rest: &[String]) -> Result<i32, String> {
+    let args = SearchArgs::parse(rest)?;
+    let query = args.to_query();
+    let t0 = Instant::now();
+    let response = match d.dispatch(&Query::Search(query.clone())) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            // A plan-level failure keeps the search exit code; anything
+            // else (bad model name, bad flags) is a usage error.
+            return Ok(if e.to_string().starts_with("search failed") { 1 } else { 2 });
+        }
+    };
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let Response::Search(r) = &response else {
+        return Err("search dispatch returned a non-search response".to_string());
+    };
+    println!("{}", response.render_human());
+    println!("searched in {wall_ms:.0} ms");
+
+    // With --guided, also time the exhaustive baseline so the snapshot
+    // pins the measured speedup and whether the frontiers agree.
+    let baseline = if args.guided {
+        let mut ex_query = query.clone();
+        ex_query.guided = false;
+        let t1 = Instant::now();
+        match d.dispatch(&Query::Search(ex_query)) {
+            Ok(Response::Search(ex)) => {
+                let ex_ms = t1.elapsed().as_secs_f64() * 1e3;
+                let matches = ex.report.frontier.len() == r.report.frontier.len()
+                    && ex
+                        .report
+                        .frontier
+                        .iter()
+                        .zip(&r.report.frontier)
+                        .all(|(a, b)| a.config == b.config && a.step_time == b.step_time);
+                println!(
+                    "exhaustive baseline in {ex_ms:.0} ms ({:.1}x speedup, frontier match: {matches})",
+                    ex_ms / wall_ms.max(1e-9)
+                );
+                Some((ex_ms, matches))
+            }
+            Ok(_) => {
+                return Err("search dispatch returned a non-search response".to_string());
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                let msg = msg.strip_prefix("search failed: ").unwrap_or(&msg);
+                eprintln!("error: exhaustive baseline failed: {msg}");
+                return Ok(1);
+            }
+        }
+    } else {
+        None
+    };
+
+    let spec = query.to_spec().map_err(|e| e.to_string())?;
+    let mut envelope = search_envelope(&query, &spec, &r.report, wall_ms, baseline);
+    let mut code = 0;
+    if let Some((tp, cp, pp, dp)) = args.expect {
+        let hit = r.expect_hit == Some(true);
+        envelope = envelope.metric("expected_mesh_on_frontier", hit);
+        if hit {
+            println!("expected mesh tp{tp}·cp{cp}·pp{pp}·dp{dp} is on the frontier");
+        } else {
+            eprintln!("error: expected mesh tp{tp}·cp{cp}·pp{pp}·dp{dp} is NOT on the frontier");
+            code = 1;
+        }
+    }
+    Ok(emit(&envelope, "BENCH_search.json", args.json).max(code))
+}
+
 fn dispatch(cmd: &str, rest: &[String]) -> Result<i32, String> {
     match cmd {
-        "analyze" => Ok(analyze_cli::run(&AnalyzeArgs::parse(rest)?)),
-        "fuzz" => Ok(sweep(&parse_fuzz(rest)?)),
-        "bench" => Ok(perf(&SnapshotArgs::parse(rest)?)),
-        "goodput" => Ok(goodput(&SnapshotArgs::parse(rest)?)),
-        "search" => Ok(run_search(&SearchArgs::parse(rest)?)),
+        "analyze" => run_analyze(&Dispatcher::new(), rest),
+        "fuzz" => run_fuzz(rest),
+        "bench" => run_bench(&Dispatcher::new(), rest),
+        "goodput" => run_goodput(&Dispatcher::new(), rest),
+        "search" => run_search(&Dispatcher::new(), rest),
+        "serve" => Ok(serve::cli::run(&ServeArgs::parse(rest)?)),
         other => Err(format!("unknown command {other:?}")),
     }
 }

@@ -29,6 +29,13 @@
 //!    the exhaustive scorer. Deliberate concrete-float sites (test
 //!    fixtures outside `#[cfg(test)]`, doc machinery) carry a
 //!    `// lint: allow(f64)` marker with a reason.
+//! 5. **wire-layering** — the versioned wire-protocol surface
+//!    (`parallelism_core::query`, `QUERY_API_VERSION`) stays out of the
+//!    substrate crates below `parallelism-core` (`sim`, `cluster`,
+//!    `collectives`, `model`, `workload`, `numerics`, `trace`): those
+//!    layers model hardware and math and must not grow knowledge of
+//!    the serve protocol, or the dependency arrows invert the next
+//!    time the wire format changes.
 //!
 //! Skipped entirely: `#[cfg(test)]` regions, binary targets
 //! (`src/bin/`), and the experiment scripts under
@@ -70,6 +77,22 @@ const SCALAR_MARKER: &str = "lint: allow(f64)";
 /// Modules whose cost expressions must stay generic over `Scalar` —
 /// the rule-4 target set.
 const SCALAR_COST_PATHS: [&str; 2] = ["crates/core/src/costs.rs", "crates/numerics/src/costs.rs"];
+
+/// Crates below `parallelism-core` in the workspace layering — the
+/// rule-5 target set. (`core` itself defines the protocol; `analyzer`,
+/// `conformance`, `bench`, and `serve` sit above it and may speak it.)
+const WIRE_FREE_CRATES: [&str; 7] = [
+    "crates/sim/",
+    "crates/cluster/",
+    "crates/collectives/",
+    "crates/model/",
+    "crates/workload/",
+    "crates/numerics/",
+    "crates/trace/",
+];
+
+/// Tokens that betray wire-protocol knowledge in a substrate crate.
+const WIRE_TOKENS: [&str; 3] = ["parallelism_core::query", "QUERY_API_VERSION", "llama3sim/1"];
 
 fn main() -> ExitCode {
     let root = repo_root();
@@ -153,6 +176,7 @@ fn collect_lib_sources(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) {
 fn lint_file(path: &Path, text: &str, violations: &mut Vec<String>) {
     let path_str = path.to_string_lossy().replace('\\', "/");
     let scalar_costs_module = SCALAR_COST_PATHS.iter().any(|p| path_str.ends_with(p));
+    let wire_free_crate = WIRE_FREE_CRATES.iter().any(|p| path_str.starts_with(p));
     let lines: Vec<&str> = text.lines().collect();
     let mut test_depth: Option<i32> = None; // Some(d): inside a test region
     let mut pending_cfg_test = false;
@@ -228,6 +252,17 @@ fn lint_file(path: &Path, text: &str, violations: &mut Vec<String>) {
                 "{}:{}: direct construction of a CLI argument struct (go through its \
                  `parse`/`Default` constructor so flag parsing stays unified behind \
                  `llama3sim`, or mark the canonical constructor `// lint: allow(cli-args)`): {}",
+                path.display(),
+                idx + 1,
+                line
+            ));
+        }
+
+        if wire_free_crate && WIRE_TOKENS.iter().any(|t| code.contains(t)) {
+            violations.push(format!(
+                "{}:{}: wire-protocol surface referenced below `parallelism-core` (the \
+                 query types live in `parallelism_core::query`; substrate crates must \
+                 not speak the serve protocol): {}",
                 path.display(),
                 idx + 1,
                 line
@@ -396,6 +431,26 @@ mod tests {
         let mut v = Vec::new();
         lint_file(Path::new("crates/numerics/src/costs.rs"), src, &mut v);
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn flags_wire_protocol_types_below_core_only() {
+        let src = "use parallelism_core::query::Query;\nfn f() {}\n";
+        let mut v = Vec::new();
+        lint_file(Path::new("crates/collectives/src/cost.rs"), src, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("wire-protocol"), "{v:?}");
+        let mut above = Vec::new();
+        lint_file(Path::new("crates/analyzer/src/lib.rs"), src, &mut above);
+        assert!(above.is_empty(), "{above:?}");
+        // Doc comments mentioning the protocol are fine anywhere.
+        let mut docs = Vec::new();
+        lint_file(
+            Path::new("crates/sim/src/graph.rs"),
+            "// rendered later via parallelism_core::query\nfn f() {}\n",
+            &mut docs,
+        );
+        assert!(docs.is_empty(), "{docs:?}");
     }
 
     #[test]

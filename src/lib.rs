@@ -50,6 +50,10 @@ pub use numerics;
 /// Traces, Chrome-trace export and slow-rank localization.
 pub use trace_analysis as trace;
 
+/// Simulation-as-a-service: the shared query dispatcher (memo layer,
+/// coalescing) and the `llama3sim serve` HTTP daemon + client.
+pub use serve;
+
 /// The one-stop import for simulator users: the step/run/search
 /// entrypoints, their option builders, the pre-flight analyzer, and
 /// the configuration types every example needs.
@@ -74,7 +78,7 @@ pub mod prelude {
     pub use cluster_model::gpu::GpuSpec;
     pub use cluster_model::jitter::{JitterKind, JitterModel};
     pub use cluster_model::topology::{Cluster, TopologySpec};
-    pub use collectives::{CommCostModel, ProcessGroup};
+    pub use collectives::{cost_cache_stats, CacheStats, CommCostModel, ProcessGroup};
     pub use llm_model::masks::MaskSpec;
     pub use llm_model::{ModelLayout, TransformerConfig, VitConfig};
     pub use parallelism_core::analyze::{
@@ -89,13 +93,18 @@ pub mod prelude {
     pub use parallelism_core::pp::schedule::{PpSchedule, ScheduleKind};
     pub use parallelism_core::pp::sim::{simulate_pp, PpSimResult, UniformCosts};
     pub use parallelism_core::run::{CheckpointPolicy, GoodputLoss, GoodputReport, RunSimulator};
+    pub use parallelism_core::query::{
+        AnalyzeMode, Query, QueryError, Response, SearchQuery, StatsResponse, QUERY_API_VERSION,
+    };
     pub use parallelism_core::search::{
-        search, ConfigPoint, FunnelCounts, SearchPoint, SearchReport, SearchSpec,
+        search, verdict_cache_stats, ConfigPoint, FunnelCounts, SearchPoint, SearchReport,
+        SearchSpec,
     };
     pub use parallelism_core::step::{
         ExposedComm, SimFidelity, SimOptions, StepModel, StepOutcome, StepReport,
     };
     pub use parallelism_core::{Mesh4D, SimError, ZeroMode};
+    pub use serve::{Dispatcher, ServeClient, Server};
     pub use sim_engine::time::{SimDuration, SimTime};
     pub use trace_analysis::chrome::to_chrome_json;
     pub use trace_analysis::slowrank::locate_slow_rank;

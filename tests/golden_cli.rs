@@ -1,0 +1,124 @@
+//! Golden-output tests pinning the `llama3sim` CLI byte-for-byte.
+//!
+//! The goldens under `tests/golden/` were captured from the CLI
+//! *before* its migration onto the `parallelism_core::query` dispatch
+//! path; these tests assert the migrated CLI still produces the same
+//! bytes for the same fixed inputs. Wall-clock lines (`searched in
+//! ... ms`) and envelope-file notices (`wrote BENCH_*.json`) are
+//! stripped before comparison — everything else must match exactly.
+//!
+//! Regenerate after an intentional output change with:
+//!
+//! ```text
+//! BLESS=1 cargo test --test golden_cli
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Runs the CLI in a scratch directory (so `BENCH_*.json` side files
+/// never land in the repo) and returns `(stdout, stderr, exit code)`.
+fn run_cli(args: &[&str]) -> (String, String, i32) {
+    let scratch = std::env::temp_dir().join(format!(
+        "llama3sim_golden_{}_{}",
+        std::process::id(),
+        args.join("_").replace(['-', ',', '/'], "")
+    ));
+    fs::create_dir_all(&scratch).expect("create scratch dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_llama3sim"))
+        .args(args)
+        .current_dir(&scratch)
+        .output()
+        .expect("run llama3sim");
+    let _ = fs::remove_dir_all(&scratch);
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+/// Drops the lines that are legitimately nondeterministic.
+fn strip_volatile(text: &str) -> String {
+    let mut kept: String = text
+        .lines()
+        .filter(|l| !l.starts_with("searched in ") && !l.starts_with("wrote BENCH"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    if !text.ends_with('\n') {
+        kept.pop();
+    }
+    kept
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("BLESS").is_some() {
+        fs::write(&path, actual).expect("bless golden");
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name} (run with BLESS=1 to create): {e}"));
+    assert_eq!(
+        actual, expected,
+        "output diverged from tests/golden/{name}; rerun with BLESS=1 if intentional"
+    );
+}
+
+#[test]
+fn analyze_list_matches_golden() {
+    let (out, _err, code) = run_cli(&["analyze", "--list"]);
+    assert_eq!(code, 0);
+    assert_golden("analyze_list.txt", &out);
+}
+
+#[test]
+fn analyze_config_matches_golden() {
+    let (out, _err, code) = run_cli(&["analyze", "--config", "scaled_405b"]);
+    assert_eq!(code, 0);
+    assert_golden("analyze_config.txt", &out);
+}
+
+#[test]
+fn analyze_config_json_matches_golden() {
+    let (out, _err, code) = run_cli(&["analyze", "--config", "scaled_405b", "--json"]);
+    assert_eq!(code, 0);
+    assert_golden("analyze_config_json.txt", &out);
+}
+
+#[test]
+fn analyze_grid_matches_golden() {
+    let (out, _err, code) = run_cli(&["analyze", "--grid"]);
+    assert_eq!(code, 0);
+    assert_golden("analyze_grid.txt", &out);
+}
+
+#[test]
+fn fuzz_matches_golden_on_stdout_and_stderr() {
+    let (out, err, code) = run_cli(&["fuzz", "--cases", "3", "--seed", "1"]);
+    assert_eq!(code, 0);
+    assert_golden("fuzz_small.txt", &out);
+    assert_golden("fuzz_small.stderr.txt", &err);
+}
+
+#[test]
+fn search_matches_golden_modulo_wall_clock() {
+    let (out, err, code) = run_cli(&[
+        "search", "--model", "8b", "--gpus", "8", "--layers", "4", "--budget", "131072",
+        "--max-cp", "2",
+    ]);
+    assert_eq!(code, 0, "stderr: {err}");
+    assert_golden("search_8b_small.txt", &strip_volatile(&out));
+}
+
+#[test]
+fn unknown_config_is_a_usage_error() {
+    let (_out, err, code) = run_cli(&["analyze", "--config", "no_such_config"]);
+    assert_eq!(code, 2);
+    assert!(err.starts_with("unknown config `no_such_config`"), "stderr: {err}");
+}
