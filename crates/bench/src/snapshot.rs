@@ -13,7 +13,9 @@ use crate::configs::production_8k_gpu_step;
 use crate::experiments::goodput as goodput_exp;
 use crate::report::Report;
 use parallelism_core::planner::{plan, PlannerInput};
-use parallelism_core::query::{BenchResponse, GoodputResponse, Response, SearchQuery};
+use parallelism_core::query::{
+    BenchResponse, GoodputResponse, Response, SearchQuery, TraceMode, TraceQuery, TraceResponse,
+};
 use parallelism_core::search::{search, SearchReport, SearchSpec, SearchStrategy};
 use parallelism_core::step::{SimFidelity, SimOptions};
 use parallelism_core::ZeroMode;
@@ -425,6 +427,102 @@ pub fn search_envelope(
             .metric("best_goodput", format!("{:.6}", g.goodput.unwrap_or(0.0)));
     }
     envelope
+}
+
+/// Options for the `llama3sim trace` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceArgs {
+    /// The trace query these flags parse into.
+    pub query: TraceQuery,
+    /// Also print the JSON envelope to stdout.
+    pub json: bool,
+}
+
+impl TraceArgs {
+    /// Parses `[--model M] [--gpus N] [--seq N] [--horizon-s N]
+    /// [--seed S] [--tier0 N] [--window T0,T1] [--zoom N]
+    /// [--stats | --smoke] [--json]`.
+    pub fn parse(args: &[String]) -> Result<TraceArgs, String> {
+        let mut f = Flags::new(args);
+        let mut q = TraceQuery::default();
+        if let Some(m) = f.opt("model")? {
+            q.model = m;
+        }
+        if let Some(g) = f.opt_u64("gpus")? {
+            q.gpus = u32::try_from(g).map_err(|_| format!("--gpus {g} out of range"))?;
+        }
+        if let Some(s) = f.opt_u64("seq")? {
+            q.seq = s;
+        }
+        if let Some(h) = f.opt_u64("horizon-s")? {
+            q.horizon_s = h;
+        }
+        if let Some(s) = f.opt_u64("seed")? {
+            q.seed = s;
+        }
+        if let Some(t) = f.opt_u64("tier0")? {
+            q.tier0 = t;
+        }
+        if let Some(w) = f.opt("window")? {
+            let parts: Vec<u64> = w.split(',').filter_map(|p| p.trim().parse().ok()).collect();
+            let [t0, t1] = parts[..] else {
+                return Err(format!("--window: want T0,T1 in seconds, got {w:?}"));
+            };
+            if t0 >= t1 {
+                return Err(format!("--window: empty range {t0},{t1}"));
+            }
+            q.window = Some((t0, t1));
+        }
+        if let Some(z) = f.opt_u64("zoom")? {
+            q.zoom = u32::try_from(z).map_err(|_| format!("--zoom {z} out of range"))?;
+        }
+        let stats = f.switch("stats");
+        let smoke = f.switch("smoke");
+        q.mode = match (stats, smoke) {
+            (false, false) => TraceMode::Chrome,
+            (true, false) => TraceMode::Stats,
+            (false, true) => TraceMode::Smoke,
+            (true, true) => return Err("--stats and --smoke are mutually exclusive".to_string()),
+        };
+        let json = f.switch("json");
+        f.finish()?;
+        // lint: allow(cli-args) — built from the parsed flags
+        Ok(TraceArgs { query: q, json })
+    }
+}
+
+/// Builds the `BENCH_trace.json` envelope from a trace response. Every
+/// field is deterministic (the trace query carries no wall-clock), so
+/// the envelope can be golden-pinned byte-for-byte.
+pub fn trace_envelope(q: &TraceQuery, r: &TraceResponse) -> Report {
+    let mut envelope = Report::new("trace")
+        .config_str("model", format!("llama3-{}", q.model))
+        .config("gpus", q.gpus)
+        .config("seq", q.seq)
+        .config("horizon_s", q.horizon_s)
+        .config("seed", q.seed)
+        .config("tier0_events", q.tier0)
+        .config("zoom", q.zoom)
+        .config_str(
+            "mode",
+            match r.mode {
+                TraceMode::Chrome => "chrome",
+                TraceMode::Stats => "stats",
+                TraceMode::Smoke => "smoke",
+            },
+        );
+    if let Some((t0, t1)) = q.window {
+        envelope = envelope.config_str("window_s", format!("{t0},{t1}"));
+    }
+    envelope
+        .metric("events_appended", r.appended)
+        .metric("events_resident", r.resident)
+        .metric("tiers", r.tiers)
+        .metric(
+            "compression",
+            format!("{:.1}", r.appended as f64 / (r.resident.max(1)) as f64),
+        )
+        .metric("ok", r.ok)
 }
 
 /// The `search` subcommand: runs the Pareto sweep and writes

@@ -6,6 +6,12 @@
 //! from a literal, which is what makes counterexamples shrinkable and
 //! emittable as ready-to-paste `#[test]` functions.
 //!
+//! [`TraceOpSpec`] is the second case family: a seeded script of
+//! append/seek/zoom/stream operations driven against a [`TieredTrace`]
+//! and cross-checked, after every operation, against a full-resolution
+//! model store. Both families shrink through the same greedy
+//! [`minimize_with`] machinery.
+//!
 //! Sampling draws from the vendored proptest [`TestRng`] (xoshiro256++)
 //! so a `(seed, case index)` pair replays exactly. Every drawn spec is
 //! passed through [`CaseSpec::normalized`], which repairs the
@@ -33,7 +39,12 @@ use parallelism_core::{BalancePolicy, Dim, Mesh4D, ScheduleKind, StageAssignment
 use proptest::test_runner::TestRng;
 use sim_engine::graph::TaskGraph;
 use sim_engine::time::SimDuration;
+use std::collections::BTreeMap;
 use std::fmt;
+use trace_analysis::tiered::{
+    category_index, SliceReplay, TierConfig, TieredTrace, CATEGORIES, NUM_CATEGORIES,
+};
+use trace_analysis::TraceEvent;
 
 /// Accelerator choice for a fuzz case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -414,17 +425,22 @@ fn conformance_counterexample_seed_{seed:x}_case_{case}() {{
     }
 }
 
-/// Greedily minimizes a failing spec: repeatedly replaces it with the
-/// first [`CaseSpec::shrink`] candidate that still fails `check()`,
-/// until no candidate fails. Returns the minimal spec and the number of
-/// accepted shrink steps. The input must itself fail `check()`.
-pub fn minimize(mut spec: CaseSpec) -> (CaseSpec, u32) {
+/// Greedily minimizes a failing spec of any case family: repeatedly
+/// replaces it with the first `shrink` candidate for which `fails`
+/// still holds, until no candidate fails. Returns the minimal spec and
+/// the number of accepted shrink steps. The input must itself satisfy
+/// `fails`.
+pub fn minimize_with<S: Clone>(
+    mut spec: S,
+    shrink: impl Fn(&S) -> Vec<S>,
+    fails: impl Fn(&S) -> bool,
+) -> (S, u32) {
     let mut steps = 0u32;
     // Dimensions only shrink, so this terminates; the bound is a
     // safety net against a pathological shrink cycle.
     'outer: for _ in 0..10_000 {
-        for cand in spec.shrink() {
-            if cand.check().is_err() {
+        for cand in shrink(&spec) {
+            if fails(&cand) {
                 spec = cand;
                 steps += 1;
                 continue 'outer;
@@ -433,6 +449,273 @@ pub fn minimize(mut spec: CaseSpec) -> (CaseSpec, u32) {
         break;
     }
     (spec, steps)
+}
+
+/// Greedily minimizes a failing [`CaseSpec`] via [`minimize_with`] over
+/// [`CaseSpec::shrink`] and [`CaseSpec::check`].
+pub fn minimize(spec: CaseSpec) -> (CaseSpec, u32) {
+    minimize_with(spec, CaseSpec::shrink, |c| c.check().is_err())
+}
+
+/// One tiered-trace fuzz case: a seeded script of append/seek/zoom/
+/// stream operations, replayed deterministically from `(seed, ops)`
+/// against a [`TieredTrace`] with the given tower geometry and checked
+/// after every operation against a full-resolution model store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOpSpec {
+    /// Seed for both event content and operation choices.
+    pub seed: u64,
+    /// Operations in the script.
+    pub ops: u32,
+    /// Tier-0 capacity (full-resolution ring), in events.
+    pub tier0: u32,
+    /// Events per half-window (`C` in the tower).
+    pub chunk: u32,
+    /// Distinct ranks events land on.
+    pub ranks: u32,
+}
+
+impl fmt::Display for TraceOpSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace seed={:#x} ops={} tier0={} chunk={} ranks={}",
+            self.seed, self.ops, self.tier0, self.chunk, self.ranks
+        )
+    }
+}
+
+impl TraceOpSpec {
+    /// Draws one spec from the shared fuzz stream and normalizes it.
+    pub fn sample(rng: &mut TestRng) -> TraceOpSpec {
+        TraceOpSpec {
+            seed: rng.next_u64(),
+            ops: 1 + rng.below(24) as u32,
+            tier0: 1 << (3 + rng.below(4)),
+            chunk: 1 + rng.below(8) as u32,
+            ranks: 1 + rng.below(6) as u32,
+        }
+        .normalized()
+    }
+
+    /// Repairs cross-field constraints: positive knobs, tier 0 at least
+    /// two chunks wide (mirroring the store's own normalization so the
+    /// spec literal matches the geometry that actually ran).
+    pub fn normalized(mut self) -> TraceOpSpec {
+        self.ops = self.ops.clamp(1, 64);
+        self.chunk = self.chunk.clamp(1, 64);
+        self.ranks = self.ranks.clamp(1, 64);
+        self.tier0 = self.tier0.max(2 * self.chunk);
+        self
+    }
+
+    /// Runs the op script against a [`TieredTrace`] and a full-resolution
+    /// model store, checking after every operation:
+    ///
+    /// * **seek** — `window_with_replay` is byte-identical (events *and*
+    ///   global indices) to the model slice decimated by the zoom rule,
+    ///   at the requested stride;
+    /// * **zoom/stream** — `sampled(z)` is a byte-identical subsequence
+    ///   of the model store with per-rank lanes time-monotone;
+    /// * **always** — the tower invariants ([`TieredTrace::check_integrity`])
+    ///   hold, and at the end per-rank busy time is conserved exactly,
+    ///   the appended count matches, and residency stays within the
+    ///   `O(B · log N)` bound.
+    pub fn check(&self) -> Result<(), String> {
+        let ctx = |label: &'static str| {
+            let spec = *self;
+            move |e: String| format!("[{spec}] {label}: {e}")
+        };
+        let mut rng = TestRng::new(self.seed);
+        let mut store = TieredTrace::new(TierConfig::tiny(self.tier0 as usize, self.chunk as usize));
+        // lint: allow(trace-vec) — the fuzzer's full-resolution model store
+        let mut reference: Vec<TraceEvent> = Vec::new();
+        let mut clock: u64 = 0;
+        for op in 0..self.ops {
+            match rng.below(4) {
+                // Append a burst of time-ordered events.
+                0 | 1 => {
+                    let burst = 1 + rng.below(96);
+                    for _ in 0..burst {
+                        clock += rng.below(200);
+                        let ev = TraceEvent {
+                            rank: rng.below(u64::from(self.ranks)) as u32,
+                            name: format!("e{}", reference.len()),
+                            category: CATEGORIES[rng.below(NUM_CATEGORIES as u64) as usize],
+                            start_ns: clock,
+                            duration_ns: 1 + rng.below(1_000),
+                        };
+                        reference.push(ev.clone());
+                        store.append(ev);
+                    }
+                }
+                // Seek: a random time window at a random zoom must come
+                // back byte-identical to the decimated model slice.
+                2 => {
+                    let span = clock + 1;
+                    let (a, b) = (rng.below(span), rng.below(span));
+                    let (t0, t1) = (a.min(b), a.max(b) + 1);
+                    let zoom = rng.below(4) as u32;
+                    let stride = 1u64 << zoom;
+                    let view =
+                        store.window_with_replay(t0, t1, zoom, &SliceReplay::new(&reference));
+                    // lint: allow(trace-vec) — model slice for byte-compare
+                    let expect: Vec<(u64, TraceEvent)> = reference
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, e)| {
+                            e.start_ns >= t0
+                                && e.start_ns < t1
+                                && (*i as u64).is_multiple_of(stride)
+                        })
+                        .map(|(i, e)| (i as u64, e.clone()))
+                        .collect();
+                    if view.events != expect {
+                        return Err(ctx("seek")(format!(
+                            "op {op}: window [{t0}, {t1}) zoom {zoom} returned {} events, \
+                             model slice has {} (rematerialized: {})",
+                            view.events.len(),
+                            expect.len(),
+                            view.rematerialized
+                        )));
+                    }
+                    if view.stride != stride {
+                        return Err(ctx("seek")(format!(
+                            "op {op}: window [{t0}, {t1}) zoom {zoom} claims stride {}, want {stride}",
+                            view.stride
+                        )));
+                    }
+                }
+                // Zoom/stream: the whole retained timeline at a zoom.
+                _ => {
+                    let zoom = rng.below(6) as u32;
+                    let t = store.sampled(zoom);
+                    let mut it = reference.iter();
+                    for e in &t.events {
+                        if !it.any(|r| r == e) {
+                            return Err(ctx("zoom")(format!(
+                                "op {op}: sampled({zoom}) event {:?} on rank {} is not a \
+                                 subsequence match of the model store",
+                                e.name, e.rank
+                            )));
+                        }
+                    }
+                    for rank in t.ranks() {
+                        let mut last = 0u64;
+                        for e in t.events_for_rank(rank) {
+                            if e.start_ns < last {
+                                return Err(ctx("zoom")(format!(
+                                    "op {op}: sampled({zoom}) rank {rank} lane goes back in \
+                                     time ({} after {last})",
+                                    e.start_ns
+                                )));
+                            }
+                            last = e.start_ns;
+                        }
+                    }
+                }
+            }
+            store.check_integrity().map_err(ctx("integrity"))?;
+        }
+
+        if store.appended() != reference.len() as u64 {
+            return Err(ctx("count")(format!(
+                "store says {} appended, model has {}",
+                store.appended(),
+                reference.len()
+            )));
+        }
+        let mut expect: BTreeMap<u32, [u64; NUM_CATEGORIES]> = BTreeMap::new();
+        for e in &reference {
+            expect.entry(e.rank).or_insert([0; NUM_CATEGORIES])[category_index(e.category)] +=
+                e.duration_ns;
+        }
+        if store.rank_totals() != expect {
+            return Err(ctx("conservation")(
+                "per-rank busy totals diverged from the model store".to_string(),
+            ));
+        }
+        // O(B · log N): each tier holds at most a tier-0's worth of
+        // windows (max_windows, with cascade slack) of `chunk` events.
+        let cfg = store.config();
+        let per_tier = ((cfg.tier0_events / (2 * cfg.chunk)).max(2) + 2) * cfg.chunk;
+        let bound = cfg.tier0_events + store.num_tiers() * per_tier;
+        if store.resident_events() > bound {
+            return Err(ctx("memory")(format!(
+                "{} resident events exceeds the O(B log N) bound {bound} \
+                 ({} appended, {} tiers)",
+                store.resident_events(),
+                store.appended(),
+                store.num_tiers()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Strictly-smaller candidates for greedy shrinking: every knob
+    /// halved, re-normalized, duplicates dropped.
+    pub fn shrink(&self) -> Vec<TraceOpSpec> {
+        let mut out = Vec::new();
+        let mut push = |c: TraceOpSpec| {
+            let c = c.normalized();
+            if c != *self && !out.contains(&c) {
+                out.push(c);
+            }
+        };
+        push(TraceOpSpec { ops: self.ops / 2, ..*self });
+        push(TraceOpSpec { tier0: self.tier0 / 2, ..*self });
+        push(TraceOpSpec { chunk: self.chunk / 2, ..*self });
+        push(TraceOpSpec { ranks: self.ranks / 2, ..*self });
+        push(TraceOpSpec { seed: self.seed / 2, ..*self });
+        out
+    }
+}
+
+/// A shrunk trace-store counterexample from [`run_trace_sweep`].
+#[derive(Debug, Clone)]
+pub struct TraceCounterexample {
+    /// Index of the failing case in the sweep.
+    pub case: u64,
+    /// The original (pre-shrink) violation message.
+    pub message: String,
+    /// The greedily minimized failing spec.
+    pub min_spec: TraceOpSpec,
+    /// The minimized spec's violation message.
+    pub min_message: String,
+    /// Accepted shrink steps.
+    pub shrink_steps: u32,
+}
+
+/// Runs the seeded tiered-trace sweep: samples `cases` op scripts, runs
+/// [`TraceOpSpec::check`] on each, and on the first violation greedily
+/// shrinks it via [`minimize_with`]. Returns `None` on a clean sweep.
+pub fn run_trace_sweep(
+    args: &FuzzArgs,
+    mut progress: impl FnMut(u64),
+) -> Option<TraceCounterexample> {
+    let FuzzArgs { cases, seed } = *args;
+    let mut rng = TestRng::new(seed);
+    for case in 0..cases {
+        let spec = TraceOpSpec::sample(&mut rng);
+        if let Err(message) = spec.check() {
+            let (min_spec, shrink_steps) =
+                minimize_with(spec, TraceOpSpec::shrink, |c| c.check().is_err());
+            let min_message = min_spec
+                .check()
+                .expect_err("minimize must preserve the failure");
+            return Some(TraceCounterexample {
+                case,
+                message,
+                min_spec,
+                min_message,
+                shrink_steps,
+            });
+        }
+        if (case + 1).is_multiple_of(500) {
+            progress(case + 1);
+        }
+    }
+    None
 }
 
 /// Options for the seeded fuzz sweep (`llama3sim fuzz` and the
@@ -657,6 +940,69 @@ mod tests {
             assert_ne!(*c, spec);
             assert_eq!(*c, c.normalized(), "candidate not in normal form: {c}");
         }
+    }
+
+    #[test]
+    fn trace_sampling_is_deterministic_and_normalized() {
+        let mut a = TestRng::new(0xBEEF);
+        let mut b = TestRng::new(0xBEEF);
+        for _ in 0..50 {
+            let sa = TraceOpSpec::sample(&mut a);
+            let sb = TraceOpSpec::sample(&mut b);
+            assert_eq!(sa, sb);
+            assert_eq!(sa, sa.normalized(), "normal form unstable: {sa}");
+            assert!(sa.ops >= 1 && sa.chunk >= 1 && sa.ranks >= 1);
+            assert!(sa.tier0 >= 2 * sa.chunk);
+        }
+    }
+
+    #[test]
+    fn sampled_trace_specs_pass_the_battery() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..25 {
+            let spec = TraceOpSpec::sample(&mut rng);
+            spec.check().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn trace_shrink_candidates_are_normalized_and_distinct() {
+        let spec = TraceOpSpec {
+            seed: 0xFACE,
+            ops: 16,
+            tier0: 64,
+            chunk: 8,
+            ranks: 4,
+        }
+        .normalized();
+        let candidates = spec.shrink();
+        assert!(!candidates.is_empty());
+        for c in &candidates {
+            assert_ne!(*c, spec);
+            assert_eq!(*c, c.normalized(), "candidate not in normal form: {c}");
+        }
+    }
+
+    #[test]
+    fn minimize_with_drives_trace_specs_to_a_local_minimum() {
+        // A synthetic failure predicate: minimize_with must converge to
+        // a spec where no shrink candidate still "fails".
+        let fails = |s: &TraceOpSpec| s.ops >= 4 && s.tier0 >= 16;
+        let start = TraceOpSpec {
+            seed: 0x1234_5678,
+            ops: 64,
+            tier0: 64,
+            chunk: 8,
+            ranks: 6,
+        }
+        .normalized();
+        assert!(fails(&start));
+        let (min, steps) = minimize_with(start, TraceOpSpec::shrink, fails);
+        assert!(fails(&min), "minimize left the failing set: {min}");
+        assert!(steps > 0);
+        assert!(min.shrink().iter().all(|c| !fails(c)), "not minimal: {min}");
+        assert_eq!(min.ops, 4);
+        assert_eq!(min.tier0, 16);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Differential oracles: run the fast path and the reference path on
 //! the same input and demand equivalence.
 //!
-//! The generic entry point is [`assert_equivalent`]; the seven concrete
+//! The generic entry point is [`assert_equivalent`]; the nine concrete
 //! oracles cover every fast path added so far:
 //!
 //! 1. [`oracle_folded_vs_full`] — DP-symmetry folding vs lowering every
@@ -20,6 +20,17 @@
 //! 7. [`oracle_guided_frontier`] — the gradient-guided candidate
 //!    strategy vs the exhaustive one on the same spec: identical
 //!    frontier, bit-identical objectives, consistent savings stats.
+//! 8. [`oracle_run_trace_replay`] — `RunSimulator::simulate_traced`'s
+//!    tiered store + anchored replay vs an `O(N)` full-resolution
+//!    capture of the same run: bit-identical goodput report,
+//!    byte-identical rematerialized windows.
+//! 9. [`oracle_tiered_trace`] — the tiered (tower-sampling) trace
+//!    store vs full-resolution references on a step trace: (a) every
+//!    rematerialized window byte-identical to the reference slice,
+//!    (b) every stored tier-k aggregate equal to the direct fold of
+//!    its raw events and to the merge of its tier-(k−1) halves,
+//!    (c) tier-fed slow-rank verdicts identical to full-trace
+//!    verdicts.
 
 use crate::invariants::CheckResult;
 use collectives::cost::{clear_cost_cache, CommCostModel};
@@ -28,6 +39,9 @@ use parallelism_core::search::{enumerate_configs, search, SearchSpec, SearchStra
 use parallelism_core::step::{ExposedComm, SimFidelity, SimOptions, StepModel, StepReport};
 use sim_engine::fluid::{FluidNet, Transfer, TransferOutcome};
 use sim_engine::time::{SimDuration, SimTime};
+use trace_analysis::synth::{synth_trace, SynthSpec};
+use trace_analysis::tiered::{SliceReplay, TierConfig, TieredTrace, WindowStats};
+use trace_analysis::{locate_slow_rank, locate_slow_rank_tiered, TraceEvent};
 
 /// Structural approximate equality with field-naming error messages.
 ///
@@ -548,6 +562,222 @@ pub fn oracle_guided_frontier(spec: &SearchSpec) -> CheckResult {
             &g.peak_memory,
             0.0,
         )?;
+    }
+    Ok(())
+}
+
+/// Oracle 8 — tiered run tracing vs the plain walk. Simulating with
+/// `simulate_traced` (streaming into the bounded tower, recording
+/// anchors) must leave the goodput report *bit-identical* to
+/// `simulate()`, and every window rematerialized through the anchored
+/// replay path must be byte-identical to the corresponding slice of an
+/// `O(N)` full-resolution capture of the same run.
+pub fn oracle_run_trace_replay(sim: &RunSimulator, cfg: TierConfig) -> CheckResult {
+    let plain = sim
+        .simulate()
+        .map_err(|e| format!("simulate failed: {e}"))?;
+    let traced = sim
+        .simulate_traced(cfg)
+        .map_err(|e| format!("simulate_traced failed: {e}"))?;
+    assert_equivalent("traced vs plain report", &traced.report, &plain, 0.0)?;
+    let (reference, full_report) = sim
+        .trace_events()
+        .map_err(|e| format!("trace_events failed: {e}"))?;
+    assert_equivalent("full-capture vs plain report", &full_report, &plain, 0.0)?;
+    if traced.store.appended() != reference.len() as u64 {
+        return Err(format!(
+            "store saw {} events, full capture has {}",
+            traced.store.appended(),
+            reference.len()
+        ));
+    }
+    traced
+        .store
+        .check_integrity()
+        .map_err(|e| format!("tower integrity: {e}"))?;
+
+    let span = traced.store.span_ns();
+    let replay = traced.replayer(sim);
+    for (t0, t1) in [
+        (0, span / 5),
+        (span / 2, span / 2 + span / 7),
+        (span - span / 6, span + 1),
+    ] {
+        if t0 >= t1 {
+            continue;
+        }
+        let view = traced.store.window_with_replay(t0, t1, 0, &replay);
+        // lint: allow(trace-vec) — oracle reference slice
+        let expected: Vec<(u64, TraceEvent)> = reference
+            .iter()
+            .filter(|(_, e)| e.start_ns >= t0 && e.start_ns < t1)
+            .cloned()
+            .collect();
+        if view.events != expected {
+            return Err(format!(
+                "window [{t0}, {t1}) ns: rematerialized {} events, reference slice has {} \
+                 (rematerialized: {})",
+                view.events.len(),
+                expected.len(),
+                view.rematerialized
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Oracle 9 — the tiered trace store vs full-resolution references on
+/// the config's step trace (and synthetic slow-rank traces on its
+/// mesh). Three claims, all exact:
+///
+/// * **(a) replay exactness** — any `window_with_replay` seek at zoom 0
+///   is byte-identical to the reference slice of the full trace;
+/// * **(b) aggregate recomposition** — every resident tier-k window
+///   equals both the direct fold of its raw events and the merge of
+///   its two tier-(k−1) halves;
+/// * **(c) verdict parity** — `locate_slow_rank_tiered` on the bounded
+///   store returns the same report as `locate_slow_rank` on the full
+///   trace, straggler or not.
+pub fn oracle_tiered_trace(m: &StepModel) -> CheckResult {
+    let outcome = m
+        .run(&SimOptions::new().trace(true))
+        .map_err(|e| format!("traced step run failed: {e}"))?;
+    let trace = outcome.trace.ok_or("run(trace: true) produced no trace")?;
+    if trace.events.is_empty() {
+        return Err("step trace is empty".into());
+    }
+    // A deliberately tiny tower so even short step traces evict and
+    // build several tiers.
+    let cfg = TierConfig::tiny(16, 2);
+    let mut store = TieredTrace::new(cfg);
+    for ev in &trace.events {
+        store.append(ev.clone());
+    }
+    store
+        .check_integrity()
+        .map_err(|e| format!("tower integrity: {e}"))?;
+    tiered_replay_exactness(&store, &trace.events)?;
+    tiered_aggregate_recomposition(&store, &trace.events)?;
+    tiered_verdict_parity(m)
+}
+
+/// Oracle 9a: window seeks against the full-resolution reference.
+fn tiered_replay_exactness(store: &TieredTrace, events: &[TraceEvent]) -> CheckResult {
+    let span = events
+        .iter()
+        .map(|e| e.start_ns + e.duration_ns)
+        .max()
+        .unwrap_or(0);
+    let replay = SliceReplay::new(events);
+    let windows = [
+        (0, span / 3),
+        (span / 3, 2 * span / 3),
+        (span.saturating_sub(span / 5), span + 1),
+        (0, span + 1),
+    ];
+    for (t0, t1) in windows {
+        if t0 >= t1 {
+            continue;
+        }
+        let view = store.window_with_replay(t0, t1, 0, &replay);
+        // lint: allow(trace-vec) — oracle reference slice
+        let expected: Vec<(u64, TraceEvent)> = events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.start_ns >= t0 && e.start_ns < t1)
+            .map(|(i, e)| (i as u64, e.clone()))
+            .collect();
+        if view.events != expected {
+            return Err(format!(
+                "window [{t0}, {t1}) ns: rematerialized view has {} events, reference slice \
+                 has {} (rematerialized: {})",
+                view.events.len(),
+                expected.len(),
+                view.rematerialized
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Oracle 9b: every stored aggregate window recomposes from raw data.
+fn tiered_aggregate_recomposition(store: &TieredTrace, events: &[TraceEvent]) -> CheckResult {
+    let mut err: Option<String> = None;
+    let mut windows = 0u32;
+    store.for_each_window(|level, w| {
+        if err.is_some() {
+            return;
+        }
+        windows += 1;
+        let lo = w.first_index as usize;
+        let hi = lo + w.events as usize;
+        if hi > events.len() {
+            err = Some(format!(
+                "tier {level} window at {lo} claims {} raw events past the stream end",
+                w.events
+            ));
+            return;
+        }
+        let direct = WindowStats::from_run(w.first_index, &events[lo..hi]);
+        if direct != *w {
+            err = Some(format!(
+                "tier {level} window at raw index {lo}: stored aggregate differs from the \
+                 direct fold of its {} raw events",
+                w.events
+            ));
+            return;
+        }
+        // The tier-(k−1) recomposition: a tier-k window is the merge of
+        // the two half-span windows it was promoted from.
+        let mid = lo + (hi - lo) / 2;
+        let first = WindowStats::from_run(w.first_index, &events[lo..mid]);
+        let second = WindowStats::from_run(mid as u64, &events[mid..hi]);
+        if first.merge(&second) != *w {
+            err = Some(format!(
+                "tier {level} window at raw index {lo}: merge of its tier-{} halves differs \
+                 from the stored aggregate",
+                level - 1
+            ));
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    if store.appended() > 4 * store.config().tier0_events as u64 && windows == 0 {
+        return Err("eviction happened but no aggregate windows are resident".into());
+    }
+    Ok(())
+}
+
+/// Oracle 9c: slow-rank verdict parity on this config's mesh.
+fn tiered_verdict_parity(m: &StepModel) -> CheckResult {
+    let structure = m.mesh.group_structure();
+    if structure.dims.is_empty() {
+        // A 1×1×1×1 mesh has no groups to analyze; nothing to compare.
+        return Ok(());
+    }
+    let n = m.mesh.num_gpus();
+    for straggler in [None, Some((n / 2, 2.5))] {
+        let spec = SynthSpec {
+            num_ranks: n,
+            rounds: 3,
+            base_compute_ns: 80_000,
+            straggler,
+            structure: structure.clone(),
+            seed: 17,
+        };
+        let trace = synth_trace(&spec);
+        let full = locate_slow_rank(&trace, &structure);
+        let mut store = TieredTrace::new(TierConfig::tiny(32, 4));
+        store.extend_from_trace(&trace);
+        let tiered = locate_slow_rank_tiered(&store, &structure);
+        if full != tiered {
+            return Err(format!(
+                "straggler {straggler:?}: full-trace verdict (culprit {:?}, confidence {:.3}) \
+                 differs from tier-fed verdict (culprit {:?}, confidence {:.3})",
+                full.culprit, full.confidence, tiered.culprit, tiered.confidence
+            ));
+        }
     }
     Ok(())
 }

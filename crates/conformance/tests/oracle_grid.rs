@@ -1,18 +1,21 @@
-//! Runs the seven differential oracles over the deterministic
+//! Runs the nine differential oracles over the deterministic
 //! ≥ 50-configuration grid from `conformance::grid` (the search-funnel
 //! and guided-search oracles over small exhaustive search spaces
-//! instead — their references are quadratic).
+//! instead — their references are quadratic; the run-trace replay
+//! oracle over 8-GPU fault-boosted runs — its reference capture is
+//! `O(N)` in run length).
 
 use cluster_model::{FaultRates, FaultTimeline};
 use collectives::CommCostModel;
 use conformance::grid::config_grid;
 use conformance::oracles::{
     oracle_fluid_fast_path, oracle_folded_vs_full, oracle_goodput_recomposition,
-    oracle_guided_frontier, oracle_memoized_costs, oracle_run_vs_deprecated,
-    oracle_search_frontier,
+    oracle_guided_frontier, oracle_memoized_costs, oracle_run_trace_replay,
+    oracle_run_vs_deprecated, oracle_search_frontier, oracle_tiered_trace,
 };
 use parallelism_core::search::{enumerate_configs, SearchSpec};
 use parallelism_core::{CheckpointPolicy, Dim, RunSimulator, ZeroMode};
+use trace_analysis::tiered::TierConfig;
 
 #[test]
 fn folded_matches_full_across_grid() {
@@ -108,6 +111,59 @@ fn guided_search_matches_exhaustive_reference() {
         );
         oracle_guided_frontier(&spec)
             .unwrap_or_else(|e| panic!("{ngpu} GPUs, gbs {gbs}, {threads} threads: {e}"));
+    }
+}
+
+#[test]
+fn tiered_trace_oracle_across_grid() {
+    // Oracle 9 over every grid config: replay-exact windows, aggregate
+    // recomposition at every tier, slow-rank verdict parity.
+    let grid = config_grid();
+    assert!(grid.len() >= 50);
+    for spec in &grid {
+        oracle_tiered_trace(&spec.build()).unwrap_or_else(|e| panic!("[{spec}] {e}"));
+    }
+}
+
+#[test]
+fn run_trace_replay_matches_full_capture() {
+    // Oracle 8 on fault-boosted 8-GPU runs: several seeds and two tower
+    // geometries per step config, so windows land in evicted regions
+    // (forcing anchored replay) as well as in tier 0.
+    let rates = {
+        let p = FaultRates::llama3_production();
+        FaultRates {
+            gpu_fail_per_gpu_hour: p.gpu_fail_per_gpu_hour * 2000.0,
+            node_loss_per_gpu_hour: p.node_loss_per_gpu_hour * 2000.0,
+            link_degrade_per_gpu_hour: p.link_degrade_per_gpu_hour * 2000.0,
+            thermal_per_gpu_hour: p.thermal_per_gpu_hour * 2000.0,
+            ..p
+        }
+    };
+    let grid = config_grid();
+    let specs: Vec<_> = grid
+        .iter()
+        .filter(|s| s.tp * s.cp * s.pp * s.dp == 8)
+        .take(3)
+        .collect();
+    assert!(!specs.is_empty());
+    for spec in specs {
+        for seed in 0..3u64 {
+            let step = spec.build();
+            let timeline =
+                FaultTimeline::generate(rates, step.cluster.num_gpus(), 8, 6.0 * 3600.0, seed)
+                    .expect("timeline generates");
+            let sim = RunSimulator::new(
+                step,
+                timeline,
+                CheckpointPolicy::llama3_production().with_interval(600.0),
+            )
+            .expect("run simulator builds");
+            for cfg in [TierConfig::tiny(32, 4), TierConfig::default()] {
+                oracle_run_trace_replay(&sim, cfg)
+                    .unwrap_or_else(|e| panic!("[{spec}] seed {seed} cfg {cfg:?}: {e}"));
+            }
+        }
     }
 }
 

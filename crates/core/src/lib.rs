@@ -35,9 +35,12 @@ pub use pp::{BalancePolicy, PpSchedule, ScheduleKind, StageAssignment};
 pub use multimodal::{EncoderSharding, MultimodalReport, MultimodalStep};
 pub use planner::{plan, Plan, PlanError, PlannerInput};
 pub use query::{
-    AnalyzeMode, Query, QueryError, Response, SearchQuery, StatsResponse, QUERY_API_VERSION,
+    AnalyzeMode, Query, QueryError, Response, SearchQuery, StatsResponse, TraceMode, TraceQuery,
+    TraceResponse, QUERY_API_VERSION,
 };
-pub use run::{CheckpointPolicy, GoodputLoss, GoodputReport, RunSimulator};
+pub use run::{
+    CheckpointPolicy, GoodputLoss, GoodputReport, RunAnchor, RunReplay, RunSimulator, RunTrace,
+};
 pub use search::{
     finish_search, restrict_max_cp, search, search_outcomes, verdict_cache_stats, ConfigPoint,
     FunnelCounts, GuidedStats, SearchOutcomes, SearchPoint, SearchReport, SearchSpec,

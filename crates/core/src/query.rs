@@ -174,6 +174,106 @@ impl SearchQuery {
     }
 }
 
+/// What the `trace` query should return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Chrome-trace JSON of the retained (or windowed) timeline.
+    #[default]
+    Chrome,
+    /// JSON stats envelope: tier residency plus window aggregates.
+    Stats,
+    /// Self-checking smoke: stream the run into the tower, seek three
+    /// windows, and diff each against a full-resolution replay.
+    Smoke,
+}
+
+impl TraceMode {
+    fn tag(self) -> &'static str {
+        match self {
+            TraceMode::Chrome => "chrome",
+            TraceMode::Stats => "stats",
+            TraceMode::Smoke => "smoke",
+        }
+    }
+}
+
+/// Default fault-timeline seed for `trace` runs — the same seed the
+/// `goodput` experiment pins, so the two queries describe the same
+/// simulated day.
+pub const DEFAULT_TRACE_SEED: u64 = 0x0060_01D9;
+
+/// The `trace` query: simulate a multi-day run, store its timeline in
+/// the tiered (tower-sampling) trace store, and export a window of it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceQuery {
+    /// Model name: `405b`, `70b` or `8b`.
+    pub model: String,
+    /// Cluster size in GPUs.
+    pub gpus: u32,
+    /// Sequence length.
+    pub seq: u64,
+    /// Run horizon, seconds.
+    pub horizon_s: u64,
+    /// Fault-timeline seed.
+    pub seed: u64,
+    /// Tier-0 capacity of the store, events.
+    pub tier0: u64,
+    /// Optional seek window `[t0, t1)` in seconds. With a window the
+    /// response covers only that range (rematerialized by replay when
+    /// it needs finer resolution than storage kept).
+    pub window: Option<(u64, u64)>,
+    /// Zoom level: events decimated to global-index stride `2^zoom`.
+    pub zoom: u32,
+    /// Response flavour.
+    pub mode: TraceMode,
+}
+
+impl Default for TraceQuery {
+    fn default() -> TraceQuery {
+        TraceQuery {
+            model: "405b".to_string(),
+            gpus: 16_384,
+            seq: 8_192,
+            horizon_s: 86_400,
+            seed: DEFAULT_TRACE_SEED,
+            tier0: 4_096,
+            window: None,
+            zoom: 0,
+            mode: TraceMode::default(),
+        }
+    }
+}
+
+impl TraceQuery {
+    /// Resolves the query to a [`crate::step::StepModel`] via the §5.1
+    /// planner: the planner picks the mesh, then the candidate builder
+    /// materializes the step. Deterministic in the query fields.
+    ///
+    /// # Errors
+    /// [`QueryError`] on an unknown model name or an infeasible
+    /// (model, gpus, seq) combination.
+    pub fn to_step(&self) -> Result<crate::step::StepModel, QueryError> {
+        use crate::planner::{candidate_step, plan, PlannerInput};
+        use llm_model::TransformerConfig;
+        let model = match self.model.as_str() {
+            "405b" => TransformerConfig::llama3_405b(),
+            "70b" => TransformerConfig::llama3_70b(),
+            "8b" => TransformerConfig::llama3_8b(),
+            other => {
+                return Err(QueryError::new(format!(
+                    "unknown model {other:?} (want 405b|70b|8b)"
+                )))
+            }
+        };
+        let mut input = PlannerInput::llama3_405b(self.gpus, self.seq);
+        input.model = model;
+        let p = plan(&input).map_err(|e| QueryError::new(format!("trace: {e}")))?;
+        let (step, _bs) = candidate_step(&input, p.mesh.tp(), p.mesh.cp(), p.mesh.pp())
+            .ok_or_else(|| QueryError::new("trace: planned mesh is not admissible"))?;
+        Ok(step)
+    }
+}
+
 /// One query: everything a client can ask of the simulator.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Query {
@@ -189,6 +289,8 @@ pub enum Query {
     Search(SearchQuery),
     /// Memo-layer and dispatcher statistics.
     Stats,
+    /// Tiered-trace export of a simulated multi-day run.
+    Trace(TraceQuery),
 }
 
 fn zero_tag(z: ZeroMode) -> &'static str {
@@ -227,6 +329,7 @@ impl Query {
             Query::Goodput => "goodput",
             Query::Search(_) => "search",
             Query::Stats => "stats",
+            Query::Trace(_) => "trace",
         }
     }
 
@@ -299,6 +402,36 @@ impl Query {
                 }
                 if s.guided {
                     kv("guided", "true".into());
+                }
+            }
+            Query::Trace(t) => {
+                let d = TraceQuery::default();
+                if t.model != d.model {
+                    kv("model", t.model.clone());
+                }
+                if t.gpus != d.gpus {
+                    kv("gpus", t.gpus.to_string());
+                }
+                if t.seq != d.seq {
+                    kv("seq", t.seq.to_string());
+                }
+                if t.horizon_s != d.horizon_s {
+                    kv("horizon", t.horizon_s.to_string());
+                }
+                if t.seed != d.seed {
+                    kv("seed", t.seed.to_string());
+                }
+                if t.tier0 != d.tier0 {
+                    kv("tier0", t.tier0.to_string());
+                }
+                if let Some((t0, t1)) = t.window {
+                    kv("window", format!("{t0},{t1}"));
+                }
+                if t.zoom != d.zoom {
+                    kv("zoom", t.zoom.to_string());
+                }
+                if t.mode != d.mode {
+                    kv("mode", t.mode.tag().into());
                 }
             }
         }
@@ -466,8 +599,61 @@ impl Query {
                 }
                 Ok(Query::Search(s))
             }
+            "trace" => {
+                known(&[
+                    "model", "gpus", "seq", "horizon", "seed", "tier0", "window", "zoom", "mode",
+                ])?;
+                let mut t = TraceQuery::default();
+                if let Some(v) = get("model") {
+                    t.model = v.to_string();
+                }
+                if let Some(v) = get("gpus") {
+                    t.gpus = parse_num("gpus", v)?;
+                }
+                if let Some(v) = get("seq") {
+                    t.seq = parse_num("seq", v)?;
+                }
+                if let Some(v) = get("horizon") {
+                    t.horizon_s = parse_num("horizon", v)?;
+                }
+                if let Some(v) = get("seed") {
+                    t.seed = parse_num("seed", v)?;
+                }
+                if let Some(v) = get("tier0") {
+                    t.tier0 = parse_num("tier0", v)?;
+                }
+                if let Some(v) = get("window") {
+                    let parts: Vec<u64> =
+                        v.split(',').filter_map(|p| p.trim().parse().ok()).collect();
+                    let [t0, t1] = parts[..] else {
+                        return Err(QueryError::new(format!("window: want t0,t1, got {v:?}")));
+                    };
+                    if t0 >= t1 {
+                        return Err(QueryError::new(format!(
+                            "window: t0 must be before t1, got {v:?}"
+                        )));
+                    }
+                    t.window = Some((t0, t1));
+                }
+                if let Some(v) = get("zoom") {
+                    t.zoom = parse_num("zoom", v)?;
+                }
+                if let Some(v) = get("mode") {
+                    t.mode = match v {
+                        "chrome" => TraceMode::Chrome,
+                        "stats" => TraceMode::Stats,
+                        "smoke" => TraceMode::Smoke,
+                        other => {
+                            return Err(QueryError::new(format!(
+                                "trace: unknown mode {other:?} (want chrome|stats|smoke)"
+                            )))
+                        }
+                    };
+                }
+                Ok(Query::Trace(t))
+            }
             other => Err(QueryError::new(format!(
-                "unknown query kind {other:?} (want analyze|fuzz|bench|goodput|search|stats)"
+                "unknown query kind {other:?} (want analyze|fuzz|bench|goodput|search|stats|trace)"
             ))),
         }
     }
@@ -793,6 +979,32 @@ impl StatsResponse {
     }
 }
 
+/// The `trace` response payload. The body is fully deterministic (no
+/// wall-clock), so the serve dispatcher caches and coalesces trace
+/// queries like any other pure computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceResponse {
+    /// The response flavour (echoes the query).
+    pub mode: TraceMode,
+    /// Full-resolution events the simulated run emitted.
+    pub appended: u64,
+    /// Events resident in the tiered store (the memory actually used).
+    pub resident: u64,
+    /// Tiers in the tower (including tier 0).
+    pub tiers: u32,
+    /// `false` if a smoke self-check found a mismatch.
+    pub ok: bool,
+    /// The rendered payload: chrome-trace JSON, the stats JSON
+    /// envelope, or the smoke report.
+    pub body: String,
+}
+
+impl TraceResponse {
+    fn render_human(&self) -> String {
+        self.body.clone()
+    }
+}
+
 /// One response: the result of dispatching a [`Query`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -808,6 +1020,8 @@ pub enum Response {
     Search(Box<SearchResponse>),
     /// Answer to [`Query::Stats`].
     Stats(StatsResponse),
+    /// Answer to [`Query::Trace`].
+    Trace(TraceResponse),
 }
 
 impl Response {
@@ -820,6 +1034,7 @@ impl Response {
             Response::Goodput(_) => "goodput",
             Response::Search(_) => "search",
             Response::Stats(_) => "stats",
+            Response::Trace(_) => "trace",
         }
     }
 
@@ -834,6 +1049,7 @@ impl Response {
             Response::Goodput(r) => r.render_human(),
             Response::Search(r) => r.report.render_human(),
             Response::Stats(r) => r.render_human(),
+            Response::Trace(r) => r.render_human(),
         }
     }
 
@@ -855,6 +1071,7 @@ impl Response {
             Response::Analyze(r) => i32::from(r.has_errors()),
             Response::Fuzz(r) => i32::from(r.counterexample.is_some()),
             Response::Search(r) => i32::from(r.expect_hit == Some(false)),
+            Response::Trace(r) => i32::from(!r.ok),
             _ => 0,
         }
     }
@@ -889,6 +1106,22 @@ mod tests {
                 zero: vec![ZeroMode::Zero1, ZeroMode::Zero3],
                 expect: Some((2, 1, 2, 2)),
                 guided: true,
+            }),
+            Query::Trace(TraceQuery::default()),
+            Query::Trace(TraceQuery {
+                model: "8b".into(),
+                gpus: 8,
+                seq: 8192,
+                horizon_s: 3600,
+                seed: 9,
+                tier0: 128,
+                window: Some((100, 160)),
+                zoom: 2,
+                mode: TraceMode::Stats,
+            }),
+            Query::Trace(TraceQuery {
+                mode: TraceMode::Smoke,
+                ..TraceQuery::default()
             }),
         ];
         for q in queries {
@@ -944,6 +1177,11 @@ mod tests {
             "llama3sim/1 analyze mode=what",
             "llama3sim/1 fuzz cases",
             "llama3sim/1 bench cases=1",
+            "llama3sim/1 trace mode=zoomy",
+            "llama3sim/1 trace window=5",
+            "llama3sim/1 trace window=9,3",
+            "llama3sim/1 trace zoom=x",
+            "llama3sim/1 trace bogus=1",
         ] {
             assert!(Query::parse_wire(bad).is_err(), "{bad:?} should not parse");
         }

@@ -26,12 +26,25 @@
 //! well under a second) and reports the [`GoodputReport`] breakdown,
 //! including the Young/Daly optimal checkpoint interval
 //! `sqrt(2 · write_time · MTBF)` next to the configured one.
+//!
+//! [`RunSimulator::simulate_traced`] runs the *same* walk while
+//! streaming per-step timeline events (one compute event per pipeline
+//! rank per step, DP-stretch events under degraded links, checkpoint /
+//! detect / restart markers) into a bounded [`TieredTrace`] tower
+//! instead of an unbounded event list, recording a [`RunAnchor`] at
+//! every point where the walk's state collapses to four words (after
+//! each checkpoint commit and restart). Because the walk is a pure
+//! function of that state, [`RunReplay`] can rematerialize any time
+//! window at full resolution by re-walking from the nearest anchor —
+//! bounded work (≲ one checkpoint interval), exact by construction.
 
 use crate::fsdp;
 use crate::step::{SimOptions, StepModel};
-use cluster_model::faults::{ClusterHealth, FaultTimeline};
+use cluster_model::faults::FaultTimeline;
 use llm_model::PrecisionPolicy;
 use sim_engine::error::SimError;
+use trace_analysis::tiered::{ReplaySource, ReplayedWindow, TierConfig, TieredTrace};
+use trace_analysis::{EventCategory, TraceEvent};
 
 /// Checkpoint/restart policy for a long-running job.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -216,11 +229,10 @@ impl RunSimulator {
         fsdp::checkpoint_bytes_per_rank(heaviest, policy, fsdp_n)
     }
 
-    /// Simulates the timeline's whole horizon and reports goodput.
-    ///
-    /// # Errors
-    /// Propagates step-model errors (invalid schedule, deadlock).
-    pub fn simulate(&self) -> Result<GoodputReport, SimError> {
+    /// Prices the step model once — the only expensive part of a run
+    /// simulation. Replays reuse the result, which is what makes a
+    /// [`RunReplay`] seek bounded.
+    fn pricing(&self) -> Result<RunPricing, SimError> {
         let base = self.step.run(&SimOptions::default())?.report;
         let healthy_step_s = base.step_time.as_secs_f64();
         if healthy_step_s <= 0.0 {
@@ -228,24 +240,49 @@ impl RunSimulator {
                 "healthy step time must be positive".into(),
             ));
         }
-        let dp_exposed_s = base.exposed.dp.as_secs_f64();
         let ckpt_bytes = self.checkpoint_bytes_per_rank();
-        let write_s = ckpt_bytes as f64 / self.policy.write_bandwidth;
-        let read_s = ckpt_bytes as f64 / self.policy.read_bandwidth;
-        let ckpt_every = (self.policy.interval_s / healthy_step_s).round().max(1.0) as u64;
+        Ok(RunPricing {
+            healthy_step_s,
+            dp_exposed_s: base.exposed.dp.as_secs_f64(),
+            ckpt_bytes,
+            write_s: ckpt_bytes as f64 / self.policy.write_bandwidth,
+            read_s: ckpt_bytes as f64 / self.policy.read_bandwidth,
+            ckpt_every: (self.policy.interval_s / healthy_step_s).round().max(1.0) as u64,
+        })
+    }
 
-        let fatal_times: Vec<f64> = self.timeline.fatal_events().map(|e| e.start_s).collect();
+    /// The shared timeline walk. One code path serves plain goodput
+    /// simulation, traced simulation, and window replay — so the
+    /// events a replay regenerates are byte-identical to the events the
+    /// original traced walk streamed out, and [`RunSimulator::simulate`]
+    /// and [`RunSimulator::simulate_traced`] agree bit for bit on the
+    /// [`GoodputReport`].
+    ///
+    /// Walks from `start` (whose pending-work counters are zero by
+    /// construction — anchors sit just after a checkpoint commit or
+    /// restart) until the horizon, or until the walk clock passes
+    /// `stop_after_ns` (every event emitted in an iteration starts at
+    /// or after the iteration's clock, so stopping there loses nothing
+    /// before the stop time).
+    fn walk(
+        &self,
+        p: &RunPricing,
+        fatal_times: &[f64],
+        start: RunAnchor,
+        stop_after_ns: Option<u64>,
+        sink: &mut dyn FnMut(u64, TraceEvent),
+        mut anchors: Option<&mut Vec<RunAnchor>>,
+    ) -> WalkAccounting {
         let horizon = self.timeline.horizon_s();
+        let pp = self.step.mesh.pp();
 
         // The priced step time under a health snapshot: the worst
         // throttle gates the synchronized step (§8.1); degraded links
         // stretch the exposed DP communication (§8.2).
-        let degraded_step_s = |h: &ClusterHealth| {
-            healthy_step_s * h.worst_compute_multiplier()
-                + dp_exposed_s * (1.0 / h.worst_link_scale() - 1.0)
-        };
-
-        let mut t = 0.0f64;
+        let mut t = start.t_s;
+        let mut fi = start.fault_index;
+        let mut step_idx = start.step_index;
+        let mut ev_idx = start.event_index;
         let mut steps_committed = 0u64;
         let mut restarts = 0u32;
         let mut loss = GoodputLoss::default();
@@ -253,11 +290,26 @@ impl RunSimulator {
         let mut pending_steps = 0u64;
         let mut pending_wall = 0.0f64;
         let mut pending_degraded = 0.0f64;
-        let mut fi = 0usize;
+
+        if let Some(a) = anchors.as_deref_mut() {
+            a.push(RunAnchor {
+                t_s: t,
+                fault_index: fi,
+                step_index: step_idx,
+                event_index: ev_idx,
+            });
+        }
 
         while t < horizon {
+            if let Some(stop) = stop_after_ns {
+                if ns(t) >= stop {
+                    break;
+                }
+            }
             let health = self.timeline.health_at(t);
-            let step_s = degraded_step_s(&health);
+            let compute_s = p.healthy_step_s * health.worst_compute_multiplier();
+            let dp_extra_s = p.dp_exposed_s * (1.0 / health.worst_link_scale() - 1.0);
+            let step_s = compute_s + dp_extra_s;
             if fi < fatal_times.len() && fatal_times[fi] <= t + step_s {
                 // A fatal fault lands during this step (or landed during
                 // the preceding checkpoint write): everything since the
@@ -269,56 +321,339 @@ impl RunSimulator {
                 pending_wall = 0.0;
                 pending_degraded = 0.0;
                 loss.detect_s += self.policy.detect_s;
-                loss.restart_s += self.policy.reschedule_s + read_s;
-                t = t.max(f) + self.policy.detect_s + self.policy.reschedule_s + read_s;
+                loss.restart_s += self.policy.reschedule_s + p.read_s;
+                let down_at = t.max(f);
+                sink(
+                    ev_idx,
+                    other_event(0, "detect", ns(down_at), ns_dur(self.policy.detect_s)),
+                );
+                ev_idx += 1;
+                sink(
+                    ev_idx,
+                    other_event(
+                        0,
+                        "restart",
+                        ns(down_at + self.policy.detect_s),
+                        ns_dur(self.policy.reschedule_s + p.read_s),
+                    ),
+                );
+                ev_idx += 1;
+                t = down_at + self.policy.detect_s + self.policy.reschedule_s + p.read_s;
                 restarts += 1;
                 // Faults striking while the job is already down fold
                 // into the same outage.
                 while fi < fatal_times.len() && fatal_times[fi] <= t {
                     fi += 1;
                 }
+                if let Some(a) = anchors.as_deref_mut() {
+                    a.push(RunAnchor {
+                        t_s: t,
+                        fault_index: fi,
+                        step_index: step_idx,
+                        event_index: ev_idx,
+                    });
+                }
                 continue;
             }
+            // One synchronized training step: a compute event on every
+            // pipeline rank (replica-0 lanes, matching the step-level
+            // trace's rank convention) plus a DP-stretch event when a
+            // degraded link exposes extra DP communication.
+            let name = format!("step{step_idx}");
+            for rank in 0..pp {
+                sink(
+                    ev_idx,
+                    TraceEvent {
+                        rank,
+                        name: name.clone(),
+                        category: EventCategory::Compute,
+                        start_ns: ns(t),
+                        duration_ns: ns_dur(compute_s),
+                    },
+                );
+                ev_idx += 1;
+            }
+            if dp_extra_s > 0.0 {
+                for rank in 0..pp {
+                    sink(
+                        ev_idx,
+                        TraceEvent {
+                            rank,
+                            name: "dp_wait".to_string(),
+                            category: EventCategory::DpComm,
+                            start_ns: ns(t + compute_s),
+                            duration_ns: ns_dur(dp_extra_s),
+                        },
+                    );
+                    ev_idx += 1;
+                }
+            }
+            step_idx += 1;
             t += step_s;
             pending_steps += 1;
             pending_wall += step_s;
-            pending_degraded += step_s - healthy_step_s;
-            if pending_steps >= ckpt_every {
-                t += write_s;
-                loss.checkpoint_s += write_s;
+            pending_degraded += step_s - p.healthy_step_s;
+            if pending_steps >= p.ckpt_every {
+                sink(
+                    ev_idx,
+                    other_event(0, "checkpoint", ns(t), ns_dur(p.write_s)),
+                );
+                ev_idx += 1;
+                t += p.write_s;
+                loss.checkpoint_s += p.write_s;
                 steps_committed += pending_steps;
                 loss.degraded_s += pending_degraded;
                 pending_steps = 0;
                 pending_wall = 0.0;
                 pending_degraded = 0.0;
+                if let Some(a) = anchors.as_deref_mut() {
+                    a.push(RunAnchor {
+                        t_s: t,
+                        fault_index: fi,
+                        step_index: step_idx,
+                        event_index: ev_idx,
+                    });
+                }
             }
         }
         // Steps computed but not yet checkpointed still count at the
         // horizon — the run ends, it does not crash.
         steps_committed += pending_steps;
         loss.degraded_s += pending_degraded;
+        WalkAccounting {
+            wall_time_s: t,
+            steps_committed,
+            restarts,
+            loss,
+        }
+    }
 
-        let productive_s = steps_committed as f64 * healthy_step_s;
+    fn report_from(&self, p: &RunPricing, acc: WalkAccounting) -> GoodputReport {
+        let productive_s = acc.steps_committed as f64 * p.healthy_step_s;
         let mtbf_s = self.timeline.mtbf_s();
         let young_daly = if mtbf_s.is_finite() {
-            (2.0 * write_s * mtbf_s).sqrt()
+            (2.0 * p.write_s * mtbf_s).sqrt()
         } else {
             f64::INFINITY
         };
-        Ok(GoodputReport {
-            wall_time_s: t,
+        GoodputReport {
+            wall_time_s: acc.wall_time_s,
             productive_s,
-            goodput: productive_s / t.max(f64::MIN_POSITIVE),
-            steps_completed: steps_committed,
-            restarts,
-            loss,
-            healthy_step_s,
-            checkpoint_bytes_per_rank: ckpt_bytes,
-            checkpoint_write_s: write_s,
-            checkpoint_interval_s: ckpt_every as f64 * healthy_step_s,
+            goodput: productive_s / acc.wall_time_s.max(f64::MIN_POSITIVE),
+            steps_completed: acc.steps_committed,
+            restarts: acc.restarts,
+            loss: acc.loss,
+            healthy_step_s: p.healthy_step_s,
+            checkpoint_bytes_per_rank: p.ckpt_bytes,
+            checkpoint_write_s: p.write_s,
+            checkpoint_interval_s: p.ckpt_every as f64 * p.healthy_step_s,
             young_daly_interval_s: young_daly,
             mtbf_s,
+        }
+    }
+
+    fn fatal_times(&self) -> Vec<f64> {
+        self.timeline.fatal_events().map(|e| e.start_s).collect()
+    }
+
+    /// Simulates the timeline's whole horizon and reports goodput.
+    ///
+    /// # Errors
+    /// Propagates step-model errors (invalid schedule, deadlock).
+    pub fn simulate(&self) -> Result<GoodputReport, SimError> {
+        let p = self.pricing()?;
+        let fatal = self.fatal_times();
+        let acc = self.walk(&p, &fatal, RunAnchor::start(), None, &mut |_, _| {}, None);
+        Ok(self.report_from(&p, acc))
+    }
+
+    /// Simulates the whole horizon while streaming the run timeline into
+    /// a bounded [`TieredTrace`] tower, recording replay anchors. The
+    /// returned [`GoodputReport`] is bit-identical to
+    /// [`RunSimulator::simulate`]'s (same walk, same arithmetic).
+    ///
+    /// # Errors
+    /// Propagates step-model errors (invalid schedule, deadlock).
+    pub fn simulate_traced(&self, cfg: TierConfig) -> Result<RunTrace, SimError> {
+        let p = self.pricing()?;
+        let fatal = self.fatal_times();
+        let mut store = TieredTrace::new(cfg);
+        let mut anchors = Vec::new();
+        let acc = self.walk(
+            &p,
+            &fatal,
+            RunAnchor::start(),
+            None,
+            &mut |_, ev| store.append(ev),
+            Some(&mut anchors),
+        );
+        let report = self.report_from(&p, acc);
+        Ok(RunTrace {
+            store,
+            anchors,
+            report,
+            pricing: p,
+            fatal_times: fatal,
         })
+    }
+
+    /// Captures the complete full-resolution event stream with global
+    /// indices — `O(N)` memory, for conformance oracles and smoke
+    /// diffs, not production storage.
+    ///
+    /// # Errors
+    /// Propagates step-model errors (invalid schedule, deadlock).
+    // lint: allow(trace-vec) — the documented O(N) reference capture
+    pub fn trace_events(&self) -> Result<(Vec<(u64, TraceEvent)>, GoodputReport), SimError> {
+        let p = self.pricing()?;
+        let fatal = self.fatal_times();
+        let mut events = Vec::new();
+        let acc = self.walk(
+            &p,
+            &fatal,
+            RunAnchor::start(),
+            None,
+            &mut |idx, ev| events.push((idx, ev)),
+            None,
+        );
+        Ok((events, self.report_from(&p, acc)))
+    }
+}
+
+/// Seconds → integer nanoseconds (timestamps).
+fn ns(t_s: f64) -> u64 {
+    (t_s * 1e9).round().max(0.0) as u64
+}
+
+/// Seconds → integer nanoseconds (durations).
+fn ns_dur(d_s: f64) -> u64 {
+    (d_s * 1e9).round().max(0.0) as u64
+}
+
+fn other_event(rank: u32, name: &str, start_ns: u64, duration_ns: u64) -> TraceEvent {
+    TraceEvent {
+        rank,
+        name: name.to_string(),
+        category: EventCategory::Other,
+        start_ns,
+        duration_ns,
+    }
+}
+
+/// Pre-priced quantities of one run: the healthy step time, exposed DP
+/// communication, and checkpoint I/O costs. Derived once from the step
+/// model; replays reuse it instead of re-lowering the step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunPricing {
+    healthy_step_s: f64,
+    dp_exposed_s: f64,
+    ckpt_bytes: u64,
+    write_s: f64,
+    read_s: f64,
+    ckpt_every: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct WalkAccounting {
+    wall_time_s: f64,
+    steps_committed: u64,
+    restarts: u32,
+    loss: GoodputLoss,
+}
+
+/// A point where the walk's entire state collapses to four words: wall
+/// clock, next-fatal-fault cursor, step counter, event counter — and
+/// the pending-work counters are all zero. Recorded at the start of the
+/// run, after every checkpoint commit, and after every restart.
+/// Replaying from an anchor regenerates the exact event stream the
+/// original walk produced from that point on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunAnchor {
+    /// Wall time at the anchor, seconds.
+    pub t_s: f64,
+    /// Index of the next unconsumed fatal fault.
+    pub fault_index: usize,
+    /// Steps walked so far (including ones later lost to rework).
+    pub step_index: u64,
+    /// Events emitted so far (the next event's global index).
+    pub event_index: u64,
+}
+
+impl RunAnchor {
+    fn start() -> RunAnchor {
+        RunAnchor {
+            t_s: 0.0,
+            fault_index: 0,
+            step_index: 0,
+            event_index: 0,
+        }
+    }
+}
+
+/// The outcome of [`RunSimulator::simulate_traced`]: the bounded tiered
+/// store, the replay anchors, and the goodput report.
+#[derive(Debug, Clone)]
+pub struct RunTrace {
+    /// The tiered timeline store (`O(B · log N)` resident events).
+    pub store: TieredTrace,
+    /// Replay anchors, in time order (first is the run start).
+    pub anchors: Vec<RunAnchor>,
+    /// The goodput report — bit-identical to
+    /// [`RunSimulator::simulate`]'s.
+    pub report: GoodputReport,
+    pricing: RunPricing,
+    fatal_times: Vec<f64>,
+}
+
+impl RunTrace {
+    /// A [`ReplaySource`] that rematerializes any window of this run by
+    /// re-walking from the nearest anchor at or before the window —
+    /// bounded work: at most one checkpoint interval of steps before
+    /// the window plus the window itself, never the whole run.
+    ///
+    /// `sim` must be the simulator that produced this trace.
+    pub fn replayer<'a>(&'a self, sim: &'a RunSimulator) -> RunReplay<'a> {
+        RunReplay {
+            sim,
+            pricing: self.pricing,
+            fatal_times: &self.fatal_times,
+            anchors: &self.anchors,
+        }
+    }
+}
+
+/// Deterministic window rematerializer for a traced run. See
+/// [`RunTrace::replayer`].
+pub struct RunReplay<'a> {
+    sim: &'a RunSimulator,
+    pricing: RunPricing,
+    fatal_times: &'a [f64],
+    anchors: &'a [RunAnchor],
+}
+
+impl ReplaySource for RunReplay<'_> {
+    fn replay(&self, t0_ns: u64, t1_ns: u64) -> ReplayedWindow {
+        let start = self
+            .anchors
+            .iter()
+            .rev()
+            .find(|a| ns(a.t_s) <= t0_ns)
+            .copied()
+            .unwrap_or(RunAnchor::start());
+        let mut events = Vec::new();
+        self.sim.walk(
+            &self.pricing,
+            self.fatal_times,
+            start,
+            Some(t1_ns),
+            &mut |idx, ev| {
+                if ev.start_ns >= t0_ns && ev.start_ns < t1_ns {
+                    events.push((idx, ev));
+                }
+            },
+            None,
+        );
+        ReplayedWindow { events }
     }
 }
 
@@ -464,6 +799,50 @@ mod tests {
         let mut p = CheckpointPolicy::llama3_production();
         p.interval_s = 0.0;
         assert!(RunSimulator::new(step, tl, p).is_err());
+    }
+
+    #[test]
+    fn traced_run_matches_plain_simulation_and_replays_exactly() {
+        let mut rates = FaultRates::llama3_production();
+        rates.gpu_fail_per_gpu_hour = 2e-2;
+        rates.thermal_per_gpu_hour = 4e-2;
+        rates.link_degrade_per_gpu_hour = 4e-2;
+        let step = small_step();
+        let tl = FaultTimeline::generate(rates, step.cluster.num_gpus(), 8, DAY_S / 4.0, 11).unwrap();
+        let sim = RunSimulator::new(step, tl, CheckpointPolicy::llama3_production()).unwrap();
+
+        let plain = sim.simulate().unwrap();
+        let traced = sim
+            .simulate_traced(trace_analysis::TierConfig::tiny(256, 16))
+            .unwrap();
+        // Same walk → bit-identical goodput report.
+        assert_eq!(plain, traced.report);
+
+        let (reference, ref_report) = sim.trace_events().unwrap();
+        assert_eq!(plain, ref_report);
+        assert_eq!(traced.store.appended(), reference.len() as u64);
+        assert!(traced.store.resident_events() < reference.len());
+        assert!(traced.anchors.len() > 2);
+
+        // Every rematerialized window is byte-identical to the
+        // corresponding slice of the full-resolution reference.
+        let replay = traced.replayer(&sim);
+        let span = traced.store.span_ns();
+        for (t0, t1) in [
+            (0, span / 7),
+            (span / 3, span / 3 + span / 10),
+            (span - span / 9, span),
+        ] {
+            let view = traced.store.window_with_replay(t0, t1, 0, &replay);
+            let expect: Vec<(u64, TraceEvent)> = reference
+                .iter()
+                .filter(|(_, e)| e.start_ns >= t0 && e.start_ns < t1)
+                .cloned()
+                .collect();
+            assert_eq!(view.events, expect, "window [{t0}, {t1})");
+            assert!(!view.events.is_empty());
+        }
+        traced.store.check_integrity().unwrap();
     }
 
     #[test]

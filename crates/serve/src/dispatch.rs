@@ -5,8 +5,8 @@
 //! three reuse mechanisms over the raw computations:
 //!
 //! 1. **Response cache.** Deterministic responses (`analyze`, `fuzz`,
-//!    `search`) are memoized by [`Query::canonical_hash`] in a bounded
-//!    FIFO map, so a repeated question is a lookup.
+//!    `search`, `trace`) are memoized by [`Query::canonical_hash`] in a
+//!    bounded FIFO map, so a repeated question is a lookup.
 //! 2. **In-flight coalescing.** Identical queries arriving while the
 //!    first is still computing block on one shared flight instead of
 //!    recomputing: a thundering herd of N clients costs one search.
@@ -29,17 +29,21 @@
 
 use analyzer::{analyze_grid, analyze_step, named_step, NAMED_CONFIGS};
 use bench_harness::snapshot::{measure_goodput, measure_perf};
+use cluster_model::faults::{FaultRates, FaultTimeline};
 use collectives::cost_cache_stats;
 use conformance::fuzz::{run_sweep, FuzzArgs};
 use conformance::grid::config_grid;
 use parallelism_core::query::{
     AnalyzeMode, AnalyzeResponse, Query, QueryError, Response, SearchQuery, SearchResponse,
-    StatsResponse,
+    StatsResponse, TraceMode, TraceQuery, TraceResponse,
 };
+use parallelism_core::run::{CheckpointPolicy, RunSimulator, RunTrace};
 use parallelism_core::search::{
     finish_search, restrict_max_cp, search_outcomes, verdict_cache_stats, SearchOutcomes,
     SearchSpec,
 };
+use trace_analysis::chrome::to_chrome_json;
+use trace_analysis::tiered::{TierConfig, WindowStats, CATEGORIES};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -128,10 +132,10 @@ impl Dispatcher {
     }
 
     /// Answers one query. Deterministic kinds (`analyze`, `fuzz`,
-    /// `search`) are served from the response cache when possible,
-    /// coalesced onto an identical in-flight computation otherwise;
-    /// wall-clock kinds (`bench`, `goodput`) and `stats` always compute
-    /// fresh.
+    /// `search`, `trace`) are served from the response cache when
+    /// possible, coalesced onto an identical in-flight computation
+    /// otherwise; wall-clock kinds (`bench`, `goodput`) and `stats`
+    /// always compute fresh.
     ///
     /// # Errors
     /// [`QueryError`] on an unanswerable query (unknown config name,
@@ -142,7 +146,9 @@ impl Dispatcher {
             Query::Bench => Ok(Response::Bench(measure_perf())),
             Query::Goodput => Ok(Response::Goodput(measure_goodput())),
             Query::Stats => Ok(Response::Stats(self.stats())),
-            Query::Analyze(_) | Query::Fuzz(_) | Query::Search(_) => self.cached_dispatch(query),
+            Query::Analyze(_) | Query::Fuzz(_) | Query::Search(_) | Query::Trace(_) => {
+                self.cached_dispatch(query)
+            }
         }
     }
 
@@ -208,6 +214,7 @@ impl Dispatcher {
                 Ok(Response::Fuzz(outcome.into_response()))
             }
             Query::Search(s) => self.compute_search(s),
+            Query::Trace(t) => Ok(Response::Trace(compute_trace(t)?)),
             // The wall-clock and stats kinds never reach the cached path.
             Query::Bench | Query::Goodput | Query::Stats => {
                 Err(QueryError::new("internal: non-cacheable kind in compute"))
@@ -326,6 +333,239 @@ fn search_family_key(q: &SearchQuery) -> String {
     Query::Search(family).to_wire()
 }
 
+/// GPUs per node for trace fault timelines: the paper's 8-GPU hosts,
+/// matching the goodput experiment.
+const TRACE_GPUS_PER_NODE: u32 = 8;
+
+/// Seconds → integer nanoseconds for window bounds.
+fn secs_ns(t_s: u64) -> u64 {
+    t_s.saturating_mul(1_000_000_000)
+}
+
+/// Wire tag of a category in the stats envelope (same spelling as the
+/// chrome export's `cat` field).
+fn cat_tag(c: trace_analysis::EventCategory) -> &'static str {
+    use trace_analysis::EventCategory;
+    match c {
+        EventCategory::Compute => "compute",
+        EventCategory::TpComm => "tp_comm",
+        EventCategory::CpComm => "cp_comm",
+        EventCategory::PpComm => "pp_comm",
+        EventCategory::DpComm => "dp_comm",
+        EventCategory::Other => "other",
+    }
+}
+
+/// Computes a trace query: plan the step via §5.1, simulate the run
+/// while streaming its timeline into the tiered tower, then render the
+/// requested view. Fully deterministic, so the response is cacheable.
+fn compute_trace(q: &TraceQuery) -> Result<TraceResponse, QueryError> {
+    let step = q.to_step()?;
+    let timeline = FaultTimeline::generate(
+        FaultRates::llama3_production(),
+        q.gpus,
+        TRACE_GPUS_PER_NODE,
+        q.horizon_s as f64,
+        q.seed,
+    )
+    .map_err(|e| QueryError::new(format!("trace: {e}")))?;
+    let sim = RunSimulator::new(step, timeline, CheckpointPolicy::llama3_production())
+        .map_err(|e| QueryError::new(format!("trace: {e}")))?;
+    let cfg = TierConfig {
+        tier0_events: q.tier0 as usize,
+        ..TierConfig::default()
+    };
+    let traced = sim
+        .simulate_traced(cfg)
+        .map_err(|e| QueryError::new(format!("trace: {e}")))?;
+
+    let (ok, body) = match q.mode {
+        TraceMode::Chrome => (true, render_trace_chrome(q, &sim, &traced)?),
+        TraceMode::Stats => (true, render_trace_stats(q, &traced)),
+        TraceMode::Smoke => render_trace_smoke(q, &sim, &traced)?,
+    };
+    Ok(TraceResponse {
+        mode: q.mode,
+        appended: traced.store.appended(),
+        resident: traced.store.resident_events() as u64,
+        tiers: traced.store.num_tiers() as u32,
+        ok,
+        body,
+    })
+}
+
+/// Chrome-trace JSON of the retained timeline (or a seek window,
+/// rematerialized by bounded replay when storage is coarser than the
+/// requested zoom). Both paths go through [`to_chrome_json`], the
+/// workspace's single chrome exporter.
+fn render_trace_chrome(
+    q: &TraceQuery,
+    sim: &RunSimulator,
+    traced: &RunTrace,
+) -> Result<String, QueryError> {
+    let trace = match q.window {
+        Some((t0, t1)) => traced
+            .store
+            .window_with_replay(secs_ns(t0), secs_ns(t1), q.zoom, &traced.replayer(sim))
+            .to_trace(),
+        None => traced.store.sampled(q.zoom),
+    };
+    to_chrome_json(&trace).map_err(|e| QueryError::new(format!("trace: chrome export: {e}")))
+}
+
+/// Renders one per-category busy array as a JSON object, chrome-export
+/// category spelling, fixed order.
+fn busy_json(busy: &[u64]) -> String {
+    let fields: Vec<String> = CATEGORIES
+        .iter()
+        .zip(busy.iter())
+        .map(|(c, ns)| format!("\"{}\":{ns}", cat_tag(*c)))
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+/// The deterministic stats JSON envelope: tier residency plus exact
+/// run-wide and windowed aggregates.
+fn render_trace_stats(q: &TraceQuery, traced: &RunTrace) -> String {
+    let store = &traced.store;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"model\":\"{}\",\"gpus\":{},\"seq\":{},\"horizon_s\":{},\"seed\":{}",
+        q.model, q.gpus, q.seq, q.horizon_s, q.seed
+    ));
+    out.push_str(&format!(
+        ",\"appended\":{},\"resident_events\":{},\"resident_windows\":{},\"span_ns\":{}",
+        store.appended(),
+        store.resident_events(),
+        store.resident_windows(),
+        store.span_ns()
+    ));
+    out.push_str(",\"tiers\":[");
+    for (i, t) in store.tier_summaries().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"level\":{},\"stride\":{},\"events\":{},\"windows\":{},\"raw_range\":[{},{}]}}",
+            t.level, t.stride, t.events, t.windows, t.raw_range.0, t.raw_range.1
+        ));
+    }
+    out.push(']');
+    let mut busy = [0u64; CATEGORIES.len()];
+    for totals in store.rank_totals().values() {
+        for (b, t) in busy.iter_mut().zip(totals.iter()) {
+            *b += t;
+        }
+    }
+    out.push_str(&format!(",\"busy_ns\":{}", busy_json(&busy)));
+    out.push_str(",\"window\":");
+    match q.window {
+        Some((t0, t1)) => match store.window_stats(secs_ns(t0), secs_ns(t1)) {
+            Some(w) => out.push_str(&window_stats_json(t0, t1, &w)),
+            None => out.push_str("null"),
+        },
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    out
+}
+
+fn window_stats_json(t0_s: u64, t1_s: u64, w: &WindowStats) -> String {
+    let mut busy = [0u64; CATEGORIES.len()];
+    let mut max_gap = 0u64;
+    for r in w.per_rank.values() {
+        for (b, t) in busy.iter_mut().zip(r.busy_ns.iter()) {
+            *b += t;
+        }
+        max_gap = max_gap.max(r.max_gap_ns);
+    }
+    format!(
+        "{{\"t0_s\":{t0_s},\"t1_s\":{t1_s},\"events\":{},\"start_ns\":{},\"end_ns\":{},\
+         \"max_duration_ns\":{},\"ranks\":{},\"max_gap_ns\":{max_gap},\"busy_ns\":{}}}",
+        w.events,
+        w.start_ns,
+        w.end_ns,
+        w.max_duration_ns,
+        w.per_rank.len(),
+        busy_json(&busy)
+    )
+}
+
+/// The self-checking smoke: capture a full-resolution reference
+/// (`O(N)`, deliberately — the thing the tower avoids), seek three
+/// windows through the tower's bounded-replay path, and diff each
+/// against the reference byte-for-byte. Reports resident vs
+/// full-resolution event counts so CI logs show the `O(log N)` claim.
+fn render_trace_smoke(
+    q: &TraceQuery,
+    sim: &RunSimulator,
+    traced: &RunTrace,
+) -> Result<(bool, String), QueryError> {
+    let (reference, full_report) = sim
+        .trace_events()
+        .map_err(|e| QueryError::new(format!("trace: {e}")))?;
+    let store = &traced.store;
+    let mut ok = true;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace smoke: model={} gpus={} seq={} horizon={}s seed={:#x}\n",
+        q.model, q.gpus, q.seq, q.horizon_s, q.seed
+    ));
+    out.push_str(&format!(
+        "full-resolution events: {}\nresident events:        {} ({} tiers, {:.1}x compression)\n",
+        reference.len(),
+        store.resident_events(),
+        store.num_tiers(),
+        reference.len() as f64 / store.resident_events().max(1) as f64
+    ));
+
+    let reports_match = full_report == traced.report;
+    ok &= reports_match;
+    out.push_str(&format!(
+        "goodput report parity:  {}\n",
+        if reports_match { "ok" } else { "MISMATCH" }
+    ));
+
+    let span = store.span_ns();
+    let windows = [
+        (0, span / 7),
+        (span / 3, span / 3 + span / 10),
+        (span - span / 9, span),
+    ];
+    let replay = traced.replayer(sim);
+    for (t0, t1) in windows {
+        let view = store.window_with_replay(t0, t1, 0, &replay);
+        let expected: Vec<(u64, trace_analysis::TraceEvent)> = reference
+            .iter()
+            .filter(|(_, e)| e.start_ns >= t0 && e.start_ns < t1)
+            .cloned()
+            .collect();
+        let exact = view.events == expected;
+        ok &= exact;
+        out.push_str(&format!(
+            "window [{:.0}s, {:.0}s): {} events{}, replay diff: {}\n",
+            t0 as f64 / 1e9,
+            t1 as f64 / 1e9,
+            view.events.len(),
+            if view.rematerialized {
+                " (rematerialized)"
+            } else {
+                ""
+            },
+            if exact { "ok" } else { "MISMATCH" }
+        ));
+    }
+
+    let integrity = store.check_integrity();
+    ok &= integrity.is_ok();
+    match integrity {
+        Ok(()) => out.push_str("tower integrity:        ok\n"),
+        Err(e) => out.push_str(&format!("tower integrity:        FAIL ({e})\n")),
+    }
+    out.push_str(if ok { "smoke: PASS" } else { "smoke: FAIL" });
+    Ok((ok, out))
+}
+
 /// Computes an analyze query against the named catalog or the
 /// conformance grid.
 fn compute_analyze(mode: &AnalyzeMode) -> Result<AnalyzeResponse, QueryError> {
@@ -406,6 +646,50 @@ mod tests {
         let cold = Dispatcher::new().dispatch(&small_search(2)).unwrap();
         assert_eq!(narrow.render_wire(), cold.render_wire());
         assert_ne!(wide.render_wire(), narrow.render_wire());
+    }
+
+    #[test]
+    fn trace_responses_are_cached_and_smoke_passes() {
+        let d = Dispatcher::new();
+        let q = Query::Trace(TraceQuery {
+            model: "8b".into(),
+            gpus: 8,
+            horizon_s: 3600,
+            tier0: 256,
+            mode: TraceMode::Stats,
+            ..TraceQuery::default()
+        });
+        let first = d.dispatch(&q).unwrap();
+        let second = d.dispatch(&q).unwrap();
+        assert_eq!(first.render_wire(), second.render_wire());
+        assert_eq!(d.stats().response_hits, 1);
+        match &first {
+            Response::Trace(r) => {
+                assert!(r.ok);
+                assert!(r.body.starts_with('{'), "stats body is JSON: {}", r.body);
+                assert!(r.appended > 0);
+                assert!(r.resident <= r.appended);
+            }
+            other => panic!("expected a trace response, got {}", other.kind()),
+        }
+
+        let smoke = d
+            .dispatch(&Query::Trace(TraceQuery {
+                model: "8b".into(),
+                gpus: 8,
+                horizon_s: 3600,
+                tier0: 256,
+                mode: TraceMode::Smoke,
+                ..TraceQuery::default()
+            }))
+            .unwrap();
+        match smoke {
+            Response::Trace(r) => {
+                assert!(r.ok, "smoke self-check failed:\n{}", r.body);
+                assert!(r.body.ends_with("smoke: PASS"), "{}", r.body);
+            }
+            other => panic!("expected a trace response, got {}", other.kind()),
+        }
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //!
 //! Performance-trace tooling for the `llama3-parallelism` workspace:
 //! the trace data model, Chrome-trace export for visual inspection,
-//! synthetic trace generation, and the §6.1 top-down slow-rank
+//! synthetic trace generation, the §6.1 top-down slow-rank
 //! localization that finds the root-cause straggler across parallelism
-//! dimensions (Fig 8).
+//! dimensions (Fig 8), and the tiered (RRD-style tower-sampling) trace
+//! store that keeps multi-day run timelines in `O(log N)` memory with
+//! exact replay-backed random seek.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -14,8 +16,15 @@ pub mod report;
 pub mod format;
 pub mod slowrank;
 pub mod synth;
+pub mod tiered;
 
 pub use report::{auto_report, AutoReport};
 pub use format::{EventCategory, Trace, TraceEvent};
-pub use slowrank::{locate_slow_rank, DimGroups, GroupStructure, SlowRankReport};
+pub use slowrank::{
+    locate_slow_rank, locate_slow_rank_tiered, DimGroups, GroupStructure, RankTotals,
+    SlowRankReport,
+};
 pub use synth::{synth_trace, SynthSpec};
+pub use tiered::{
+    ReplaySource, ReplayedWindow, SliceReplay, TierConfig, TieredTrace, WindowStats, WindowView,
+};

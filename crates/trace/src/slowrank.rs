@@ -23,6 +23,51 @@
 //! somewhere), with compute time as the tie-breaker.
 
 use crate::format::{EventCategory, Trace};
+use crate::tiered::{category_index, TieredTrace, NUM_CATEGORIES};
+use std::collections::BTreeMap;
+
+/// Exact per-rank communication/compute totals — the only signal the
+/// §6.1 analysis consumes. Both a full-resolution [`Trace`] and a
+/// decimated [`TieredTrace`] produce the *same* totals (the tiered
+/// store folds durations from full-resolution data before thinning
+/// events), which is why tier-fed verdicts match full-trace verdicts
+/// bit for bit (oracle 9c).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankTotals {
+    totals: BTreeMap<u32, [u64; NUM_CATEGORIES]>,
+}
+
+impl RankTotals {
+    /// Folds a full-resolution trace.
+    pub fn from_trace(trace: &Trace) -> RankTotals {
+        let mut totals: BTreeMap<u32, [u64; NUM_CATEGORIES]> = BTreeMap::new();
+        for e in &trace.events {
+            totals.entry(e.rank).or_insert([0; NUM_CATEGORIES])[category_index(e.category)] +=
+                e.duration_ns;
+        }
+        RankTotals { totals }
+    }
+
+    /// Reads the exact aggregates out of a tiered store.
+    pub fn from_tiered(store: &TieredTrace) -> RankTotals {
+        RankTotals {
+            totals: store.rank_totals(),
+        }
+    }
+
+    /// All ranks seen, ascending.
+    pub fn ranks(&self) -> Vec<u32> {
+        self.totals.keys().copied().collect()
+    }
+
+    /// Total time of one category on one rank, nanoseconds.
+    pub fn rank_total(&self, rank: u32, category: EventCategory) -> u64 {
+        self.totals
+            .get(&rank)
+            .map(|t| t[category_index(category)])
+            .unwrap_or(0)
+    }
+}
 
 /// The groups of one parallelism dimension.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,6 +142,29 @@ pub const CULPRIT_CONFIDENCE_THRESHOLD: f64 = 0.5;
 /// # Panics
 /// Panics if `structure` has no dimensions or the trace is empty.
 pub fn locate_slow_rank(trace: &Trace, structure: &GroupStructure) -> SlowRankReport {
+    locate_slow_rank_from_totals(&RankTotals::from_trace(trace), structure)
+}
+
+/// Runs the §6.1 analysis off a decimated [`TieredTrace`]. The tiered
+/// store's per-rank aggregates are exact at every tier, so this yields
+/// the same `culprit`/`suspect`/`confidence` as [`locate_slow_rank`] on
+/// the full-resolution trace — making the analysis usable on week-long
+/// simulated runs whose full event stream was never retained.
+///
+/// # Panics
+/// Panics if `structure` has no dimensions or the store is empty.
+pub fn locate_slow_rank_tiered(store: &TieredTrace, structure: &GroupStructure) -> SlowRankReport {
+    locate_slow_rank_from_totals(&RankTotals::from_tiered(store), structure)
+}
+
+/// The core analysis over pre-folded per-rank totals.
+///
+/// # Panics
+/// Panics if `structure` has no dimensions or `totals` has no ranks.
+pub fn locate_slow_rank_from_totals(
+    trace: &RankTotals,
+    structure: &GroupStructure,
+) -> SlowRankReport {
     assert!(!structure.dims.is_empty(), "need at least one dimension");
     let mut candidates: Vec<u32> = trace.ranks();
     assert!(!candidates.is_empty(), "empty trace");
@@ -312,6 +380,29 @@ mod tests {
         let trace = synth_trace(&spec);
         let report = locate_slow_rank(&trace, &spec.structure);
         assert_eq!(report.culprit, Some(5), "confidence {}", report.confidence);
+    }
+
+    #[test]
+    fn tiered_verdict_matches_full_trace() {
+        use crate::tiered::{TierConfig, TieredTrace};
+        for (straggler, seed) in [(Some((6u32, 2.0f64)), 1u64), (Some((3, 1.4)), 4), (None, 2)] {
+            let spec = SynthSpec {
+                num_ranks: 8,
+                rounds: 6,
+                base_compute_ns: 100_000,
+                straggler,
+                structure: fig8_structure(),
+                seed,
+            };
+            let trace = synth_trace(&spec);
+            // Tiny capacity: most of the trace is decimated away.
+            let mut store = TieredTrace::new(TierConfig::tiny(16, 2));
+            store.extend_from_trace(&trace);
+            assert!(store.resident_events() < trace.len());
+            let full = locate_slow_rank(&trace, &spec.structure);
+            let tiered = locate_slow_rank_tiered(&store, &spec.structure);
+            assert_eq!(full, tiered);
+        }
     }
 
     #[test]

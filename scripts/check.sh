@@ -16,7 +16,7 @@ cargo test -q --workspace
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> repo_lint (no unwrap/expect, deprecated simulate*, stray CLI arg structs, concrete f64 in Scalar cost modules, or wire types below core)"
+echo "==> repo_lint (no unwrap/expect, deprecated simulate*, stray CLI arg structs, concrete f64 in Scalar cost modules, wire types below core, or unbounded trace buffers outside the tiered store)"
 cargo run --release -q --bin repo_lint
 
 echo "==> serve smoke: start, 3 queries over a socket, clean shutdown"
@@ -30,6 +30,9 @@ cargo run --release -q --bin llama3sim -- analyze --grid
 
 echo "==> conformance fuzz smoke (200 cases)"
 cargo run --release -q --bin llama3sim -- fuzz --cases 200 --seed 0xC0FFEE
+
+echo "==> trace smoke: 24 h 405B/16K run in O(log N) memory, three window seeks replay-exact vs the O(N) reference (writes BENCH_trace.json)"
+cargo run --release -q --bin llama3sim -- trace --smoke
 
 echo "==> goodput perf snapshot (writes BENCH_goodput.json)"
 cargo run --release -q --bin llama3sim -- goodput

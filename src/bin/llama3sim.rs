@@ -20,6 +20,10 @@
 //!                    [--goodput-head N] [--threads N] [--max-cp N]
 //!                    [--zero M1[,M2...]] [--expect tp,cp,pp,dp]
 //!                    [--guided] [--json]
+//! llama3sim trace    [--model 405b|70b|8b] [--gpus N] [--seq N]
+//!                    [--horizon-s N] [--seed S] [--tier0 N]
+//!                    [--window T0,T1] [--zoom N] [--stats | --smoke]
+//!                    [--json]
 //! llama3sim serve    [--addr HOST:PORT] [--self-test]
 //!                    [--bench [--clients N] [--json]]
 //! ```
@@ -32,7 +36,8 @@
 use analyzer::cli::{self as analyze_cli, AnalyzeArgs};
 use bench_harness::cli::Flags;
 use bench_harness::snapshot::{
-    emit, goodput_envelope, perf_envelope, search_envelope, SearchArgs, SnapshotArgs,
+    emit, goodput_envelope, perf_envelope, search_envelope, trace_envelope, SearchArgs,
+    SnapshotArgs, TraceArgs,
 };
 use conformance::fuzz::{run_sweep, FuzzArgs};
 use parallelism_core::query::{AnalyzeMode, Query, Response};
@@ -60,6 +65,13 @@ fn usage() -> i32 {
     eprintln!("            --guided: gradient-guided candidate selection (autodiff");
     eprintln!("            surrogate + projected descent), verified vs the exhaustive");
     eprintln!("            baseline and reported with the measured speedup");
+    eprintln!("  trace     tiered-trace export of a simulated multi-day run");
+    eprintln!("            [--model 405b|70b|8b] [--gpus N] [--seq N] [--horizon-s N]");
+    eprintln!("            [--seed S] [--tier0 N] [--window T0,T1] [--zoom N]");
+    eprintln!("            [--stats | --smoke] [--json]");
+    eprintln!("            default: chrome-trace JSON of the O(log N) retained timeline;");
+    eprintln!("            --window seeks (replay-exact), --stats prints aggregates,");
+    eprintln!("            --smoke self-checks replay exactness -> BENCH_trace.json");
     eprintln!("  serve     HTTP daemon exposing the query API -> POST /v1/query");
     eprintln!("            [--addr HOST:PORT] [--self-test] [--bench [--clients N] [--json]]");
     2
@@ -221,6 +233,23 @@ fn run_search(d: &Dispatcher, rest: &[String]) -> Result<i32, String> {
     Ok(emit(&envelope, "BENCH_search.json", args.json).max(code))
 }
 
+fn run_trace(d: &Dispatcher, rest: &[String]) -> Result<i32, String> {
+    let args = TraceArgs::parse(rest)?;
+    let response = match d.dispatch(&Query::Trace(args.query.clone())) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return Ok(2);
+        }
+    };
+    let Response::Trace(r) = &response else {
+        return Err("trace dispatch returned a non-trace response".to_string());
+    };
+    println!("{}", response.render_human());
+    let code = emit(&trace_envelope(&args.query, r), "BENCH_trace.json", args.json);
+    Ok(code.max(response.exit_code()))
+}
+
 fn dispatch(cmd: &str, rest: &[String]) -> Result<i32, String> {
     match cmd {
         "analyze" => run_analyze(&Dispatcher::new(), rest),
@@ -228,6 +257,7 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<i32, String> {
         "bench" => run_bench(&Dispatcher::new(), rest),
         "goodput" => run_goodput(&Dispatcher::new(), rest),
         "search" => run_search(&Dispatcher::new(), rest),
+        "trace" => run_trace(&Dispatcher::new(), rest),
         "serve" => Ok(serve::cli::run(&ServeArgs::parse(rest)?)),
         other => Err(format!("unknown command {other:?}")),
     }

@@ -1,7 +1,7 @@
 //! `repo_lint` — repo-local source hygiene checks, plain text scan, no
 //! third-party dependencies.
 //!
-//! Four rules over non-test library code under `crates/*/src`:
+//! Six rules over non-test library code under `crates/*/src`:
 //!
 //! 1. **no-unwrap** — `.unwrap()` / `.expect(` are forbidden. A panic
 //!    in library code takes down a whole sweep worker; fallible paths
@@ -36,6 +36,15 @@
 //!    layers model hardware and math and must not grow knowledge of
 //!    the serve protocol, or the dependency arrows invert the next
 //!    time the wire format changes.
+//! 6. **trace-vec** — unbounded full-resolution event buffers
+//!    (`Vec<TraceEvent>` / `Vec<(u64, TraceEvent)>`) are forbidden
+//!    outside `crates/trace/src/` (where the tiered store and the
+//!    `Trace` container live): a multi-day run emits hundreds of
+//!    thousands of events, so every other layer must hold them in a
+//!    `TieredTrace` (`O(B · log N)` resident). Deliberate bounded or
+//!    reference-capture sites (oracle model stores, the documented
+//!    `O(N)` reference path) carry a `// lint: allow(trace-vec)`
+//!    marker with a reason.
 //!
 //! Skipped entirely: `#[cfg(test)]` regions, binary targets
 //! (`src/bin/`), and the experiment scripts under
@@ -93,6 +102,15 @@ const WIRE_FREE_CRATES: [&str; 7] = [
 
 /// Tokens that betray wire-protocol knowledge in a substrate crate.
 const WIRE_TOKENS: [&str; 3] = ["parallelism_core::query", "QUERY_API_VERSION", "llama3sim/1"];
+
+const TRACE_VEC_MARKER: &str = "lint: allow(trace-vec)";
+
+/// Unbounded full-resolution event buffers — the rule-6 token set.
+const TRACE_VEC_TOKENS: [&str; 2] = ["Vec<TraceEvent>", "Vec<(u64, TraceEvent)>"];
+
+/// The crate allowed to hold full-resolution buffers: the tiered store
+/// itself and the `Trace` container it decimates.
+const TRACE_VEC_HOME: &str = "crates/trace/src/";
 
 fn main() -> ExitCode {
     let root = repo_root();
@@ -177,6 +195,7 @@ fn lint_file(path: &Path, text: &str, violations: &mut Vec<String>) {
     let path_str = path.to_string_lossy().replace('\\', "/");
     let scalar_costs_module = SCALAR_COST_PATHS.iter().any(|p| path_str.ends_with(p));
     let wire_free_crate = WIRE_FREE_CRATES.iter().any(|p| path_str.starts_with(p));
+    let trace_vec_banned = !path_str.starts_with(TRACE_VEC_HOME);
     let lines: Vec<&str> = text.lines().collect();
     let mut test_depth: Option<i32> = None; // Some(d): inside a test region
     let mut pending_cfg_test = false;
@@ -263,6 +282,20 @@ fn lint_file(path: &Path, text: &str, violations: &mut Vec<String>) {
                 "{}:{}: wire-protocol surface referenced below `parallelism-core` (the \
                  query types live in `parallelism_core::query`; substrate crates must \
                  not speak the serve protocol): {}",
+                path.display(),
+                idx + 1,
+                line
+            ));
+        }
+
+        if trace_vec_banned
+            && TRACE_VEC_TOKENS.iter().any(|t| code.contains(t))
+            && !marked(TRACE_VEC_MARKER)
+        {
+            violations.push(format!(
+                "{}:{}: unbounded full-resolution event buffer outside the tiered store \
+                 (hold events in a `TieredTrace`, or mark a deliberate reference-capture \
+                 site `// lint: allow(trace-vec)` with a reason): {}",
                 path.display(),
                 idx + 1,
                 line
@@ -451,6 +484,24 @@ mod tests {
             &mut docs,
         );
         assert!(docs.is_empty(), "{docs:?}");
+    }
+
+    #[test]
+    fn flags_trace_event_vectors_outside_the_trace_crate() {
+        let src = "fn f() {\n    let buf: Vec<TraceEvent> = Vec::new();\n    let tagged: Vec<(u64, TraceEvent)> = Vec::new();\n}\n";
+        let mut v = Vec::new();
+        lint_file(Path::new("crates/core/src/run.rs"), src, &mut v);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("tiered store"), "{v:?}");
+        // The trace crate itself is the home of the full-res container.
+        let mut home = Vec::new();
+        lint_file(Path::new("crates/trace/src/tiered.rs"), src, &mut home);
+        assert!(home.is_empty(), "{home:?}");
+        // A marked reference-capture site is exempt.
+        let ok = lint_str(
+            "fn f() {\n    // lint: allow(trace-vec) — oracle reference\n    let buf: Vec<TraceEvent> = Vec::new();\n}\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
     }
 
     #[test]

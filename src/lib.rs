@@ -92,9 +92,12 @@ pub mod prelude {
     pub use parallelism_core::pp::balance::{BalancePolicy, StageAssignment};
     pub use parallelism_core::pp::schedule::{PpSchedule, ScheduleKind};
     pub use parallelism_core::pp::sim::{simulate_pp, PpSimResult, UniformCosts};
-    pub use parallelism_core::run::{CheckpointPolicy, GoodputLoss, GoodputReport, RunSimulator};
+    pub use parallelism_core::run::{
+        CheckpointPolicy, GoodputLoss, GoodputReport, RunAnchor, RunReplay, RunSimulator, RunTrace,
+    };
     pub use parallelism_core::query::{
-        AnalyzeMode, Query, QueryError, Response, SearchQuery, StatsResponse, QUERY_API_VERSION,
+        AnalyzeMode, Query, QueryError, Response, SearchQuery, StatsResponse, TraceMode,
+        TraceQuery, TraceResponse, QUERY_API_VERSION,
     };
     pub use parallelism_core::search::{
         search, verdict_cache_stats, ConfigPoint, FunnelCounts, SearchPoint, SearchReport,
@@ -107,7 +110,8 @@ pub mod prelude {
     pub use serve::{Dispatcher, ServeClient, Server};
     pub use sim_engine::time::{SimDuration, SimTime};
     pub use trace_analysis::chrome::to_chrome_json;
-    pub use trace_analysis::slowrank::locate_slow_rank;
+    pub use trace_analysis::slowrank::{locate_slow_rank, locate_slow_rank_tiered};
+    pub use trace_analysis::tiered::{TierConfig, TieredTrace, WindowStats, WindowView};
     pub use trace_analysis::synth::{synth_trace, SynthSpec};
     pub use workload::{DocLengthDist, DocumentSampler};
 }

@@ -117,6 +117,29 @@ fn search_matches_golden_modulo_wall_clock() {
 }
 
 #[test]
+fn trace_chrome_matches_golden_at_two_zooms() {
+    // A one-hour 8B run on 8 GPUs emits a few dozen events — small
+    // enough to pin the chrome export byte-for-byte at full resolution
+    // and at a 4x decimation.
+    let base = ["trace", "--model", "8b", "--gpus", "8", "--horizon-s", "3600"];
+    let (out, err, code) = run_cli(&[&base[..], &["--zoom", "0"]].concat());
+    assert_eq!(code, 0, "stderr: {err}");
+    assert_golden("trace_8b_zoom0.txt", &strip_volatile(&out));
+    let (out, err, code) = run_cli(&[&base[..], &["--zoom", "2"]].concat());
+    assert_eq!(code, 0, "stderr: {err}");
+    assert_golden("trace_8b_zoom2.txt", &strip_volatile(&out));
+}
+
+#[test]
+fn trace_stats_json_envelope_matches_golden() {
+    let (out, err, code) = run_cli(&[
+        "trace", "--model", "8b", "--gpus", "8", "--horizon-s", "3600", "--stats", "--json",
+    ]);
+    assert_eq!(code, 0, "stderr: {err}");
+    assert_golden("trace_8b_stats_json.txt", &strip_volatile(&out));
+}
+
+#[test]
 fn unknown_config_is_a_usage_error() {
     let (_out, err, code) = run_cli(&["analyze", "--config", "no_such_config"]);
     assert_eq!(code, 2);

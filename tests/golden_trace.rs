@@ -9,6 +9,7 @@
 
 use llama3_parallelism::prelude::*;
 use llama3_parallelism::trace::chrome::to_chrome_json;
+use llama3_parallelism::trace::Trace;
 use std::path::PathBuf;
 
 fn golden_path() -> PathBuf {
@@ -18,7 +19,7 @@ fn golden_path() -> PathBuf {
         .join("chrome_trace_8b.json")
 }
 
-fn emit_trace() -> String {
+fn step_trace() -> Trace {
     let cfg = TransformerConfig::llama3_8b();
     let layout = ModelLayout::text(cfg);
     let assignment = StageAssignment::build(&layout, 2, 2, BalancePolicy::Uniform);
@@ -37,8 +38,11 @@ fn emit_trace() -> String {
     let outcome = model
         .run(&SimOptions::new().trace(true))
         .expect("simulation succeeds");
-    let trace = outcome.trace.expect("trace requested");
-    to_chrome_json(&trace).expect("emitter succeeds")
+    outcome.trace.expect("trace requested")
+}
+
+fn emit_trace() -> String {
+    to_chrome_json(&step_trace()).expect("emitter succeeds")
 }
 
 #[test]
@@ -63,6 +67,24 @@ fn chrome_trace_matches_golden_file() {
         rendered.len(),
         golden.len()
     );
+}
+
+#[test]
+fn tiered_store_at_tier_0_exports_the_same_golden_bytes() {
+    // Routing the same step trace through the tiered store and reading
+    // it back at full resolution must not change a single byte of the
+    // chrome export: tier 0 is a lossless ring.
+    let trace = step_trace();
+    let direct = to_chrome_json(&trace).expect("emitter succeeds");
+    let mut store = TieredTrace::new(TierConfig::default());
+    store.extend_from_trace(&trace);
+    assert_eq!(
+        store.resident_events() as u64,
+        store.appended(),
+        "the 8B step trace must fit tier 0 without eviction"
+    );
+    let routed = to_chrome_json(&store.sampled(0)).expect("emitter succeeds");
+    assert_eq!(routed, direct, "tier-0 round trip altered the chrome export");
 }
 
 #[test]
