@@ -17,10 +17,10 @@
 //! the repo satisfies this by construction (keys carry every input of
 //! the computation, floats by bit pattern).
 
+use interleave::sync::{read_or_recover, write_or_recover, AtomicU64, RwLock};
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::atomic::Ordering;
 
 /// Observable state of one memo layer: lifetime hit/miss counters and
 /// the current entry count.
@@ -85,10 +85,11 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
 
     /// Looks `key` up, counting the hit or miss.
     pub fn get(&self, key: &K) -> Option<V> {
-        // Propagating a poisoned lock (a panic on another thread) is
-        // the intended behaviour for every lock in this module.
-        // lint: allow(unwrap)
-        let hit = self.shard(key).read().unwrap().get(key).cloned();
+        // A panic on another thread must not wedge the daemon: every
+        // lock in this module recovers from poisoning (sound because
+        // each map operation is a single atomic statement; see the
+        // `interleave::sync` module docs).
+        let hit = read_or_recover(self.shard(key)).get(key).cloned();
         match hit {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -105,8 +106,7 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
     /// harmless when lookups are pure (both threads computed the same
     /// value).
     pub fn insert(&self, key: K, value: V) {
-        // lint: allow(unwrap) — poisoned-lock propagation is the contract
-        self.shard(&key).write().unwrap().insert(key, value);
+        write_or_recover(self.shard(&key)).insert(key, value);
     }
 
     /// Looks `key` up; on a miss, computes the value with `compute`,
@@ -124,8 +124,7 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
 
     /// Total entries across all shards.
     pub fn len(&self) -> usize {
-        // lint: allow(unwrap) — poisoned-lock propagation is the contract
-        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+        self.shards.iter().map(|shard| read_or_recover(shard).len()).sum()
     }
 
     /// `true` when no shard holds an entry.
@@ -136,9 +135,8 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
     /// Empties every shard (counters are preserved; see
     /// [`ShardedCache::reset_stats`]).
     pub fn clear(&self) {
-        for s in &self.shards {
-            // lint: allow(unwrap) — poisoned-lock propagation is the contract
-            s.write().unwrap().clear();
+        for shard in &self.shards {
+            write_or_recover(shard).clear();
         }
     }
 

@@ -86,6 +86,32 @@ pub enum RuleId {
     /// Two accesses to the same buffer lane, at least one a write, with
     /// no ordering edge between them.
     Race001,
+    /// `.unwrap()` / `.expect(` in library code (source lint).
+    Lint001,
+    /// Internal caller of a deprecated `simulate*` wrapper (source
+    /// lint).
+    Lint002,
+    /// Direct construction of a CLI argument struct outside its
+    /// canonical constructor (source lint).
+    Lint003,
+    /// Concrete `f64` arithmetic inside a `Scalar`-generic cost module
+    /// (source lint).
+    Lint004,
+    /// Wire-protocol surface referenced below `parallelism-core`
+    /// (source lint).
+    Lint005,
+    /// Unbounded full-resolution event buffer outside the tiered trace
+    /// store (source lint).
+    Lint006,
+    /// Lock acquired out of order against the declared lock hierarchy
+    /// (concurrency lint).
+    Lock001,
+    /// Condvar waited on without a predicate loop or without a bounded
+    /// timeout fallback (concurrency lint).
+    Lock002,
+    /// Lock guard held across a call into user-supplied code
+    /// (concurrency lint).
+    Lock003,
 }
 
 impl RuleId {
@@ -99,6 +125,15 @@ impl RuleId {
             RuleId::Mem001 => "MEM001",
             RuleId::Mem002 => "MEM002",
             RuleId::Race001 => "RACE001",
+            RuleId::Lint001 => "LINT001",
+            RuleId::Lint002 => "LINT002",
+            RuleId::Lint003 => "LINT003",
+            RuleId::Lint004 => "LINT004",
+            RuleId::Lint005 => "LINT005",
+            RuleId::Lint006 => "LINT006",
+            RuleId::Lock001 => "LOCK001",
+            RuleId::Lock002 => "LOCK002",
+            RuleId::Lock003 => "LOCK003",
         }
     }
 
@@ -112,6 +147,15 @@ impl RuleId {
             RuleId::Mem001 => "static peak-memory bound exceeds HBM capacity",
             RuleId::Mem002 => "static peak-memory bound exceeds the HBM budget fraction",
             RuleId::Race001 => "unordered accesses to one buffer lane",
+            RuleId::Lint001 => "unwrap/expect in library code",
+            RuleId::Lint002 => "internal caller of a deprecated simulate* wrapper",
+            RuleId::Lint003 => "direct construction of a CLI argument struct",
+            RuleId::Lint004 => "concrete f64 arithmetic in a Scalar-generic cost module",
+            RuleId::Lint005 => "wire-protocol surface referenced below parallelism-core",
+            RuleId::Lint006 => "unbounded full-resolution event buffer outside the tiered store",
+            RuleId::Lock001 => "lock acquired against the declared lock hierarchy",
+            RuleId::Lock002 => "condvar wait without predicate loop or bounded fallback",
+            RuleId::Lock003 => "lock guard held across a call into user-supplied code",
         }
     }
 }

@@ -1,0 +1,32 @@
+//! Checkable synchronization for the serve/cache substrate.
+//!
+//! Two halves:
+//!
+//! * [`sync`] — drop-in `Mutex` / `RwLock` / `Condvar` / `AtomicU64`
+//!   plus the workspace-wide poison-recovery helpers
+//!   ([`sync::lock_or_recover`] and friends). Without the
+//!   `interleave_check` feature these are plain re-exports of
+//!   `std::sync` — zero cost, zero behavioural change.
+//! * [`check`] — available only with `--features interleave_check`: a
+//!   deterministic loom-lite model checker. [`check::Explorer`] runs a
+//!   closure under a cooperative scheduler that enumerates thread
+//!   interleavings by DFS over a bounded-preemption frontier, reports
+//!   deadlocks / lost notifications / assertion failures, and shrinks
+//!   any failing schedule to a minimal replayable trace.
+//!
+//! Because the feature flag swaps the types that *other* crates compile
+//! against (cargo feature unification), running
+//!
+//! ```text
+//! cargo test -p interleave --features interleave_check
+//! ```
+//!
+//! rebuilds `serve` and `collectives` on the instrumented shims and
+//! puts the real dispatcher coalescing protocol — not a model of it —
+//! under exhaustive scheduling. See DESIGN.md §13 for the semantics and
+//! the declared lock hierarchy the static analyzer checks against.
+
+pub mod sync;
+
+#[cfg(feature = "interleave_check")]
+pub mod check;

@@ -1,0 +1,26 @@
+//! Fixture: the two condvar-discipline mutants LOCK002 must catch.
+//!
+//! `broken_await` is the BrokenFlight shape from the interleave
+//! battery's `broken_follower_wait_is_caught_with_minimal_schedule`
+//! test: an unbounded `.wait(` outside any predicate loop — a missed
+//! notify parks the follower forever. `impatient_await` re-checks in a
+//! loop but calls `wait_timeout` outside one, so a spurious wake
+//! returns with the predicate still false.
+
+impl BrokenFlight {
+    fn broken_await(&self) {
+        let mut ready = lock_or_recover(&self.ready);
+        if !*ready {
+            // Unbounded, no predicate loop: LOCK002 (line 15).
+            ready = self.cv.wait(ready).unwrap();
+        }
+        drop(ready);
+    }
+
+    fn impatient_await(&self) {
+        let mut ready = lock_or_recover(&self.ready);
+        // Bounded but not in a loop: LOCK002 (line 23).
+        let (g, _) = self.cv.wait_timeout(ready, QUANTUM).unwrap();
+        drop(g);
+    }
+}

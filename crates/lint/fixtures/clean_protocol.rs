@@ -1,0 +1,45 @@
+//! Fixture: the *correct* protocol shapes — every rule must stay
+//! silent here. Mirrors the real `serve::coalesce` / `serve::dispatch`
+//! idioms: downward-only nesting, temporaries that die with their
+//! statement, `drop()` before notify, a predicate loop around the
+//! bounded wait, and compute outside every lock.
+
+impl FlightMap<V> {
+    fn run_or_follow(&self, key: u64, compute: impl FnOnce() -> V) -> V {
+        let (flight, leader) = {
+            let mut flights = lock_or_recover(&self.flights);
+            match flights.get(&key) {
+                Some(f) => (Arc::clone(f), false),
+                None => (Arc::new(Flight::new()), true),
+            }
+        };
+        let value = compute();
+        lock_or_recover(&self.map.flights).remove(&key);
+        let mut slot = lock_or_recover(&flight.slot);
+        *slot = Slot::Ready(value.clone());
+        drop(slot);
+        flight.cv.notify_all();
+        value
+    }
+
+    fn await_resolved(&self, flight: &Flight<V>) -> Option<V> {
+        let mut slot = lock_or_recover(&flight.slot);
+        loop {
+            match &*slot {
+                Slot::Ready(v) => return Some(v.clone()),
+                Slot::Failed => return None,
+                Slot::Pending => {
+                    let (g, _timed_out) = flight
+                        .cv
+                        .wait_timeout(slot, FOLLOWER_WAIT)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    slot = g;
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> usize {
+        self.shards.iter().map(|shard| read_or_recover(shard).len()).sum()
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: the dispatch-path mutant LOCK003 must catch — computing
+//! *under* the response-cache lock. The leader's compute can take
+//! seconds (a full sweep) and can panic; holding `responses` across it
+//! starves every reader and poisons the cache lock on unwind.
+
+impl BrokenDispatcher {
+    fn cached_dispatch(&self, key: u64, query: &Query) -> Response {
+        let mut responses = lock_or_recover(&self.responses);
+        if let Some(hit) = responses.get(key) {
+            return hit;
+        }
+        // Guard live across the compute path: LOCK003 (line 13).
+        let fresh = self.compute(query);
+        responses.insert(key, fresh.clone());
+        fresh
+    }
+}

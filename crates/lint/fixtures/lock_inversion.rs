@@ -1,0 +1,20 @@
+//! Fixture: a lock-order inversion in the PublishGuard teardown shape.
+//!
+//! The correct drop path clears `flights` first, *then* resolves the
+//! slot. This mutant resolves the slot while still holding `flights`…
+//! and worse, re-enters the flight table while holding the slot lock —
+//! the exact AB-BA shape the interleave battery's
+//! `lock_order_inversion_in_protocol_shape_is_caught` test finds
+//! dynamically. LOCK001 must flag line 16 (acquiring `flights` while
+//! holding `slot`).
+
+impl<V: Clone> Drop for BrokenPublishGuard<'_, V> {
+    fn drop(&mut self) {
+        let mut slot = lock_or_recover(&self.flight.slot);
+        *slot = Slot::Failed;
+        // Inversion: `flights` (rank 1) acquired under `slot` (rank 4).
+        lock_or_recover(&self.map.flights).remove(&self.key);
+        drop(slot);
+        self.flight.cv.notify_all();
+    }
+}

@@ -1,0 +1,341 @@
+//! The six repo hygiene rules (`LINT001`–`LINT006`), ported from the
+//! original `repo_lint` binary onto [`SourceModel`] so string literals
+//! and block comments can no longer fool the token scans.
+//!
+//! Each rule reports a [`Diagnostic`] whose `op` field carries the
+//! 1-based `path:line` location and whose witness is the offending
+//! line; the message texts are the original `repo_lint` contract and
+//! are pinned by the golden lint test.
+
+use crate::model::SourceModel;
+use parallelism_core::analyze::{Diagnostic, RuleId};
+
+/// Marker suppressing LINT001 on the same or previous line.
+pub const UNWRAP_MARKER: &str = "lint: allow(unwrap)";
+/// Marker suppressing LINT002 on the same or previous line.
+pub const DEPRECATED_MARKER: &str = "lint: allow(deprecated-sim)";
+/// Marker suppressing LINT003 on the same or previous line.
+pub const CLI_ARGS_MARKER: &str = "lint: allow(cli-args)";
+/// Marker suppressing LINT004 on the same or previous line.
+pub const SCALAR_MARKER: &str = "lint: allow(f64)";
+/// Marker suppressing LINT006 on the same or previous line.
+pub const TRACE_VEC_MARKER: &str = "lint: allow(trace-vec)";
+
+/// Unambiguous method names of the deprecated simulation wrappers.
+/// (`.simulate(` alone is ambiguous — `RunSimulator::simulate` and
+/// `MultimodalStep::simulate` are current API; blanket
+/// `#[allow(deprecated)]` is what would hide a deprecated call to
+/// them, and that is flagged here too.)
+const DEPRECATED_CALLS: [&str; 3] =
+    [".simulate_at(", ".simulate_jittered(", ".simulate_with_trace("];
+
+/// Construction sites of the per-subcommand CLI argument structs.
+/// Declarations (`struct`/`impl`/`fn` headers) and type positions don't
+/// match — only `<Name> {` literal construction does.
+const CLI_ARGS_STRUCTS: [&str; 4] =
+    ["AnalyzeArgs {", "FuzzArgs {", "SnapshotArgs {", "SearchArgs {"];
+
+/// Modules whose cost expressions must stay generic over `Scalar` —
+/// the LINT004 target set.
+const SCALAR_COST_PATHS: [&str; 2] = ["crates/core/src/costs.rs", "crates/numerics/src/costs.rs"];
+
+/// Crates below `parallelism-core` in the workspace layering — the
+/// LINT005 target set. (`core` itself defines the protocol; `analyzer`,
+/// `conformance`, `bench`, and `serve` sit above it and may speak it.)
+const WIRE_FREE_CRATES: [&str; 7] = [
+    "crates/sim/",
+    "crates/cluster/",
+    "crates/collectives/",
+    "crates/model/",
+    "crates/workload/",
+    "crates/numerics/",
+    "crates/trace/",
+];
+
+/// Tokens that betray wire-protocol knowledge in a substrate crate.
+const WIRE_TOKENS: [&str; 3] = ["parallelism_core::query", "QUERY_API_VERSION", "llama3sim/1"];
+
+/// Unbounded full-resolution event buffers — the LINT006 token set.
+const TRACE_VEC_TOKENS: [&str; 2] = ["Vec<TraceEvent>", "Vec<(u64, TraceEvent)>"];
+
+/// The crate allowed to hold full-resolution buffers: the tiered store
+/// itself and the `Trace` container it decimates.
+const TRACE_VEC_HOME: &str = "crates/trace/src/";
+
+fn finding(rule: RuleId, model: &SourceModel, idx: usize, message: &str) -> Diagnostic {
+    Diagnostic::error(rule, message)
+        .at_op(model.location(idx))
+        .with_witness(vec![model.lines()[idx].raw.trim().to_string()])
+}
+
+/// Runs all six hygiene rules over one file, appending findings.
+pub fn check_hygiene(model: &SourceModel, out: &mut Vec<Diagnostic>) {
+    let path = model.path();
+    let scalar_costs_module = SCALAR_COST_PATHS.iter().any(|p| path.ends_with(p));
+    let wire_free_crate = WIRE_FREE_CRATES.iter().any(|p| path.starts_with(p));
+    let trace_vec_banned = !path.starts_with(TRACE_VEC_HOME);
+
+    for (idx, line) in model.lines().iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+
+        if (code.contains(".unwrap()") || code.contains(".expect("))
+            && !model.marked(idx, UNWRAP_MARKER)
+        {
+            out.push(finding(
+                RuleId::Lint001,
+                model,
+                idx,
+                "unwrap/expect in library code (return SimError or add \
+                 `// lint: allow(unwrap)` with a reason)",
+            ));
+        }
+
+        let deprecated_use = code.contains("#[allow(deprecated)]")
+            || DEPRECATED_CALLS.iter().any(|c| code.contains(c));
+        if deprecated_use && !model.marked(idx, DEPRECATED_MARKER) {
+            out.push(finding(
+                RuleId::Lint002,
+                model,
+                idx,
+                "internal caller of a deprecated simulate* wrapper (use \
+                 `StepModel::run`, or add `// lint: allow(deprecated-sim)` in oracle code)",
+            ));
+        }
+
+        // `fn` headers returning the type and `let Args { .. } = ...`
+        // destructuring are not construction sites.
+        let cli_construction = CLI_ARGS_STRUCTS.iter().any(|c| code.contains(c))
+            && !code.contains("struct ")
+            && !code.contains("impl ")
+            && !code.contains("fn ")
+            && !code.contains("} = ");
+        if cli_construction && !model.marked(idx, CLI_ARGS_MARKER) {
+            out.push(finding(
+                RuleId::Lint003,
+                model,
+                idx,
+                "direct construction of a CLI argument struct (go through its \
+                 `parse`/`Default` constructor so flag parsing stays unified behind \
+                 `llama3sim`, or mark the canonical constructor `// lint: allow(cli-args)`)",
+            ));
+        }
+
+        if wire_free_crate && WIRE_TOKENS.iter().any(|t| code.contains(t)) {
+            out.push(finding(
+                RuleId::Lint005,
+                model,
+                idx,
+                "wire-protocol surface referenced below `parallelism-core` (the \
+                 query types live in `parallelism_core::query`; substrate crates must \
+                 not speak the serve protocol)",
+            ));
+        }
+
+        if trace_vec_banned
+            && TRACE_VEC_TOKENS.iter().any(|t| code.contains(t))
+            && !model.marked(idx, TRACE_VEC_MARKER)
+        {
+            out.push(finding(
+                RuleId::Lint006,
+                model,
+                idx,
+                "unbounded full-resolution event buffer outside the tiered store \
+                 (hold events in a `TieredTrace`, or mark a deliberate reference-capture \
+                 site `// lint: allow(trace-vec)` with a reason)",
+            ));
+        }
+
+        if scalar_costs_module && contains_f64_token(code) && !model.marked(idx, SCALAR_MARKER) {
+            out.push(finding(
+                RuleId::Lint004,
+                model,
+                idx,
+                "concrete `f64` arithmetic in a Scalar-generic cost module (write \
+                 the expression over `S: Scalar` so duals price it too, or mark a deliberate \
+                 site `// lint: allow(f64)` with a reason)",
+            ));
+        }
+    }
+}
+
+/// Whether `code` contains `f64` as a standalone token (not as part of
+/// a longer identifier such as `as_secs_f64`).
+fn contains_f64_token(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("f64") {
+        let start = from + pos;
+        let end = start + 3;
+        let before_ok =
+            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let after_ok =
+            end == bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        // `1e15f64` style literal suffixes count: the char before is a
+        // digit, but the token is still concrete-float arithmetic.
+        let literal_suffix = start > 0 && bytes[start - 1].is_ascii_digit();
+        if (before_ok || literal_suffix) && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_path(path: &str, text: &str) -> Vec<Diagnostic> {
+        let model = SourceModel::parse(path, text);
+        let mut out = Vec::new();
+        check_hygiene(&model, &mut out);
+        out
+    }
+
+    fn lint_str(text: &str) -> Vec<Diagnostic> {
+        lint_path("x.rs", text)
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect_in_lib_code() {
+        let v = lint_str("fn f() {\n    let x = y.unwrap();\n    let z = w.expect(\"m\");\n}\n");
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].rule, RuleId::Lint001);
+        assert_eq!(v[0].op.as_deref(), Some("x.rs:2"));
+        assert_eq!(v[1].op.as_deref(), Some("x.rs:3"));
+        assert_eq!(v[0].witness, vec!["let x = y.unwrap();".to_string()]);
+    }
+
+    #[test]
+    fn marker_on_same_or_previous_line_suppresses() {
+        let v = lint_str(
+            "fn f() {\n    // lint: allow(unwrap) — reason\n    let x = y.unwrap();\n    let z = w.unwrap(); // lint: allow(unwrap)\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cfg_test_regions_and_comments_are_skipped() {
+        let v = lint_str(
+            "/// doc: calling `.unwrap()` panics\nfn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { y.unwrap(); }\n}\nfn h() { format!(\"{{{}}}\", 1); }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cfg_test_on_bodyless_item_does_not_swallow_the_file() {
+        let v = lint_str("#[cfg(test)]\nuse foo::bar;\nfn f() { y.unwrap(); }\n");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn unwrap_inside_a_string_literal_is_not_flagged() {
+        // The original repo_lint flagged this; the SourceModel port is
+        // strictly more precise.
+        let v = lint_str("fn f() {\n    let s = \"docs about .unwrap() calls\";\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_inside_a_block_comment_is_not_flagged() {
+        let v = lint_str("fn f() {\n    /* y.unwrap()\n       z.unwrap() */\n    g();\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn flags_deprecated_wrapper_calls_without_marker() {
+        let v = lint_str("fn f(m: &M) {\n    m.simulate_at(SimFidelity::Full);\n}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::Lint002);
+        assert!(v[0].message.contains("deprecated"));
+        let ok = lint_str(
+            "fn f(m: &M) {\n    // lint: allow(deprecated-sim)\n    m.simulate_at(SimFidelity::Full);\n}\n",
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn flags_cli_args_construction_without_marker() {
+        let v = lint_str("fn f(json: bool) -> SnapshotArgs {\n    SnapshotArgs { json }\n}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::Lint003);
+        assert!(v[0].message.contains("CLI argument struct"), "{v:?}");
+        let ok = lint_str(
+            "fn f(json: bool) -> SnapshotArgs {\n    // lint: allow(cli-args) — canonical\n    SnapshotArgs { json }\n}\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn cli_args_declarations_are_not_construction_sites() {
+        let v = lint_str(
+            "pub struct SearchArgs {\n    pub json: bool,\n}\nimpl Default for SearchArgs {\n    fn default() -> SearchArgs {\n        // lint: allow(cli-args) — canonical\n        SearchArgs { json: false }\n    }\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn flags_f64_in_scalar_cost_modules_only() {
+        let src = "pub fn f(x: f64) -> f64 {\n    x * 2.0\n}\n";
+        let v = lint_path("crates/core/src/costs.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::Lint004);
+        assert!(v[0].message.contains("Scalar-generic cost module"), "{v:?}");
+        let elsewhere = lint_path("crates/core/src/step.rs", src);
+        assert!(elsewhere.is_empty(), "{elsewhere:?}");
+    }
+
+    #[test]
+    fn f64_marker_tests_and_comments_are_exempt() {
+        let src = "// doc mentioning f64 freely\npub fn g<S: Scalar>(x: S) -> S {\n    x\n}\n// lint: allow(f64) — fixture\nfn fixture() -> f64 { 1.0 }\n#[cfg(test)]\nmod tests {\n    fn t() { let _: f64 = 1e15f64; }\n}\n";
+        let v = lint_path("crates/numerics/src/costs.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn flags_wire_protocol_types_below_core_only() {
+        let src = "use parallelism_core::query::Query;\nfn f() {}\n";
+        let v = lint_path("crates/collectives/src/cost.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::Lint005);
+        assert!(v[0].message.contains("wire-protocol"), "{v:?}");
+        let above = lint_path("crates/analyzer/src/lib.rs", src);
+        assert!(above.is_empty(), "{above:?}");
+        // Doc comments mentioning the protocol are fine anywhere.
+        let docs = lint_path(
+            "crates/sim/src/graph.rs",
+            "// rendered later via parallelism_core::query\nfn f() {}\n",
+        );
+        assert!(docs.is_empty(), "{docs:?}");
+    }
+
+    #[test]
+    fn flags_trace_event_vectors_outside_the_trace_crate() {
+        let src = "fn f() {\n    let buf: Vec<TraceEvent> = Vec::new();\n    let tagged: Vec<(u64, TraceEvent)> = Vec::new();\n}\n";
+        let v = lint_path("crates/core/src/run.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::Lint006);
+        assert!(v[0].message.contains("tiered store"), "{v:?}");
+        // The trace crate itself is the home of the full-res container.
+        let home = lint_path("crates/trace/src/tiered.rs", src);
+        assert!(home.is_empty(), "{home:?}");
+        // A marked reference-capture site is exempt.
+        let ok = lint_str(
+            "fn f() {\n    // lint: allow(trace-vec) — oracle reference\n    let buf: Vec<TraceEvent> = Vec::new();\n}\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn f64_token_matching_is_word_boundary_aware() {
+        assert!(contains_f64_token("let x: f64 = 1.0;"));
+        assert!(contains_f64_token("(1e15f64 / 2.0)"));
+        assert!(contains_f64_token("y as f64"));
+        assert!(!contains_f64_token("t.as_secs_f64()"));
+        assert!(!contains_f64_token("let f64x = 3;"));
+        assert!(!contains_f64_token("nothing here"));
+    }
+}

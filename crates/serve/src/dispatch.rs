@@ -42,50 +42,19 @@ use parallelism_core::search::{
     finish_search, restrict_max_cp, search_outcomes, verdict_cache_stats, SearchOutcomes,
     SearchSpec,
 };
+use crate::coalesce::{BoundedFifoCache, FlightMap, FlightOutcome};
+use interleave::sync::{lock_or_recover, AtomicU64, Mutex};
 use trace_analysis::chrome::to_chrome_json;
 use trace_analysis::tiered::{TierConfig, WindowStats, CATEGORIES};
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Bounded response cache: newest-in wins, oldest-in evicted.
 const RESPONSE_CACHE_CAP: usize = 256;
 
 /// Retained search-outcome families for cross-`max_cp` reuse.
 const OUTCOME_CACHE_CAP: usize = 8;
-
-/// One in-flight computation; followers park on the condvar until the
-/// leader publishes.
-struct Flight {
-    done: Mutex<Option<Result<Response, QueryError>>>,
-    cv: Condvar,
-}
-
-impl Flight {
-    fn new() -> Flight {
-        Flight {
-            done: Mutex::new(None),
-            cv: Condvar::new(),
-        }
-    }
-
-    fn publish(&self, result: Result<Response, QueryError>) {
-        // lint: allow(unwrap) — poisoned only if a publisher panicked
-        *self.done.lock().unwrap() = Some(result);
-        self.cv.notify_all();
-    }
-
-    fn wait(&self) -> Result<Response, QueryError> {
-        // lint: allow(unwrap) — poisoned only if a publisher panicked
-        let mut done = self.done.lock().unwrap();
-        while done.is_none() {
-            // lint: allow(unwrap) — same poisoning caveat
-            done = self.cv.wait(done).unwrap();
-        }
-        // lint: allow(unwrap) — the loop above guarantees Some
-        done.clone().unwrap()
-    }
-}
 
 /// One cached search-outcome family: the widest exhaustive funnel run
 /// seen for a given `(model, gpus, seq, layers, budget, zero)` tuple.
@@ -105,10 +74,12 @@ struct Counters {
 }
 
 /// The concurrent query dispatcher. Cheap to share behind an [`Arc`];
-/// all interior state is synchronized.
+/// all interior state is synchronized (on the `interleave::sync`
+/// facade, so the coalescing protocol is model-checkable — see
+/// DESIGN.md §13 for the lock hierarchy these fields occupy).
 pub struct Dispatcher {
-    flights: Mutex<HashMap<u64, Arc<Flight>>>,
-    responses: Mutex<(HashMap<u64, Response>, VecDeque<u64>)>,
+    flights: FlightMap<Result<Response, QueryError>>,
+    responses: Mutex<BoundedFifoCache<Response>>,
     outcomes: Mutex<VecDeque<OutcomeEntry>>,
     counters: Counters,
 }
@@ -124,8 +95,8 @@ impl Dispatcher {
     /// process-global memo layers underneath are shared regardless.
     pub fn new() -> Dispatcher {
         Dispatcher {
-            flights: Mutex::new(HashMap::new()),
-            responses: Mutex::new((HashMap::new(), VecDeque::new())),
+            flights: FlightMap::new(),
+            responses: Mutex::new(BoundedFifoCache::new(RESPONSE_CACHE_CAP)),
             outcomes: Mutex::new(VecDeque::new()),
             counters: Counters::default(),
         }
@@ -153,49 +124,43 @@ impl Dispatcher {
     }
 
     /// The deterministic-kind path: response cache, then coalescing,
-    /// then computation.
+    /// then computation. A follower whose leader panicked re-dispatches
+    /// once (the retry leads its own flight or follows a healthy one)
+    /// and reports a [`QueryError`] if the flight fails again.
     fn cached_dispatch(&self, query: &Query) -> Result<Response, QueryError> {
-        let key = query.canonical_hash();
-        // lint: allow(unwrap) — poisoned only if a cache user panicked
-        if let Some(hit) = self.responses.lock().unwrap().0.get(&key) {
-            self.counters.response_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit.clone());
-        }
+        for _attempt in 0..2 {
+            let key = query.canonical_hash();
+            if let Some(hit) = lock_or_recover(&self.responses).get(key) {
+                self.counters.response_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
 
-        let (flight, leader) = {
-            // lint: allow(unwrap) — poisoned only if a leader panicked
-            let mut flights = self.flights.lock().unwrap();
-            match flights.get(&key) {
-                Some(f) => (Arc::clone(f), false),
-                None => {
-                    let f = Arc::new(Flight::new());
-                    flights.insert(key, Arc::clone(&f));
-                    (f, true)
+            // The leader fills the response cache *inside* the flight
+            // (before the flight clears), so a request arriving after
+            // the flight closes hits the cache instead of recomputing.
+            let outcome = self.flights.run_or_follow(key, || {
+                let result = self.compute(query);
+                if let Ok(response) = &result {
+                    lock_or_recover(&self.responses).insert(key, response.clone());
                 }
-            }
-        };
-        if !leader {
-            self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
-            return flight.wait();
-        }
-
-        let result = self.compute(query);
-        if let Ok(response) = &result {
-            // lint: allow(unwrap) — same poisoning caveat
-            let mut cache = self.responses.lock().unwrap();
-            if cache.0.insert(key, response.clone()).is_none() {
-                cache.1.push_back(key);
-            }
-            while cache.1.len() > RESPONSE_CACHE_CAP {
-                if let Some(old) = cache.1.pop_front() {
-                    cache.0.remove(&old);
+                result
+            });
+            match outcome {
+                FlightOutcome::Led(result) => return result,
+                FlightOutcome::Followed(result) => {
+                    self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                    return result;
+                }
+                FlightOutcome::LeaderFailed => {
+                    // Loop for the single retry; the panicked leader's
+                    // own unwind already cleared the flight.
+                    continue;
                 }
             }
         }
-        flight.publish(result.clone());
-        // lint: allow(unwrap) — same poisoning caveat
-        self.flights.lock().unwrap().remove(&key);
-        result
+        Err(QueryError::new(
+            "computation panicked twice; giving up (see server logs)",
+        ))
     }
 
     /// Runs the underlying computation for a deterministic query.
@@ -257,8 +222,7 @@ impl Dispatcher {
 
         let family = search_family_key(q);
         {
-            // lint: allow(unwrap) — poisoned only if a cache user panicked
-            let cache = self.outcomes.lock().unwrap();
+            let cache = lock_or_recover(&self.outcomes);
             if let Some(entry) = cache
                 .iter()
                 .find(|e| e.family == family && e.max_cp >= spec.max_cp)
@@ -277,8 +241,7 @@ impl Dispatcher {
             search_outcomes(spec)
                 .map_err(|e| QueryError::new(format!("search failed: {e}")))?,
         );
-        // lint: allow(unwrap) — same poisoning caveat
-        let mut cache = self.outcomes.lock().unwrap();
+        let mut cache = lock_or_recover(&self.outcomes);
         match cache.iter_mut().find(|e| e.family == family) {
             // Keep only the widest run per family; a racing narrower
             // insert is simply dropped.

@@ -24,8 +24,9 @@ use crate::dispatch::Dispatcher;
 use parallelism_core::query::{Query, QueryError, Response};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use interleave::sync::{lock_or_recover, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -78,8 +79,7 @@ impl Server {
                             let handle = std::thread::spawn(move || {
                                 serve_connection(stream, &dispatcher, &shutdown);
                             });
-                            // lint: allow(unwrap) — poisoned only on panic
-                            conns.lock().unwrap().push(handle);
+                            lock_or_recover(&conns).push(handle);
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             std::thread::sleep(POLL);
@@ -110,8 +110,7 @@ impl Server {
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
-        // lint: allow(unwrap) — poisoned only on panic
-        let handles: Vec<_> = self.conns.lock().unwrap().drain(..).collect();
+        let handles: Vec<_> = lock_or_recover(&self.conns).drain(..).collect();
         for h in handles {
             let _ = h.join();
         }

@@ -25,9 +25,11 @@
 
 pub mod cli;
 pub mod client;
+pub mod coalesce;
 pub mod dispatch;
 pub mod http;
 
 pub use client::ServeClient;
+pub use coalesce::{BoundedFifoCache, FlightMap, FlightOutcome};
 pub use dispatch::Dispatcher;
 pub use http::Server;

@@ -16,8 +16,20 @@ cargo test -q --workspace
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> repo_lint (no unwrap/expect, deprecated simulate*, stray CLI arg structs, concrete f64 in Scalar cost modules, wire types below core, or unbounded trace buffers outside the tiered store)"
-cargo run --release -q --bin repo_lint
+echo "==> llama3sim lint (hygiene LINT001-006 + concurrency LOCK001-003: lock hierarchy, condvar discipline, no compute under a guard)"
+cargo run --release -q --bin llama3sim -- lint
+
+echo "==> interleave battery: exhaustive bounded-schedule model check of the coalescing protocol"
+cargo test -q -p interleave --features interleave_check
+
+if cargo +nightly --version >/dev/null 2>&1; then
+  echo "==> ThreadSanitizer pass over the serve tests (nightly)"
+  RUSTFLAGS="-Z sanitizer=thread" cargo +nightly test -q -p serve \
+    -Z build-std --target x86_64-unknown-linux-gnu ||
+    echo "    (tsan pass failed to build in this environment; the interleave battery above is the gating check)"
+else
+  echo "==> ThreadSanitizer pass skipped (no nightly toolchain installed)"
+fi
 
 echo "==> serve smoke: start, 3 queries over a socket, clean shutdown"
 cargo run --release -q --bin llama3sim -- serve --self-test

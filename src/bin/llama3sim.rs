@@ -26,6 +26,7 @@
 //!                    [--json]
 //! llama3sim serve    [--addr HOST:PORT] [--self-test]
 //!                    [--bench [--clients N] [--json]]
+//! llama3sim lint     [--json]
 //! ```
 //!
 //! The old single-purpose bins (`analyze`, `conformance_fuzz`,
@@ -74,6 +75,9 @@ fn usage() -> i32 {
     eprintln!("            --smoke self-checks replay exactness -> BENCH_trace.json");
     eprintln!("  serve     HTTP daemon exposing the query API -> POST /v1/query");
     eprintln!("            [--addr HOST:PORT] [--self-test] [--bench [--clients N] [--json]]");
+    eprintln!("  lint      static analysis of the workspace sources (hygiene LINT001-006,");
+    eprintln!("            concurrency LOCK001-003 over the serve/cache substrate)");
+    eprintln!("            [--json]  (exit 0 clean, 1 on findings)");
     2
 }
 
@@ -250,6 +254,31 @@ fn run_trace(d: &Dispatcher, rest: &[String]) -> Result<i32, String> {
     Ok(code.max(response.exit_code()))
 }
 
+fn run_lint(rest: &[String]) -> Result<i32, String> {
+    let mut f = Flags::new(rest);
+    let json = f.switch("json");
+    f.finish()?;
+    let report = lint::lint_repo(&lint::repo_root());
+    for d in &report.diagnostics {
+        if json {
+            println!("{}", d.to_json_line());
+        } else {
+            println!("{}", d.render_human());
+        }
+    }
+    if report.clean() {
+        eprintln!("lint: {} library sources clean", report.files);
+        Ok(0)
+    } else {
+        eprintln!(
+            "lint: {} violation(s) across {} library sources",
+            report.diagnostics.len(),
+            report.files
+        );
+        Ok(1)
+    }
+}
+
 fn dispatch(cmd: &str, rest: &[String]) -> Result<i32, String> {
     match cmd {
         "analyze" => run_analyze(&Dispatcher::new(), rest),
@@ -259,6 +288,7 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<i32, String> {
         "search" => run_search(&Dispatcher::new(), rest),
         "trace" => run_trace(&Dispatcher::new(), rest),
         "serve" => Ok(serve::cli::run(&ServeArgs::parse(rest)?)),
+        "lint" => run_lint(rest),
         other => Err(format!("unknown command {other:?}")),
     }
 }

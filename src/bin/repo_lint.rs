@@ -1,523 +1,24 @@
-//! `repo_lint` — repo-local source hygiene checks, plain text scan, no
-//! third-party dependencies.
+//! `repo_lint` — thin CI shim over the [`lint`] crate.
 //!
-//! Six rules over non-test library code under `crates/*/src`:
-//!
-//! 1. **no-unwrap** — `.unwrap()` / `.expect(` are forbidden. A panic
-//!    in library code takes down a whole sweep worker; fallible paths
-//!    return `SimError` instead. Sites where a panic is provably
-//!    unreachable (or is itself the contract, e.g. poisoned-lock
-//!    propagation) carry a `// lint: allow(unwrap)` marker with a
-//!    reason.
-//! 2. **no-deprecated-sim** — internal callers must not use the
-//!    deprecated `simulate_at` / `simulate_jittered` /
-//!    `simulate_with_trace` wrappers (or blanket `#[allow(deprecated)]`)
-//!    outside sites marked `// lint: allow(deprecated-sim)` — the
-//!    differential oracles that exist to test those wrappers.
-//! 3. **cli-args** — the per-subcommand argument structs
-//!    (`AnalyzeArgs`, `FuzzArgs`, `SnapshotArgs`, `SearchArgs`) are
-//!    constructed only by their canonical `parse`/`Default`
-//!    constructors (marked `// lint: allow(cli-args)`); everything else
-//!    goes through those, so flag parsing cannot fork per bin. The
-//!    deprecated bin shims live under `bin/` and are exempt like all
-//!    binary targets.
-//! 4. **scalar-costs** — the analytic cost-model modules
-//!    (`crates/core/src/costs.rs`, `crates/numerics/src/costs.rs`) must
-//!    stay generic over the `Scalar` trait: the token `f64` is forbidden there,
-//!    so every expression prices dual numbers as well as plain floats
-//!    and the guided search's gradients can never silently diverge from
-//!    the exhaustive scorer. Deliberate concrete-float sites (test
-//!    fixtures outside `#[cfg(test)]`, doc machinery) carry a
-//!    `// lint: allow(f64)` marker with a reason.
-//! 5. **wire-layering** — the versioned wire-protocol surface
-//!    (`parallelism_core::query`, `QUERY_API_VERSION`) stays out of the
-//!    substrate crates below `parallelism-core` (`sim`, `cluster`,
-//!    `collectives`, `model`, `workload`, `numerics`, `trace`): those
-//!    layers model hardware and math and must not grow knowledge of
-//!    the serve protocol, or the dependency arrows invert the next
-//!    time the wire format changes.
-//! 6. **trace-vec** — unbounded full-resolution event buffers
-//!    (`Vec<TraceEvent>` / `Vec<(u64, TraceEvent)>`) are forbidden
-//!    outside `crates/trace/src/` (where the tiered store and the
-//!    `Trace` container live): a multi-day run emits hundreds of
-//!    thousands of events, so every other layer must hold them in a
-//!    `TieredTrace` (`O(B · log N)` resident). Deliberate bounded or
-//!    reference-capture sites (oracle model stores, the documented
-//!    `O(N)` reference path) carry a `// lint: allow(trace-vec)`
-//!    marker with a reason.
-//!
-//! Skipped entirely: `#[cfg(test)]` regions, binary targets
-//! (`src/bin/`), and the experiment scripts under
-//! `crates/bench/src/experiments/`, which are figure-generation code
-//! where aborting on bad data is the desired behaviour.
-//!
-//! Exit code 0 when clean, 1 with one `path:line: message` per finding.
+//! The scanner itself (string/comment-aware source model, hygiene
+//! rules `LINT001`–`LINT006`, concurrency rules `LOCK001`–`LOCK003`)
+//! lives in `crates/lint` so it is unit-testable against minimal
+//! violating fixtures; this bin keeps the historical CI entry point
+//! and exit-code contract. `llama3sim lint` is the richer front end
+//! (same findings, shared `Diagnostic` renderers, `--json`).
 
-use std::fs;
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Sources exempt from every rule (relative to the repo root):
-/// figure-generation experiment scripts and the snapshot entry points
-/// the deprecated bench bins delegate to — bin-style code living in a
-/// library module, where aborting on a broken fixture is the contract.
-const ALLOWED_PATHS: [&str; 2] = ["crates/bench/src/experiments", "crates/bench/src/snapshot.rs"];
-
-const UNWRAP_MARKER: &str = "lint: allow(unwrap)";
-const DEPRECATED_MARKER: &str = "lint: allow(deprecated-sim)";
-
-/// Unambiguous method names of the deprecated simulation wrappers.
-/// (`.simulate(` alone is ambiguous — `RunSimulator::simulate` and
-/// `MultimodalStep::simulate` are current API; blanket
-/// `#[allow(deprecated)]` is what would hide a deprecated call to
-/// them, and that is flagged here too. `cargo clippy -D warnings`
-/// catches unsuppressed deprecated calls.)
-const DEPRECATED_CALLS: [&str; 3] = [".simulate_at(", ".simulate_jittered(", ".simulate_with_trace("];
-
-const CLI_ARGS_MARKER: &str = "lint: allow(cli-args)";
-
-/// Construction sites of the per-subcommand CLI argument structs.
-/// Declarations (`struct`/`impl`/`fn` headers) and type positions don't
-/// match — only `<Name> {` literal construction does.
-const CLI_ARGS_STRUCTS: [&str; 4] = ["AnalyzeArgs {", "FuzzArgs {", "SnapshotArgs {", "SearchArgs {"];
-
-const SCALAR_MARKER: &str = "lint: allow(f64)";
-
-/// Modules whose cost expressions must stay generic over `Scalar` —
-/// the rule-4 target set.
-const SCALAR_COST_PATHS: [&str; 2] = ["crates/core/src/costs.rs", "crates/numerics/src/costs.rs"];
-
-/// Crates below `parallelism-core` in the workspace layering — the
-/// rule-5 target set. (`core` itself defines the protocol; `analyzer`,
-/// `conformance`, `bench`, and `serve` sit above it and may speak it.)
-const WIRE_FREE_CRATES: [&str; 7] = [
-    "crates/sim/",
-    "crates/cluster/",
-    "crates/collectives/",
-    "crates/model/",
-    "crates/workload/",
-    "crates/numerics/",
-    "crates/trace/",
-];
-
-/// Tokens that betray wire-protocol knowledge in a substrate crate.
-const WIRE_TOKENS: [&str; 3] = ["parallelism_core::query", "QUERY_API_VERSION", "llama3sim/1"];
-
-const TRACE_VEC_MARKER: &str = "lint: allow(trace-vec)";
-
-/// Unbounded full-resolution event buffers — the rule-6 token set.
-const TRACE_VEC_TOKENS: [&str; 2] = ["Vec<TraceEvent>", "Vec<(u64, TraceEvent)>"];
-
-/// The crate allowed to hold full-resolution buffers: the tiered store
-/// itself and the `Trace` container it decimates.
-const TRACE_VEC_HOME: &str = "crates/trace/src/";
-
 fn main() -> ExitCode {
-    let root = repo_root();
-    let mut files = Vec::new();
-    collect_lib_sources(&root.join("crates"), &root, &mut files);
-    files.sort();
-
-    let mut violations = Vec::new();
-    for file in &files {
-        let Ok(text) = fs::read_to_string(root.join(file)) else {
-            violations.push(format!("{}: unreadable source file", file.display()));
-            continue;
-        };
-        lint_file(file, &text, &mut violations);
+    let report = lint::lint_repo(&lint::repo_root());
+    for d in &report.diagnostics {
+        println!("{}", d.render_human());
     }
-
-    if violations.is_empty() {
-        println!("repo_lint: {} library sources clean", files.len());
+    if report.clean() {
+        println!("repo_lint: {} library sources clean", report.files);
         ExitCode::SUCCESS
     } else {
-        for v in &violations {
-            println!("{v}");
-        }
-        println!("repo_lint: {} violation(s)", violations.len());
+        println!("repo_lint: {} violation(s)", report.diagnostics.len());
         ExitCode::FAILURE
-    }
-}
-
-/// The repository root: the nearest ancestor of the current directory
-/// holding a `crates/` directory (so the bin works from any subdir).
-fn repo_root() -> PathBuf {
-    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-    loop {
-        if dir.join("crates").is_dir() {
-            return dir;
-        }
-        if !dir.pop() {
-            return PathBuf::from(".");
-        }
-    }
-}
-
-/// Recursively collects `.rs` files under `crates/*/src`, skipping
-/// `bin/` directories and the allow-listed sub-trees. Paths are stored
-/// relative to the repo root.
-fn collect_lib_sources(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
-        let rel_str = rel.to_string_lossy().replace('\\', "/");
-        if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "bin") {
-                continue;
-            }
-            if ALLOWED_PATHS.contains(&rel_str.as_str()) {
-                continue;
-            }
-            // Under crates/<name>/, only descend into src/ (skip
-            // tests/, benches/, examples/, target/).
-            let depth = rel.components().count();
-            if depth == 3 && path.file_name().is_some_and(|n| n != "src") {
-                continue;
-            }
-            collect_lib_sources(&path, root, out);
-        } else if rel_str.ends_with(".rs")
-            && rel_str.contains("/src/")
-            && !ALLOWED_PATHS.contains(&rel_str.as_str())
-        {
-            out.push(rel);
-        }
-    }
-}
-
-/// Lints one file: walks lines, tracking `#[cfg(test)]` regions by
-/// brace depth (string-literal braces ignored) and checking each
-/// non-test, non-comment line against both rules. A marker on the
-/// offending line or the line directly above suppresses the finding.
-fn lint_file(path: &Path, text: &str, violations: &mut Vec<String>) {
-    let path_str = path.to_string_lossy().replace('\\', "/");
-    let scalar_costs_module = SCALAR_COST_PATHS.iter().any(|p| path_str.ends_with(p));
-    let wire_free_crate = WIRE_FREE_CRATES.iter().any(|p| path_str.starts_with(p));
-    let trace_vec_banned = !path_str.starts_with(TRACE_VEC_HOME);
-    let lines: Vec<&str> = text.lines().collect();
-    let mut test_depth: Option<i32> = None; // Some(d): inside a test region
-    let mut pending_cfg_test = false;
-
-    for (idx, raw) in lines.iter().enumerate() {
-        let line = raw.trim();
-        let code = strip_comment(raw);
-
-        if let Some(depth) = test_depth.as_mut() {
-            *depth += brace_delta(code);
-            if *depth <= 0 {
-                test_depth = None;
-            }
-            continue;
-        }
-
-        if line.starts_with("#[cfg(test)]") {
-            pending_cfg_test = true;
-            continue;
-        }
-        if pending_cfg_test {
-            let delta = brace_delta(code);
-            if delta > 0 {
-                // The test item's body opens here; skip until it closes.
-                test_depth = Some(delta);
-                pending_cfg_test = false;
-            } else if code.contains(';') {
-                // `#[cfg(test)] use ...;` — a bodyless item.
-                pending_cfg_test = false;
-            }
-            continue;
-        }
-
-        if line.starts_with("//") {
-            continue; // comments and docs (including doc examples)
-        }
-
-        let marked = |marker: &str| {
-            raw.contains(marker) || (idx > 0 && lines[idx - 1].contains(marker))
-        };
-
-        if (code.contains(".unwrap()") || code.contains(".expect(")) && !marked(UNWRAP_MARKER) {
-            violations.push(format!(
-                "{}:{}: unwrap/expect in library code (return SimError or add \
-                 `// lint: allow(unwrap)` with a reason): {}",
-                path.display(),
-                idx + 1,
-                line
-            ));
-        }
-
-        let deprecated_use = code.contains("#[allow(deprecated)]")
-            || DEPRECATED_CALLS.iter().any(|c| code.contains(c));
-        if deprecated_use && !marked(DEPRECATED_MARKER) {
-            violations.push(format!(
-                "{}:{}: internal caller of a deprecated simulate* wrapper (use \
-                 `StepModel::run`, or add `// lint: allow(deprecated-sim)` in oracle code): {}",
-                path.display(),
-                idx + 1,
-                line
-            ));
-        }
-
-        // `fn` headers returning the type and `let Args { .. } = ...`
-        // destructuring are not construction sites.
-        let cli_construction = CLI_ARGS_STRUCTS.iter().any(|c| code.contains(c))
-            && !code.contains("struct ")
-            && !code.contains("impl ")
-            && !code.contains("fn ")
-            && !code.contains("} = ");
-        if cli_construction && !marked(CLI_ARGS_MARKER) {
-            violations.push(format!(
-                "{}:{}: direct construction of a CLI argument struct (go through its \
-                 `parse`/`Default` constructor so flag parsing stays unified behind \
-                 `llama3sim`, or mark the canonical constructor `// lint: allow(cli-args)`): {}",
-                path.display(),
-                idx + 1,
-                line
-            ));
-        }
-
-        if wire_free_crate && WIRE_TOKENS.iter().any(|t| code.contains(t)) {
-            violations.push(format!(
-                "{}:{}: wire-protocol surface referenced below `parallelism-core` (the \
-                 query types live in `parallelism_core::query`; substrate crates must \
-                 not speak the serve protocol): {}",
-                path.display(),
-                idx + 1,
-                line
-            ));
-        }
-
-        if trace_vec_banned
-            && TRACE_VEC_TOKENS.iter().any(|t| code.contains(t))
-            && !marked(TRACE_VEC_MARKER)
-        {
-            violations.push(format!(
-                "{}:{}: unbounded full-resolution event buffer outside the tiered store \
-                 (hold events in a `TieredTrace`, or mark a deliberate reference-capture \
-                 site `// lint: allow(trace-vec)` with a reason): {}",
-                path.display(),
-                idx + 1,
-                line
-            ));
-        }
-
-        if scalar_costs_module && contains_f64_token(code) && !marked(SCALAR_MARKER) {
-            violations.push(format!(
-                "{}:{}: concrete `f64` arithmetic in a Scalar-generic cost module (write \
-                 the expression over `S: Scalar` so duals price it too, or mark a deliberate \
-                 site `// lint: allow(f64)` with a reason): {}",
-                path.display(),
-                idx + 1,
-                line
-            ));
-        }
-    }
-}
-
-/// Whether `code` contains `f64` as a standalone token (not as part of
-/// a longer identifier such as `as_secs_f64`).
-fn contains_f64_token(code: &str) -> bool {
-    let bytes = code.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = code[from..].find("f64") {
-        let start = from + pos;
-        let end = start + 3;
-        let before_ok = start == 0
-            || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
-        let after_ok = end == bytes.len()
-            || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
-        // `1e15f64` style literal suffixes count: the char before is a
-        // digit, but the token is still concrete-float arithmetic.
-        let literal_suffix = start > 0 && bytes[start - 1].is_ascii_digit();
-        if (before_ok || literal_suffix) && after_ok {
-            return true;
-        }
-        from = end;
-    }
-    false
-}
-
-/// Drops a trailing `//` line comment (string literals respected).
-fn strip_comment(line: &str) -> &str {
-    let bytes = line.as_bytes();
-    let mut in_str = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if in_str => i += 1, // skip the escaped char
-            b'"' => in_str = !in_str,
-            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                return &line[..i];
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    line
-}
-
-/// Net brace depth change of one line, ignoring braces inside string
-/// literals (format strings are full of them).
-fn brace_delta(code: &str) -> i32 {
-    let bytes = code.as_bytes();
-    let mut in_str = false;
-    let mut delta = 0i32;
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if in_str => i += 1,
-            b'"' => in_str = !in_str,
-            b'{' if !in_str => delta += 1,
-            b'}' if !in_str => delta -= 1,
-            _ => {}
-        }
-        i += 1;
-    }
-    delta
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn lint_str(text: &str) -> Vec<String> {
-        let mut v = Vec::new();
-        lint_file(Path::new("x.rs"), text, &mut v);
-        v
-    }
-
-    #[test]
-    fn flags_unwrap_and_expect_in_lib_code() {
-        let v = lint_str("fn f() {\n    let x = y.unwrap();\n    let z = w.expect(\"m\");\n}\n");
-        assert_eq!(v.len(), 2);
-        assert!(v[0].contains("x.rs:2"));
-    }
-
-    #[test]
-    fn marker_on_same_or_previous_line_suppresses() {
-        let v = lint_str(
-            "fn f() {\n    // lint: allow(unwrap) — reason\n    let x = y.unwrap();\n    let z = w.unwrap(); // lint: allow(unwrap)\n}\n",
-        );
-        assert!(v.is_empty(), "{v:?}");
-    }
-
-    #[test]
-    fn cfg_test_regions_and_comments_are_skipped() {
-        let v = lint_str(
-            "/// doc: calling `.unwrap()` panics\nfn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { y.unwrap(); }\n}\nfn h() { format!(\"{{{}}}\", 1); }\n",
-        );
-        assert!(v.is_empty(), "{v:?}");
-    }
-
-    #[test]
-    fn cfg_test_on_bodyless_item_does_not_swallow_the_file() {
-        let v = lint_str("#[cfg(test)]\nuse foo::bar;\nfn f() { y.unwrap(); }\n");
-        assert_eq!(v.len(), 1);
-    }
-
-    #[test]
-    fn flags_deprecated_wrapper_calls_without_marker() {
-        let v = lint_str("fn f(m: &M) {\n    m.simulate_at(SimFidelity::Full);\n}\n");
-        assert_eq!(v.len(), 1);
-        assert!(v[0].contains("deprecated"));
-        let ok = lint_str(
-            "fn f(m: &M) {\n    // lint: allow(deprecated-sim)\n    m.simulate_at(SimFidelity::Full);\n}\n",
-        );
-        assert!(ok.is_empty());
-    }
-
-    #[test]
-    fn flags_cli_args_construction_without_marker() {
-        let v = lint_str("fn f(json: bool) -> SnapshotArgs {\n    SnapshotArgs { json }\n}\n");
-        assert_eq!(v.len(), 1);
-        assert!(v[0].contains("CLI argument struct"), "{v:?}");
-        let ok = lint_str(
-            "fn f(json: bool) -> SnapshotArgs {\n    // lint: allow(cli-args) — canonical\n    SnapshotArgs { json }\n}\n",
-        );
-        assert!(ok.is_empty(), "{ok:?}");
-    }
-
-    #[test]
-    fn cli_args_declarations_are_not_construction_sites() {
-        let v = lint_str(
-            "pub struct SearchArgs {\n    pub json: bool,\n}\nimpl Default for SearchArgs {\n    fn default() -> SearchArgs {\n        // lint: allow(cli-args) — canonical\n        SearchArgs { json: false }\n    }\n}\n",
-        );
-        assert!(v.is_empty(), "{v:?}");
-    }
-
-    #[test]
-    fn flags_f64_in_scalar_cost_modules_only() {
-        let src = "pub fn f(x: f64) -> f64 {\n    x * 2.0\n}\n";
-        let mut v = Vec::new();
-        lint_file(Path::new("crates/core/src/costs.rs"), src, &mut v);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert!(v[0].contains("Scalar-generic cost module"), "{v:?}");
-        let mut elsewhere = Vec::new();
-        lint_file(Path::new("crates/core/src/step.rs"), src, &mut elsewhere);
-        assert!(elsewhere.is_empty(), "{elsewhere:?}");
-    }
-
-    #[test]
-    fn f64_marker_tests_and_comments_are_exempt() {
-        let src = "// doc mentioning f64 freely\npub fn g<S: Scalar>(x: S) -> S {\n    x\n}\n// lint: allow(f64) — fixture\nfn fixture() -> f64 { 1.0 }\n#[cfg(test)]\nmod tests {\n    fn t() { let _: f64 = 1e15f64; }\n}\n";
-        let mut v = Vec::new();
-        lint_file(Path::new("crates/numerics/src/costs.rs"), src, &mut v);
-        assert!(v.is_empty(), "{v:?}");
-    }
-
-    #[test]
-    fn flags_wire_protocol_types_below_core_only() {
-        let src = "use parallelism_core::query::Query;\nfn f() {}\n";
-        let mut v = Vec::new();
-        lint_file(Path::new("crates/collectives/src/cost.rs"), src, &mut v);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert!(v[0].contains("wire-protocol"), "{v:?}");
-        let mut above = Vec::new();
-        lint_file(Path::new("crates/analyzer/src/lib.rs"), src, &mut above);
-        assert!(above.is_empty(), "{above:?}");
-        // Doc comments mentioning the protocol are fine anywhere.
-        let mut docs = Vec::new();
-        lint_file(
-            Path::new("crates/sim/src/graph.rs"),
-            "// rendered later via parallelism_core::query\nfn f() {}\n",
-            &mut docs,
-        );
-        assert!(docs.is_empty(), "{docs:?}");
-    }
-
-    #[test]
-    fn flags_trace_event_vectors_outside_the_trace_crate() {
-        let src = "fn f() {\n    let buf: Vec<TraceEvent> = Vec::new();\n    let tagged: Vec<(u64, TraceEvent)> = Vec::new();\n}\n";
-        let mut v = Vec::new();
-        lint_file(Path::new("crates/core/src/run.rs"), src, &mut v);
-        assert_eq!(v.len(), 2, "{v:?}");
-        assert!(v[0].contains("tiered store"), "{v:?}");
-        // The trace crate itself is the home of the full-res container.
-        let mut home = Vec::new();
-        lint_file(Path::new("crates/trace/src/tiered.rs"), src, &mut home);
-        assert!(home.is_empty(), "{home:?}");
-        // A marked reference-capture site is exempt.
-        let ok = lint_str(
-            "fn f() {\n    // lint: allow(trace-vec) — oracle reference\n    let buf: Vec<TraceEvent> = Vec::new();\n}\n",
-        );
-        assert!(ok.is_empty(), "{ok:?}");
-    }
-
-    #[test]
-    fn f64_token_matching_is_word_boundary_aware() {
-        assert!(contains_f64_token("let x: f64 = 1.0;"));
-        assert!(contains_f64_token("(1e15f64 / 2.0)"));
-        assert!(contains_f64_token("y as f64"));
-        assert!(!contains_f64_token("t.as_secs_f64()"));
-        assert!(!contains_f64_token("let f64x = 3;"));
-        assert!(!contains_f64_token("nothing here"));
-    }
-
-    #[test]
-    fn string_literals_do_not_confuse_comment_or_brace_tracking() {
-        assert_eq!(strip_comment("let s = \"a // b\"; // tail"), "let s = \"a // b\"; ");
-        assert_eq!(brace_delta("format!(\"{{x}}\")"), 0);
-        assert_eq!(brace_delta("fn f() {"), 1);
     }
 }

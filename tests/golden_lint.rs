@@ -1,0 +1,130 @@
+//! Golden-file tests for the lint renderers: the human and JSONL
+//! renderings of the findings over the fixed fixture set in
+//! `crates/lint/fixtures/` must be byte-identical to the blessed
+//! snapshots in `tests/golden/`. This pins the `llama3sim lint`
+//! output contract — rule IDs, `path:line` ops, witness shapes, and
+//! the shared [`Diagnostic`] rendering path it borrows from
+//! `llama3sim analyze`. Regenerate after an intended format change:
+//!
+//! ```text
+//! BLESS=1 cargo test --test golden_lint
+//! ```
+//!
+//! [`Diagnostic`]: parallelism_core::analyze::Diagnostic
+
+use parallelism_core::analyze::Diagnostic;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(name)
+}
+
+/// Every finding over the fixture set, in a fixed file order. The
+/// lock fixtures lint under a `crates/serve/src` path (in LOCK scope),
+/// the hygiene fixture under `crates/collectives/src` (a wire-free
+/// substrate crate, so LINT005 applies).
+fn fixture_findings() -> Vec<Diagnostic> {
+    let fixtures: [(&str, &str); 5] = [
+        (
+            "crates/serve/src/fixture_inversion.rs",
+            include_str!("../crates/lint/fixtures/lock_inversion.rs"),
+        ),
+        (
+            "crates/serve/src/fixture_bare_wait.rs",
+            include_str!("../crates/lint/fixtures/bare_wait.rs"),
+        ),
+        (
+            "crates/serve/src/fixture_guard.rs",
+            include_str!("../crates/lint/fixtures/guard_across_compute.rs"),
+        ),
+        (
+            "crates/serve/src/fixture_clean.rs",
+            include_str!("../crates/lint/fixtures/clean_protocol.rs"),
+        ),
+        (
+            "crates/collectives/src/fixture_hygiene.rs",
+            include_str!("../crates/lint/fixtures/hygiene.rs"),
+        ),
+    ];
+    fixtures
+        .iter()
+        .flat_map(|(path, text)| lint::lint_path(path, text))
+        .collect()
+}
+
+fn render_human() -> String {
+    let mut out = String::new();
+    for d in fixture_findings() {
+        out.push_str(&d.render_human());
+        out.push('\n');
+    }
+    out
+}
+
+fn render_jsonl() -> String {
+    let mut out = String::new();
+    for d in fixture_findings() {
+        out.push_str(&d.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, rendered).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run `BLESS=1 cargo test --test golden_lint`",
+            path.display()
+        )
+    });
+    assert!(
+        rendered == golden,
+        "lint output drifted from {} (rendered {} bytes vs blessed {}); \
+         if the change is intended, regenerate with BLESS=1",
+        path.display(),
+        rendered.len(),
+        golden.len()
+    );
+}
+
+#[test]
+fn lint_human_output_matches_golden_file() {
+    check_golden("lint_fixture.txt", &render_human());
+}
+
+#[test]
+fn lint_jsonl_output_matches_golden_file() {
+    check_golden("lint_fixture.jsonl", &render_jsonl());
+}
+
+#[test]
+fn lint_fixture_findings_are_deterministic_and_complete() {
+    let a = render_human();
+    let b = render_human();
+    assert_eq!(a, b, "lint rendering is not deterministic");
+    // One line per finding; every concurrency rule and every exercised
+    // hygiene rule appears at least once over the fixture set.
+    for rule in ["LOCK001", "LOCK002", "LOCK003", "LINT001", "LINT005"] {
+        assert!(a.contains(rule), "expected a {rule} finding:\n{a}");
+    }
+    assert!(
+        !a.contains("fixture_clean.rs"),
+        "the clean fixture must stay silent:\n{a}"
+    );
+    let jsonl = render_jsonl();
+    // The human rendering is multi-line (indented witness lines under
+    // each finding); JSONL is one line per finding.
+    let human_findings = a.lines().filter(|l| l.starts_with("error[")).count();
+    assert_eq!(human_findings, jsonl.lines().count());
+    for line in jsonl.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+}
