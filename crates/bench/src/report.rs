@@ -13,8 +13,11 @@ use std::fmt::Write as _;
 /// `descent_steps`, `candidates_verified`, `evals_saved_pct`) to the
 /// `search` tool's snapshot; version 4 adds the `serve` tool
 /// (`BENCH_serve.json`: queries/sec, p50/p99 latency, memo hit rates
-/// under the concurrent mixed grid workload).
-pub const SCHEMA_VERSION: u32 = 4;
+/// under the concurrent mixed grid workload); version 5 adds the
+/// `infer` tool (`BENCH_infer.json`: tokens/sec and SLO attainment
+/// over the three-traffic-shape grid) and the `workload` config key on
+/// the `search` snapshot.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// One JSON value: either a raw literal (number, bool — already
 /// formatted by the caller, so formatting precision is part of the
@@ -256,7 +259,7 @@ mod tests {
         let j = r.render_json();
         // The four envelope fields, in order, with schema_version first.
         let pos = |needle: &str| j.find(needle).unwrap_or_else(|| panic!("missing {needle} in {j}"));
-        assert!(pos("\"schema_version\": 4") < pos("\"tool\": \"search\""));
+        assert!(pos("\"schema_version\": 5") < pos("\"tool\": \"search\""));
         assert!(pos("\"tool\"") < pos("\"config\": {"));
         assert!(pos("\"config\"") < pos("\"metrics\": {"));
         assert!(j.contains("\"model\": \"llama3-405b\""));

@@ -14,11 +14,12 @@ use crate::experiments::goodput as goodput_exp;
 use crate::report::Report;
 use parallelism_core::planner::{plan, PlannerInput};
 use parallelism_core::query::{
-    BenchResponse, GoodputResponse, Response, SearchQuery, TraceMode, TraceQuery, TraceResponse,
+    BenchResponse, GoodputResponse, InferQuery, InferResponse, Response, SearchQuery, TraceMode,
+    TraceQuery, TraceResponse,
 };
 use parallelism_core::search::{search, SearchReport, SearchSpec, SearchStrategy};
-use parallelism_core::step::{SimFidelity, SimOptions};
-use parallelism_core::ZeroMode;
+use parallelism_core::step::{SimFidelity, SimOptions, Workload};
+use parallelism_core::{TrafficShape, ZeroMode};
 use sim_engine::fluid::{FluidNet, Transfer};
 use sim_engine::time::SimTime;
 use std::time::Instant;
@@ -253,6 +254,9 @@ pub struct SearchArgs {
     /// Use the gradient-guided candidate strategy; also times the
     /// exhaustive baseline so the snapshot pins the measured speedup.
     pub guided: bool,
+    /// Which workload the funnel scores (training step time vs serving
+    /// p99 TTFT).
+    pub workload: Workload,
     /// Also print the JSON envelope to stdout.
     pub json: bool,
 }
@@ -272,6 +276,7 @@ impl Default for SearchArgs {
             zero_modes: Vec::new(),
             expect: None,
             guided: false,
+            workload: Workload::Training,
             json: false,
         }
     }
@@ -326,6 +331,10 @@ impl SearchArgs {
             };
             parsed.expect = Some((tp, cp, pp, dp));
         }
+        if let Some(w) = f.opt("workload")? {
+            parsed.workload = Workload::parse(&w)
+                .ok_or_else(|| format!("--workload: unknown workload {w:?} (want train|infer)"))?;
+        }
         parsed.guided = f.switch("guided");
         parsed.json = f.switch("json");
         f.finish()?;
@@ -347,6 +356,7 @@ impl SearchArgs {
             zero: self.zero_modes.clone(),
             expect: self.expect,
             guided: self.guided,
+            workload: self.workload,
         }
     }
 
@@ -368,6 +378,7 @@ pub fn search_envelope(
 ) -> Report {
     let mut envelope = Report::new("search")
         .config_str("model", format!("llama3-{}", q.model))
+        .config_str("workload", spec.workload.tag())
         .config("gpus", q.gpus)
         .config("seq", q.seq)
         .config("goodput_head", q.goodput_head)
@@ -427,6 +438,204 @@ pub fn search_envelope(
             .metric("best_goodput", format!("{:.6}", g.goodput.unwrap_or(0.0)));
     }
     envelope
+}
+
+/// Options for the `llama3sim infer` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferArgs {
+    /// The infer query these flags parse into.
+    pub query: InferQuery,
+    /// Sweep all three traffic shapes instead of only the requested
+    /// one, so the snapshot pins the diurnal/bursty envelope.
+    pub grid: bool,
+    /// Also print the JSON envelope to stdout.
+    pub json: bool,
+}
+
+impl InferArgs {
+    /// Parses `[--model M] [--gpus N] [--tp N] [--pp N] [--traffic
+    /// steady|diurnal|bursty] [--rpd N] [--horizon-s N] [--seed S]
+    /// [--block N] [--max-batch N] [--slo-ttft-ms N] [--slo-tpot-ms N]
+    /// [--threads N] [--grid] [--json]`.
+    pub fn parse(args: &[String]) -> Result<InferArgs, String> {
+        let mut f = Flags::new(args);
+        let mut q = InferQuery::default();
+        if let Some(m) = f.opt("model")? {
+            q.model = m;
+        }
+        if let Some(g) = f.opt_u64("gpus")? {
+            q.gpus = u32::try_from(g).map_err(|_| format!("--gpus {g} out of range"))?;
+        }
+        if let Some(t) = f.opt_u64("tp")? {
+            q.tp = u32::try_from(t).map_err(|_| format!("--tp {t} out of range"))?;
+        }
+        if let Some(p) = f.opt_u64("pp")? {
+            q.pp = u32::try_from(p).map_err(|_| format!("--pp {p} out of range"))?;
+        }
+        if let Some(t) = f.opt("traffic")? {
+            q.traffic = TrafficShape::parse(&t)
+                .ok_or_else(|| format!("--traffic: unknown shape {t:?} (want steady|diurnal|bursty)"))?;
+        }
+        if let Some(r) = f.opt_u64("rpd")? {
+            q.requests_per_day = r;
+        }
+        if let Some(h) = f.opt_u64("horizon-s")? {
+            q.horizon_s = h;
+        }
+        if let Some(s) = f.opt_u64("seed")? {
+            q.seed = s;
+        }
+        if let Some(b) = f.opt_u64("block")? {
+            q.block = b;
+        }
+        if let Some(b) = f.opt_u64("max-batch")? {
+            q.max_batch = b as usize;
+        }
+        if let Some(s) = f.opt_u64("slo-ttft-ms")? {
+            q.slo_ttft_ms = s;
+        }
+        if let Some(s) = f.opt_u64("slo-tpot-ms")? {
+            q.slo_tpot_ms = s;
+        }
+        if let Some(t) = f.opt_u64("threads")? {
+            q.threads = t as usize;
+        }
+        let grid = f.switch("grid");
+        let json = f.switch("json");
+        f.finish()?;
+        // lint: allow(cli-args) — built from the parsed flags
+        Ok(InferArgs { query: q, grid, json })
+    }
+}
+
+/// Computes one infer query directly (the same computation the serve
+/// dispatcher caches): resolve the mesh, generate the seeded trace,
+/// simulate to drain.
+fn compute_infer(q: &InferQuery) -> Result<InferResponse, String> {
+    let model = q.to_model().map_err(|e| e.message)?;
+    let requests = q.traffic_spec().generate();
+    let report = model.simulate(&requests);
+    Ok(InferResponse {
+        model: q.model.clone(),
+        plan: model.spec.plan,
+        traffic: q.traffic,
+        offered: requests.len() as u64,
+        report,
+    })
+}
+
+/// Builds the `BENCH_infer.json` envelope from one or more simulated
+/// traffic shapes. Per shape: offered/completed/dropped counts,
+/// fleet tokens/sec, p50/p99 TTFT and TPOT, SLO attainment and
+/// goodput — the serving analogue of the training snapshot's step
+/// time + goodput pair. `wall_ms` is the only wall-clock metric.
+pub fn infer_envelope(q: &InferQuery, rows: &[InferResponse], wall_ms: f64) -> Report {
+    let mut envelope = Report::new("infer")
+        .config_str("model", format!("llama3-{}", q.model))
+        .config("gpus", q.gpus)
+        .config("requests_per_day", q.requests_per_day)
+        .config("horizon_s", q.horizon_s)
+        .config("seed", q.seed)
+        .config("block_tokens", q.block)
+        .config("max_batch", q.max_batch)
+        .config("slo_ttft_ms", q.slo_ttft_ms)
+        .config("slo_tpot_ms", q.slo_tpot_ms);
+    if let Some(first) = rows.first() {
+        envelope = envelope.config_str(
+            "plan",
+            format!(
+                "tp{}·pp{}·x{}",
+                first.plan.tp, first.plan.pp, first.plan.replicas
+            ),
+        );
+    }
+    envelope = envelope.metric("sim_wall_ms", format!("{wall_ms:.3}"));
+    for r in rows {
+        let tag = r.traffic.tag();
+        envelope = envelope
+            .metric(format!("{tag}_offered"), r.offered)
+            .metric(format!("{tag}_completed"), r.report.completed)
+            .metric(format!("{tag}_dropped"), r.report.dropped)
+            .metric(format!("{tag}_tokens_per_s"), format!("{:.1}", r.report.tokens_per_s))
+            .metric(
+                format!("{tag}_ttft_p50_ms"),
+                format!("{:.3}", r.report.ttft[0].as_millis_f64()),
+            )
+            .metric(
+                format!("{tag}_ttft_p99_ms"),
+                format!("{:.3}", r.report.ttft[2].as_millis_f64()),
+            )
+            .metric(
+                format!("{tag}_tpot_p99_ms"),
+                format!("{:.3}", r.report.tpot[2].as_millis_f64()),
+            )
+            .metric(
+                format!("{tag}_slo_attainment"),
+                format!("{:.4}", r.report.slo_attainment),
+            )
+            .metric(
+                format!("{tag}_goodput_tokens_per_s"),
+                format!("{:.1}", r.report.goodput_tokens_per_s),
+            )
+            .metric(
+                format!("{tag}_peak_hbm_gib"),
+                format!("{:.2}", r.report.peak_hbm_bytes as f64 / (1u64 << 30) as f64),
+            );
+    }
+    envelope
+}
+
+/// The `infer` subcommand: price a serving workload (or, with `--grid`,
+/// the full three-shape traffic envelope) and write `BENCH_infer.json`.
+pub fn run_infer(args: &InferArgs) -> i32 {
+    let shapes: Vec<TrafficShape> = if args.grid {
+        TrafficShape::ALL.to_vec()
+    } else {
+        vec![args.query.traffic]
+    };
+    let t0 = Instant::now();
+    let mut rows = Vec::with_capacity(shapes.len());
+    for shape in shapes {
+        let q = InferQuery {
+            traffic: shape,
+            ..args.query.clone()
+        };
+        match compute_infer(&q) {
+            Ok(r) => {
+                println!("{}", Response::Infer(Box::new(r.clone())).render_human());
+                println!();
+                // Grid runs double as the thread-invariance smoke: the
+                // first shape is re-simulated single-threaded and must
+                // reproduce the report bit-identically.
+                if args.grid && rows.is_empty() {
+                    let serial = InferQuery { threads: 1, ..q.clone() };
+                    match compute_infer(&serial) {
+                        Ok(s) if s.report == r.report => {
+                            println!("thread-invariance check: serial re-simulation bit-identical");
+                            println!();
+                        }
+                        Ok(_) => {
+                            eprintln!("error: infer: threads=1 re-simulation diverged from threads={}", q.threads);
+                            return 1;
+                        }
+                        Err(e) => {
+                            eprintln!("error: infer: {e}");
+                            return 1;
+                        }
+                    }
+                }
+                rows.push(r);
+            }
+            Err(e) => {
+                eprintln!("error: infer: {e}");
+                return 1;
+            }
+        }
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("simulated in {wall_ms:.0} ms");
+    let code = i32::from(rows.iter().all(|r| r.report.completed == 0));
+    emit(&infer_envelope(&args.query, &rows, wall_ms), "BENCH_infer.json", args.json).max(code)
 }
 
 /// Options for the `llama3sim trace` subcommand.

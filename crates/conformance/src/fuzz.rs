@@ -9,8 +9,11 @@
 //! [`TraceOpSpec`] is the second case family: a seeded script of
 //! append/seek/zoom/stream operations driven against a [`TieredTrace`]
 //! and cross-checked, after every operation, against a full-resolution
-//! model store. Both families shrink through the same greedy
-//! [`minimize_with`] machinery.
+//! model store. [`InferCaseSpec`] is the third: a seeded serving
+//! scenario (traffic shape, arrival rate, mesh, KV paging, batch cap)
+//! whose continuous-batching simulation is cross-checked against the
+//! independent naive rewalk of conformance oracle 10. All families
+//! shrink through the same greedy [`minimize_with`] machinery.
 //!
 //! Sampling draws from the vendored proptest [`TestRng`] (xoshiro256++)
 //! so a `(seed, case index)` pair replays exactly. Every drawn spec is
@@ -28,14 +31,20 @@ use crate::invariants::{
     check_ring_conservation, check_schedule_completeness, check_schedule_executes,
     check_step_report, check_trace_monotone,
 };
-use crate::oracles::{oracle_fluid_fast_path, oracle_folded_vs_full, oracle_run_vs_deprecated};
+use crate::oracles::{
+    oracle_continuous_batching, oracle_fluid_fast_path, oracle_folded_vs_full,
+    oracle_run_vs_deprecated,
+};
 use cluster_model::{Cluster, GlobalRank, GpuSpec};
 use llm_model::{MaskSpec, ModelLayout, PrecisionPolicy, TransformerConfig};
+use parallelism_core::infer::{InferPlan, InferSpec, InferenceModel};
 use parallelism_core::pp::sim::{lower_pp, lowering_capacity, PpSimOp};
 use parallelism_core::query;
 use parallelism_core::pp::UniformCosts;
 use parallelism_core::step::{SimOptions, StepModel};
-use parallelism_core::{BalancePolicy, Dim, Mesh4D, ScheduleKind, StageAssignment, ZeroMode};
+use parallelism_core::{
+    BalancePolicy, Dim, Mesh4D, ScheduleKind, StageAssignment, TrafficShape, TrafficSpec, ZeroMode,
+};
 use proptest::test_runner::TestRng;
 use sim_engine::graph::TaskGraph;
 use sim_engine::time::SimDuration;
@@ -671,6 +680,187 @@ impl TraceOpSpec {
     }
 }
 
+/// One inference fuzz case: a seeded serving scenario (traffic shape,
+/// arrival rate, horizon, mesh, KV paging, batch cap) for the 8B model
+/// on H100, replayed deterministically and cross-checked by
+/// [`oracle_continuous_batching`] — engine vs naive rewalk, token and
+/// block conservation, same-seed bit-identical re-simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InferCaseSpec {
+    /// Seed for the arrival trace (times and sampled lengths).
+    pub seed: u64,
+    /// Traffic shape the arrival process follows.
+    pub shape: TrafficShape,
+    /// Offered load, scaled down by the horizon.
+    pub requests_per_day: u64,
+    /// Simulated wall-clock horizon in seconds.
+    pub horizon_s: u32,
+    /// Tensor-parallel degree per replica (power of two, ≤ 8).
+    pub tp: u32,
+    /// Pipeline stages per replica.
+    pub pp: u32,
+    /// Independent replicas behind round-robin routing.
+    pub replicas: u32,
+    /// KV-block granularity in tokens.
+    pub block_tokens: u64,
+    /// Per-replica resident-sequence cap.
+    pub max_batch: u32,
+}
+
+impl fmt::Display for InferCaseSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "infer seed={:#x} {} rpd={} horizon={}s mesh tp{}·pp{}·x{} block={} batch={}",
+            self.seed,
+            self.shape.tag(),
+            self.requests_per_day,
+            self.horizon_s,
+            self.tp,
+            self.pp,
+            self.replicas,
+            self.block_tokens,
+            self.max_batch
+        )
+    }
+}
+
+impl InferCaseSpec {
+    /// Draws one spec from the shared fuzz stream and normalizes it.
+    pub fn sample(rng: &mut TestRng) -> InferCaseSpec {
+        InferCaseSpec {
+            seed: rng.next_u64(),
+            shape: TrafficShape::ALL[rng.below(TrafficShape::ALL.len() as u64) as usize],
+            requests_per_day: 1_000 + rng.below(200_000),
+            horizon_s: 60 + rng.below(840) as u32,
+            tp: 1 << rng.below(3),
+            pp: 1 << rng.below(2),
+            replicas: 1 + rng.below(4) as u32,
+            block_tokens: 1 << rng.below(7),
+            max_batch: 1 + rng.below(64) as u32,
+        }
+        .normalized()
+    }
+
+    /// Repairs cross-field constraints: positive knobs, `tp` rounded
+    /// down to a power of two within the NVLink domain, and rates and
+    /// horizons clamped to the range the sweep prices in milliseconds
+    /// per case. Idempotent.
+    pub fn normalized(mut self) -> InferCaseSpec {
+        self.tp = self.tp.clamp(1, 8);
+        while !self.tp.is_power_of_two() {
+            self.tp -= 1;
+        }
+        self.pp = self.pp.clamp(1, 4);
+        self.replicas = self.replicas.clamp(1, 8);
+        self.block_tokens = self.block_tokens.clamp(1, 128);
+        self.max_batch = self.max_batch.clamp(1, 512);
+        self.requests_per_day = self.requests_per_day.clamp(100, 200_000);
+        self.horizon_s = self.horizon_s.clamp(60, 900);
+        self
+    }
+
+    /// Materializes the serving scenario and runs conformance oracle 10
+    /// on it; also asserts the seeded arrival trace itself regenerates
+    /// bit-identically.
+    pub fn check(&self) -> Result<(), String> {
+        let ctx = |label: &'static str| {
+            let spec = *self;
+            move |e: String| format!("[{spec}] {label}: {e}")
+        };
+        let traffic = TrafficSpec::serving_day(self.shape, self.requests_per_day, self.seed)
+            .horizon_s(f64::from(self.horizon_s));
+        let trace = traffic.generate();
+        if traffic.generate() != trace {
+            return Err(ctx("traffic")("same-seed regeneration diverged".into()));
+        }
+        let spec = InferSpec::new(
+            TransformerConfig::llama3_8b(),
+            GpuSpec::h100_sxm_hbm3(),
+            8,
+            InferPlan::new(self.tp, self.pp, self.replicas),
+        )
+        .block_tokens(self.block_tokens)
+        .max_batch(self.max_batch as usize)
+        .threads(1);
+        let model = InferenceModel::new(spec).map_err(ctx("model build"))?;
+        oracle_continuous_batching(&model, &trace).map_err(ctx("oracle continuous-batching"))
+    }
+
+    /// Strictly-smaller candidates for greedy shrinking: every knob
+    /// halved, the shape reset to steady, re-normalized, duplicates
+    /// dropped.
+    pub fn shrink(&self) -> Vec<InferCaseSpec> {
+        let mut out = Vec::new();
+        let mut push = |c: InferCaseSpec| {
+            let c = c.normalized();
+            if c != *self && !out.contains(&c) {
+                out.push(c);
+            }
+        };
+        push(InferCaseSpec { requests_per_day: self.requests_per_day / 2, ..*self });
+        push(InferCaseSpec { horizon_s: self.horizon_s / 2, ..*self });
+        push(InferCaseSpec { tp: self.tp / 2, ..*self });
+        push(InferCaseSpec { pp: self.pp / 2, ..*self });
+        push(InferCaseSpec { replicas: self.replicas / 2, ..*self });
+        push(InferCaseSpec { block_tokens: self.block_tokens / 2, ..*self });
+        push(InferCaseSpec { max_batch: self.max_batch / 2, ..*self });
+        push(InferCaseSpec { shape: TrafficShape::Steady, ..*self });
+        push(InferCaseSpec { seed: self.seed / 2, ..*self });
+        out
+    }
+}
+
+/// A shrunk inference counterexample from [`run_infer_sweep`].
+#[derive(Debug, Clone)]
+pub struct InferCounterexample {
+    /// Index of the failing case in the sweep.
+    pub case: u64,
+    /// The original (pre-shrink) violation message.
+    pub message: String,
+    /// The greedily minimized failing spec.
+    pub min_spec: InferCaseSpec,
+    /// The minimized spec's violation message.
+    pub min_message: String,
+    /// Accepted shrink steps.
+    pub shrink_steps: u32,
+}
+
+/// Runs the seeded inference sweep: samples `cases` serving scenarios,
+/// runs [`InferCaseSpec::check`] on each, and on the first violation
+/// greedily shrinks it via [`minimize_with`]. Returns `None` on a clean
+/// sweep. `progress` is called with the clean-case count every 10 cases
+/// (each case prices a full serving horizon, so sweeps are shorter than
+/// the step-model family's).
+pub fn run_infer_sweep(
+    args: &FuzzArgs,
+    mut progress: impl FnMut(u64),
+) -> Option<InferCounterexample> {
+    let FuzzArgs { cases, seed } = *args;
+    let mut rng = TestRng::new(seed);
+    for case in 0..cases {
+        let spec = InferCaseSpec::sample(&mut rng);
+        if let Err(message) = spec.check() {
+            let (min_spec, shrink_steps) =
+                minimize_with(spec, InferCaseSpec::shrink, |c| c.check().is_err());
+            let min_message = min_spec
+                .check()
+                .expect_err("minimize must preserve the failure");
+            return Some(InferCounterexample {
+                case,
+                message,
+                min_spec,
+                min_message,
+                shrink_steps,
+            });
+        }
+        if (case + 1).is_multiple_of(10) {
+            progress(case + 1);
+        }
+    }
+    None
+}
+
 /// A shrunk trace-store counterexample from [`run_trace_sweep`].
 #[derive(Debug, Clone)]
 pub struct TraceCounterexample {
@@ -1003,6 +1193,52 @@ mod tests {
         assert!(min.shrink().iter().all(|c| !fails(c)), "not minimal: {min}");
         assert_eq!(min.ops, 4);
         assert_eq!(min.tier0, 16);
+    }
+
+    #[test]
+    fn infer_sampling_is_deterministic_and_normalized() {
+        let mut a = TestRng::new(0xCAFE);
+        let mut b = TestRng::new(0xCAFE);
+        for _ in 0..50 {
+            let sa = InferCaseSpec::sample(&mut a);
+            let sb = InferCaseSpec::sample(&mut b);
+            assert_eq!(sa, sb);
+            assert_eq!(sa, sa.normalized(), "normal form unstable: {sa}");
+            assert!(sa.tp.is_power_of_two() && sa.tp <= 8);
+            assert!(sa.pp >= 1 && sa.replicas >= 1 && sa.max_batch >= 1);
+            assert!(sa.block_tokens >= 1);
+        }
+    }
+
+    #[test]
+    fn sampled_infer_specs_pass_the_battery() {
+        let mut rng = TestRng::new(13);
+        for _ in 0..3 {
+            let spec = InferCaseSpec::sample(&mut rng);
+            spec.check().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn infer_shrink_candidates_are_normalized_and_distinct() {
+        let spec = InferCaseSpec {
+            seed: 0xFEED,
+            shape: TrafficShape::Bursty,
+            requests_per_day: 80_000,
+            horizon_s: 600,
+            tp: 4,
+            pp: 2,
+            replicas: 4,
+            block_tokens: 32,
+            max_batch: 64,
+        }
+        .normalized();
+        let candidates = spec.shrink();
+        assert!(!candidates.is_empty());
+        for c in &candidates {
+            assert_ne!(*c, spec);
+            assert_eq!(*c, c.normalized(), "candidate not in normal form: {c}");
+        }
     }
 
     #[test]

@@ -13,12 +13,15 @@
 //!    schedules, executed task graphs, process groups, memory models
 //!    and traces.
 //! 2. [`oracles`] — a generic [`oracles::assert_equivalent`] harness
-//!    plus the six differential oracles (folded vs full fidelity,
+//!    plus the ten differential oracles (folded vs full fidelity,
 //!    memoized vs uncached collective costs, fluid fast path vs the
 //!    general max-min solver, `StepModel::run` vs the deprecated
 //!    wrappers, `RunSimulator` day totals vs an independent naive
-//!    recomposition, and the pruned search funnel vs exhaustive
-//!    enumeration).
+//!    recomposition, the pruned search funnel vs exhaustive
+//!    enumeration, guided vs exhaustive search, tiered-trace replay
+//!    and aggregates vs full-resolution references, and the
+//!    continuous-batching inference engine vs an independent naive
+//!    rewalk).
 //! 3. [`fuzz`] — seeded random `(model, mesh, schedule, options)`
 //!    sampling with greedy dimension-halving shrinking, driven by the
 //!    `conformance_fuzz` bin; counterexamples are emitted as

@@ -31,10 +31,21 @@
 //!    its raw events and to the merge of its tier-(k−1) halves,
 //!    (c) tier-fed slow-rank verdicts identical to full-trace
 //!    verdicts.
+//! 10. [`oracle_continuous_batching`] — the inference engine's
+//!     continuous-batching replica loop vs an independent naive
+//!     rewalk of the same admission/prefill/decode policy:
+//!     bit-identical outcomes, tokens conserved, no KV block leaked
+//!     (`free == capacity` after draining), and the fleet-level
+//!     `simulate` bit-identical on a re-run and to a manual
+//!     shard-and-fold.
 
 use crate::invariants::CheckResult;
 use collectives::cost::{clear_cost_cache, CommCostModel};
+use parallelism_core::infer::{
+    simulate_replica, InferCosts, InferenceModel, ReplicaResult, RequestOutcome,
+};
 use parallelism_core::run::{GoodputLoss, GoodputReport, RunSimulator};
+use parallelism_core::Request;
 use parallelism_core::search::{enumerate_configs, search, SearchSpec, SearchStrategy};
 use parallelism_core::step::{ExposedComm, SimFidelity, SimOptions, StepModel, StepReport};
 use sim_engine::fluid::{FluidNet, Transfer, TransferOutcome};
@@ -780,6 +791,232 @@ fn tiered_verdict_parity(m: &StepModel) -> CheckResult {
         }
     }
     Ok(())
+}
+
+/// Oracle 10 — continuous batching vs an independent naive rewalk.
+/// Four claims, all exact:
+///
+/// * **(a) rewalk parity** — [`simulate_replica`]'s result on every
+///   shard is bit-identical to [`naive_continuous_batching`], a
+///   from-scratch reimplementation of the documented policy (FIFO
+///   head-of-line admission with whole-lifetime block reservation,
+///   serial prefill with priority over decode, one token per resident
+///   sequence per decode iteration) sharing no state machinery with
+///   the engine — it recomputes resident KV from per-sequence contexts
+///   instead of maintaining a running counter, and walks the queue by
+///   index instead of a `VecDeque`;
+/// * **(b) conservation** — every admissible request completes with
+///   exactly the trace's token counts, every inadmissible one is
+///   dropped, and every replica ends with `free == capacity` (no KV
+///   block leaked);
+/// * **(c) determinism** — `simulate` run twice on the same trace is
+///   bit-identical (whatever the thread count);
+/// * **(d) fold parity** — manually sharding round-robin by id and
+///   folding the per-replica results reproduces `simulate`'s report.
+pub fn oracle_continuous_batching(model: &InferenceModel, requests: &[Request]) -> CheckResult {
+    let report = model.simulate(requests);
+    if model.simulate(requests) != report {
+        return Err("same-trace re-simulation diverged".into());
+    }
+
+    let capacity = model.costs.block_capacity();
+    let replicas = model.spec.plan.replicas as usize;
+    let mut shards: Vec<Vec<Request>> = vec![Vec::new(); replicas];
+    for r in requests {
+        shards[(r.id % replicas as u64) as usize].push(*r);
+    }
+    let mut results: Vec<ReplicaResult> = Vec::with_capacity(replicas);
+    for (i, shard) in shards.iter().enumerate() {
+        let fast = simulate_replica(&model.costs, model.spec.max_batch, shard);
+        let naive = naive_continuous_batching(&model.costs, model.spec.max_batch, shard);
+        if fast != naive {
+            return Err(format!(
+                "replica {i}: engine and naive rewalk diverge ({} vs {} outcomes, \
+                 {} vs {} decode iters, free {} vs {})",
+                fast.outcomes.len(),
+                naive.outcomes.len(),
+                fast.decode_iters,
+                naive.decode_iters,
+                fast.free_blocks_end,
+                naive.free_blocks_end
+            ));
+        }
+        if fast.free_blocks_end != capacity {
+            return Err(format!(
+                "replica {i}: {} of {capacity} blocks leaked after draining",
+                capacity - fast.free_blocks_end
+            ));
+        }
+        let inadmissible = shard
+            .iter()
+            .filter(|r| model.costs.blocks_needed(r) > capacity)
+            .count() as u64;
+        if fast.dropped != inadmissible
+            || fast.outcomes.len() as u64 + fast.dropped != shard.len() as u64
+        {
+            return Err(format!(
+                "replica {i}: {} completed + {} dropped vs {} offered \
+                 ({inadmissible} inadmissible)",
+                fast.outcomes.len(),
+                fast.dropped,
+                shard.len()
+            ));
+        }
+        let expected: u64 = shard
+            .iter()
+            .filter(|r| model.costs.blocks_needed(r) <= capacity)
+            .map(|r| r.output_tokens)
+            .sum();
+        let generated: u64 = fast.outcomes.iter().map(|o| o.output_tokens).sum();
+        if generated != expected {
+            return Err(format!(
+                "replica {i}: generated {generated} tokens, admissible requests carry {expected}"
+            ));
+        }
+        for o in &fast.outcomes {
+            if o.first_token_ns <= o.arrival_ns || o.finish_ns < o.first_token_ns {
+                return Err(format!(
+                    "replica {i}: request {} timing is not causal \
+                     (arrival {}, first token {}, finish {})",
+                    o.id, o.arrival_ns, o.first_token_ns, o.finish_ns
+                ));
+            }
+        }
+        results.push(fast);
+    }
+    if model.fold(requests.len() as u64, &results) != report {
+        return Err("manual shard-and-fold diverges from simulate".into());
+    }
+    Ok(())
+}
+
+/// The independent continuous-batching rewalk used by
+/// [`oracle_continuous_batching`]. Implements the policy documented on
+/// [`simulate_replica`] from scratch: the waiting queue is an index
+/// window over the time-ordered shard (not a `VecDeque`), resident KV
+/// tokens are re-summed from per-sequence contexts every decode
+/// iteration (not maintained incrementally), and completed sequences
+/// are filtered into a fresh vector (not removed in place).
+pub fn naive_continuous_batching(
+    costs: &InferCosts,
+    max_batch: usize,
+    requests: &[Request],
+) -> ReplicaResult {
+    #[derive(Clone, Copy)]
+    struct Seq {
+        idx: usize,
+        context: u64,
+        remaining: u64,
+    }
+    let batch_cap = max_batch.max(1);
+    let capacity = costs.block_capacity();
+    let mut outcomes: Vec<RequestOutcome> = Vec::new();
+    let mut resident: Vec<Seq> = Vec::new();
+    let mut first_token = vec![0u64; requests.len()];
+    let mut head = 0usize; // next request not yet admitted or dropped
+    let mut arrived = 0usize; // requests[head..arrived] is the FIFO queue
+    let mut now = 0u64;
+    let mut free = capacity;
+    let mut dropped = 0u64;
+    let mut peak_blocks = 0u64;
+    let mut decode_iters = 0u64;
+    let mut busy = SimDuration::ZERO;
+
+    while head < requests.len() || !resident.is_empty() {
+        while arrived < requests.len() && requests[arrived].arrival_ns <= now {
+            arrived += 1;
+        }
+
+        let mut n_admit = 0usize;
+        while head + n_admit < arrived && resident.len() + n_admit < batch_cap {
+            let need = costs.blocks_needed(&requests[head + n_admit]);
+            if need > free {
+                break;
+            }
+            free -= need;
+            n_admit += 1;
+        }
+        peak_blocks = peak_blocks.max(capacity - free);
+
+        if n_admit > 0 {
+            let mut t = SimDuration::ZERO;
+            for r in &requests[head..head + n_admit] {
+                t += costs.prefill_time(r.prompt_tokens);
+            }
+            now += t.as_nanos();
+            busy += t;
+            for i in head..head + n_admit {
+                let r = &requests[i];
+                first_token[i] = now;
+                if r.output_tokens == 1 {
+                    free += costs.blocks_needed(r);
+                    outcomes.push(RequestOutcome {
+                        id: r.id,
+                        arrival_ns: r.arrival_ns,
+                        prompt_tokens: r.prompt_tokens,
+                        output_tokens: r.output_tokens,
+                        first_token_ns: now,
+                        finish_ns: now,
+                    });
+                } else {
+                    resident.push(Seq {
+                        idx: i,
+                        context: r.prompt_tokens + 1,
+                        remaining: r.output_tokens - 1,
+                    });
+                }
+            }
+            head += n_admit;
+            continue;
+        }
+
+        if !resident.is_empty() {
+            let kv_tokens: u64 = resident.iter().map(|s| s.context).sum();
+            let t = costs.decode_iter_time(resident.len() as u64, kv_tokens);
+            now += t.as_nanos();
+            busy += t;
+            decode_iters += 1;
+            let mut survivors: Vec<Seq> = Vec::with_capacity(resident.len());
+            for mut s in resident {
+                s.remaining -= 1;
+                s.context += 1;
+                if s.remaining == 0 {
+                    let r = &requests[s.idx];
+                    free += costs.blocks_needed(r);
+                    outcomes.push(RequestOutcome {
+                        id: r.id,
+                        arrival_ns: r.arrival_ns,
+                        prompt_tokens: r.prompt_tokens,
+                        output_tokens: r.output_tokens,
+                        first_token_ns: first_token[s.idx],
+                        finish_ns: now,
+                    });
+                } else {
+                    survivors.push(s);
+                }
+            }
+            resident = survivors;
+            continue;
+        }
+
+        if head < arrived {
+            // The head request can never fit: drop, as the engine does.
+            head += 1;
+            dropped += 1;
+            continue;
+        }
+
+        now = now.max(requests[arrived].arrival_ns);
+    }
+
+    ReplicaResult {
+        outcomes,
+        dropped,
+        peak_blocks,
+        free_blocks_end: free,
+        decode_iters,
+        busy,
+    }
 }
 
 /// Independent step-by-step recomposition used by

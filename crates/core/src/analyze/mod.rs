@@ -103,6 +103,9 @@ pub enum RuleId {
     /// Unbounded full-resolution event buffer outside the tiered trace
     /// store (source lint).
     Lint006,
+    /// Inference-engine surface referenced below `parallelism-core`
+    /// (source lint).
+    Lint007,
     /// Lock acquired out of order against the declared lock hierarchy
     /// (concurrency lint).
     Lock001,
@@ -131,6 +134,7 @@ impl RuleId {
             RuleId::Lint004 => "LINT004",
             RuleId::Lint005 => "LINT005",
             RuleId::Lint006 => "LINT006",
+            RuleId::Lint007 => "LINT007",
             RuleId::Lock001 => "LOCK001",
             RuleId::Lock002 => "LOCK002",
             RuleId::Lock003 => "LOCK003",
@@ -153,6 +157,7 @@ impl RuleId {
             RuleId::Lint004 => "concrete f64 arithmetic in a Scalar-generic cost module",
             RuleId::Lint005 => "wire-protocol surface referenced below parallelism-core",
             RuleId::Lint006 => "unbounded full-resolution event buffer outside the tiered store",
+            RuleId::Lint007 => "inference-engine surface referenced below parallelism-core",
             RuleId::Lock001 => "lock acquired against the declared lock hierarchy",
             RuleId::Lock002 => "condvar wait without predicate loop or bounded fallback",
             RuleId::Lock003 => "lock guard held across a call into user-supplied code",
@@ -483,6 +488,7 @@ mod tests {
             (RuleId::Mem001, "MEM001"),
             (RuleId::Mem002, "MEM002"),
             (RuleId::Race001, "RACE001"),
+            (RuleId::Lint007, "LINT007"),
         ] {
             assert_eq!(rule.as_str(), s);
             assert!(!rule.description().is_empty());

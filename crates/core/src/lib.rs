@@ -14,6 +14,7 @@
 pub mod analyze;
 pub mod costs;
 pub mod cp;
+pub mod infer;
 pub mod multimodal;
 pub mod planner;
 pub mod query;
@@ -28,6 +29,10 @@ pub mod tp;
 
 pub use analyze::{analyze_step, Diagnostic, Report, RuleId, Severity};
 pub use cp::{AllGatherCp, CpSharding, RingCp};
+pub use infer::{
+    simulate_replica, InferCosts, InferPlan, InferReport, InferSpec, InferenceModel,
+    ReplicaResult, RequestOutcome,
+};
 pub use fsdp::ZeroMode;
 pub use memory_opt::{policy_tradeoff, ActivationPolicy};
 pub use mesh::{Coord4, Dim, Mesh4D};
@@ -35,8 +40,8 @@ pub use pp::{BalancePolicy, PpSchedule, ScheduleKind, StageAssignment};
 pub use multimodal::{EncoderSharding, MultimodalReport, MultimodalStep};
 pub use planner::{plan, Plan, PlanError, PlannerInput};
 pub use query::{
-    AnalyzeMode, Query, QueryError, Response, SearchQuery, StatsResponse, TraceMode, TraceQuery,
-    TraceResponse, QUERY_API_VERSION,
+    AnalyzeMode, InferQuery, InferResponse, Query, QueryError, Response, SearchQuery,
+    StatsResponse, TraceMode, TraceQuery, TraceResponse, QUERY_API_VERSION,
 };
 pub use run::{
     CheckpointPolicy, GoodputLoss, GoodputReport, RunAnchor, RunReplay, RunSimulator, RunTrace,
@@ -47,7 +52,8 @@ pub use search::{
     SearchStrategy,
 };
 pub use sim_engine::error::SimError;
+pub use workload::traffic::{Request, TrafficShape, TrafficSpec};
 pub use step::{
-    ExposedComm, SimFidelity, SimOptions, StepModel, StepOutcome, StepReport,
+    ExposedComm, SimFidelity, SimOptions, StepModel, StepOutcome, StepReport, Workload,
 };
 pub use tp::TpPlan;

@@ -27,15 +27,27 @@
 
 use crate::analyze;
 use crate::fsdp::ZeroMode;
+use crate::infer::{InferPlan, InferReport, InferSpec, InferenceModel};
 use crate::search::{SearchReport, SearchSpec, SearchStrategy};
+use crate::step::Workload;
 use collectives::CacheStats;
+use sim_engine::time::SimDuration;
 use std::fmt;
+use workload::traffic::{TrafficShape, TrafficSpec};
 
-/// Wire-protocol version; bumped on any incompatible change to the
-/// query or response encodings.
-pub const QUERY_API_VERSION: u32 = 1;
+/// Query-schema version.
+///
+/// - **v1** — the original seven kinds (`analyze`, `fuzz`, `bench`,
+///   `goodput`, `search`, `stats`, `trace`), implicitly all training.
+/// - **v2** — workload-generic: adds the `infer` kind and the
+///   `workload=` key on `search`. Purely additive, so the magic token
+///   below stays at `llama3sim/1` and every v1 line (and its canonical
+///   encoding) is byte-identical under v2.
+pub const QUERY_API_VERSION: u32 = 2;
 
-/// The magic token opening every wire line, `llama3sim/<version>`.
+/// The magic token opening every wire line, `llama3sim/<wire-format>`.
+/// This tracks the *line format*, which has not changed; see
+/// [`QUERY_API_VERSION`] for the schema revision.
 pub const WIRE_MAGIC: &str = "llama3sim/1";
 
 /// A malformed or unanswerable query.
@@ -119,6 +131,9 @@ pub struct SearchQuery {
     pub expect: Option<(u32, u32, u32, u32)>,
     /// Use the gradient-guided candidate strategy.
     pub guided: bool,
+    /// Which workload to rank meshes for: training (step time, peak
+    /// HBM) or inference (p99 TTFT, peak HBM).
+    pub workload: Workload,
 }
 
 impl Default for SearchQuery {
@@ -135,6 +150,7 @@ impl Default for SearchQuery {
             zero: Vec::new(),
             expect: None,
             guided: false,
+            workload: Workload::Training,
         }
     }
 }
@@ -170,6 +186,7 @@ impl SearchQuery {
         if self.guided {
             spec.strategy = SearchStrategy::Guided;
         }
+        spec.workload = self.workload;
         Ok(spec.threads(self.threads).goodput_head(self.goodput_head))
     }
 }
@@ -274,6 +291,121 @@ impl TraceQuery {
     }
 }
 
+/// The `infer` query: price a serving workload — seeded traffic over a
+/// TP/PP/replica mesh with continuous batching and paged KV cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferQuery {
+    /// Model name: `405b`, `70b` or `8b`.
+    pub model: String,
+    /// Fleet size in GPUs.
+    pub gpus: u32,
+    /// Tensor-parallel degree per replica (`0` = auto-plan).
+    pub tp: u32,
+    /// Pipeline stages per replica (`0` = auto-plan).
+    pub pp: u32,
+    /// Traffic intensity profile.
+    pub traffic: TrafficShape,
+    /// Offered load, requests per day (the rate holds even when the
+    /// horizon is shorter than a day).
+    pub requests_per_day: u64,
+    /// Arrival-window length, seconds.
+    pub horizon_s: u64,
+    /// Traffic seed.
+    pub seed: u64,
+    /// KV-block size, tokens.
+    pub block: u64,
+    /// Max resident sequences per replica.
+    pub max_batch: usize,
+    /// TTFT SLO, milliseconds.
+    pub slo_ttft_ms: u64,
+    /// TPOT SLO, milliseconds.
+    pub slo_tpot_ms: u64,
+    /// Simulation threads (`0` = all available). An execution hint —
+    /// results are bit-identical for any value, so the canonical form
+    /// normalizes it to 0.
+    pub threads: usize,
+}
+
+impl Default for InferQuery {
+    fn default() -> InferQuery {
+        InferQuery {
+            model: "405b".to_string(),
+            gpus: 16_384,
+            tp: 0,
+            pp: 0,
+            traffic: TrafficShape::Diurnal,
+            requests_per_day: 1_000_000,
+            horizon_s: 86_400,
+            seed: 1,
+            block: 16,
+            max_batch: 256,
+            slo_ttft_ms: 2_000,
+            slo_tpot_ms: 100,
+            threads: 0,
+        }
+    }
+}
+
+impl InferQuery {
+    fn config(&self) -> Result<llm_model::TransformerConfig, QueryError> {
+        use llm_model::TransformerConfig;
+        match self.model.as_str() {
+            "405b" => Ok(TransformerConfig::llama3_405b()),
+            "70b" => Ok(TransformerConfig::llama3_70b()),
+            "8b" => Ok(TransformerConfig::llama3_8b()),
+            other => Err(QueryError::new(format!(
+                "unknown model {other:?} (want 405b|70b|8b)"
+            ))),
+        }
+    }
+
+    /// Resolves the query to an [`InferenceModel`]: explicit `tp`/`pp`
+    /// when given, otherwise [`InferPlan::auto`], with replicas filling
+    /// the fleet.
+    ///
+    /// # Errors
+    /// [`QueryError`] on an unknown model, an infeasible mesh, or a
+    /// fleet smaller than one replica.
+    pub fn to_model(&self) -> Result<InferenceModel, QueryError> {
+        let cfg = self.config()?;
+        let gpu = cluster_model::gpu::GpuSpec::h100_sxm_hbm3();
+        let gpus_per_node = 8;
+        let plan = if self.tp > 0 || self.pp > 0 {
+            let tp = self.tp.max(1);
+            let pp = self.pp.max(1);
+            if tp * pp > self.gpus {
+                return Err(QueryError::new(format!(
+                    "infer: tp {tp} × pp {pp} exceeds the {}-GPU fleet",
+                    self.gpus
+                )));
+            }
+            InferPlan::new(tp, pp, self.gpus / (tp * pp))
+        } else {
+            InferPlan::auto(&cfg, &gpu, self.gpus, gpus_per_node).ok_or_else(|| {
+                QueryError::new(format!(
+                    "infer: no tp×pp plan fits {} on {} GPUs",
+                    self.model, self.gpus
+                ))
+            })?
+        };
+        let spec = InferSpec::new(cfg, gpu, gpus_per_node, plan)
+            .block_tokens(self.block.max(1))
+            .max_batch(self.max_batch)
+            .threads(self.threads)
+            .slo(
+                SimDuration::from_millis(self.slo_ttft_ms),
+                SimDuration::from_millis(self.slo_tpot_ms),
+            );
+        InferenceModel::new(spec).map_err(|e| QueryError::new(format!("infer: {e}")))
+    }
+
+    /// The seeded traffic this query offers.
+    pub fn traffic_spec(&self) -> TrafficSpec {
+        TrafficSpec::serving_day(self.traffic, self.requests_per_day, self.seed)
+            .horizon_s(self.horizon_s as f64)
+    }
+}
+
 /// One query: everything a client can ask of the simulator.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Query {
@@ -291,6 +423,8 @@ pub enum Query {
     Stats,
     /// Tiered-trace export of a simulated multi-day run.
     Trace(TraceQuery),
+    /// Continuous-batching inference simulation over seeded traffic.
+    Infer(InferQuery),
 }
 
 fn zero_tag(z: ZeroMode) -> &'static str {
@@ -330,6 +464,7 @@ impl Query {
             Query::Search(_) => "search",
             Query::Stats => "stats",
             Query::Trace(_) => "trace",
+            Query::Infer(_) => "infer",
         }
     }
 
@@ -403,6 +538,9 @@ impl Query {
                 if s.guided {
                     kv("guided", "true".into());
                 }
+                if s.workload != d.workload {
+                    kv("workload", s.workload.tag().into());
+                }
             }
             Query::Trace(t) => {
                 let d = TraceQuery::default();
@@ -434,6 +572,48 @@ impl Query {
                     kv("mode", t.mode.tag().into());
                 }
             }
+            Query::Infer(i) => {
+                let d = InferQuery::default();
+                if i.model != d.model {
+                    kv("model", i.model.clone());
+                }
+                if i.gpus != d.gpus {
+                    kv("gpus", i.gpus.to_string());
+                }
+                if i.tp != d.tp {
+                    kv("tp", i.tp.to_string());
+                }
+                if i.pp != d.pp {
+                    kv("pp", i.pp.to_string());
+                }
+                if i.traffic != d.traffic {
+                    kv("traffic", i.traffic.tag().into());
+                }
+                if i.requests_per_day != d.requests_per_day {
+                    kv("rpd", i.requests_per_day.to_string());
+                }
+                if i.horizon_s != d.horizon_s {
+                    kv("horizon", i.horizon_s.to_string());
+                }
+                if i.seed != d.seed {
+                    kv("seed", i.seed.to_string());
+                }
+                if i.block != d.block {
+                    kv("block", i.block.to_string());
+                }
+                if i.max_batch != d.max_batch {
+                    kv("batch", i.max_batch.to_string());
+                }
+                if i.slo_ttft_ms != d.slo_ttft_ms {
+                    kv("slo_ttft", i.slo_ttft_ms.to_string());
+                }
+                if i.slo_tpot_ms != d.slo_tpot_ms {
+                    kv("slo_tpot", i.slo_tpot_ms.to_string());
+                }
+                if i.threads != d.threads {
+                    kv("threads", i.threads.to_string());
+                }
+            }
         }
         out
     }
@@ -447,6 +627,11 @@ impl Query {
                 let mut c = s.clone();
                 c.threads = 0;
                 Query::Search(c).to_wire()
+            }
+            Query::Infer(i) => {
+                let mut c = i.clone();
+                c.threads = 0;
+                Query::Infer(c).to_wire()
             }
             q => q.to_wire(),
         }
@@ -546,7 +731,7 @@ impl Query {
             "search" => {
                 known(&[
                     "model", "gpus", "seq", "layers", "budget", "head", "threads", "max_cp",
-                    "zero", "expect", "guided",
+                    "zero", "expect", "guided", "workload",
                 ])?;
                 let mut s = SearchQuery::default();
                 if let Some(v) = get("model") {
@@ -596,6 +781,13 @@ impl Query {
                             )))
                         }
                     };
+                }
+                if let Some(v) = get("workload") {
+                    s.workload = Workload::parse(v).ok_or_else(|| {
+                        QueryError::new(format!(
+                            "workload: unknown tag {v:?} (want train|infer)"
+                        ))
+                    })?;
                 }
                 Ok(Query::Search(s))
             }
@@ -652,8 +844,59 @@ impl Query {
                 }
                 Ok(Query::Trace(t))
             }
+            "infer" => {
+                known(&[
+                    "model", "gpus", "tp", "pp", "traffic", "rpd", "horizon", "seed", "block",
+                    "batch", "slo_ttft", "slo_tpot", "threads",
+                ])?;
+                let mut i = InferQuery::default();
+                if let Some(v) = get("model") {
+                    i.model = v.to_string();
+                }
+                if let Some(v) = get("gpus") {
+                    i.gpus = parse_num("gpus", v)?;
+                }
+                if let Some(v) = get("tp") {
+                    i.tp = parse_num("tp", v)?;
+                }
+                if let Some(v) = get("pp") {
+                    i.pp = parse_num("pp", v)?;
+                }
+                if let Some(v) = get("traffic") {
+                    i.traffic = TrafficShape::parse(v).ok_or_else(|| {
+                        QueryError::new(format!(
+                            "traffic: unknown shape {v:?} (want steady|diurnal|bursty)"
+                        ))
+                    })?;
+                }
+                if let Some(v) = get("rpd") {
+                    i.requests_per_day = parse_num("rpd", v)?;
+                }
+                if let Some(v) = get("horizon") {
+                    i.horizon_s = parse_num("horizon", v)?;
+                }
+                if let Some(v) = get("seed") {
+                    i.seed = parse_num("seed", v)?;
+                }
+                if let Some(v) = get("block") {
+                    i.block = parse_num("block", v)?;
+                }
+                if let Some(v) = get("batch") {
+                    i.max_batch = parse_num("batch", v)?;
+                }
+                if let Some(v) = get("slo_ttft") {
+                    i.slo_ttft_ms = parse_num("slo_ttft", v)?;
+                }
+                if let Some(v) = get("slo_tpot") {
+                    i.slo_tpot_ms = parse_num("slo_tpot", v)?;
+                }
+                if let Some(v) = get("threads") {
+                    i.threads = parse_num("threads", v)?;
+                }
+                Ok(Query::Infer(i))
+            }
             other => Err(QueryError::new(format!(
-                "unknown query kind {other:?} (want analyze|fuzz|bench|goodput|search|stats|trace)"
+                "unknown query kind {other:?} (want analyze|fuzz|bench|goodput|search|stats|trace|infer)"
             ))),
         }
     }
@@ -1005,6 +1248,38 @@ impl TraceResponse {
     }
 }
 
+/// The `infer` response payload. Fully deterministic (no wall-clock),
+/// so the serve dispatcher caches and coalesces inference queries like
+/// any other pure computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferResponse {
+    /// Model name (echoes the query).
+    pub model: String,
+    /// The resolved serving mesh.
+    pub plan: InferPlan,
+    /// Traffic shape (echoes the query).
+    pub traffic: TrafficShape,
+    /// Requests the trace offered.
+    pub offered: u64,
+    /// The serving metrics.
+    pub report: InferReport,
+}
+
+impl InferResponse {
+    fn render_human(&self) -> String {
+        format!(
+            "{} × {} GPUs  tp{} pp{} × {} replicas  traffic {}\n{}",
+            self.model,
+            self.plan.gpus(),
+            self.plan.tp,
+            self.plan.pp,
+            self.plan.replicas,
+            self.traffic.tag(),
+            self.report.render_human()
+        )
+    }
+}
+
 /// One response: the result of dispatching a [`Query`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -1022,6 +1297,8 @@ pub enum Response {
     Stats(StatsResponse),
     /// Answer to [`Query::Trace`].
     Trace(TraceResponse),
+    /// Answer to [`Query::Infer`].
+    Infer(Box<InferResponse>),
 }
 
 impl Response {
@@ -1035,6 +1312,7 @@ impl Response {
             Response::Search(_) => "search",
             Response::Stats(_) => "stats",
             Response::Trace(_) => "trace",
+            Response::Infer(_) => "infer",
         }
     }
 
@@ -1050,6 +1328,7 @@ impl Response {
             Response::Search(r) => r.report.render_human(),
             Response::Stats(r) => r.render_human(),
             Response::Trace(r) => r.render_human(),
+            Response::Infer(r) => r.render_human(),
         }
     }
 
@@ -1072,6 +1351,7 @@ impl Response {
             Response::Fuzz(r) => i32::from(r.counterexample.is_some()),
             Response::Search(r) => i32::from(r.expect_hit == Some(false)),
             Response::Trace(r) => i32::from(!r.ok),
+            Response::Infer(r) => i32::from(r.report.completed == 0),
             _ => 0,
         }
     }
@@ -1106,6 +1386,7 @@ mod tests {
                 zero: vec![ZeroMode::Zero1, ZeroMode::Zero3],
                 expect: Some((2, 1, 2, 2)),
                 guided: true,
+                workload: Workload::Training,
             }),
             Query::Trace(TraceQuery::default()),
             Query::Trace(TraceQuery {
@@ -1122,6 +1403,26 @@ mod tests {
             Query::Trace(TraceQuery {
                 mode: TraceMode::Smoke,
                 ..TraceQuery::default()
+            }),
+            Query::Infer(InferQuery::default()),
+            Query::Infer(InferQuery {
+                model: "8b".into(),
+                gpus: 16,
+                tp: 2,
+                pp: 2,
+                traffic: TrafficShape::Bursty,
+                requests_per_day: 50_000,
+                horizon_s: 3_600,
+                seed: 9,
+                block: 32,
+                max_batch: 64,
+                slo_ttft_ms: 500,
+                slo_tpot_ms: 50,
+                threads: 2,
+            }),
+            Query::Search(SearchQuery {
+                workload: Workload::Inference,
+                ..SearchQuery::default()
             }),
         ];
         for q in queries {
@@ -1148,16 +1449,60 @@ mod tests {
             ..SearchQuery::default()
         });
         assert_ne!(a.canonical_hash(), c.canonical_hash());
+
+        let i1 = Query::Infer(InferQuery {
+            threads: 1,
+            ..InferQuery::default()
+        });
+        let i16 = Query::Infer(InferQuery {
+            threads: 16,
+            ..InferQuery::default()
+        });
+        assert_eq!(i1.canonical_hash(), i16.canonical_hash());
+        let ib = Query::Infer(InferQuery {
+            traffic: TrafficShape::Bursty,
+            ..InferQuery::default()
+        });
+        assert_ne!(i1.canonical_hash(), ib.canonical_hash());
     }
 
     #[test]
     fn defaults_are_omitted_from_the_wire() {
         assert_eq!(Query::Search(SearchQuery::default()).to_wire(), "llama3sim/1 search");
         assert_eq!(Query::Fuzz(FuzzQuery::default()).to_wire(), "llama3sim/1 fuzz");
+        assert_eq!(Query::Infer(InferQuery::default()).to_wire(), "llama3sim/1 infer");
         assert_eq!(
             Query::parse_wire("llama3sim/1 search").unwrap(),
             Query::Search(SearchQuery::default())
         );
+        assert_eq!(
+            Query::parse_wire("llama3sim/1 infer").unwrap(),
+            Query::Infer(InferQuery::default())
+        );
+    }
+
+    #[test]
+    fn v1_training_lines_are_byte_identical_under_v2() {
+        // The schema bump to v2 is additive: every v1 training line
+        // must re-encode to exactly itself.
+        for line in [
+            "llama3sim/1 search",
+            "llama3sim/1 search model=8b gpus=8 max_cp=2",
+            "llama3sim/1 search gpus=8192 zero=zero1,zero3 expect=8,1,16,128 guided=true",
+            "llama3sim/1 trace model=8b gpus=8 seq=4096 horizon=3600 seed=9",
+            "llama3sim/1 analyze mode=grid",
+            "llama3sim/1 fuzz cases=40 seed=7",
+            "llama3sim/1 goodput",
+        ] {
+            let q = Query::parse_wire(line).unwrap();
+            assert_eq!(q.to_wire(), line, "v1 line must survive v2 re-encoding");
+        }
+        // The workload key is emitted only when non-default.
+        let infer_search = Query::Search(SearchQuery {
+            workload: Workload::Inference,
+            ..SearchQuery::default()
+        });
+        assert_eq!(infer_search.to_wire(), "llama3sim/1 search workload=infer");
     }
 
     #[test]
@@ -1182,6 +1527,11 @@ mod tests {
             "llama3sim/1 trace window=9,3",
             "llama3sim/1 trace zoom=x",
             "llama3sim/1 trace bogus=1",
+            "llama3sim/1 search workload=serving",
+            "llama3sim/1 infer traffic=nope",
+            "llama3sim/1 infer gpus=x",
+            "llama3sim/1 infer bogus=1",
+            "llama3sim/1 infer rpd=1 rpd=1",
         ] {
             assert!(Query::parse_wire(bad).is_err(), "{bad:?} should not parse");
         }

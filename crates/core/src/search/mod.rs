@@ -52,12 +52,13 @@ pub use guided::GuidedStats;
 
 use crate::analyze;
 use crate::fsdp::ZeroMode;
+use crate::infer::{InferPlan, InferSpec, InferenceModel};
 use crate::mesh::Mesh4D;
 use crate::planner::{PlanError, PlannerInput};
 use crate::pp::balance::{BalancePolicy, StageAssignment};
 use crate::pp::schedule::ScheduleKind;
 use crate::run::{CheckpointPolicy, RunSimulator};
-use crate::step::{SimOptions, StepModel};
+use crate::step::{SimOptions, StepModel, Workload};
 use cluster_model::faults::{FaultRates, FaultTimeline};
 use cluster_model::gpu::GpuSpec;
 use cluster_model::topology::{Cluster, TopologySpec};
@@ -67,6 +68,7 @@ use llm_model::{ModelLayout, TransformerConfig};
 use sim_engine::time::SimDuration;
 use std::fmt;
 use std::sync::LazyLock;
+use workload::traffic::{TrafficShape, TrafficSpec};
 
 /// How candidates reach the verification funnel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -116,12 +118,17 @@ pub struct SearchSpec {
     pub threads: usize,
     /// Candidate-generation strategy (default exhaustive).
     pub strategy: SearchStrategy,
+    /// Which workload the funnel scores. [`Workload::Training`] ranks
+    /// configurations by (step time, peak HBM); [`Workload::Inference`]
+    /// enumerates `tp × pp × replicas` serving meshes and ranks them by
+    /// (p99 TTFT, peak HBM) under a common seeded steady probe trace.
+    pub workload: Workload,
 }
 
 impl SearchSpec {
     /// A spec with default space bounds and funnel options for a
-    /// planning problem.
-    pub fn new(input: PlannerInput) -> SearchSpec {
+    /// *training* planning problem.
+    pub fn training(input: PlannerInput) -> SearchSpec {
         SearchSpec {
             input,
             max_tp: 0,
@@ -134,18 +141,29 @@ impl SearchSpec {
             seed: 0x0060_01D9,
             threads: 0,
             strategy: SearchStrategy::default(),
+            workload: Workload::Training,
         }
+    }
+
+    /// Deprecated alias of [`SearchSpec::training`].
+    #[deprecated(
+        since = "0.10.0",
+        note = "the workload is explicit since query API v2; use SearchSpec::training \
+                (or set `workload` for inference)"
+    )]
+    pub fn new(input: PlannerInput) -> SearchSpec {
+        SearchSpec::training(input)
     }
 
     /// The Llama 3 405B production search problem (16 M-token budget,
     /// H100 cluster).
     pub fn llama3_405b(ngpu: u32, seq: u64) -> SearchSpec {
-        SearchSpec::new(PlannerInput::llama3_405b(ngpu, seq))
+        SearchSpec::training(PlannerInput::llama3_405b(ngpu, seq))
     }
 
     /// The Llama 3 70B search problem on the same cluster recipe.
     pub fn llama3_70b(ngpu: u32, seq: u64) -> SearchSpec {
-        SearchSpec::new(PlannerInput {
+        SearchSpec::training(PlannerInput {
             ngpu,
             gpus_per_node: 8,
             token_budget: 16 * 1024 * 1024,
@@ -157,7 +175,7 @@ impl SearchSpec {
 
     /// The Llama 3 8B search problem on the same cluster recipe.
     pub fn llama3_8b(ngpu: u32, seq: u64) -> SearchSpec {
-        SearchSpec::new(PlannerInput {
+        SearchSpec::training(PlannerInput {
             ngpu,
             gpus_per_node: 8,
             token_budget: 16 * 1024 * 1024,
@@ -165,6 +183,13 @@ impl SearchSpec {
             model: TransformerConfig::llama3_8b(),
             gpu: GpuSpec::h100_sxm_hbm3(),
         })
+    }
+
+    /// Selects the inference workload: the funnel ranks `tp × pp ×
+    /// replicas` serving meshes by (p99 TTFT, peak HBM).
+    pub fn inference(mut self) -> SearchSpec {
+        self.workload = Workload::Inference;
+        self
     }
 
     /// Sets the CP bound.
@@ -796,6 +821,9 @@ pub fn search_outcomes(spec: &SearchSpec) -> Result<SearchOutcomes, PlanError> {
     if input.ngpu == 0 || input.gpus_per_node == 0 {
         return Err(PlanError::BadInput("cluster must have GPUs and a node size".into()));
     }
+    if spec.workload == Workload::Inference {
+        return infer_outcomes(spec);
+    }
     if input.seq == 0 || !input.token_budget.is_multiple_of(input.seq) {
         return Err(PlanError::BadInput(format!(
             "sequence length {} must divide the token budget {}",
@@ -944,6 +972,93 @@ pub fn search_outcomes(spec: &SearchSpec) -> Result<SearchOutcomes, PlanError> {
     })
 }
 
+/// The inference funnel: enumerates `tp × pp` serving shards (powers of
+/// two; TP capped at the NVLink domain, PP at the layer count), fills
+/// the cluster with replicas, rejects plans whose weights or KV blocks
+/// overflow HBM ([`InferCosts::new`]'s verdict — the stage-2 analogue),
+/// and scores survivors by simulating the *same* seeded steady probe
+/// trace on each. The [`SearchPoint`] objectives are repurposed:
+/// `step_time` is the p99 TTFT and `peak_memory` the peak per-GPU HBM
+/// (weights + resident KV), so [`finish_search`]'s Pareto machinery
+/// ranks serving meshes unchanged; `tflops_per_gpu` carries output
+/// tokens/s per GPU and `bubble_ratio` the SLO miss fraction.
+///
+/// The probe trace offers ~0.05 requests/s per GPU (capped at 512
+/// requests) so every candidate sees identical load; candidates differ
+/// only in how they spend the same `ngpu` GPUs: fewer, wider replicas
+/// prefill faster, more, narrower replicas queue less.
+fn infer_outcomes(spec: &SearchSpec) -> Result<SearchOutcomes, PlanError> {
+    let input = &spec.input;
+
+    // Stage 1: enumeration + admission. `dp` carries the replica count;
+    // cp/nmb/zero/schedule/recompute are fixed at their degenerate
+    // serving values so [`ConfigPoint`] renders meaningfully.
+    let mut admitted: Vec<ConfigPoint> = Vec::new();
+    let mut visited = 0usize;
+    for tp in powers_of_two_up_to(spec.tp_bound().min(input.gpus_per_node)) {
+        for pp in powers_of_two_up_to(spec.pp_bound()) {
+            visited += 1;
+            let shards = tp as u64 * pp as u64;
+            if shards > u64::from(input.ngpu) || !u64::from(input.ngpu).is_multiple_of(shards) {
+                continue;
+            }
+            admitted.push(ConfigPoint {
+                tp,
+                cp: 1,
+                pp,
+                dp: (u64::from(input.ngpu) / shards) as u32,
+                nmb: 1,
+                zero: ZeroMode::Zero1,
+                schedule: ScheduleKind::AllFwdAllBwd,
+                recompute: false,
+            });
+        }
+    }
+    let meshes_admitted = admitted.len();
+
+    // The common probe trace, generated once and shared by-reference.
+    let rps = f64::from(input.ngpu) * 0.05;
+    let horizon_s = (512.0 / rps).min(600.0);
+    let trace = TrafficSpec::serving_day(
+        TrafficShape::Steady,
+        (rps * 86_400.0).round() as u64,
+        spec.seed,
+    )
+    .horizon_s(horizon_s)
+    .generate();
+
+    // Stages 2–3: HBM-fit rejection and probe-trace scoring. The space
+    // is tiny (≤ tens of candidates), so candidates run serially and
+    // each simulation parallelizes internally over replicas.
+    let outcomes = admitted
+        .into_iter()
+        .map(|c| {
+            let plan = InferPlan::new(c.tp, c.pp, c.dp);
+            let ispec = InferSpec::new(input.model.clone(), input.gpu.clone(), input.gpus_per_node, plan)
+                .threads(spec.threads);
+            let point = InferenceModel::new(ispec).ok().map(|m| {
+                let report = m.simulate(&trace);
+                SearchPoint {
+                    config: c,
+                    step_time: report.ttft[2],
+                    peak_memory: report.peak_hbm_bytes,
+                    tflops_per_gpu: report.tokens_per_s / f64::from(input.ngpu),
+                    bubble_ratio: 1.0 - report.slo_attainment,
+                    goodput: None,
+                }
+            });
+            (c, point)
+        })
+        .collect();
+
+    Ok(SearchOutcomes {
+        meshes_enumerated: visited,
+        meshes_admitted,
+        outcomes,
+        guided: None,
+    })
+}
+
 /// Funnel stage 4 plus reporting: builds the Pareto frontier of an
 /// outcome set, optionally goodput-refines its head, and assembles the
 /// deterministic [`SearchReport`]. `spec` supplies the refinement
@@ -969,8 +1084,15 @@ pub fn finish_search(spec: &SearchSpec, out: &SearchOutcomes) -> Result<SearchRe
     // Stage 4: goodput refinement of the frontier head. The fault
     // timeline is generated once (seeded) and shared by every refined
     // point; refinement only annotates — frontier membership and order
-    // are fixed by stage 3.
-    let head = spec.goodput_head.min(frontier.len());
+    // are fixed by stage 3. Inference frontiers skip refinement: their
+    // goodput analogue (SLO-gated tokens/s) is already priced in
+    // stage 3 and the fault-timeline run model is a training-step
+    // construct.
+    let head = if spec.workload == Workload::Inference {
+        0
+    } else {
+        spec.goodput_head.min(frontier.len())
+    };
     let mut refined = 0usize;
     if head > 0 {
         let timeline = FaultTimeline::generate(
@@ -1197,6 +1319,29 @@ mod tests {
         }
         // ...and sharing cannot change the report.
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn inference_search_ranks_serving_meshes() {
+        let spec = small_spec().inference();
+        let report = search(&spec).unwrap();
+        let c = report.counts;
+        assert!(c.meshes_admitted > 1, "{c:?}");
+        assert_eq!(c.candidates, c.scored + c.rejected_preflight);
+        assert_eq!(c.refined, 0, "inference skips goodput refinement");
+        assert!(!report.frontier.is_empty());
+        for p in &report.frontier {
+            // Serving meshes: no CP, dp carries the replica count, and
+            // the whole cluster is spent.
+            assert_eq!(p.config.cp, 1);
+            assert_eq!(p.config.tp * p.config.pp * p.config.dp, spec.input.ngpu);
+            assert!(p.step_time > SimDuration::ZERO, "p99 TTFT must be positive");
+            assert!(p.peak_memory > 0);
+            assert!(p.goodput.is_none());
+        }
+        // Bit-identical across runs and thread counts.
+        assert_eq!(report, search(&spec.clone().threads(1)).unwrap());
+        assert_eq!(report, search(&spec.clone().threads(3)).unwrap());
     }
 
     #[test]

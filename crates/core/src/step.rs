@@ -82,6 +82,40 @@ pub enum SimFidelity {
     Full,
 }
 
+/// Which kind of workload a simulation request prices.
+///
+/// Training and inference share the model, cluster, collective and
+/// memory machinery; this enum is the single switch the query, serve
+/// and search layers thread through instead of hardcoding training
+/// (the implicit assumption the wire protocol carried before v2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Workload {
+    /// Pre-training steps: forward + backward + optimizer, scored by
+    /// (step time, peak HBM).
+    #[default]
+    Training,
+    /// Serving traffic: prefill/decode continuous batching, scored by
+    /// (p99 TTFT, peak HBM).
+    Inference,
+}
+
+impl Workload {
+    /// Stable lowercase tag used on the wire.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Workload::Training => "train",
+            Workload::Inference => "infer",
+        }
+    }
+
+    /// Parses a [`Self::tag`] back to a workload.
+    pub fn parse(s: &str) -> Option<Workload> {
+        [Workload::Training, Workload::Inference]
+            .into_iter()
+            .find(|w| w.tag() == s)
+    }
+}
+
 /// Options for [`StepModel::run`] — the one knob set for healthy,
 /// jittered, faulted and traced step simulation.
 ///
@@ -128,6 +162,11 @@ pub struct SimOptions {
     /// configurations cannot fail it — it exists to vet hand-assembled
     /// or externally supplied plans.
     pub preflight: bool,
+    /// Which workload this request prices. [`StepModel`] itself always
+    /// simulates training steps; the flag rides along so every layer
+    /// above (dispatch, serve, search) can branch on one field instead
+    /// of re-deriving intent from the query kind.
+    pub workload: Workload,
 }
 
 impl SimOptions {
@@ -172,6 +211,12 @@ impl SimOptions {
     /// [`SimError::Rejected`] if any analysis rule reports an error.
     pub fn preflight(mut self, preflight: bool) -> SimOptions {
         self.preflight = preflight;
+        self
+    }
+
+    /// Tags the request with a workload kind.
+    pub fn workload(mut self, workload: Workload) -> SimOptions {
+        self.workload = workload;
         self
     }
 

@@ -1,7 +1,7 @@
 //! # lint
 //!
 //! Repo-local static analysis: the source hygiene rules
-//! (`LINT001`–`LINT006`) and the concurrency rules
+//! (`LINT001`–`LINT007`) and the concurrency rules
 //! (`LOCK001`–`LOCK003`) behind `llama3sim lint` and the `repo_lint`
 //! binary. Dependency-free by design — the scanner is a
 //! string/comment-aware token model ([`model::SourceModel`]), not a

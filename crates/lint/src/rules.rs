@@ -1,4 +1,4 @@
-//! The six repo hygiene rules (`LINT001`–`LINT006`), ported from the
+//! The repo hygiene rules (`LINT001`–`LINT007`), ported from the
 //! original `repo_lint` binary onto [`SourceModel`] so string literals
 //! and block comments can no longer fool the token scans.
 //!
@@ -62,13 +62,27 @@ const TRACE_VEC_TOKENS: [&str; 2] = ["Vec<TraceEvent>", "Vec<(u64, TraceEvent)>"
 /// itself and the `Trace` container it decimates.
 const TRACE_VEC_HOME: &str = "crates/trace/src/";
 
+/// Tokens that betray inference-engine knowledge in a substrate crate —
+/// the LINT007 token set. The engine lives in `parallelism_core::infer`
+/// (it prices the op graph on the training cost models); substrate
+/// crates below `parallelism-core` must stay workload-agnostic. The
+/// `workload` crate's traffic generator is deliberately *not* in this
+/// set: arrival traces are plain data, not engine surface.
+const INFER_TOKENS: [&str; 5] = [
+    "parallelism_core::infer",
+    "InferPlan",
+    "InferSpec",
+    "InferCosts",
+    "InferenceModel",
+];
+
 fn finding(rule: RuleId, model: &SourceModel, idx: usize, message: &str) -> Diagnostic {
     Diagnostic::error(rule, message)
         .at_op(model.location(idx))
         .with_witness(vec![model.lines()[idx].raw.trim().to_string()])
 }
 
-/// Runs all six hygiene rules over one file, appending findings.
+/// Runs all seven hygiene rules over one file, appending findings.
 pub fn check_hygiene(model: &SourceModel, out: &mut Vec<Diagnostic>) {
     let path = model.path();
     let scalar_costs_module = SCALAR_COST_PATHS.iter().any(|p| path.ends_with(p));
@@ -131,6 +145,17 @@ pub fn check_hygiene(model: &SourceModel, out: &mut Vec<Diagnostic>) {
                 "wire-protocol surface referenced below `parallelism-core` (the \
                  query types live in `parallelism_core::query`; substrate crates must \
                  not speak the serve protocol)",
+            ));
+        }
+
+        if wire_free_crate && INFER_TOKENS.iter().any(|t| code.contains(t)) {
+            out.push(finding(
+                RuleId::Lint007,
+                model,
+                idx,
+                "inference-engine surface referenced below `parallelism-core` (the \
+                 serving engine lives in `parallelism_core::infer`; substrate crates \
+                 stay workload-agnostic — traffic traces are plain data)",
             ));
         }
 
@@ -308,6 +333,30 @@ mod tests {
         let docs = lint_path(
             "crates/sim/src/graph.rs",
             "// rendered later via parallelism_core::query\nfn f() {}\n",
+        );
+        assert!(docs.is_empty(), "{docs:?}");
+    }
+
+    #[test]
+    fn flags_inference_types_below_core_only() {
+        let src = "use parallelism_core::infer::InferSpec;\nfn f() {}\n";
+        let v = lint_path("crates/workload/src/traffic.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::Lint007);
+        assert!(v[0].message.contains("inference-engine"), "{v:?}");
+        // Core itself, and the crates above it, may use the engine.
+        let home = lint_path("crates/core/src/infer.rs", src);
+        assert!(home.is_empty(), "{home:?}");
+        let above = lint_path("crates/serve/src/dispatch.rs", "fn f(m: &InferenceModel) {}\n");
+        assert!(above.is_empty(), "{above:?}");
+        // A bare type token below core is enough to fire.
+        let bare = lint_path("crates/sim/src/graph.rs", "fn f() { let c = InferCosts::new(); }\n");
+        assert_eq!(bare.len(), 1, "{bare:?}");
+        assert_eq!(bare[0].rule, RuleId::Lint007);
+        // Doc comments mentioning the engine are fine anywhere.
+        let docs = lint_path(
+            "crates/model/src/memory.rs",
+            "// sized for parallelism_core::infer KV paging\nfn f() {}\n",
         );
         assert!(docs.is_empty(), "{docs:?}");
     }

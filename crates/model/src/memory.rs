@@ -89,6 +89,21 @@ pub fn boundary_activation_bytes_per_token(cfg: &TransformerConfig) -> u64 {
     2 * cfg.hidden_dim
 }
 
+/// KV-cache bytes per resident token for **one** transformer layer:
+/// one BF16 key plus one BF16 value vector at the (GQA-reduced) KV
+/// width. This is the quantity paged by the inference engine — a KV
+/// block of `B` tokens costs `B ×` this on every layer it spans.
+pub fn kv_cache_bytes_per_token_per_layer(cfg: &TransformerConfig) -> u64 {
+    2 * 2 * cfg.kv_dim()
+}
+
+/// KV-cache bytes per resident token across the whole (unsharded)
+/// model — the §8.1-style capacity figure: resident sequences × mean
+/// context × this must fit in what HBM the weights leave free.
+pub fn kv_cache_bytes_per_token(cfg: &TransformerConfig) -> u64 {
+    cfg.num_layers * kv_cache_bytes_per_token_per_layer(cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +143,17 @@ mod tests {
         // the §5.1 argument for why the model cannot fit without
         // 3D/4D parallelism.
         assert!(total > 7_000_000_000_000);
+    }
+
+    #[test]
+    fn kv_cache_reflects_gqa_compression() {
+        // 405B: 128 q-heads but only 8 KV heads, so the cache is 16×
+        // smaller than an MHA cache would be.
+        let cfg = TransformerConfig::llama3_405b();
+        let per_layer = kv_cache_bytes_per_token_per_layer(&cfg);
+        assert_eq!(per_layer, 4 * cfg.kv_dim());
+        assert_eq!(per_layer * 16, 4 * cfg.q_dim());
+        assert_eq!(kv_cache_bytes_per_token(&cfg), cfg.num_layers * per_layer);
     }
 
     #[test]

@@ -14,7 +14,8 @@ use crate::http::Server;
 use bench_harness::cli::Flags;
 use bench_harness::report::Report;
 use bench_harness::snapshot::emit;
-use parallelism_core::query::{AnalyzeMode, Query, Response, SearchQuery};
+use parallelism_core::query::{AnalyzeMode, InferQuery, Query, Response, SearchQuery};
+use parallelism_core::TrafficShape;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -103,12 +104,13 @@ fn serve_forever(addr: &str) -> i32 {
 }
 
 /// The self-test queries: cheap, deterministic, and covering the
-/// catalog, the grid and the search paths.
+/// catalog, the grid, the search and the inference paths.
 fn self_test_queries() -> Vec<Query> {
     vec![
         Query::Analyze(AnalyzeMode::List),
         Query::Analyze(AnalyzeMode::GridIndex(0)),
         Query::Search(small_search(2)),
+        Query::Infer(small_infer()),
     ]
 }
 
@@ -121,6 +123,20 @@ fn small_search(max_cp: u32) -> SearchQuery {
         budget: 131_072,
         max_cp,
         ..SearchQuery::default()
+    }
+}
+
+/// A five-minute 8B serving slice — cheap enough for the self-test,
+/// real enough to exercise admission, prefill and decode.
+fn small_infer() -> InferQuery {
+    InferQuery {
+        model: "8b".into(),
+        gpus: 8,
+        traffic: TrafficShape::Steady,
+        requests_per_day: 20_000,
+        horizon_s: 300,
+        seed: 7,
+        ..InferQuery::default()
     }
 }
 

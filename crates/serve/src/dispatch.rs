@@ -5,7 +5,7 @@
 //! three reuse mechanisms over the raw computations:
 //!
 //! 1. **Response cache.** Deterministic responses (`analyze`, `fuzz`,
-//!    `search`, `trace`) are memoized by [`Query::canonical_hash`] in a
+//!    `search`, `trace`, `infer`) are memoized by [`Query::canonical_hash`] in a
 //!    bounded FIFO map, so a repeated question is a lookup.
 //! 2. **In-flight coalescing.** Identical queries arriving while the
 //!    first is still computing block on one shared flight instead of
@@ -34,8 +34,8 @@ use collectives::cost_cache_stats;
 use conformance::fuzz::{run_sweep, FuzzArgs};
 use conformance::grid::config_grid;
 use parallelism_core::query::{
-    AnalyzeMode, AnalyzeResponse, Query, QueryError, Response, SearchQuery, SearchResponse,
-    StatsResponse, TraceMode, TraceQuery, TraceResponse,
+    AnalyzeMode, AnalyzeResponse, InferQuery, InferResponse, Query, QueryError, Response,
+    SearchQuery, SearchResponse, StatsResponse, TraceMode, TraceQuery, TraceResponse,
 };
 use parallelism_core::run::{CheckpointPolicy, RunSimulator, RunTrace};
 use parallelism_core::search::{
@@ -103,8 +103,8 @@ impl Dispatcher {
     }
 
     /// Answers one query. Deterministic kinds (`analyze`, `fuzz`,
-    /// `search`, `trace`) are served from the response cache when
-    /// possible, coalesced onto an identical in-flight computation
+    /// `search`, `trace`, `infer`) are served from the response cache
+    /// when possible, coalesced onto an identical in-flight computation
     /// otherwise; wall-clock kinds (`bench`, `goodput`) and `stats`
     /// always compute fresh.
     ///
@@ -117,9 +117,11 @@ impl Dispatcher {
             Query::Bench => Ok(Response::Bench(measure_perf())),
             Query::Goodput => Ok(Response::Goodput(measure_goodput())),
             Query::Stats => Ok(Response::Stats(self.stats())),
-            Query::Analyze(_) | Query::Fuzz(_) | Query::Search(_) | Query::Trace(_) => {
-                self.cached_dispatch(query)
-            }
+            Query::Analyze(_)
+            | Query::Fuzz(_)
+            | Query::Search(_)
+            | Query::Trace(_)
+            | Query::Infer(_) => self.cached_dispatch(query),
         }
     }
 
@@ -180,6 +182,7 @@ impl Dispatcher {
             }
             Query::Search(s) => self.compute_search(s),
             Query::Trace(t) => Ok(Response::Trace(compute_trace(t)?)),
+            Query::Infer(i) => Ok(Response::Infer(Box::new(compute_infer(i)?))),
             // The wall-clock and stats kinds never reach the cached path.
             Query::Bench | Query::Goodput | Query::Stats => {
                 Err(QueryError::new("internal: non-cacheable kind in compute"))
@@ -529,6 +532,23 @@ fn render_trace_smoke(
     Ok((ok, out))
 }
 
+/// Computes an infer query: resolve the serving mesh, generate the
+/// seeded arrival trace, and run the continuous-batching simulation.
+/// Fully deterministic (the `threads` hint never changes results), so
+/// the response is cacheable and coalescable.
+fn compute_infer(q: &InferQuery) -> Result<InferResponse, QueryError> {
+    let model = q.to_model()?;
+    let requests = q.traffic_spec().generate();
+    let report = model.simulate(&requests);
+    Ok(InferResponse {
+        model: q.model.clone(),
+        plan: model.spec.plan,
+        traffic: q.traffic,
+        offered: requests.len() as u64,
+        report,
+    })
+}
+
 /// Computes an analyze query against the named catalog or the
 /// conformance grid.
 fn compute_analyze(mode: &AnalyzeMode) -> Result<AnalyzeResponse, QueryError> {
@@ -653,6 +673,36 @@ mod tests {
             }
             other => panic!("expected a trace response, got {}", other.kind()),
         }
+    }
+
+    #[test]
+    fn infer_responses_are_cached_and_thread_normalized() {
+        let d = Dispatcher::new();
+        let base = InferQuery {
+            model: "8b".into(),
+            gpus: 8,
+            traffic: parallelism_core::TrafficShape::Steady,
+            requests_per_day: 20_000,
+            horizon_s: 300,
+            seed: 7,
+            ..InferQuery::default()
+        };
+        let first = d.dispatch(&Query::Infer(base.clone())).unwrap();
+        match &first {
+            Response::Infer(r) => {
+                assert!(r.report.completed > 0);
+                assert_eq!(r.report.leaked_blocks, 0);
+            }
+            other => panic!("expected an infer response, got {}", other.kind()),
+        }
+        let second = d.dispatch(&Query::Infer(base.clone())).unwrap();
+        assert_eq!(first.render_wire(), second.render_wire());
+        // The `threads` execution hint canonicalizes onto the same
+        // cache entry — and the result is identical anyway.
+        let threaded = InferQuery { threads: 3, ..base };
+        let third = d.dispatch(&Query::Infer(threaded)).unwrap();
+        assert_eq!(first.render_wire(), third.render_wire());
+        assert_eq!(d.stats().response_hits, 2);
     }
 
     #[test]

@@ -18,7 +18,9 @@
 pub mod batch;
 pub mod docgen;
 pub mod phases;
+pub mod traffic;
 
 pub use batch::{gbs_from_token_budget, DpBatch, GlobalBatch, MicroBatch};
 pub use docgen::{DocLengthDist, DocumentSampler};
 pub use phases::{llama3_405b_phases, PhaseKind, TrainingPhase};
+pub use traffic::{Request, TrafficShape, TrafficSpec};

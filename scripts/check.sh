@@ -16,7 +16,7 @@ cargo test -q --workspace
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> llama3sim lint (hygiene LINT001-006 + concurrency LOCK001-003: lock hierarchy, condvar discipline, no compute under a guard)"
+echo "==> llama3sim lint (hygiene LINT001-007 + concurrency LOCK001-003: lock hierarchy, condvar discipline, no compute under a guard)"
 cargo run --release -q --bin llama3sim -- lint
 
 echo "==> interleave battery: exhaustive bounded-schedule model check of the coalescing protocol"
@@ -48,6 +48,9 @@ cargo run --release -q --bin llama3sim -- trace --smoke
 
 echo "==> goodput perf snapshot (writes BENCH_goodput.json)"
 cargo run --release -q --bin llama3sim -- goodput
+
+echo "==> infer smoke: 405B/16K continuous-batching day across all three traffic shapes, thread-count invariant (writes BENCH_infer.json)"
+cargo run --release -q --bin llama3sim -- infer --grid --json
 
 echo "==> auto-parallelism search smoke: Table 2's 405B/16K mesh must be on the cp=1 frontier (writes BENCH_search.json)"
 cargo run --release -q --bin llama3sim -- search --max-cp 1 --expect 8,1,16,128

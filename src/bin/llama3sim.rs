@@ -19,7 +19,12 @@
 //!                    [--layers N] [--budget TOKENS]
 //!                    [--goodput-head N] [--threads N] [--max-cp N]
 //!                    [--zero M1[,M2...]] [--expect tp,cp,pp,dp]
-//!                    [--guided] [--json]
+//!                    [--workload train|infer] [--guided] [--json]
+//! llama3sim infer    [--model 405b|70b|8b] [--gpus N] [--tp N] [--pp N]
+//!                    [--traffic steady|diurnal|bursty] [--rpd N]
+//!                    [--horizon-s N] [--seed S] [--block N]
+//!                    [--max-batch N] [--slo-ttft-ms N] [--slo-tpot-ms N]
+//!                    [--threads N] [--grid] [--json]
 //! llama3sim trace    [--model 405b|70b|8b] [--gpus N] [--seq N]
 //!                    [--horizon-s N] [--seed S] [--tier0 N]
 //!                    [--window T0,T1] [--zoom N] [--stats | --smoke]
@@ -37,8 +42,8 @@
 use analyzer::cli::{self as analyze_cli, AnalyzeArgs};
 use bench_harness::cli::Flags;
 use bench_harness::snapshot::{
-    emit, goodput_envelope, perf_envelope, search_envelope, trace_envelope, SearchArgs,
-    SnapshotArgs, TraceArgs,
+    emit, goodput_envelope, perf_envelope, run_infer, search_envelope, trace_envelope, InferArgs,
+    SearchArgs, SnapshotArgs, TraceArgs,
 };
 use conformance::fuzz::{run_sweep, FuzzArgs};
 use parallelism_core::query::{AnalyzeMode, Query, Response};
@@ -62,10 +67,17 @@ fn usage() -> i32 {
     eprintln!("            [--model 405b|70b|8b] [--gpus N] [--seq N]");
     eprintln!("            [--layers N] [--budget TOKENS]");
     eprintln!("            [--goodput-head N] [--threads N] [--max-cp N] [--zero M1[,M2...]]");
-    eprintln!("            [--expect tp,cp,pp,dp] [--guided] [--json]");
+    eprintln!("            [--expect tp,cp,pp,dp] [--workload train|infer] [--guided] [--json]");
     eprintln!("            --guided: gradient-guided candidate selection (autodiff");
     eprintln!("            surrogate + projected descent), verified vs the exhaustive");
     eprintln!("            baseline and reported with the measured speedup");
+    eprintln!("            --workload infer: rank serving meshes by (p99 TTFT, peak HBM)");
+    eprintln!("  infer     continuous-batching serving simulation -> BENCH_infer.json");
+    eprintln!("            [--model 405b|70b|8b] [--gpus N] [--tp N] [--pp N]");
+    eprintln!("            [--traffic steady|diurnal|bursty] [--rpd N] [--horizon-s N]");
+    eprintln!("            [--seed S] [--block N] [--max-batch N] [--slo-ttft-ms N]");
+    eprintln!("            [--slo-tpot-ms N] [--threads N] [--grid] [--json]");
+    eprintln!("            --grid: sweep all three traffic shapes into one envelope");
     eprintln!("  trace     tiered-trace export of a simulated multi-day run");
     eprintln!("            [--model 405b|70b|8b] [--gpus N] [--seq N] [--horizon-s N]");
     eprintln!("            [--seed S] [--tier0 N] [--window T0,T1] [--zoom N]");
@@ -75,7 +87,7 @@ fn usage() -> i32 {
     eprintln!("            --smoke self-checks replay exactness -> BENCH_trace.json");
     eprintln!("  serve     HTTP daemon exposing the query API -> POST /v1/query");
     eprintln!("            [--addr HOST:PORT] [--self-test] [--bench [--clients N] [--json]]");
-    eprintln!("  lint      static analysis of the workspace sources (hygiene LINT001-006,");
+    eprintln!("  lint      static analysis of the workspace sources (hygiene LINT001-007,");
     eprintln!("            concurrency LOCK001-003 over the serve/cache substrate)");
     eprintln!("            [--json]  (exit 0 clean, 1 on findings)");
     2
@@ -286,6 +298,7 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<i32, String> {
         "bench" => run_bench(&Dispatcher::new(), rest),
         "goodput" => run_goodput(&Dispatcher::new(), rest),
         "search" => run_search(&Dispatcher::new(), rest),
+        "infer" => Ok(run_infer(&InferArgs::parse(rest)?)),
         "trace" => run_trace(&Dispatcher::new(), rest),
         "serve" => Ok(serve::cli::run(&ServeArgs::parse(rest)?)),
         "lint" => run_lint(rest),

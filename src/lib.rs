@@ -95,9 +95,12 @@ pub mod prelude {
     pub use parallelism_core::run::{
         CheckpointPolicy, GoodputLoss, GoodputReport, RunAnchor, RunReplay, RunSimulator, RunTrace,
     };
+    pub use parallelism_core::infer::{
+        InferCosts, InferPlan, InferReport, InferSpec, InferenceModel, RequestOutcome,
+    };
     pub use parallelism_core::query::{
-        AnalyzeMode, Query, QueryError, Response, SearchQuery, StatsResponse, TraceMode,
-        TraceQuery, TraceResponse, QUERY_API_VERSION,
+        AnalyzeMode, InferQuery, InferResponse, Query, QueryError, Response, SearchQuery,
+        StatsResponse, TraceMode, TraceQuery, TraceResponse, QUERY_API_VERSION,
     };
     pub use parallelism_core::search::{
         search, verdict_cache_stats, ConfigPoint, FunnelCounts, SearchPoint, SearchReport,
@@ -106,12 +109,13 @@ pub mod prelude {
     pub use parallelism_core::step::{
         ExposedComm, SimFidelity, SimOptions, StepModel, StepOutcome, StepReport,
     };
-    pub use parallelism_core::{Mesh4D, SimError, ZeroMode};
+    pub use parallelism_core::{Mesh4D, SimError, Workload, ZeroMode};
     pub use serve::{Dispatcher, ServeClient, Server};
     pub use sim_engine::time::{SimDuration, SimTime};
     pub use trace_analysis::chrome::to_chrome_json;
     pub use trace_analysis::slowrank::{locate_slow_rank, locate_slow_rank_tiered};
     pub use trace_analysis::tiered::{TierConfig, TieredTrace, WindowStats, WindowView};
     pub use trace_analysis::synth::{synth_trace, SynthSpec};
+    pub use workload::traffic::{Request, TrafficShape, TrafficSpec};
     pub use workload::{DocLengthDist, DocumentSampler};
 }

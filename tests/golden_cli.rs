@@ -47,7 +47,11 @@ fn run_cli(args: &[&str]) -> (String, String, i32) {
 fn strip_volatile(text: &str) -> String {
     let mut kept: String = text
         .lines()
-        .filter(|l| !l.starts_with("searched in ") && !l.starts_with("wrote BENCH"))
+        .filter(|l| {
+            !l.starts_with("searched in ")
+                && !l.starts_with("simulated in ")
+                && !l.starts_with("wrote BENCH")
+        })
         .map(|l| format!("{l}\n"))
         .collect();
     if !text.ends_with('\n') {
@@ -137,6 +141,18 @@ fn trace_stats_json_envelope_matches_golden() {
     ]);
     assert_eq!(code, 0, "stderr: {err}");
     assert_golden("trace_8b_stats_json.txt", &strip_volatile(&out));
+}
+
+#[test]
+fn infer_small_serving_day_matches_golden() {
+    // The same small scenario the serve self-test replays: 8B on
+    // 8 GPUs, a steady 20K-requests/day trace compressed to 300 s.
+    let (out, err, code) = run_cli(&[
+        "infer", "--model", "8b", "--gpus", "8", "--traffic", "steady", "--rpd", "20000",
+        "--horizon-s", "300", "--seed", "7",
+    ]);
+    assert_eq!(code, 0, "stderr: {err}");
+    assert_golden("infer_8b_small.txt", &strip_volatile(&out));
 }
 
 #[test]
